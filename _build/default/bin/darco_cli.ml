@@ -1,0 +1,265 @@
+(* The DARCO command-line interface: run workloads through the co-designed
+   pipeline, optionally with the timing and power simulators, and inspect
+   the software-layer statistics. *)
+
+open Cmdliner
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Darco_workloads.Registry.entry) ->
+        Printf.printf "%-16s %s\n" (Darco_workloads.Registry.suite_name e.suite) e.name)
+      Darco_workloads.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available workloads")
+    Term.(const run $ const ())
+
+let bench_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BENCH" ~doc:"Workload name (or unique substring)")
+
+let scale_arg =
+  Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Hot-phase iteration multiplier")
+
+let timing_arg =
+  Arg.(value & flag & info [ "timing" ] ~doc:"Enable the timing and power simulators")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "validate-checkpoints" ]
+        ~doc:"Validate architectural state at every execution slice")
+
+let max_insns_arg =
+  Arg.(
+    value
+    & opt int max_int
+    & info [ "max-insns" ] ~doc:"Stop after this many retired guest instructions")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic input seed")
+
+let no_flag name doc = Arg.(value & flag & info [ name ] ~doc)
+
+let config_term =
+  let combine no_asserts no_memspec no_sched no_opt no_chain no_ibtc no_unroll bb_thr
+      sb_thr =
+    let c = Darco.Config.default in
+    {
+      c with
+      use_asserts = not no_asserts;
+      use_mem_speculation = not no_memspec;
+      opt_schedule = not no_sched;
+      opt_const_fold = not no_opt;
+      opt_copy_prop = not no_opt;
+      opt_cse = not no_opt;
+      opt_dce = not no_opt;
+      opt_rle = not no_opt;
+      use_chaining = not no_chain;
+      use_ibtc = not no_ibtc;
+      unroll_factor = (if no_unroll then 1 else c.unroll_factor);
+      bb_threshold = bb_thr;
+      sb_threshold = sb_thr;
+    }
+  in
+  Term.(
+    const combine
+    $ no_flag "no-asserts" "Disable assert conversion (side-exit superblocks)"
+    $ no_flag "no-memspec" "Disable speculative memory reordering"
+    $ no_flag "no-schedule" "Disable instruction scheduling"
+    $ no_flag "no-opt" "Disable the classic optimization passes"
+    $ no_flag "no-chaining" "Disable translation chaining"
+    $ no_flag "no-ibtc" "Disable the indirect-branch translation cache"
+    $ no_flag "no-unroll" "Disable loop unrolling"
+    $ Arg.(value & opt int Darco.Config.default.bb_threshold & info [ "bb-threshold" ] ~doc:"IM->BBM promotion threshold")
+    $ Arg.(value & opt int Darco.Config.default.sb_threshold & info [ "sb-threshold" ] ~doc:"BBM->SBM promotion threshold"))
+
+let run_cmd =
+  let run bench scale timing validate max_insns seed cfg =
+    let entry = Darco_workloads.Registry.find bench in
+    let program = entry.build ~scale () in
+    Printf.printf "== %s (%s), %d static bytes ==\n%!" entry.name
+      (Darco_workloads.Registry.suite_name entry.suite)
+      (Darco_guest.Program.code_bytes program);
+    let ctl = Darco.Controller.create ~cfg ~seed program in
+    ctl.validate_at_checkpoints <- validate;
+    let pipe =
+      if timing then begin
+        let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
+        ctl.co.on_retire <- Some (Darco_timing.Pipeline.step p);
+        Some p
+      end
+      else None
+    in
+    let t0 = Unix.gettimeofday () in
+    let result = Darco.Controller.run ~max_insns ctl in
+    let dt = Unix.gettimeofday () -. t0 in
+    (match result with
+    | `Done -> Printf.printf "completed"
+    | `Limit -> Printf.printf "instruction limit reached"
+    | `Diverged d ->
+      Printf.printf "DIVERGED at %d retired insns:\n  %s" d.at_retired
+        (String.concat "\n  " d.details));
+    Printf.printf " in %.2fs (exit code %s)\n"
+      dt
+      (match Darco.Controller.exit_code ctl with
+      | Some c -> string_of_int c
+      | None -> "-");
+    let st = Darco.Controller.stats ctl in
+    Format.printf "%a@." Darco.Stats.pp_summary st;
+    Printf.printf "guest speed: %.2f MIPS (functional%s)\n"
+      (float_of_int (Darco.Stats.guest_total st) /. dt /. 1e6)
+      (if timing then " + timing" else "");
+    match pipe with
+    | None -> ()
+    | Some p ->
+      Format.printf "--- timing ---@.%a@." Darco_timing.Pipeline.pp_summary
+        (Darco_timing.Pipeline.summary p);
+      let ev = Darco_timing.Pipeline.events p in
+      let rep = Darco_power.Model.evaluate ev in
+      Format.printf "--- power ---@.%a@.perf/W: %.1f MIPS/W@."
+        Darco_power.Model.pp_report rep
+        (Darco_power.Model.perf_per_watt ev rep)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one workload through the co-designed pipeline")
+    Term.(
+      const run $ bench_arg $ scale_arg $ timing_arg $ validate_arg $ max_insns_arg
+      $ seed_arg $ config_term)
+
+let suite_cmd =
+  let run scale seed =
+    let header =
+      [ "benchmark"; "guest-insns"; "IM%"; "BBM%"; "SBM%"; "emul-cost"; "TOL%"; "status" ]
+    in
+    let rows =
+      List.map
+        (fun (e : Darco_workloads.Registry.entry) ->
+          let ctl = Darco.Controller.create ~seed (e.build ~scale ()) in
+          let status =
+            match Darco.Controller.run ctl with
+            | `Done -> "ok"
+            | `Limit -> "limit"
+            | `Diverged _ -> "DIVERGED"
+          in
+          let st = Darco.Controller.stats ctl in
+          let im, bbm, sbm = Darco.Stats.mode_fractions st in
+          [
+            e.name;
+            string_of_int (Darco.Stats.guest_total st);
+            Printf.sprintf "%.1f" (100. *. im);
+            Printf.sprintf "%.1f" (100. *. bbm);
+            Printf.sprintf "%.1f" (100. *. sbm);
+            Printf.sprintf "%.2f" (Darco.Stats.emulation_cost_sbm st);
+            Printf.sprintf "%.1f" (100. *. Darco.Stats.overhead_fraction st);
+            status;
+          ])
+        Darco_workloads.Registry.all
+    in
+    print_endline (Darco_util.Table.render ~header rows)
+  in
+  Cmd.v (Cmd.info "suite" ~doc:"Run every workload; print the summary table")
+    Term.(const run $ scale_arg $ seed_arg)
+
+(* --- monitoring / debugging tools ------------------------------------- *)
+
+let disasm_cmd =
+  let run bench scale limit =
+    let entry = Darco_workloads.Registry.find bench in
+    let program = entry.build ~scale () in
+    Format.printf "%a@." Darco.Disasm.pp_listing
+      (Darco.Disasm.disassemble program ~limit ())
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's guest code")
+    Term.(
+      const run $ bench_arg $ scale_arg
+      $ Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Max instructions"))
+
+let trace_cmd =
+  let run bench scale limit seed =
+    let entry = Darco_workloads.Registry.find bench in
+    let program = entry.build ~scale () in
+    Darco.Disasm.trace ~limit ~seed program (fun pc insn cpu ->
+        Printf.printf "0x%06x: %-30s eax=%08x ecx=%08x flags=%s\n" pc
+          (Darco_guest.Isa.to_string insn)
+          (Darco_guest.Cpu.get cpu EAX)
+          (Darco_guest.Cpu.get cpu ECX)
+          (Darco_guest.Flags.to_string cpu.flags))
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace guest execution on the authoritative emulator")
+    Term.(
+      const run $ bench_arg $ scale_arg
+      $ Arg.(value & opt int 64 & info [ "limit" ] ~doc:"Instructions to trace")
+      $ seed_arg)
+
+let regions_cmd =
+  let run bench scale max_insns seed =
+    let entry = Darco_workloads.Registry.find bench in
+    let ctl = Darco.Controller.create ~seed (entry.build ~scale ()) in
+    ignore (Darco.Controller.run ~max_insns ctl);
+    (* dump the hottest region the code cache currently holds *)
+    Printf.printf "code cache: %d regions, %d host insns\n"
+      (Darco.Codecache.region_count ctl.co.codecache)
+      (Darco.Codecache.total_host_insns ctl.co.codecache);
+    let shown = ref 0 in
+    List.iter
+      (fun (pc, _) ->
+        if !shown < 3 then
+          match Darco.Codecache.find ctl.co.codecache pc with
+          | Some r when r.mode = `Super ->
+            incr shown;
+            Format.printf "%a@." Darco_host.Code.pp_region r
+          | _ -> ())
+      (Darco.Profile.histogram ctl.co.profile);
+    if !shown = 0 then print_endline "(no superblocks formed in this window)"
+  in
+  Cmd.v
+    (Cmd.info "regions" ~doc:"Run a bounded window and dump translated superblocks")
+    Term.(
+      const run $ bench_arg $ scale_arg
+      $ Arg.(value & opt int 50_000 & info [ "max-insns" ] ~doc:"Window size")
+      $ seed_arg)
+
+let debug_cmd =
+  let run bench scale seed fault =
+    let entry = Darco_workloads.Registry.find bench in
+    let inject : Darco.Config.fault =
+      match fault with
+      | Some "cse" -> Opt_drop_store
+      | Some "sched" -> Sched_break_dep
+      | Some other -> invalid_arg ("unknown fault: " ^ other)
+      | None -> No_fault
+    in
+    let cfg = { Darco.Config.default with inject_fault = inject } in
+    let report = Darco.Debug.investigate ~cfg ~seed (entry.build ~scale ()) in
+    Format.printf "%a@." Darco.Debug.pp_report report
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:"Investigate a divergence (optionally with an injected bug)")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "inject" ] ~doc:"Inject a bug: 'cse' or 'sched'"))
+
+let speed_cmd =
+  let run bench scale insns seed =
+    let entry = Darco_workloads.Registry.find bench in
+    let s = Darco_studies.Speed.measure ~insns (entry.build ~scale ()) ~seed in
+    Format.printf "%a@." Darco_studies.Speed.pp s
+  in
+  Cmd.v (Cmd.info "speed" ~doc:"Measure emulation/simulation throughput")
+    Term.(
+      const run $ bench_arg $ scale_arg
+      $ Arg.(value & opt int 300_000 & info [ "insns" ] ~doc:"Guest instructions")
+      $ seed_arg)
+
+let () =
+  let info = Cmd.info "darco" ~doc:"DARCO co-designed processor simulation infrastructure" in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; suite_cmd; disasm_cmd; trace_cmd; regions_cmd; debug_cmd; speed_cmd ]))

@@ -1,0 +1,1 @@
+examples/debug_toolchain.ml: Asm Darco Darco_guest Format Printf

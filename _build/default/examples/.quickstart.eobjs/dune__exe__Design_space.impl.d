@@ -1,0 +1,1 @@
+examples/design_space.ml: Darco Darco_power Darco_timing Darco_util Darco_workloads List Printf

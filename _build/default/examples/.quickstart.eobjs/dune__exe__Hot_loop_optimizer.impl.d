@@ -1,0 +1,1 @@
+examples/hot_loop_optimizer.ml: Array Asm Codegen Config Darco Darco_guest Darco_host Format Gbb Ir Isa List Loader Memory Printf Profile Program Regalloc Regiongen Step Tolmem

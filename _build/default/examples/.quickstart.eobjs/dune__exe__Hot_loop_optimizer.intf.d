@@ -1,0 +1,1 @@
+examples/hot_loop_optimizer.mli:

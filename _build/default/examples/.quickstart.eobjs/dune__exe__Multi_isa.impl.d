@@ -1,0 +1,1 @@
+examples/multi_isa.ml: Array Cpu Darco Darco_grisc Darco_guest Darco_host Format Isa List Loader Memory Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Char Darco Darco_guest Format List Printf String

@@ -1,0 +1,1 @@
+examples/warmup_study.ml: Darco_studies Darco_workloads Format

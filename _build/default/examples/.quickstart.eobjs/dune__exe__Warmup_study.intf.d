@@ -1,0 +1,1 @@
+examples/warmup_study.mli:

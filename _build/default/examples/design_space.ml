@@ -1,0 +1,49 @@
+(* Design-space exploration with the timing and power simulators: the
+   paper's "wide in-order" question.  Sweeps core width and data-cache size
+   for one SPECFP-like and one SPECINT-like workload and reports IPC, power
+   and performance/watt for each configuration.
+
+     dune exec examples/design_space.exe *)
+
+module T = Darco_timing
+module P = Darco_power
+
+let configs =
+  [
+    ("1-wide", T.Tconfig.narrow);
+    ("2-wide", T.Tconfig.default);
+    ("4-wide", T.Tconfig.wide);
+    ( "2-wide big-DL1",
+      { T.Tconfig.default with dl1 = { sets = 256; ways = 8; line = 64; latency = 3 } } );
+    ( "4-wide small-DL1",
+      { T.Tconfig.wide with dl1 = { sets = 32; ways = 2; line = 64; latency = 1 } } );
+  ]
+
+let run_one name tcfg program =
+  let ctl = Darco.Controller.create ~seed:7 program in
+  let pipe = T.Pipeline.create tcfg in
+  ctl.co.on_retire <- Some (T.Pipeline.step pipe);
+  ignore (Darco.Controller.run ~max_insns:220_000 ctl);
+  let s = T.Pipeline.summary pipe in
+  let ev = T.Pipeline.events pipe in
+  let rep = P.Model.evaluate ev in
+  [
+    name;
+    Printf.sprintf "%.3f" s.ipc;
+    Printf.sprintf "%.1f%%" (100. *. s.branch_accuracy);
+    Printf.sprintf "%.2f%%" (100. *. s.dl1_miss_rate);
+    Printf.sprintf "%.3f" rep.avg_watts;
+    Printf.sprintf "%.2f" (rep.epi_nj);
+    Printf.sprintf "%.0f" (P.Model.perf_per_watt ev rep);
+  ]
+
+let () =
+  List.iter
+    (fun bench ->
+      let e = Darco_workloads.Registry.find bench in
+      Printf.printf "=== %s ===\n" e.name;
+      let header = [ "config"; "IPC"; "bp-acc"; "DL1-miss"; "watts"; "nJ/insn"; "MIPS/W" ] in
+      let rows = List.map (fun (n, c) -> run_one n c (e.build ())) configs in
+      print_endline (Darco_util.Table.render ~header rows);
+      print_newline ())
+    [ "435.gromacs"; "458.sjeng" ]

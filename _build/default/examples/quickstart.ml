@@ -1,0 +1,53 @@
+(* Quickstart: assemble a small guest program, run it through the full
+   co-designed pipeline (interpreter -> BB translation -> superblock
+   optimization) with state validation against the authoritative x86
+   component, and inspect the software-layer statistics.
+
+     dune exec examples/quickstart.exe *)
+
+open Darco_guest
+
+(* A guest program: sum the integers 1..500, store the result, print it,
+   and exit with its low byte. *)
+let program () =
+  let a = Asm.create ~base:0x1000 () in
+  Asm.insn a (Mov (Reg EAX, Imm 0));
+  Asm.insn a (Mov (Reg ECX, Imm 500));
+  Asm.label a "loop";
+  Asm.insn a (Alu (Add, Reg EAX, Reg ECX));
+  Asm.insn a (Dec (Reg ECX));
+  Asm.jcc a NE "loop";
+  (* store the result and write it to fd 1 *)
+  Asm.insn a (Mov (Mem { base = None; index = None; disp = 0x4000 }, Reg EAX));
+  Asm.insn a (Mov (Reg EBX, Imm 1));
+  Asm.insn a (Mov (Reg ECX, Imm 0x4000));
+  Asm.insn a (Mov (Reg EDX, Imm 4));
+  Asm.insn a (Mov (Reg EAX, Imm 4));
+  Asm.insn a Syscall;
+  (* exit(sum & 0xff) *)
+  Asm.insn a (Mov (Reg EBX, Mem { base = None; index = None; disp = 0x4000 }));
+  Asm.insn a (Alu (And, Reg EBX, Imm 0xFF));
+  Asm.insn a (Mov (Reg EAX, Imm 1));
+  Asm.insn a Syscall;
+  Asm.insn a Halt;
+  Asm.assemble a
+
+let () =
+  let ctl = Darco.Controller.create ~cfg:Darco.Config.quick ~seed:1 (program ()) in
+  ctl.validate_at_checkpoints <- true;
+  (match Darco.Controller.run ctl with
+  | `Done -> print_endline "run completed; all state validations passed"
+  | `Limit -> print_endline "instruction limit reached"
+  | `Diverged d ->
+    Printf.printf "DIVERGENCE at %d retired instructions:\n  %s\n" d.at_retired
+      (String.concat "\n  " d.details));
+  Printf.printf "guest exit code: %s\n"
+    (match Darco.Controller.exit_code ctl with
+    | Some c -> string_of_int c
+    | None -> "-");
+  let out = Darco.Controller.output ctl in
+  Printf.printf "guest output bytes: %s (sum = %d; expected %d)\n"
+    (String.concat " " (List.init (String.length out) (fun i -> string_of_int (Char.code out.[i]))))
+    (Char.code out.[0] lor (Char.code out.[1] lsl 8) lor (Char.code out.[2] lsl 16))
+    (500 * 501 / 2);
+  Format.printf "%a@." Darco.Stats.pp_summary (Darco.Controller.stats ctl)

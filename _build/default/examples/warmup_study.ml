@@ -1,0 +1,15 @@
+(* The §VI-E warm-up methodology as a library user would run it: pick a
+   workload, choose sample points, and compare the threshold-downscaled
+   warm-up against full detailed simulation and against the conventional
+   long warm-up.
+
+     dune exec examples/warmup_study.exe *)
+
+let () =
+  let program = (Darco_workloads.Registry.find "445.gobmk").build ~scale:3 () in
+  let report =
+    Darco_studies.Warmup.run_study ~program ~seed:7
+      ~sample_offsets:[ 500_000; 1_000_000 ]
+      ~window:25_000 ()
+  in
+  Format.printf "%a@." Darco_studies.Warmup.pp_report report

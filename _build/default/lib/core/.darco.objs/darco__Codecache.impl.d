@@ -1,0 +1,1 @@
+lib/core/codecache.ml: Array Code Codegen Config Darco_host Hashtbl List Option Regalloc Regionir Stats Tolmem

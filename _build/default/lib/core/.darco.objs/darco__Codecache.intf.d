@@ -1,0 +1,1 @@
+lib/core/codecache.mli: Code Config Darco_host Regionir Stats Tolmem

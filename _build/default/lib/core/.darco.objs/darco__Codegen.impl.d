@@ -1,0 +1,1 @@
+lib/core/codegen.ml: Array Code Config Darco_host Ir List Regalloc Regionir Regs

@@ -1,0 +1,1 @@
+lib/core/codegen.mli: Code Config Darco_host Regalloc Regionir

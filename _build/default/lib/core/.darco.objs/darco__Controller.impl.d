@@ -1,0 +1,1 @@
+lib/core/controller.ml: Bytes Config Cpu Darco_guest Interp_ref List Loader Memory Printf Syscall Tol

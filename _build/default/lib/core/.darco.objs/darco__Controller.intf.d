@@ -1,0 +1,1 @@
+lib/core/controller.mli: Config Darco_guest Interp_ref Program Stats Tol

@@ -1,0 +1,1 @@
+lib/core/debug.ml: Config Controller Cpu Darco_guest Format List

@@ -1,0 +1,1 @@
+lib/core/debug.mli: Config Darco_guest Format Program

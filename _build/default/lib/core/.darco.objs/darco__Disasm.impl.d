@@ -1,0 +1,1 @@
+lib/core/disasm.ml: Codec Cpu Darco_guest Format Interp_ref Isa List Loader Memory Program Step

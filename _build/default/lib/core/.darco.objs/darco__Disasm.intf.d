@@ -1,0 +1,1 @@
+lib/core/disasm.mli: Cpu Darco_guest Format Isa Memory Program

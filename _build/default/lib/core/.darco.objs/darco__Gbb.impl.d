@@ -1,0 +1,1 @@
+lib/core/gbb.ml: Darco_guest Isa List Semantics Step

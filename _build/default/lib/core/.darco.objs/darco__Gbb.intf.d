@@ -1,0 +1,1 @@
+lib/core/gbb.mli: Darco_guest Isa Memory Step

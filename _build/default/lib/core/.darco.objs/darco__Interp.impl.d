@@ -1,0 +1,1 @@
+lib/core/interp.ml: Config Cpu Darco_guest Profile Stats Step

@@ -1,0 +1,1 @@
+lib/core/interp.mli: Config Cpu Darco_guest Memory Profile Stats Step

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Array Code Darco_guest Darco_host Format Isa Printf

@@ -1,0 +1,1 @@
+lib/core/ir.mli: Code Darco_guest Darco_host Format Isa

@@ -1,0 +1,1 @@
+lib/core/ir_eval.ml: Array Code Cpu Darco_guest Darco_host Emulator Flagcalc Flags Hashtbl Int64 Ir Isa List Memory Regionir Semantics

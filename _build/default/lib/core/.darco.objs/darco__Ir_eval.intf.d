@@ -1,0 +1,1 @@
+lib/core/ir_eval.mli: Cpu Darco_guest Ir Memory Regionir

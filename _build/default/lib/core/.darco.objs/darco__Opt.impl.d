@@ -1,0 +1,1 @@
+lib/core/opt.ml: Array Code Config Darco_guest Darco_host Emulator Flagcalc Hashtbl Ir List Regionir

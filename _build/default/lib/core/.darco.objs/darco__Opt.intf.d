@@ -1,0 +1,1 @@
+lib/core/opt.mli: Config Regionir

@@ -1,0 +1,1 @@
+lib/core/regalloc.ml: Array Code Darco_host Hashtbl Ir List Queue Regionir Regs

@@ -1,0 +1,1 @@
+lib/core/regalloc.mli: Code Darco_host Ir Regionir

@@ -1,0 +1,1 @@
+lib/core/regiongen.ml: Config Darco_guest Gbb Ir Isa List Opt Profile Regionir Sched Translate

@@ -1,0 +1,1 @@
+lib/core/regiongen.mli: Config Darco_guest Memory Profile Regionir Step

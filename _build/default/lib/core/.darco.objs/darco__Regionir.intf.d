@@ -1,0 +1,1 @@
+lib/core/regionir.mli: Ir

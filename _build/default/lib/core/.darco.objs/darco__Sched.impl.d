@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array Config Darco_guest Darco_host Hashtbl Ir Isa List Regionir

@@ -1,0 +1,1 @@
+lib/core/tol.ml: Code Codecache Config Cpu Darco_guest Darco_host Emulator Gbb Hashtbl Interp List Machine Memory Option Profile Regiongen Semantics Stats Step Syscall Tolmem

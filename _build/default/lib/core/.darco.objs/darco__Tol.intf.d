@@ -1,0 +1,1 @@
+lib/core/tol.mli: Bytes Codecache Config Cpu Darco_guest Darco_host Emulator Hashtbl Machine Memory Profile Stats Step Syscall Tolmem

@@ -1,0 +1,1 @@
+lib/core/tolmem.ml: Bytes Darco_guest Loader Memory

@@ -1,0 +1,1 @@
+lib/core/tolmem.mli: Darco_guest Memory

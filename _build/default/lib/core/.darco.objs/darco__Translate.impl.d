@@ -1,0 +1,1 @@
+lib/core/translate.ml: Array Code Darco_guest Darco_host Flags Ir Isa List Regionir Semantics

@@ -1,0 +1,1 @@
+lib/core/translate.mli: Code Darco_guest Darco_host Ir Isa Regionir

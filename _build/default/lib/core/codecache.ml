@@ -1,0 +1,121 @@
+open Darco_host
+
+(* Host code addresses live in their own region of the address space,
+   disjoint from guest data and TOL data. *)
+let code_base = 0xC000_0000
+
+type t = {
+  tolmem : Tolmem.t;
+  stats : Stats.t;
+  by_pc : (int, Code.region list) Hashtbl.t;
+  by_base : (int, Code.region) Hashtbl.t;
+  mutable next_id : int;
+  mutable next_base : int;
+  mutable total_insns : int;
+  ibtc_base : int;
+  ibtc_entries : int;
+}
+
+let create (cfg : Config.t) tolmem stats =
+  let entries = 1 lsl cfg.ibtc_bits in
+  {
+    tolmem;
+    stats;
+    by_pc = Hashtbl.create 256;
+    by_base = Hashtbl.create 256;
+    next_id = 0;
+    next_base = code_base;
+    total_insns = 0;
+    ibtc_base = Tolmem.alloc tolmem (8 * entries);
+    ibtc_entries = entries;
+  }
+
+let ibtc_base t = t.ibtc_base
+
+let ibtc_clear_entry t i =
+  Tolmem.write32 t.tolmem (t.ibtc_base + (8 * i)) 0xFFFFFFFF;
+  Tolmem.write32 t.tolmem (t.ibtc_base + (8 * i) + 4) 0
+
+let flush t =
+  Hashtbl.iter (fun _ (r : Code.region) -> r.invalidated <- true) t.by_base;
+  Hashtbl.reset t.by_pc;
+  Hashtbl.reset t.by_base;
+  t.total_insns <- 0;
+  for i = 0 to t.ibtc_entries - 1 do
+    ibtc_clear_entry t i
+  done;
+  t.stats.code_cache_flushes <- t.stats.code_cache_flushes + 1
+
+let register t (r : Code.region) =
+  let existing = Option.value (Hashtbl.find_opt t.by_pc r.entry_pc) ~default:[] in
+  Hashtbl.replace t.by_pc r.entry_pc (r :: existing);
+  Hashtbl.replace t.by_base r.base r;
+  t.total_insns <- t.total_insns + Array.length r.code
+
+let insert t (cfg : Config.t) (rir : Regionir.t) =
+  let alloc = Regalloc.allocate rir in
+  let spill_base =
+    if alloc.slot_count = 0 then 0 else Tolmem.alloc t.tolmem (8 * alloc.slot_count)
+  in
+  let code, _exits = Codegen.lower cfg rir ~alloc ~spill_base ~ibtc_base:t.ibtc_base in
+  if t.total_insns + Array.length code > cfg.code_cache_capacity then flush t;
+  let region =
+    {
+      Code.id = t.next_id;
+      entry_pc = rir.entry_pc;
+      mode = rir.mode;
+      base = t.next_base;
+      code;
+      incoming = [];
+      invalidated = false;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  t.next_base <- t.next_base + (4 * Array.length code);
+  register t region;
+  region
+
+let find t ?(prefer_bb = false) pc =
+  match Hashtbl.find_opt t.by_pc pc with
+  | None -> None
+  | Some regions -> (
+    let alive = List.filter (fun (r : Code.region) -> not r.invalidated) regions in
+    let pick mode = List.find_opt (fun (r : Code.region) -> r.mode = mode) alive in
+    match if prefer_bb then pick `Bb else pick `Super with
+    | Some r -> Some r
+    | None -> ( match alive with r :: _ -> Some r | [] -> None))
+
+let resolve_base t base = Hashtbl.find_opt t.by_base base
+
+let chain t (e : Code.exit_info) (target : Code.region) =
+  e.chain <- Some target;
+  target.incoming <- e :: target.incoming;
+  t.stats.chains_made <- t.stats.chains_made + 1
+
+let ibtc_index t pc = pc land (t.ibtc_entries - 1)
+
+let ibtc_fill t ~guest_pc (region : Code.region) =
+  let addr = t.ibtc_base + (8 * ibtc_index t guest_pc) in
+  Tolmem.write32 t.tolmem addr guest_pc;
+  Tolmem.write32 t.tolmem (addr + 4) region.base;
+  t.stats.ibtc_fills <- t.stats.ibtc_fills + 1
+
+let invalidate t (r : Code.region) =
+  r.invalidated <- true;
+  List.iter (fun (e : Code.exit_info) -> e.chain <- None) r.incoming;
+  r.incoming <- [];
+  (match Hashtbl.find_opt t.by_pc r.entry_pc with
+  | None -> ()
+  | Some regions ->
+    Hashtbl.replace t.by_pc r.entry_pc
+      (List.filter (fun (x : Code.region) -> x.id <> r.id) regions));
+  Hashtbl.remove t.by_base r.base;
+  t.total_insns <- t.total_insns - Array.length r.code;
+  (* Purge IBTC entries that point into the dead region. *)
+  for i = 0 to t.ibtc_entries - 1 do
+    let addr = t.ibtc_base + (8 * i) in
+    if Tolmem.read32 t.tolmem (addr + 4) = r.base then ibtc_clear_entry t i
+  done
+
+let region_count t = Hashtbl.length t.by_base
+let total_host_insns t = t.total_insns

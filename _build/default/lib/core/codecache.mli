@@ -1,0 +1,34 @@
+open Darco_host
+
+(** The translation code cache: region registry, host code-address
+    allocation, chaining management, the IBTC (indirect branch translation
+    cache, after Scott et al.) and capacity-triggered full flushes. *)
+
+type t
+
+val create : Config.t -> Tolmem.t -> Stats.t -> t
+
+val ibtc_base : t -> int
+(** Address of the IBTC table in TOL memory (inline probe sequences use
+    it). *)
+
+val insert : t -> Config.t -> Regionir.t -> Code.region
+(** Lower the region IR (register allocation + code generation), allocate
+    host code space, and register the region.  May trigger a full flush
+    first if capacity would be exceeded (the new region always survives). *)
+
+val find : t -> ?prefer_bb:bool -> int -> Code.region option
+(** Translation for a guest PC.  Superblocks shadow BB translations unless
+    [prefer_bb]. *)
+
+val resolve_base : t -> int -> Code.region option
+(** Region whose host base address is the given value (for [Jr]). *)
+
+val chain : t -> Code.exit_info -> Code.region -> unit
+val invalidate : t -> Code.region -> unit
+(** Unlinks every chain into the region and purges its IBTC entries. *)
+
+val ibtc_fill : t -> guest_pc:int -> Code.region -> unit
+val flush : t -> unit
+val region_count : t -> int
+val total_host_insns : t -> int

@@ -1,0 +1,288 @@
+open Darco_host
+
+
+(* A growing buffer of host instructions. *)
+type buf = { mutable arr : Code.insn array; mutable len : int }
+
+let buf_create () = { arr = Array.make 64 Code.Nop; len = 0 }
+
+let push b insn =
+  if b.len = Array.length b.arr then begin
+    let bigger = Array.make (2 * b.len) Code.Nop in
+    Array.blit b.arr 0 bigger 0 b.len;
+    b.arr <- bigger
+  end;
+  b.arr.(b.len) <- insn;
+  b.len <- b.len + 1
+
+let move rd rs = Code.Bini (Or, rd, rs, 0)
+
+let lower (cfg : Config.t) (r : Regionir.t) ~(alloc : Regalloc.t) ~spill_base ~ibtc_base =
+  let b = buf_create () in
+  let exits = ref [] in
+  let exit_id = ref 0 in
+  let slot_addr s = spill_base + (8 * s) in
+  (* Resolve an integer use: a physical register, or a reload into the
+     next free spill scratch. *)
+  let use_scratch = ref 0 in
+  let take_scratch () =
+    let r =
+      match !use_scratch with
+      | 0 -> Regs.spill_scratch0
+      | 1 -> Regs.spill_scratch1
+      | _ -> 15
+    in
+    incr use_scratch;
+    assert (!use_scratch <= 3);
+    r
+  in
+  let use v =
+    match Regalloc.location alloc v with
+    | Phys p -> p
+    | Slot s ->
+      let sc = take_scratch () in
+      push b (Code.Load (W32, false, sc, Regs.zero, slot_addr s));
+      sc
+  in
+  let fuse_scratch = ref 0 in
+  let fuse v =
+    match Regalloc.flocation alloc v with
+    | Phys p -> p
+    | Slot s ->
+      let sc = if !fuse_scratch = 0 then Regs.fscratch0 else Regs.fscratch1 in
+      incr fuse_scratch;
+      assert (!fuse_scratch <= 2);
+      push b (Code.Fload (sc, Regs.zero, slot_addr s));
+      sc
+  in
+  (* Resolve a definition: returns the register to compute into and a
+     writeback thunk to run after the instruction is emitted. *)
+  let def_scratch = ref 0 in
+  let def v =
+    match Regalloc.location alloc v with
+    | Phys p -> (p, fun () -> ())
+    | Slot s ->
+      let sc = if !def_scratch = 0 then Regs.spill_scratch0 else Regs.spill_scratch1 in
+      incr def_scratch;
+      (sc, fun () -> push b (Code.Store (W32, sc, Regs.zero, slot_addr s)))
+  in
+  let fdef v =
+    match Regalloc.flocation alloc v with
+    | Phys p -> (p, fun () -> ())
+    | Slot s -> (Regs.fscratch0, fun () -> push b (Code.Fstore (Regs.fscratch0, Regs.zero, slot_addr s)))
+  in
+  let reset_scratches () =
+    use_scratch := 0;
+    fuse_scratch := 0;
+    def_scratch := 0
+  in
+  let emit_counter_bump addr =
+    push b (Code.Li (Regs.scratch0, addr));
+    push b (Code.Load (W32, false, Regs.scratch1, Regs.scratch0, 0));
+    push b (Code.Bini (Add, Regs.scratch1, Regs.scratch1, 1));
+    push b (Code.Store (W32, Regs.scratch1, Regs.scratch0, 0))
+  in
+  let make_exit kind ~retired ~prefer_bb =
+    let e =
+      {
+        Code.exit_id = !exit_id;
+        kind;
+        guest_retired = retired;
+        chain = None;
+        prefer_bb;
+      }
+    in
+    incr exit_id;
+    exits := e :: !exits;
+    e
+  in
+  let emit_exit_path (spec : Ir.exit_spec) =
+    (match spec.edge with None -> () | Some addr -> emit_counter_bump addr);
+    push b (Code.Commit spec.retired);
+    match spec.target with
+    | Ir.Xdirect pc ->
+      push b (Code.Exit (make_exit (Exit_direct pc) ~retired:spec.retired ~prefer_bb:spec.prefer_bb))
+    | Ir.Xsyscall pc ->
+      push b (Code.Exit (make_exit (Exit_syscall pc) ~retired:spec.retired ~prefer_bb:false))
+    | Ir.Xinterp pc ->
+      push b (Code.Exit (make_exit (Exit_interp pc) ~retired:spec.retired ~prefer_bb:false))
+    | Ir.Xhalt ->
+      push b (Code.Exit (make_exit Exit_halt ~retired:spec.retired ~prefer_bb:false))
+    | Ir.Xindirect v ->
+      let rt = use v in
+      if cfg.use_ibtc then begin
+        let mask = (1 lsl cfg.ibtc_bits) - 1 in
+        push b (Code.Bini (And, Regs.scratch0, rt, mask));
+        push b (Code.Bini (Shl, Regs.scratch0, Regs.scratch0, 3));
+        push b (Code.Li (Regs.scratch1, ibtc_base));
+        push b (Code.Bin (Add, Regs.scratch0, Regs.scratch0, Regs.scratch1));
+        push b (Code.Load (W32, false, Regs.scratch1, Regs.scratch0, 0));
+        (* On tag mismatch skip the two hit instructions. *)
+        push b (Code.B (Bne, Regs.scratch1, rt, b.len + 3));
+        push b (Code.Load (W32, false, Regs.scratch2, Regs.scratch0, 4));
+        push b (Code.Jr (Regs.scratch2, rt))
+      end;
+      push b (Code.Exit (make_exit (Exit_indirect rt) ~retired:spec.retired ~prefer_bb:false))
+  in
+  (* --- prologue -------------------------------------------------------- *)
+  push b Code.Chk;
+  (match r.prof with
+  | None -> ()
+  | Some (ctr_addr, threshold) ->
+    emit_counter_bump ctr_addr;
+    push b (Code.Li (Regs.scratch2, threshold));
+    (* continue with the body if count < threshold; otherwise request
+       promotion *)
+    push b (Code.B (Blt, Regs.scratch1, Regs.scratch2, b.len + 3));
+    push b (Code.Commit 0);
+    push b (Code.Exit (make_exit (Exit_promote r.entry_pc) ~retired:0 ~prefer_bb:false)));
+  (* --- body ------------------------------------------------------------ *)
+  let n = Array.length r.body in
+  let ir2host = Array.make n (-1) in
+  let fixups = ref [] in
+  Array.iteri
+    (fun i insn ->
+      reset_scratches ();
+      ir2host.(i) <- b.len;
+      match (insn : Ir.t) with
+      | Iget (v, gr) ->
+        let rd, wb = def v in
+        push b (move rd (Regs.guest gr));
+        wb ()
+      | Iput (gr, v) -> push b (move (Regs.guest gr) (use v))
+      | Igetf (f, gf) ->
+        let fd, wb = fdef f in
+        push b (Code.Fmov (fd, Regs.guest_f gf));
+        wb ()
+      | Iputf (gf, f) -> push b (Code.Fmov (Regs.guest_f gf, fuse f))
+      | Igetfl v ->
+        let rd, wb = def v in
+        push b (move rd Regs.flags);
+        wb ()
+      | Iputfl v -> push b (move Regs.flags (use v))
+      | Ili (v, k) ->
+        let rd, wb = def v in
+        push b (Code.Li (rd, k));
+        wb ()
+      | Imov (d, s) ->
+        let rs = use s in
+        let rd, wb = def d in
+        push b (move rd rs);
+        wb ()
+      | Ibin (op, d, a, bb) ->
+        let ra = use a in
+        let rb = use bb in
+        let rd, wb = def d in
+        push b (Code.Bin (op, rd, ra, rb));
+        wb ()
+      | Ibini (op, d, a, k) ->
+        let ra = use a in
+        let rd, wb = def d in
+        push b (Code.Bini (op, rd, ra, k));
+        wb ()
+      | Imkfl (kind, d, a, bb, c) ->
+        let ra = use a in
+        let rb = use bb in
+        let rc = use c in
+        let rd, wb = def d in
+        push b (Code.Mkfl (kind, rd, ra, rb, rc));
+        wb ()
+      | Iisel (d, c, a, bb) ->
+        let rc = use c in
+        let ra = use a in
+        let rb = use bb in
+        let rd, wb = def d in
+        push b (Code.Isel (rd, rc, ra, rb));
+        wb ()
+      | Iload (w, sg, d, a, off) ->
+        let ra = use a in
+        let rd, wb = def d in
+        push b (Code.Load (w, sg, rd, ra, off));
+        wb ()
+      | Isload (w, sg, d, a, off) ->
+        let ra = use a in
+        let rd, wb = def d in
+        push b (Code.Sload (w, sg, rd, ra, off));
+        wb ()
+      | Istore (w, v, a, off) ->
+        let rv = use v in
+        let ra = use a in
+        push b (Code.Store (w, rv, ra, off))
+      | Ifli (f, x) ->
+        let fd, wb = fdef f in
+        push b (Code.Fli (fd, x));
+        wb ()
+      | Ifmov (d, s) ->
+        let fs = fuse s in
+        let fd, wb = fdef d in
+        push b (Code.Fmov (fd, fs));
+        wb ()
+      | Ifbin (op, d, a, bb) ->
+        let fa = fuse a in
+        let fb = fuse bb in
+        let fd, wb = fdef d in
+        push b (Code.Fbin (op, fd, fa, fb));
+        wb ()
+      | Ifun (op, d, a) ->
+        let fa = fuse a in
+        let fd, wb = fdef d in
+        push b (Code.Fun (op, fd, fa));
+        wb ()
+      | Ifload (f, a, off) ->
+        let ra = use a in
+        let fd, wb = fdef f in
+        push b (Code.Fload (fd, ra, off));
+        wb ()
+      | Ifstore (f, a, off) ->
+        let fv = fuse f in
+        let ra = use a in
+        push b (Code.Fstore (fv, ra, off))
+      | Ifcmp (d, a, bb) ->
+        let fa = fuse a in
+        let fb = fuse bb in
+        let rd, wb = def d in
+        push b (Code.Fcmp (rd, fa, fb));
+        wb ()
+      | Icvtif (f, v) ->
+        let rv = use v in
+        let fd, wb = fdef f in
+        push b (Code.Cvtif (fd, rv));
+        wb ()
+      | Icvtfi (v, f) ->
+        let fa = fuse f in
+        let rd, wb = def v in
+        push b (Code.Cvtfi (rd, fa));
+        wb ()
+      | Irt_f (fn, d, s) ->
+        let fs = fuse s in
+        let fd, wb = fdef d in
+        push b (Code.Callrt_f (fn, fd, fs));
+        wb ()
+      | Irt_div { signed; q; r = rr; hi; lo; d } ->
+        let rhi = use hi in
+        let rlo = use lo in
+        let rd = use d in
+        let rq, wbq = def q in
+        let rrem, wbr = def rr in
+        push b (Code.Callrt_div { signed; q = rq; r = rrem; hi = rhi; lo = rlo; d = rd });
+        wbq ();
+        wbr ()
+      | Ibr (c, a, bb, t) ->
+        let ra = use a in
+        let rb = use bb in
+        fixups := (b.len, t) :: !fixups;
+        push b (Code.B (c, ra, rb, -1))
+      | Iassert (c, a, bb) ->
+        let ra = use a in
+        let rb = use bb in
+        push b (Code.Assert (c, ra, rb))
+      | Iexit spec -> emit_exit_path spec)
+    r.body;
+  (* patch intra-region branch targets *)
+  List.iter
+    (fun (host_idx, ir_target) ->
+      match b.arr.(host_idx) with
+      | Code.B (c, ra, rb, -1) -> b.arr.(host_idx) <- Code.B (c, ra, rb, ir2host.(ir_target))
+      | _ -> assert false)
+    !fixups;
+  (Array.sub b.arr 0 b.len, List.rev !exits)

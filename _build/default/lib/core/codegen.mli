@@ -1,0 +1,22 @@
+open Darco_host
+
+(** Code generation: lowers register-allocated region IR to host
+    instructions, assembling the full region body the hardware executes:
+
+    - checkpoint at entry;
+    - for BBM regions, the profiling/promotion prologue (execution counter
+      update and SBM-threshold check as inline host code);
+    - the lowered body (spilled vregs get reload/writeback sequences around
+      their uses via the reserved spill scratch registers);
+    - exit paths: optional edge-counter update, [Commit] with the retired
+      guest-instruction count, then either a chainable [Exit] or the inline
+      IBTC probe sequence for indirect exits. *)
+
+val lower :
+  Config.t ->
+  Regionir.t ->
+  alloc:Regalloc.t ->
+  spill_base:int ->
+  ibtc_base:int ->
+  Code.insn array * Code.exit_info list
+(** Returns the host code and the exit records (for chaining management). *)

@@ -1,0 +1,117 @@
+open Darco_guest
+
+type divergence = { at_retired : int; details : string list }
+
+type t = {
+  cfg : Config.t;
+  reference : Interp_ref.t;
+  co : Tol.t;
+  mutable divergence : divergence option;
+  mutable validate_at_checkpoints : bool;
+  mutable validate_memory : bool;
+}
+
+let create_at ?(cfg = Config.default) ?input ~seed program ~start =
+  let reference = Interp_ref.boot ?input ~seed program in
+  if start > 0 then Interp_ref.run_until reference start;
+  (* Initialization phase: the co-designed component receives the (possibly
+     fast-forwarded) x86 architectural state; its memory starts empty and
+     fills through data requests. *)
+  let co = Tol.create cfg reference.cpu in
+  (* Keep the retired-instruction clocks aligned for synchronization. *)
+  co.stats.guest_im <- reference.retired;
+  {
+    cfg;
+    reference;
+    co;
+    divergence = None;
+    validate_at_checkpoints = false;
+    validate_memory = false;
+  }
+
+let create ?cfg ?input ~seed program = create_at ?cfg ?input ~seed program ~start:0
+
+let catch_up t = Interp_ref.run_until t.reference (Tol.retired t.co)
+
+let compare_states t ~memory =
+  let details = Cpu.diff t.reference.cpu t.co.cpu in
+  let details =
+    if not memory then details
+    else
+      List.fold_left
+        (fun acc idx ->
+          if Memory.page_base idx >= Loader.tol_base then acc
+          else if Memory.equal_page t.reference.mem t.co.mem idx then acc
+          else Printf.sprintf "memory page 0x%x differs" (Memory.page_base idx) :: acc)
+        details
+        (Memory.touched_pages t.co.mem)
+  in
+  match details with
+  | [] -> None
+  | _ -> Some { at_retired = Tol.retired t.co; details }
+
+let validate t ?(memory = false) () =
+  catch_up t;
+  t.co.Tol.stats.validations <- t.co.Tol.stats.validations + 1;
+  compare_states t ~memory
+
+let stats t = t.co.stats
+let output t = Interp_ref.output t.reference
+let exit_code t = t.reference.exit_code
+
+let ensure_co_pages t addr len =
+  let first = Memory.page_index addr in
+  let last = Memory.page_index (addr + max 0 (len - 1)) in
+  for idx = first to last do
+    if not (Memory.has_page t.co.mem idx) then
+      Tol.install_page t.co idx (Memory.get_page t.reference.mem idx)
+  done
+
+let run ?(max_insns = max_int) t =
+  let note_divergence d =
+    t.divergence <- Some d;
+    `Diverged d
+  in
+  let rec loop () =
+    if Tol.retired t.co >= max_insns then `Limit
+    else
+      match Tol.run_slice t.co with
+      | Tol.Ev_page_fault idx ->
+        catch_up t;
+        Tol.install_page t.co idx (Memory.get_page t.reference.mem idx);
+        loop ()
+      | Tol.Ev_syscall _pc -> begin
+        catch_up t;
+        match compare_states t ~memory:false with
+        | Some d -> note_divergence d
+        | None ->
+          t.co.stats.validations <- t.co.stats.validations + 1;
+          let effects = Interp_ref.service_syscall t.reference in
+          List.iter
+            (fun (e : Syscall.effect) ->
+              match e with
+              | Syscall.Mem_write (addr, data) ->
+                ensure_co_pages t addr (Bytes.length data)
+              | Syscall.Set_reg _ | Syscall.Exit _ -> ())
+            effects;
+          Tol.service_complete_syscall t.co effects ~len:1;
+          loop ()
+      end
+      | Tol.Ev_halt -> begin
+        catch_up t;
+        t.co.stats.validations <- t.co.stats.validations + 1;
+        match compare_states t ~memory:true with
+        | Some d -> note_divergence d
+        | None -> `Done
+      end
+      | Tol.Ev_checkpoint ->
+        if t.validate_at_checkpoints then begin
+          catch_up t;
+          t.co.stats.validations <- t.co.stats.validations + 1;
+          match compare_states t ~memory:t.validate_memory with
+          | Some d -> note_divergence d
+          | None -> loop ()
+        end
+        else loop ()
+  in
+  loop ()

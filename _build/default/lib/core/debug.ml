@@ -1,0 +1,81 @@
+open Darco_guest
+
+type report = {
+  diverged : bool;
+  first_divergence : (int * int * string list) option;
+  culprit : string option;
+  tried : (string * bool) list;
+}
+
+let passes_with cfg ?input ~seed program =
+  let ctl = Controller.create ~cfg ?input ~seed program in
+  ctl.validate_at_checkpoints <- true;
+  ctl.validate_memory <- true;
+  match Controller.run ctl with `Done -> true | `Diverged _ | `Limit -> false
+
+(* Disabling variants, ordered from the most aggressive/speculative
+   features (the likeliest culprits) to the most basic. *)
+let variants (cfg : Config.t) =
+  [
+    ("memory speculation", { cfg with use_mem_speculation = false });
+    ("assert conversion", { cfg with use_asserts = false });
+    ("instruction scheduling", { cfg with opt_schedule = false });
+    ("common-subexpression elimination", { cfg with opt_cse = false });
+    ("redundant-load elimination", { cfg with opt_rle = false });
+    ( "constant folding/propagation",
+      { cfg with opt_const_fold = false; opt_copy_prop = false } );
+    ("dead-code elimination", { cfg with opt_dce = false });
+    ("loop unrolling", { cfg with unroll_factor = 1 });
+    ("chaining", { cfg with use_chaining = false });
+    ("IBTC", { cfg with use_ibtc = false });
+    ("superblock formation", { cfg with sb_threshold = max_int });
+    ( "all translation (interpret everything)",
+      { cfg with bb_threshold = max_int; sb_threshold = max_int } );
+  ]
+
+let investigate ?(cfg = Config.default) ?input ~seed program =
+  (* Step 1: localize the first divergent basic block with fine-grained
+     validation. *)
+  let fine = { cfg with slice_fuel = 500 } in
+  let ctl = Controller.create ~cfg:fine ?input ~seed program in
+  ctl.validate_at_checkpoints <- true;
+  ctl.validate_memory <- true;
+  match Controller.run ctl with
+  | `Done | `Limit -> { diverged = false; first_divergence = None; culprit = None; tried = [] }
+  | `Diverged d ->
+    let location = (d.at_retired, ctl.co.cpu.Cpu.eip, d.details) in
+    (* Step 2: bisect over the pass toggles. *)
+    let tried = ref [] in
+    let culprit =
+      List.find_map
+        (fun (name, cfg') ->
+          let ok = passes_with cfg' ?input ~seed program in
+          tried := (name, ok) :: !tried;
+          if ok then Some name else None)
+        (variants cfg)
+    in
+    { diverged = true; first_divergence = Some location; culprit; tried = List.rev !tried }
+
+let pp_report ppf r =
+  if not r.diverged then Format.fprintf ppf "no divergence: all validations passed"
+  else begin
+    Format.fprintf ppf "@[<v>";
+    (match r.first_divergence with
+    | Some (retired, pc, details) ->
+      Format.fprintf ppf
+        "divergence first detected after %d retired guest instructions,@ \
+         in the basic block around guest PC 0x%x:@ " retired pc;
+      List.iter (fun d -> Format.fprintf ppf "  %s@ " d) details
+    | None -> ());
+    List.iter
+      (fun (name, ok) ->
+        Format.fprintf ppf "  retry without %-36s %s@ " name
+          (if ok then "VALIDATES" else "still diverges"))
+      r.tried;
+    (match r.culprit with
+    | Some name -> Format.fprintf ppf "=> culprit: the %s pass@]" name
+    | None ->
+      Format.fprintf ppf
+        "=> no single pass toggle fixes it: suspect the base translator,@ \
+         code generator or host emulator@]")
+  end

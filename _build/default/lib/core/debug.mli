@@ -1,0 +1,26 @@
+open Darco_guest
+
+(** The debug toolchain of §V-D.
+
+    When a state validation fails, DARCO first pinpoints the basic block
+    where the problem originated (by re-running with fine-grained
+    validation), then traces back to the particular step that introduced the
+    bug by bisecting over the plug-and-play pass toggles: the run is
+    repeated with individual optimizations disabled until the divergence
+    disappears, naming the culprit pass. *)
+
+type report = {
+  diverged : bool;
+  first_divergence : (int * int * string list) option;
+      (** (retired guest insns, guest PC, state differences) of the first
+          divergent basic block *)
+  culprit : string option;
+      (** the pass whose disabling makes the run validate *)
+  tried : (string * bool) list;  (** variant name, run validated? *)
+}
+
+val investigate : ?cfg:Config.t -> ?input:string -> seed:int -> Program.t -> report
+(** Full investigation: fine-grained localization followed by pass
+    bisection.  Cheap when the program does not diverge at all. *)
+
+val pp_report : Format.formatter -> report -> unit

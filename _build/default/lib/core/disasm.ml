@@ -1,0 +1,37 @@
+open Darco_guest
+
+let disassemble_at mem ~pc ~count =
+  let ic = Step.icache_create () in
+  let rec go pc n acc =
+    if n = 0 then List.rev acc
+    else
+      match Step.fetch ic mem pc with
+      | insn, len -> go (pc + len) (n - 1) ((pc, insn) :: acc)
+      | exception (Codec.Bad_encoding _ | Memory.Page_fault _) -> List.rev acc
+  in
+  go pc count []
+
+let disassemble program ?(limit = 100_000) () =
+  let _, mem = Loader.boot program in
+  disassemble_at mem ~pc:program.Program.entry ~count:limit
+
+let trace ?(limit = max_int) ?input ~seed program callback =
+  let r = Interp_ref.boot ?input ~seed program in
+  let ic = Step.icache_create () in
+  let steps = ref 0 in
+  while (not r.cpu.Cpu.halted) && !steps < limit do
+    incr steps;
+    let pc = r.cpu.Cpu.eip in
+    let insn, _ = Step.fetch ic r.mem pc in
+    (match insn with
+    | Isa.Syscall -> ignore (Interp_ref.service_syscall r)
+    | _ -> Interp_ref.run_until r (r.retired + 1));
+    callback pc insn r.cpu
+  done
+
+let pp_listing ppf listing =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun (pc, insn) -> Format.fprintf ppf "0x%06x: %s@ " pc (Isa.to_string insn))
+    listing;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+open Darco_guest
+
+let step_bb (cfg : Config.t) (stats : Stats.t) profile icache cpu mem =
+  let entry = cpu.Cpu.eip in
+  let costs = cfg.costs in
+  let finish_bb () =
+    ignore (Profile.note_interp profile entry);
+    Stats.charge stats Ov_interp costs.interp_profile_bb
+  in
+  let rec loop () =
+    let r = Step.step icache cpu mem in
+    match r.control with
+    | Trap_syscall -> `Syscall
+    | Trap_halt ->
+      stats.guest_im <- stats.guest_im + 1;
+      Stats.charge stats Ov_interp costs.interp_per_insn;
+      finish_bb ();
+      `Halt
+    | Next ->
+      stats.guest_im <- stats.guest_im + 1;
+      Stats.charge stats Ov_interp costs.interp_per_insn;
+      loop ()
+    | Cond_branch _ | Uncond _ | Indirect _ ->
+      stats.guest_im <- stats.guest_im + 1;
+      Stats.charge stats Ov_interp costs.interp_per_insn;
+      finish_bb ();
+      `Next
+  in
+  loop ()
+
+let step_one (cfg : Config.t) (stats : Stats.t) icache cpu mem =
+  let r = Step.step icache cpu mem in
+  (match r.control with
+  | Trap_syscall | Trap_halt -> invalid_arg "Interp.step_one: trapping instruction"
+  | Next | Cond_branch _ | Uncond _ | Indirect _ -> ());
+  stats.guest_im <- stats.guest_im + 1;
+  Stats.charge stats Ov_interp cfg.costs.interp_per_insn

@@ -1,0 +1,23 @@
+open Darco_guest
+
+(** The TOL interpreter (IM): executes guest instructions one by one on the
+    emulated state, guarantees forward progress, profiles basic-block
+    repetition, and charges its own execution to the interpreter-overhead
+    category. *)
+
+val step_bb :
+  Config.t ->
+  Stats.t ->
+  Profile.t ->
+  Step.icache ->
+  Cpu.t ->
+  Memory.t ->
+  [ `Next | `Syscall | `Halt ]
+(** Interpret one basic block starting at the current EIP.  [`Next]: a
+    control transfer completed (EIP is the next block).  May raise
+    {!Darco_guest.Memory.Page_fault} with consistent state. *)
+
+val step_one : Config.t -> Stats.t -> Step.icache -> Cpu.t -> Memory.t -> unit
+(** Interpret exactly one instruction (the safety-net path for
+    interpreter-only instructions reached from translated code).  The
+    instruction must not be a syscall/halt. *)

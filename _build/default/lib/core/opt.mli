@@ -1,0 +1,19 @@
+(** The TOL optimizer: classic single-pass optimizations over region IR, as
+    the paper describes — a forward pass (constant folding, constant
+    propagation, copy propagation, common-subexpression elimination,
+    redundant-load elimination and store forwarding) and a backward pass
+    (dead-code elimination).
+
+    Forward passes are segment-local: value tables reset at branch targets,
+    preserving the dominance discipline of the forward-only control
+    structure.  DCE is global (array-order liveness is a sound
+    over-approximation under forward-only control).
+
+    Passes are individually toggleable ({!Config}), which is both the
+    paper's plug-and-play requirement and what the debug toolchain uses to
+    pinpoint a miscompiling pass. *)
+
+val forward : Config.t -> Regionir.t -> Regionir.t
+val dce : Regionir.t -> Regionir.t
+val run : Config.t -> Regionir.t -> Regionir.t
+(** [forward] then [dce], honouring the config toggles. *)

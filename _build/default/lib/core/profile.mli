@@ -1,0 +1,37 @@
+(** Execution profiling.
+
+    During interpretation (IM) the TOL keeps software repetition counters
+    per basic block; once a block is translated (BBM), profiling moves into
+    the generated code itself: an execution counter drives SBM promotion and
+    per-exit edge counters record biased branch directions.  Those in-code
+    counters live in TOL memory and are updated by real host stores, so
+    their cost is part of the measured instruction stream. *)
+
+type t
+
+val create : Tolmem.t -> t
+
+val note_interp : t -> int -> int
+(** Count one interpreted execution of the BB at the given PC; returns the
+    new count. *)
+
+val interp_count : t -> int -> int
+
+val exec_counter : t -> int -> int
+(** TOL-memory address of the BB's execution counter (allocated on first
+    request, at translation time). *)
+
+val edge_counters : t -> int -> int * int
+(** (taken, fallthrough) counter addresses for the BB's conditional
+    terminator. *)
+
+val edge_counts : t -> int -> (int * int) option
+(** Current (taken, fallthrough) counts, if the BB has edge counters. *)
+
+val reset_exec_counter : t -> int -> unit
+(** Zero the in-code execution counter (used when a superblock rebuild
+    demotes back to BBM). *)
+
+val histogram : t -> (int * int) list
+(** Per-BB total observed execution counts (interpreted + in-code BBM
+    counter), the TOL profiler state the warm-up heuristic correlates. *)

@@ -1,0 +1,23 @@
+open Darco_host
+
+(** Linear-scan register allocation (the paper's stated algorithm).
+
+    Virtual registers are mapped to the allocatable host pools of
+    {!Darco_host.Regs}; when pressure exceeds the pools, the interval with
+    the furthest end is spilled to an 8-byte slot in the region's TOL spill
+    area.  Array-order live intervals are sound because region control is
+    strictly forward (any execution visits a monotone subsequence of
+    indices). *)
+
+type loc = Phys of Code.reg | Slot of int
+
+type t = {
+  int_loc : loc array;   (** indexed by vreg *)
+  f_loc : loc array;     (** indexed by vfreg; [Phys] holds an freg *)
+  slot_count : int;
+}
+
+val allocate : Regionir.t -> t
+
+val location : t -> Ir.vreg -> loc
+val flocation : t -> Ir.vfreg -> loc

@@ -1,0 +1,245 @@
+open Darco_guest
+
+let translate_body ctx (bb : Gbb.t) =
+  List.iter (fun (insn, pc, len) -> Translate.translate_insn ctx insn ~pc ~len) bb.body
+
+(* Translate a block-final terminator into exit paths.  [edges] supplies the
+   BBM edge-counter addresses for conditional terminators. *)
+let emit_term ctx (term : Gbb.term) ~edges =
+  let exit_ ?edge target = Translate.emit_exit ctx ?edge target in
+  match term with
+  | Gbb.Tjmp t ->
+    Translate.add_retired ctx 1;
+    exit_ (Ir.Xdirect t)
+  | Gbb.Tjcc (c, taken, fall) -> (
+    Translate.add_retired ctx 1;
+    let ta, fa =
+      match edges with Some (a, b) -> (Some a, Some b) | None -> (None, None)
+    in
+    match Translate.lower_cond ctx c with
+    | Cconst true -> exit_ ?edge:ta (Ir.Xdirect taken)
+    | Cconst false -> exit_ ?edge:fa (Ir.Xdirect fall)
+    | Cfused _ as cl ->
+      Translate.emit_branch_to_stub ctx cl (fun ctx ->
+          Translate.emit_exit ctx ?edge:ta (Ir.Xdirect taken));
+      exit_ ?edge:fa (Ir.Xdirect fall))
+  | Gbb.Tcall (t, ret) ->
+    Translate.add_retired ctx 1;
+    Translate.translate_push_value ctx (Translate.li ctx ret);
+    exit_ (Ir.Xdirect t)
+  | Gbb.Tcallind (op, ret) ->
+    Translate.add_retired ctx 1;
+    let tv = Translate.eval_operand ctx op in
+    Translate.translate_push_value ctx (Translate.li ctx ret);
+    exit_ (Ir.Xindirect tv)
+  | Gbb.Tjmpind op ->
+    Translate.add_retired ctx 1;
+    exit_ (Ir.Xindirect (Translate.eval_operand ctx op))
+  | Gbb.Tret ->
+    Translate.add_retired ctx 1;
+    exit_ (Ir.Xindirect (Translate.translate_pop ctx))
+  | Gbb.Tsyscall pc -> exit_ (Ir.Xsyscall pc)
+  | Gbb.Thalt ->
+    Translate.add_retired ctx 1;
+    exit_ Ir.Xhalt
+  | Gbb.Tinterp pc -> exit_ (Ir.Xinterp pc)
+  | Gbb.Tsplit pc -> exit_ (Ir.Xdirect pc)
+
+(* --- BBM ---------------------------------------------------------------- *)
+
+let bb_opt_config (cfg : Config.t) =
+  { cfg with opt_cse = false; opt_rle = false; opt_schedule = false }
+
+let translate_bb (cfg : Config.t) profile icache mem pc =
+  let bb = Gbb.decode icache mem pc in
+  let ctx = Translate.create ~entry_pc:pc in
+  translate_body ctx bb;
+  let edges =
+    match bb.term with Gbb.Tjcc _ -> Some (Profile.edge_counters profile pc) | _ -> None
+  in
+  emit_term ctx bb.term ~edges;
+  let prof = Some (Profile.exec_counter profile pc, cfg.sb_threshold) in
+  let rir = Translate.finalize ctx ~mode:`Bb ~prof in
+  Opt.run (bb_opt_config cfg) rir
+
+(* --- superblock formation ----------------------------------------------- *)
+
+type sb_result = { region : Regionir.t; unrolled : bool; bb_count : int }
+
+(* Does the instruction possibly write the given register?  Conservative
+   (used only to validate the counted-loop unrolling guard). *)
+let writes_reg (insn : Isa.insn) r =
+  let dst = function Isa.Reg d -> d = r | Isa.Mem _ | Isa.Imm _ -> false in
+  match insn with
+  | Mov (d, _) | Alu (_, d, _) | Inc d | Dec d | Neg d | Not d | Shift (_, d, _) ->
+    dst d
+  | Movx (_, _, d, _) | Lea (d, _) | Imul2 (d, _) | Cmov (_, d, _) | Setcc (_, d)
+  | Fist (d, _) ->
+    d = r
+  | Pop d -> d = r || r = ESP
+  | Push _ -> r = ESP
+  | Mul _ | Imul _ | Div _ | Idiv _ -> r = EAX || r = EDX
+  | Str (k, _, _) -> (
+    match k with
+    | Movs | Cmps -> r = ESI || r = EDI
+    | Stos | Scas -> r = EDI
+    | Lods -> r = EAX || r = ESI)
+  | Movw _ | Cmp _ | Test _ | Fld _ | Fst _ | Fmov _ | Fldi _ | Fbin _ | Fun_ _
+  | Fcmp _ | Fild _ | Nop ->
+    false
+  | Jmp _ | JmpInd _ | Jcc _ | Call _ | CallInd _ | Ret | Syscall | Halt -> false
+
+(* Detect the unrollable counted-loop shape: a single-block loop whose body
+   ends with DEC r / SUB r,1 (r untouched earlier) and whose JNE continues
+   to the head. *)
+let counted_loop (bb : Gbb.t) =
+  match bb.term with
+  | Gbb.Tjcc (NE, taken, fall) when taken = bb.pc -> (
+    match List.rev bb.body with
+    | (last, _, _) :: rest -> (
+      let counter =
+        match last with
+        | Isa.Dec (Reg r) -> Some r
+        | Isa.Alu (Sub, Reg r, Imm 1) -> Some r
+        | _ -> None
+      in
+      match counter with
+      | Some r when not (List.exists (fun (i, _, _) -> writes_reg i r) rest) ->
+        Some (r, fall)
+      | _ -> None)
+    | [] -> None)
+  | _ -> None
+
+type chosen = [ `Taken | `Fall ]
+
+(* Follow biased branches from the head, within the configured limits. *)
+let collect_chain (cfg : Config.t) profile icache mem head_pc =
+  let rec go pc acc prob insns nbbs visited =
+    let bb = Gbb.decode icache mem pc in
+    let insns = insns + bb.Gbb.insn_count in
+    let nbbs = nbbs + 1 in
+    let stop () = List.rev ((bb, None) :: acc) in
+    if nbbs >= cfg.sb_max_bbs || insns >= cfg.sb_max_insns then stop ()
+    else
+      match bb.Gbb.term with
+      | Gbb.Tjcc (_, taken, fall) -> (
+        match Profile.edge_counts profile pc with
+        | None -> stop ()
+        | Some (tc, fc) when tc + fc = 0 -> stop ()
+        | Some (tc, fc) ->
+          let total = float_of_int (tc + fc) in
+          let bias_taken = float_of_int tc /. total in
+          let dir, p, target =
+            if bias_taken >= 0.5 then (`Taken, bias_taken, taken)
+            else (`Fall, 1.0 -. bias_taken, fall)
+          in
+          if p < cfg.branch_bias || prob *. p < cfg.min_reach_prob then stop ()
+          else if List.mem target visited then stop ()
+          else
+            go target ((bb, Some (dir : chosen)) :: acc) (prob *. p) insns nbbs
+              (target :: visited))
+      | Gbb.Tjmp t when not (List.mem t visited) ->
+        go t ((bb, Some `Taken) :: acc) prob insns nbbs (t :: visited)
+      | _ -> stop ()
+  in
+  go head_pc [] 1.0 0 0 [ head_pc ]
+
+(* Emit the assert / side-exit for a followed conditional branch.  Returns
+   false when the superblock must end here instead. *)
+let speculate_branch ~use_asserts ctx c ~taken ~fall (dir : chosen) =
+  Translate.add_retired ctx 1;
+  let expect = dir = `Taken in
+  if use_asserts then begin
+    let cl = Translate.lower_cond ctx c in
+    match Translate.emit_assert ctx cl ~expect with `Ok -> true | `Unsupported -> false
+  end
+  else begin
+    (* Side-exit form: leave the region when the branch disagrees with the
+       bias. *)
+    let exit_cond = if expect then Isa.negate_cond c else c in
+    let other_target = if expect then fall else taken in
+    match Translate.lower_cond ctx exit_cond with
+    | Cconst false -> true
+    | Cconst true -> false
+    | Cfused _ as cl ->
+      Translate.emit_branch_to_stub ctx cl (fun ctx ->
+          Translate.emit_exit ctx (Ir.Xdirect other_target));
+      true
+  end
+
+(* The unrolled-loop region: guard, U inlined iterations (the guard proves
+   the first U-1 continue checks), a real final branch, and the original
+   (non-unrolled) loop body as the residual path — the paper's "unrolled
+   version followed by the original loop" with its runtime check. *)
+let build_unrolled (cfg : Config.t) (bb : Gbb.t) counter exit_pc =
+  let head = bb.Gbb.pc in
+  let u = cfg.unroll_factor in
+  let ctx = Translate.create ~entry_pc:head in
+  let cnt = Translate.get_reg ctx counter in
+  let uv = Translate.li ctx u in
+  let residual ctx =
+    translate_body ctx bb;
+    Translate.add_retired ctx 1;
+    (match Translate.lower_cond ctx Isa.NE with
+    | Cconst true -> Translate.emit_exit ctx (Ir.Xdirect head)
+    | Cconst false -> Translate.emit_exit ctx (Ir.Xdirect exit_pc)
+    | Cfused _ as cl ->
+      Translate.emit_branch_to_stub ctx cl (fun ctx ->
+          Translate.emit_exit ctx (Ir.Xdirect head));
+      Translate.emit_exit ctx (Ir.Xdirect exit_pc))
+  in
+  (* counter < U (unsigned): run the original loop instead *)
+  Translate.emit_branch_to_stub ctx (Cfused (Bltu, cnt, uv)) residual;
+  for k = 1 to u do
+    translate_body ctx bb;
+    Translate.add_retired ctx 1;
+    if k = u then
+      match Translate.lower_cond ctx Isa.NE with
+      | Cconst true -> Translate.emit_exit ctx (Ir.Xdirect head)
+      | Cconst false -> Translate.emit_exit ctx (Ir.Xdirect exit_pc)
+      | Cfused _ as cl ->
+        Translate.emit_branch_to_stub ctx cl (fun ctx ->
+            Translate.emit_exit ctx (Ir.Xdirect head));
+        Translate.emit_exit ctx (Ir.Xdirect exit_pc)
+  done;
+  Translate.finalize ctx ~mode:`Super ~prof:None
+
+let build_superblock (cfg : Config.t) profile icache mem ~head_pc ~use_asserts
+    ~use_mem_speculation =
+  let cfg = { cfg with use_mem_speculation } in
+  let head_bb = Gbb.decode icache mem head_pc in
+  let unroll_candidate =
+    if cfg.unroll_factor > 1 && use_asserts then counted_loop head_bb else None
+  in
+  let rir, unrolled, bb_count =
+    match unroll_candidate with
+    | Some (counter, exit_pc) -> (build_unrolled cfg head_bb counter exit_pc, true, 1)
+    | None ->
+      let chain = collect_chain cfg profile icache mem head_pc in
+      let ctx = Translate.create ~entry_pc:head_pc in
+      let rec emit_chain = function
+        | [] -> assert false
+        | [ (bb, _) ] ->
+          translate_body ctx bb;
+          emit_term ctx bb.Gbb.term ~edges:None
+        | (bb, followed) :: rest -> (
+          translate_body ctx bb;
+          match (bb.Gbb.term, followed) with
+          | Gbb.Tjmp _, _ ->
+            Translate.add_retired ctx 1;
+            emit_chain rest
+          | Gbb.Tjcc (c, taken, fall), Some dir ->
+            if speculate_branch ~use_asserts ctx c ~taken ~fall dir then emit_chain rest
+            else
+              (* Could not speculate: end the superblock with both exits. *)
+              emit_term ctx bb.Gbb.term ~edges:None
+          | term, _ ->
+            (* A non-followable terminator can only be last. *)
+            emit_term ctx term ~edges:None)
+      in
+      emit_chain chain;
+      (Translate.finalize ctx ~mode:`Super ~prof:None, false, List.length chain)
+  in
+  let rir = Opt.run cfg rir in
+  let rir = Sched.run cfg rir in
+  { region = rir; unrolled; bb_count }

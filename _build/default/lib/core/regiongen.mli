@@ -1,0 +1,27 @@
+open Darco_guest
+
+(** Region construction: BBM single-block translations and SBM superblock
+    formation (biased-branch chaining, assert conversion, counted-loop
+    unrolling), followed by the optimizer and scheduler pipelines. *)
+
+val translate_bb :
+  Config.t -> Profile.t -> Step.icache -> Memory.t -> int -> Regionir.t
+(** BBM: translate the basic block at a guest PC, with the profiling
+    prologue and edge-counter exit stubs, then the paper's "basic"
+    optimizations (constant propagation + DCE; no CSE/RLE/scheduling). *)
+
+type sb_result = { region : Regionir.t; unrolled : bool; bb_count : int }
+
+val build_superblock :
+  Config.t ->
+  Profile.t ->
+  Step.icache ->
+  Memory.t ->
+  head_pc:int ->
+  use_asserts:bool ->
+  use_mem_speculation:bool ->
+  sb_result
+(** SBM: form a superblock starting at [head_pc] following biased branch
+    directions from the BBM edge counters, convert internal branches to
+    asserts (or side exits when [use_asserts] is false), unroll counted
+    single-block loops, and run the full optimization pipeline. *)

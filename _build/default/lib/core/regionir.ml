@@ -1,0 +1,26 @@
+type t = {
+  entry_pc : int;
+  mode : [ `Bb | `Super ];
+  body : Ir.t array;
+  prof : (int * int) option;
+  guest_len : int;
+}
+
+let labels r =
+  let marks = Array.make (Array.length r.body) false in
+  Array.iter
+    (function Ir.Ibr (_, _, _, t) -> marks.(t) <- true | _ -> ())
+    r.body;
+  marks
+
+let check_forward_only r =
+  let n = Array.length r.body in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Ir.Ibr (_, _, _, t) -> assert (t > i && t < n)
+      | Ir.Iexit _ -> ()
+      | _ -> assert (i + 1 < n) (* fallthrough must stay in range *))
+    r.body;
+  (* The last instruction must be an exit (nothing can fall off the end). *)
+  match r.body.(n - 1) with Ir.Iexit _ -> () | _ -> assert false

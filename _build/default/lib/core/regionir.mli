@@ -1,0 +1,20 @@
+(** A translated region in IR form, before code generation. *)
+
+type t = {
+  entry_pc : int;
+  mode : [ `Bb | `Super ];
+  body : Ir.t array;              (** forward-only control; ends in exits *)
+  prof : (int * int) option;
+      (** BBM only: (execution-counter address, promotion threshold) for the
+          profiling/promotion prologue *)
+  guest_len : int;                (** guest instructions on the main path *)
+}
+
+val labels : t -> bool array
+(** [labels r] marks the IR indices that are branch targets (segment
+    starts). *)
+
+val check_forward_only : t -> unit
+(** Asserts the structural invariants the whole pipeline relies on: every
+    branch targets a strictly later index, and every path ends in an
+    [Iexit]. *)

@@ -1,0 +1,208 @@
+open Darco_guest
+
+let latency : Ir.t -> int = function
+  | Iload _ | Isload _ | Ifload _ -> 3
+  | Ibin ((Mul | Mulhu | Mulhs), _, _, _) -> 3
+  | Ifbin ((Fadd | Fsub | Fmul), _, _, _) -> 4
+  | Ifbin (Fdiv, _, _, _) -> 12
+  | Ifun (Fsqrt, _, _) -> 15
+  | Irt_f (fn, _, _) -> Darco_host.Code.rt_cost fn
+  | Irt_div _ -> 22
+  | Icvtif _ | Icvtfi _ | Ifcmp _ -> 2
+  | _ -> 1
+
+type mem_ref = { base : Ir.vreg; off : int; len : int; is_store : bool }
+
+let mem_ref_of : Ir.t -> mem_ref option = function
+  | Iload (w, _, _, a, off) | Isload (w, _, _, a, off) ->
+    Some { base = a; off; len = Isa.width_bytes w; is_store = false }
+  | Istore (w, _, a, off) ->
+    Some { base = a; off; len = Isa.width_bytes w; is_store = true }
+  | Ifload (_, a, off) -> Some { base = a; off; len = 8; is_store = false }
+  | Ifstore (_, a, off) -> Some { base = a; off; len = 8; is_store = true }
+  | _ -> None
+
+let may_alias m1 m2 =
+  if m1.base = m2.base then m1.off < m2.off + m2.len && m2.off < m1.off + m1.len
+  else true
+
+(* Guest-state resource touched by an instruction, with access direction. *)
+let guest_state : Ir.t -> (int * bool) option = function
+  | Iget (_, r) -> Some (Isa.reg_index r, false)
+  | Iput (r, _) -> Some (Isa.reg_index r, true)
+  | Igetf (_, f) -> Some (8 + Isa.freg_index f, false)
+  | Iputf (f, _) -> Some (8 + Isa.freg_index f, true)
+  | Igetfl _ -> Some (16, false)
+  | Iputfl _ -> Some (16, true)
+  | _ -> None
+
+(* Schedule one segment [s, e) whose terminator sits at [e] (exclusive of
+   scheduling).  Returns the new order of original indices. *)
+let schedule_segment cfg body s e =
+  let n = e - s in
+  if n <= 1 then Array.init n (fun i -> s + i)
+  else begin
+    let insn i = body.(s + i) in
+    (* hard.(j) lists hard predecessors of j; soft.(i) lists breakable
+       (store -> may-alias load) successors of i. *)
+    let hard_preds = Array.make n [] in
+    let succs = Array.make n [] in
+    let soft_pairs = ref [] in
+    let add_hard i j =
+      hard_preds.(j) <- i :: hard_preds.(j);
+      succs.(i) <- j :: succs.(i)
+    in
+    let def_site = Hashtbl.create 32 in
+    let fdef_site = Hashtbl.create 32 in
+    for i = 0 to n - 1 do
+      (* value dependences *)
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt def_site v with
+          | Some d -> add_hard d i
+          | None -> ())
+        (Ir.uses (insn i));
+      List.iter
+        (fun v ->
+          match Hashtbl.find_opt fdef_site v with
+          | Some d -> add_hard d i
+          | None -> ())
+        (Ir.fuses (insn i));
+      List.iter (fun v -> Hashtbl.replace def_site v i) (Ir.defs (insn i));
+      List.iter (fun v -> Hashtbl.replace fdef_site v i) (Ir.fdefs (insn i))
+    done;
+    (* guest-state ordering and assert ordering *)
+    let last_touch = Hashtbl.create 8 in
+    let last_assert = ref None in
+    for i = 0 to n - 1 do
+      (match guest_state (insn i) with
+      | Some (res, is_write) -> (
+        (match Hashtbl.find_opt last_touch res with
+        | Some (j, prev_write) -> if is_write || prev_write then add_hard j i
+        | None -> ());
+        Hashtbl.replace last_touch res (i, is_write))
+      | None -> ());
+      match insn i with
+      | Ir.Iassert _ ->
+        (match !last_assert with Some j -> add_hard j i | None -> ());
+        last_assert := Some i
+      | _ -> ()
+    done;
+    (* memory dependences *)
+    let mems = ref [] in
+    for i = 0 to n - 1 do
+      match mem_ref_of (insn i) with
+      | None -> ()
+      | Some m ->
+        List.iter
+          (fun (j, mj) ->
+            if may_alias m mj then
+              if mj.is_store && not m.is_store then
+                (* store -> later load: breakable under memory speculation *)
+                if cfg.Config.use_mem_speculation then
+                  soft_pairs := (j, i) :: !soft_pairs
+                else add_hard j i
+              else if mj.is_store || m.is_store then add_hard j i)
+          !mems;
+        mems := (i, m) :: !mems
+    done;
+    (* critical-path priorities *)
+    let prio = Array.make n 0 in
+    for i = n - 1 downto 0 do
+      let succ_max = List.fold_left (fun acc j -> max acc prio.(j)) 0 succs.(i) in
+      prio.(i) <- latency (insn i) + succ_max
+    done;
+    (* list scheduling *)
+    let remaining_preds = Array.map List.length hard_preds in
+    let scheduled = Array.make n false in
+    let order = Array.make n (-1) in
+    let pos = Array.make n (-1) in
+    for slot = 0 to n - 1 do
+      let best = ref (-1) in
+      for i = 0 to n - 1 do
+        if (not scheduled.(i)) && remaining_preds.(i) = 0 then
+          if !best = -1 || prio.(i) > prio.(!best) then best := i
+      done;
+      assert (!best >= 0);
+      let i = !best in
+      scheduled.(i) <- true;
+      order.(slot) <- i;
+      pos.(i) <- slot;
+      List.iter (fun j -> remaining_preds.(j) <- remaining_preds.(j) - 1) succs.(i)
+    done;
+    (* Convert loads hoisted above a may-alias store into speculative
+       loads.  The injectable scheduler bug skips the conversion, leaving
+       the reordering unprotected. *)
+    (match cfg.Config.inject_fault with
+    | Sched_break_dep -> ()
+    | No_fault | Opt_drop_store ->
+      List.iter
+        (fun (store_i, load_i) ->
+          if pos.(load_i) < pos.(store_i) then
+            body.(s + load_i) <-
+              (match body.(s + load_i) with
+              | Ir.Iload (w, sg, d, a, off) -> Ir.Isload (w, sg, d, a, off)
+              | other -> other))
+        !soft_pairs);
+    Array.map (fun i -> s + i) order
+  end
+
+let run (cfg : Config.t) (r : Regionir.t) =
+  if not cfg.opt_schedule then r
+  else begin
+    let body = Array.copy r.body in
+    let n = Array.length body in
+    let is_label = Regionir.labels r in
+    (* Positions where a new segment starts. *)
+    let starts i =
+      i = 0 || is_label.(i)
+      || match body.(i - 1) with Ir.Ibr _ | Ir.Iexit _ -> true | _ -> false
+    in
+    (* old index -> new index, for branch-target remapping *)
+    let old2new = Array.make n (-1) in
+    let out = Array.make n body.(0) in
+    let outpos = ref 0 in
+    let seg_start = ref 0 in
+    let flush e_term =
+      (* segment body [seg_start, e_term), terminator at e_term *)
+      let order = schedule_segment cfg body !seg_start e_term in
+      Array.iter
+        (fun oi ->
+          old2new.(oi) <- !outpos;
+          out.(!outpos) <- body.(oi);
+          incr outpos)
+        order;
+      old2new.(e_term) <- !outpos;
+      out.(!outpos) <- body.(e_term);
+      incr outpos
+    in
+    for i = 0 to n - 1 do
+      if i > 0 && starts i then () (* handled when we hit the terminator *);
+      match body.(i) with
+      | Ir.Ibr _ | Ir.Iexit _ ->
+        flush i;
+        seg_start := i + 1
+      | _ -> ()
+    done;
+    assert (!outpos = n);
+    (* Remap branch targets.  Targets are segment starts, which keep their
+       position (first instruction of a segment may have moved; the target
+       must be the segment's first *new* position).  Since segments are
+       contiguous and scheduling permutes only within a segment, the new
+       index of a segment start is the minimum new index in that segment —
+       which equals its old start because segments are emitted in order and
+       densely.  Branch targets always point at old segment starts, and the
+       new segment start position equals the old one. *)
+    let remapped =
+      Array.map
+        (function
+          | Ir.Ibr (c, a, b, t) ->
+            assert (starts t);
+            Ir.Ibr (c, a, b, t)
+          | insn -> insn)
+        out
+    in
+    let r = { r with body = remapped } in
+    Regionir.check_forward_only r;
+    r
+  end

@@ -1,0 +1,18 @@
+(** Instruction scheduling.
+
+    Builds the data-dependence graph of each straight-line segment (the
+    paper's DDG phase) — value dependences, guest-state access ordering,
+    memory-disambiguation edges — and list-schedules by critical path.
+
+    Control speculation has already turned superblock-internal branches into
+    asserts, so segments span multiple guest basic blocks and instructions
+    move freely across the asserts.  Memory speculation: a "may alias"
+    store→load edge is breakable; if the scheduler hoists the load above the
+    store, the load becomes an [Isload], protected at run time by the alias
+    table (a conflict rolls back to the checkpoint). *)
+
+val run : Config.t -> Regionir.t -> Regionir.t
+
+val latency : Ir.t -> int
+(** The latency model used for critical-path priorities (also exercised by
+    tests). *)

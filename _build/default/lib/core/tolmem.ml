@@ -1,0 +1,20 @@
+open Darco_guest
+
+type t = { mem : Memory.t; mutable brk : int }
+
+let create mem = { mem; brk = Loader.tol_base }
+
+let ensure_page t addr =
+  let idx = Memory.page_index addr in
+  if not (Memory.has_page t.mem idx) then
+    Memory.install_page t.mem idx (Bytes.make Memory.page_size '\000')
+
+let alloc t bytes =
+  let addr = t.brk in
+  t.brk <- t.brk + ((bytes + 3) land lnot 3);
+  ensure_page t addr;
+  ensure_page t (t.brk - 1);
+  addr
+
+let read32 t addr = Memory.read32 t.mem addr
+let write32 t addr v = Memory.write32 t.mem addr v

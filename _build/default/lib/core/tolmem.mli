@@ -1,0 +1,20 @@
+open Darco_guest
+
+(** Allocator for the software layer's data that lives in the co-designed
+    address space above {!Darco_guest.Loader.tol_base}: profiling counters,
+    edge counters and the IBTC.  Translated code addresses this storage with
+    ordinary loads/stores (so the timing simulator sees the accesses), while
+    the TOL itself reads/writes it with privileged accessors.  State
+    validation ignores this range. *)
+
+type t
+
+val create : Memory.t -> t
+(** Pages are installed into the given (fault-policy) memory on demand. *)
+
+val alloc : t -> int -> int
+(** [alloc t bytes] returns the address of a fresh zeroed block (4-byte
+    aligned). *)
+
+val read32 : t -> int -> int
+val write32 : t -> int -> int -> unit

@@ -1,0 +1,1 @@
+lib/grisc/grisc.ml: Array Bytes Char Cpu Darco Darco_guest Darco_host Int32 Isa Memory Printf Semantics

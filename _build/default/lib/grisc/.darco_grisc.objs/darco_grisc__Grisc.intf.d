@@ -1,0 +1,1 @@
+lib/grisc/grisc.mli: Bytes Cpu Darco Darco_guest Memory

@@ -1,0 +1,56 @@
+open Darco_guest
+
+(** Grisc: a second guest ISA, demonstrating the multi-guest-ISA design
+    requirement (§IV "Support for multiple guest ISAs").
+
+    A tiny 32-bit RISC with eight registers that map onto the same guest
+    register file slots the co-designed hardware provides.  Only a decoder
+    and per-instruction IR emitter ({!Frontend}) are Grisc-specific:
+    everything from SSA to code generation is shared with the x86
+    front-end, exactly as §V-D describes. *)
+
+type reg = int
+(** 0..7; occupies guest register slot [Isa.all_regs.(r)]. *)
+
+type binop = Add | Sub | Mul | And | Or | Xor
+
+type insn =
+  | Li of reg * int
+  | Bini of binop * reg * reg * int     (** rd <- ra op imm *)
+  | Bin of binop * reg * reg * reg
+  | Lw of reg * reg * int               (** rd <- [ra + imm] *)
+  | Sw of reg * reg * int               (** [ra + imm] <- rd *)
+  | Beq of reg * reg * int              (** absolute guest target *)
+  | Bne of reg * reg * int
+  | Blt of reg * reg * int
+  | J of int
+  | Halt
+
+val encode : insn -> Bytes.t
+(** Fixed 8-byte encoding. *)
+
+val decode : fetch:(int -> int) -> pc:int -> insn
+(** Raises [Invalid_argument] on a bad opcode. *)
+
+val insn_bytes : int
+
+module Interp : sig
+  val step : Cpu.t -> Memory.t -> insn -> unit
+  (** Execute one decoded instruction (shares {!Darco_guest.Cpu} /
+      {!Darco_guest.Memory} with the rest of the infrastructure; EIP
+      handling included). *)
+
+  val run : ?fuel:int -> Cpu.t -> Memory.t -> unit
+  (** Fetch/decode/execute until HALT. *)
+end
+
+module Frontend : sig
+  val translate_insn : Darco.Translate.ctx -> insn -> pc:int -> unit
+  (** Emit the IR for one non-control Grisc instruction into a region under
+      construction — the "additional software decoder" of §V-D. *)
+
+  val translate_block : entry_pc:int -> insn list -> Darco.Regionir.t
+  (** Translate a block: straight-line instructions ending at the first
+      control transfer (or falling through).  The result goes through the
+      shared optimizer/scheduler/codegen unchanged. *)
+end

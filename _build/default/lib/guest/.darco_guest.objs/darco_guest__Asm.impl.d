@@ -1,0 +1,1 @@
+lib/guest/asm.ml: Bytes Codec Hashtbl Int32 Int64 Isa List Program

@@ -1,0 +1,1 @@
+lib/guest/asm.mli: Bytes Isa Program

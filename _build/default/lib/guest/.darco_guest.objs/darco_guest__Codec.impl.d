@@ -1,0 +1,1 @@
+lib/guest/codec.ml: Array Buffer Bytes Char Int64 Isa Semantics

@@ -1,0 +1,1 @@
+lib/guest/codec.mli: Bytes Isa

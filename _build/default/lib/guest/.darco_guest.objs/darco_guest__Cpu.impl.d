@@ -1,0 +1,1 @@
+lib/guest/cpu.ml: Array Flags Format Int64 Isa List Printf Semantics

@@ -1,0 +1,1 @@
+lib/guest/cpu.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/guest/flags.ml: Isa List String

@@ -1,0 +1,1 @@
+lib/guest/flags.mli: Isa

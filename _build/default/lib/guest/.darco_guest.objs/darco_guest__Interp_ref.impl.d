@@ -1,0 +1,1 @@
+lib/guest/interp_ref.ml: Cpu Isa List Loader Memory Semantics Step Syscall

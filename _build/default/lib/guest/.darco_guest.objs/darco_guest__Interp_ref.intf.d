@@ -1,0 +1,1 @@
+lib/guest/interp_ref.mli: Cpu Memory Program Step Syscall

@@ -1,0 +1,1 @@
+lib/guest/isa.ml: Array Format Printf String

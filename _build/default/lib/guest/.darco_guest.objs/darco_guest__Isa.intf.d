@@ -1,0 +1,1 @@
+lib/guest/isa.mli: Format

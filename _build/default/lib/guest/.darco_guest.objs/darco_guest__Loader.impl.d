@@ -1,0 +1,1 @@
+lib/guest/loader.ml: Cpu Isa List Memory Program

@@ -1,0 +1,1 @@
+lib/guest/loader.mli: Cpu Memory Program

@@ -1,0 +1,1 @@
+lib/guest/memory.ml: Bytes Char Hashtbl Int64 Isa List Option

@@ -1,0 +1,1 @@
+lib/guest/memory.mli: Isa

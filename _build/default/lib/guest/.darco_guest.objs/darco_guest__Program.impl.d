@@ -1,0 +1,1 @@
+lib/guest/program.ml: Bytes List

@@ -1,0 +1,1 @@
+lib/guest/program.mli: Bytes

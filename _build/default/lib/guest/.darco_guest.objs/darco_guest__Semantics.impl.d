@@ -1,0 +1,1 @@
+lib/guest/semantics.ml: Flags Float Int64 Isa

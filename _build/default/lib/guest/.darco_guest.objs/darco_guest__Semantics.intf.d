@@ -1,0 +1,1 @@
+lib/guest/semantics.mli: Isa

@@ -1,0 +1,1 @@
+lib/guest/step.ml: Codec Cpu Flags Hashtbl Isa Memory Semantics

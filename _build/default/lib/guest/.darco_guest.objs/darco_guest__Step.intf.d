@@ -1,0 +1,1 @@
+lib/guest/step.mli: Cpu Isa Memory

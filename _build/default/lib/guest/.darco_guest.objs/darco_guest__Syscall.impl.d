@@ -1,0 +1,1 @@
+lib/guest/syscall.ml: Buffer Bytes Char Cpu Darco_util Int64 Isa Memory Semantics String

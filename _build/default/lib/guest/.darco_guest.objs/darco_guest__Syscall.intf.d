@@ -1,0 +1,1 @@
+lib/guest/syscall.mli: Bytes Cpu Isa Memory

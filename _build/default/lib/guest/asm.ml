@@ -1,0 +1,89 @@
+type item =
+  | Insn of ((string -> int) -> Isa.insn) * int  (* generator, encoded length *)
+  | Data of Bytes.t
+  | Data_label of string                          (* 4-byte address of label *)
+
+type t = {
+  base : int;
+  mutable rev_items : (int * item) list;  (* (address, item), newest first *)
+  mutable pos : int;
+  labels : (string, int) Hashtbl.t;
+}
+
+let create ?(base = 0x1000) () =
+  { base; rev_items = []; pos = base; labels = Hashtbl.create 64 }
+
+let here t = t.pos
+
+let push t item len =
+  t.rev_items <- (t.pos, item) :: t.rev_items;
+  t.pos <- t.pos + len
+
+let label t name =
+  if Hashtbl.mem t.labels name then failwith ("Asm: duplicate label " ^ name);
+  Hashtbl.replace t.labels name t.pos
+
+let emit t gen =
+  (* Size with a worst-case dummy resolution: label addresses are always
+     above the 8-bit displacement range, so sizing with a large value keeps
+     the two passes consistent. *)
+  let len = Codec.length (gen (fun _ -> 0x0FFF_FFF0)) in
+  push t (Insn (gen, len)) len
+
+let insn t i = emit t (fun _ -> i)
+let insn_with = emit
+let jmp t name = emit t (fun resolve -> Isa.Jmp (resolve name))
+let jcc t c name = emit t (fun resolve -> Isa.Jcc (c, resolve name))
+let call t name = emit t (fun resolve -> Isa.Call (resolve name))
+
+let jmp_table t table idx =
+  emit t (fun resolve ->
+      Isa.JmpInd (Mem { base = None; index = Some (idx, S4); disp = resolve table }))
+
+let mov_label t r name =
+  emit t (fun resolve -> Isa.Mov (Isa.Reg r, Isa.Imm (resolve name)))
+
+let bytes t b = push t (Data b) (Bytes.length b)
+
+let dword t v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  bytes t b
+
+let dword_label t name = push t (Data_label name) 4
+
+let f64 t v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float v);
+  bytes t b
+
+let zeros t n = bytes t (Bytes.make n '\000')
+
+let align t n =
+  let rem = t.pos mod n in
+  if rem <> 0 then zeros t (n - rem)
+
+let assemble ?entry t =
+  let resolve name =
+    match Hashtbl.find_opt t.labels name with
+    | Some a -> a
+    | None -> failwith ("Asm: undefined label " ^ name)
+  in
+  let items = List.rev t.rev_items in
+  let size = t.pos - t.base in
+  let image = Bytes.make size '\000' in
+  List.iter
+    (fun (addr, item) ->
+      let off = addr - t.base in
+      match item with
+      | Insn (gen, len) ->
+        let encoded = Codec.encode ~pc:addr (gen resolve) in
+        assert (Bytes.length encoded = len);
+        Bytes.blit encoded 0 image off len
+      | Data b -> Bytes.blit b 0 image off (Bytes.length b)
+      | Data_label name ->
+        Bytes.set_int32_le image off (Int32.of_int (resolve name)))
+    items;
+  let entry = match entry with None -> t.base | Some name -> resolve name in
+  let symbols = Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.labels [] in
+  { Program.entry; chunks = [ (t.base, image) ]; symbols }

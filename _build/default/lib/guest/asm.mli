@@ -1,0 +1,49 @@
+(** A two-pass assembler for Gx86 with symbolic labels.
+
+    Usage: create a unit, emit instructions/data (control transfers may name
+    labels), then {!assemble} into a {!Program.t}.  Instruction lengths do
+    not depend on label values, so layout is resolved in a single sizing
+    pass followed by an encoding pass. *)
+
+type t
+
+val create : ?base:int -> unit -> t
+(** [base] is the load address of the first byte (default 0x1000). *)
+
+val here : t -> int
+(** Address of the next byte to be emitted. *)
+
+val label : t -> string -> unit
+(** Define a label at the current address.  Label names must be unique. *)
+
+val insn : t -> Isa.insn -> unit
+(** Emit a fully resolved instruction. *)
+
+val insn_with : t -> ((string -> int) -> Isa.insn) -> unit
+(** Emit an instruction whose operands reference label addresses (resolved
+    at assembly). *)
+
+val jmp : t -> string -> unit
+val jcc : t -> Isa.cond -> string -> unit
+val call : t -> string -> unit
+(** Label-targeted control transfers. *)
+
+val mov_label : t -> Isa.reg -> string -> unit
+(** Load a label's address into a register (for indirect jumps / tables). *)
+
+val dword_label : t -> string -> unit
+(** Emit the 4-byte address of a label (jump tables). *)
+
+val jmp_table : t -> string -> Isa.reg -> unit
+(** [jmp_table t table idx] emits an indirect jump through
+    [\[table + idx*4\]]. *)
+
+val bytes : t -> Bytes.t -> unit
+val dword : t -> int -> unit
+val f64 : t -> float -> unit
+val zeros : t -> int -> unit
+val align : t -> int -> unit
+
+val assemble : ?entry:string -> t -> Program.t
+(** Resolve labels and produce the image.  [entry] defaults to the base
+    address.  Raises [Failure] on undefined or duplicate labels. *)

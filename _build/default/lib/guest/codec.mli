@@ -1,0 +1,27 @@
+(** Variable-length binary encoding of Gx86 instructions (1 to ~14 bytes).
+
+    Guest programs live in guest memory as encoded bytes; every interpreter
+    fetch goes through {!decode}, exactly as in the original infrastructure
+    where the software layer decodes raw x86.  Branch targets are encoded
+    PC-relative, so [encode]/[decode] take the instruction's address.
+
+    Immediates are canonicalized to unsigned 32-bit; memory displacements are
+    encoded in 1 or 4 bytes depending on range (a realistic source of
+    variable instruction length). *)
+
+exception Bad_encoding of int
+(** Raised by {!decode} on an invalid byte sequence, with the offending
+    address. *)
+
+val encode : pc:int -> Isa.insn -> Bytes.t
+val length : Isa.insn -> int
+(** Encoded length; independent of [pc] and of label resolution, which the
+    assembler relies on for layout. *)
+
+val decode : fetch:(int -> int) -> pc:int -> Isa.insn * int
+(** [decode ~fetch ~pc] reads bytes via [fetch] starting at [pc] and returns
+    the instruction and its encoded length. *)
+
+val canonical : Isa.insn -> Isa.insn
+(** The instruction as it would round-trip through encode/decode (immediates
+    masked to 32 bits, float immediates unchanged). *)

@@ -1,0 +1,31 @@
+(** The guest EFLAGS register, packed as an integer bitfield.
+
+    The packing is part of the co-designed contract: translated host code
+    keeps the guest flags in a dedicated host register using exactly this
+    layout, so the controller can compare architectural state bit-for-bit
+    between the authoritative and the emulated machines. *)
+
+(** Bit masks within the packed word: CF bit 0, ZF bit 1, SF bit 2,
+    OF bit 3. *)
+
+val cf_bit : int
+val zf_bit : int
+val sf_bit : int
+val of_bit : int
+
+val mask : int
+(** All defined flag bits. *)
+
+val make : cf:bool -> zf:bool -> sf:bool -> of_:bool -> int
+
+val cf : int -> bool
+val zf : int -> bool
+val sf : int -> bool
+val of_ : int -> bool
+
+val eval_cond : Isa.cond -> int -> bool
+(** [eval_cond c flags] decides a conditional branch exactly as x86 does
+    over CF/ZF/SF/OF. *)
+
+val to_string : int -> string
+(** E.g. ["[CF ZF]"]. *)

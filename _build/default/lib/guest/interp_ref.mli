@@ -1,0 +1,33 @@
+(** The authoritative guest interpreter — the execution core of the paper's
+    "x86 component".  It runs the unmodified guest binary, owns the
+    authoritative architectural and memory state, executes system calls, and
+    can be asked to advance to an exact retired-instruction count so the
+    controller can synchronize it with the co-designed component. *)
+
+type t = {
+  cpu : Cpu.t;
+  mem : Memory.t;
+  sys : Syscall.t;
+  icache : Step.icache;
+  mutable retired : int;         (** retired guest instructions *)
+  mutable exit_code : int option;
+  mutable last_effects : Syscall.effect list;
+}
+
+val boot : ?input:string -> seed:int -> Program.t -> t
+
+val run_until : t -> int -> unit
+(** [run_until t n] advances until exactly [n] guest instructions have
+    retired (or the guest halts first).  System calls encountered on the way
+    are executed in place; their effects are also stored in
+    [last_effects]. *)
+
+val run_to_halt : ?fuel:int -> t -> [ `Halted | `Fuel ]
+(** Run the whole program standalone (plain emulation, no co-designed
+    layer).  [fuel] bounds the retired-instruction count. *)
+
+val service_syscall : t -> Syscall.effect list
+(** The next instruction must be a syscall at the current EIP: execute it,
+    advance past it, and return the effects for replication. *)
+
+val output : t -> string

@@ -1,0 +1,14 @@
+let stack_top = 0x0800_0000
+let tol_base = 0xF000_0000
+
+let initial_brk p =
+  let e = Program.image_end p in
+  (e + Memory.page_size - 1) / Memory.page_size * Memory.page_size
+
+let boot p =
+  let mem = Memory.create `Auto_zero in
+  List.iter (fun (addr, b) -> Memory.blit_bytes mem addr b) p.Program.chunks;
+  let cpu = Cpu.create () in
+  cpu.eip <- p.entry;
+  Cpu.set cpu Isa.ESP stack_top;
+  (cpu, mem)

@@ -1,0 +1,16 @@
+(** Boots a guest program into an authoritative machine state. *)
+
+val stack_top : int
+(** Initial ESP (stack grows down from here). *)
+
+val tol_base : int
+(** Start of the address range reserved for the co-designed software layer
+    (spill slots, profiling counters, IBTC).  Guest programs must stay below
+    this; state validation ignores pages at or above it. *)
+
+val boot : Program.t -> Cpu.t * Memory.t
+(** Fresh zero-filled (auto-allocating) memory with the image blitted in,
+    EIP at the entry point and ESP at {!stack_top}. *)
+
+val initial_brk : Program.t -> int
+(** Page-aligned program break just past the image. *)

@@ -1,0 +1,11 @@
+type t = {
+  entry : int;
+  chunks : (int * Bytes.t) list;
+  symbols : (string * int) list;
+}
+
+let image_end t =
+  List.fold_left (fun acc (addr, b) -> max acc (addr + Bytes.length b)) 0 t.chunks
+
+let symbol t name = List.assoc name t.symbols
+let code_bytes t = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 t.chunks

@@ -1,0 +1,16 @@
+(** A loadable guest program image. *)
+
+type t = {
+  entry : int;                      (** initial EIP *)
+  chunks : (int * Bytes.t) list;    (** (load address, contents) *)
+  symbols : (string * int) list;    (** label -> address *)
+}
+
+val image_end : t -> int
+(** One past the highest loaded byte (the initial program break). *)
+
+val symbol : t -> string -> int
+(** Raises [Not_found] for unknown labels. *)
+
+val code_bytes : t -> int
+(** Total loaded bytes (static footprint). *)

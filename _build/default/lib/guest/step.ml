@@ -1,0 +1,293 @@
+open Isa
+
+type control =
+  | Next
+  | Cond_branch of { taken : bool; target : int }
+  | Uncond of int
+  | Indirect of int
+  | Trap_syscall
+  | Trap_halt
+
+type result = { insn : Isa.insn; len : int; control : control }
+type icache = (int, Isa.insn * int) Hashtbl.t
+
+let icache_create () : icache = Hashtbl.create 1024
+
+let fetch (ic : icache) mem pc =
+  match Hashtbl.find_opt ic pc with
+  | Some r -> r
+  | None ->
+    let r = Codec.decode ~fetch:(fun a -> Memory.read8 mem a) ~pc in
+    Hashtbl.replace ic pc r;
+    r
+
+let is_interp_only = function Str (_, _, (Rep | Repe | Repne)) -> true | _ -> false
+
+let mem_addr cpu { base; index; disp } =
+  let b = match base with None -> 0 | Some r -> Cpu.get cpu r in
+  let i =
+    match index with None -> 0 | Some (r, s) -> Cpu.get cpu r * scale_factor s
+  in
+  Semantics.mask32 (b + i + disp)
+
+let read_operand cpu mem = function
+  | Reg r -> Cpu.get cpu r
+  | Imm n -> Semantics.mask32 n
+  | Mem m -> Memory.read mem W32 (mem_addr cpu m)
+
+(* Touch every page a write of [w] at [addr] will reach, so the write cannot
+   fault halfway through. *)
+let probe_write mem w addr =
+  ignore (Memory.read8 mem addr);
+  let last = addr + width_bytes w - 1 in
+  if Memory.page_index last <> Memory.page_index addr then ignore (Memory.read8 mem last)
+
+let write_operand cpu mem op v =
+  match op with
+  | Reg r -> Cpu.set cpu r v
+  | Mem m -> Memory.write mem W32 (mem_addr cpu m) v
+  | Imm _ -> invalid_arg "write_operand: immediate destination"
+
+(* A read-modify-write destination: reading it first both fetches the value
+   and probes the pages the write-back will touch. *)
+let rmw cpu mem op f =
+  let v = read_operand cpu mem op in
+  match f v with
+  | None -> ()
+  | Some res ->
+    (match op with
+    | Reg r -> Cpu.set cpu r res
+    | Mem m -> Memory.write mem W32 (mem_addr cpu m) res
+    | Imm _ -> invalid_arg "rmw: immediate destination")
+
+let push cpu mem v =
+  let sp = Semantics.mask32 (Cpu.get cpu ESP - 4) in
+  probe_write mem W32 sp;
+  Memory.write mem W32 sp v;
+  Cpu.set cpu ESP sp
+
+let pop cpu mem =
+  let sp = Cpu.get cpu ESP in
+  let v = Memory.read mem W32 sp in
+  Cpu.set cpu ESP (sp + 4);
+  v
+
+(* One iteration of a string instruction; [w] bytes, pointers ascend. *)
+let string_once cpu mem kind w =
+  let sz = width_bytes w in
+  let esi = Cpu.get cpu ESI and edi = Cpu.get cpu EDI in
+  match kind with
+  | Movs ->
+    let v = Memory.read mem w esi in
+    probe_write mem w edi;
+    Memory.write mem w edi v;
+    Cpu.set cpu ESI (esi + sz);
+    Cpu.set cpu EDI (edi + sz)
+  | Stos ->
+    probe_write mem w edi;
+    Memory.write mem w edi (Semantics.truncate_width w (Cpu.get cpu EAX));
+    Cpu.set cpu EDI (edi + sz)
+  | Lods ->
+    let v = Memory.read mem w esi in
+    Cpu.set cpu EAX v;
+    Cpu.set cpu ESI (esi + sz)
+  | Scas ->
+    let v = Memory.read mem w edi in
+    let a = Semantics.truncate_width w (Cpu.get cpu EAX) in
+    let _, f = Semantics.alu Sub ~cf_in:false a v in
+    cpu.flags <- f;
+    Cpu.set cpu EDI (edi + sz)
+  | Cmps ->
+    let a = Memory.read mem w esi in
+    let b = Memory.read mem w edi in
+    let _, f = Semantics.alu Sub ~cf_in:false a b in
+    cpu.flags <- f;
+    Cpu.set cpu ESI (esi + sz);
+    Cpu.set cpu EDI (edi + sz)
+
+let exec_string cpu mem kind w rep =
+  match rep with
+  | NoRep -> string_once cpu mem kind w
+  | Rep | Repe | Repne ->
+    let continue () =
+      match rep with
+      | Rep -> true
+      | Repe -> Flags.zf cpu.flags
+      | Repne -> not (Flags.zf cpu.flags)
+      | NoRep -> assert false
+    in
+    let rec loop first =
+      if Cpu.get cpu ECX <> 0 && (first || continue ()) then begin
+        string_once cpu mem kind w;
+        Cpu.set cpu ECX (Cpu.get cpu ECX - 1);
+        loop false
+      end
+    in
+    loop true
+
+let exec cpu mem insn =
+  let rd op = read_operand cpu mem op in
+  let cf_in = Flags.cf cpu.flags in
+  match insn with
+  | Nop -> Next
+  | Mov (d, s) ->
+    let v = rd s in
+    write_operand cpu mem d v;
+    Next
+  | Movx (w, signed, r, m) ->
+    let v = Memory.read mem w (mem_addr cpu m) in
+    Cpu.set cpu r (if signed then Semantics.sign_extend w v else v);
+    Next
+  | Movw (w, m, r) ->
+    let addr = mem_addr cpu m in
+    probe_write mem w addr;
+    Memory.write mem w addr (Semantics.truncate_width w (Cpu.get cpu r));
+    Next
+  | Lea (r, m) ->
+    Cpu.set cpu r (mem_addr cpu m);
+    Next
+  | Alu (op, d, s) ->
+    let b = rd s in
+    rmw cpu mem d (fun a ->
+        let res, f = Semantics.alu op ~cf_in a b in
+        cpu.flags <- f;
+        Some res);
+    Next
+  | Cmp (d, s) ->
+    let a = rd d and b = rd s in
+    let _, f = Semantics.alu Sub ~cf_in:false a b in
+    cpu.flags <- f;
+    Next
+  | Test (d, s) ->
+    let a = rd d and b = rd s in
+    let _, f = Semantics.alu And ~cf_in:false a b in
+    cpu.flags <- f;
+    Next
+  | Inc d ->
+    rmw cpu mem d (fun a ->
+        let res, f = Semantics.inc a ~flags:cpu.flags in
+        cpu.flags <- f;
+        Some res);
+    Next
+  | Dec d ->
+    rmw cpu mem d (fun a ->
+        let res, f = Semantics.dec a ~flags:cpu.flags in
+        cpu.flags <- f;
+        Some res);
+    Next
+  | Neg d ->
+    rmw cpu mem d (fun a ->
+        let res, f = Semantics.neg a in
+        cpu.flags <- f;
+        Some res);
+    Next
+  | Not d ->
+    rmw cpu mem d (fun a -> Some (Semantics.not32 a));
+    Next
+  | Shift (op, d, c) ->
+    let count = rd c in
+    rmw cpu mem d (fun a ->
+        let res, f = Semantics.shift op a ~count ~flags:cpu.flags in
+        cpu.flags <- f;
+        Some res);
+    Next
+  | Mul s ->
+    let lo, hi, f = Semantics.mul_u (Cpu.get cpu EAX) (rd s) in
+    Cpu.set cpu EAX lo;
+    Cpu.set cpu EDX hi;
+    cpu.flags <- f;
+    Next
+  | Imul s ->
+    let lo, hi, f = Semantics.mul_s (Cpu.get cpu EAX) (rd s) in
+    Cpu.set cpu EAX lo;
+    Cpu.set cpu EDX hi;
+    cpu.flags <- f;
+    Next
+  | Imul2 (r, s) ->
+    let res, f = Semantics.imul2 (Cpu.get cpu r) (rd s) in
+    Cpu.set cpu r res;
+    cpu.flags <- f;
+    Next
+  | Div s ->
+    let q, r = Semantics.div_u ~hi:(Cpu.get cpu EDX) ~lo:(Cpu.get cpu EAX) (rd s) in
+    Cpu.set cpu EAX q;
+    Cpu.set cpu EDX r;
+    Next
+  | Idiv s ->
+    let q, r = Semantics.div_s ~hi:(Cpu.get cpu EDX) ~lo:(Cpu.get cpu EAX) (rd s) in
+    Cpu.set cpu EAX q;
+    Cpu.set cpu EDX r;
+    Next
+  | Push s ->
+    let v = rd s in
+    push cpu mem v;
+    Next
+  | Pop r ->
+    let v = pop cpu mem in
+    Cpu.set cpu r v;
+    Next
+  | Jmp t -> Uncond t
+  | JmpInd s -> Indirect (rd s)
+  | Jcc (c, t) -> Cond_branch { taken = Flags.eval_cond c cpu.flags; target = t }
+  | Call t ->
+    push cpu mem (Semantics.mask32 (cpu.eip + Codec.length insn));
+    Uncond t
+  | CallInd s ->
+    let target = rd s in
+    push cpu mem (Semantics.mask32 (cpu.eip + Codec.length insn));
+    Indirect target
+  | Ret -> Indirect (pop cpu mem)
+  | Cmov (c, r, s) ->
+    let v = rd s in
+    if Flags.eval_cond c cpu.flags then Cpu.set cpu r v;
+    Next
+  | Setcc (c, r) ->
+    Cpu.set cpu r (if Flags.eval_cond c cpu.flags then 1 else 0);
+    Next
+  | Str (kind, w, rep) ->
+    exec_string cpu mem kind w rep;
+    Next
+  | Fld (f, m) ->
+    Cpu.setf cpu f (Memory.read_f64 mem (mem_addr cpu m));
+    Next
+  | Fst (m, f) ->
+    let addr = mem_addr cpu m in
+    ignore (Memory.read8 mem addr);
+    ignore (Memory.read8 mem (addr + 7));
+    Memory.write_f64 mem addr (Cpu.getf cpu f);
+    Next
+  | Fmov (d, s) ->
+    Cpu.setf cpu d (Cpu.getf cpu s);
+    Next
+  | Fldi (f, v) ->
+    Cpu.setf cpu f v;
+    Next
+  | Fbin (op, d, s) ->
+    Cpu.setf cpu d (Semantics.fp_bin op (Cpu.getf cpu d) (Cpu.getf cpu s));
+    Next
+  | Fun_ (op, f) ->
+    Cpu.setf cpu f (Semantics.fp_un op (Cpu.getf cpu f));
+    Next
+  | Fcmp (a, b) ->
+    cpu.flags <- Semantics.fcmp_flags (Cpu.getf cpu a) (Cpu.getf cpu b);
+    Next
+  | Fild (f, r) ->
+    Cpu.setf cpu f (Semantics.i2f (Cpu.get cpu r));
+    Next
+  | Fist (r, f) ->
+    Cpu.set cpu r (Semantics.f2i (Cpu.getf cpu f));
+    Next
+  | Syscall -> Trap_syscall
+  | Halt -> Trap_halt
+
+let step ic cpu mem =
+  let insn, len = fetch ic mem cpu.Cpu.eip in
+  let control = exec cpu mem insn in
+  (match control with
+  | Next -> cpu.eip <- Semantics.mask32 (cpu.eip + len)
+  | Cond_branch { taken; target } ->
+    cpu.eip <- (if taken then target else Semantics.mask32 (cpu.eip + len))
+  | Uncond t | Indirect t -> cpu.eip <- t
+  | Trap_syscall -> ()
+  | Trap_halt -> cpu.halted <- true);
+  { insn; len; control }

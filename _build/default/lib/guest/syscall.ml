@@ -1,0 +1,66 @@
+type t = {
+  mutable brk : int;
+  mutable time : int;
+  mutable input_pos : int;
+  input : string;
+  rng : Darco_util.Rng.t;
+  out : Buffer.t;
+}
+
+type effect =
+  | Set_reg of Isa.reg * int
+  | Mem_write of int * Bytes.t
+  | Exit of int
+
+let create ?(input = "") ~seed ~brk () =
+  {
+    brk;
+    time = 946684800 (* fixed epoch for determinism *);
+    input_pos = 0;
+    input;
+    rng = Darco_util.Rng.create seed;
+    out = Buffer.create 256;
+  }
+
+let set_eax cpu v =
+  Cpu.set cpu Isa.EAX v;
+  Set_reg (Isa.EAX, Semantics.mask32 v)
+
+let execute t cpu mem =
+  let num = Cpu.get cpu Isa.EAX in
+  let arg1 = Cpu.get cpu Isa.EBX in
+  let arg2 = Cpu.get cpu Isa.ECX in
+  let arg3 = Cpu.get cpu Isa.EDX in
+  match num with
+  | 1 ->
+    cpu.halted <- true;
+    [ Exit arg1 ]
+  | 3 ->
+    let len = min arg3 (String.length t.input - t.input_pos) in
+    let len = max 0 len in
+    let data = Bytes.of_string (String.sub t.input t.input_pos len) in
+    t.input_pos <- t.input_pos + len;
+    Memory.blit_bytes mem arg2 data;
+    let e = set_eax cpu len in
+    if len > 0 then [ Mem_write (arg2, data); e ] else [ e ]
+  | 4 ->
+    let b = Bytes.create arg3 in
+    for i = 0 to arg3 - 1 do
+      Bytes.set b i (Char.chr (Memory.read8 mem (arg2 + i)))
+    done;
+    Buffer.add_bytes t.out b;
+    [ set_eax cpu arg3 ]
+  | 13 ->
+    t.time <- t.time + 1;
+    [ set_eax cpu t.time ]
+  | 45 ->
+    if arg1 <> 0 then t.brk <- arg1;
+    [ set_eax cpu t.brk ]
+  | 97 ->
+    let v = Semantics.mask32 (Int64.to_int (Darco_util.Rng.int64 t.rng)) in
+    [ set_eax cpu v ]
+  | _ ->
+    (* Unknown syscall: fail deterministically with -1 in EAX. *)
+    [ set_eax cpu 0xFFFFFFFF ]
+
+let output t = Buffer.contents t.out

@@ -1,0 +1,37 @@
+(** The mini operating-system interface (the guest's system-call layer).
+
+    In the original infrastructure system calls are executed only by the
+    full-system x86 component; the controller then forwards the resulting
+    architectural/memory changes to the co-designed component.  We keep that
+    protocol: {!execute} runs a system call against the authoritative state
+    and returns the list of {!effect}s, which the controller replays onto the
+    emulated state.
+
+    All inputs (read, time, getrandom) are deterministic functions of the
+    seed so that differential validation is exact.
+
+    Call numbers (in EAX, Linux-i386 flavoured):
+    - 1  exit    (EBX = status)
+    - 3  read    (EBX = fd, ECX = buf, EDX = len) -> EAX = bytes read
+    - 4  write   (EBX = fd, ECX = buf, EDX = len) -> EAX = bytes written
+    - 13 time    () -> EAX = deterministic seconds counter
+    - 45 brk     (EBX = new break or 0) -> EAX = current break
+    - 97 getrand () -> EAX = deterministic 32-bit pseudo-random value *)
+
+type t
+
+type effect =
+  | Set_reg of Isa.reg * int
+  | Mem_write of int * Bytes.t  (** absolute address, raw bytes *)
+  | Exit of int                 (** guest requested termination *)
+
+val create : ?input:string -> seed:int -> brk:int -> unit -> t
+
+val execute : t -> Cpu.t -> Memory.t -> effect list
+(** Run the system call selected by the authoritative [Cpu.t]/[Memory.t]
+    state, mutate that state, and return the effects to replay.  EIP is not
+    advanced (the caller advances past the syscall instruction on both
+    components). *)
+
+val output : t -> string
+(** Everything the guest wrote to any fd. *)

@@ -1,0 +1,1 @@
+lib/host/code.ml: Array Darco_guest Format Isa List Printf

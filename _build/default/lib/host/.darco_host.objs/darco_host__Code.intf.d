@@ -1,0 +1,1 @@
+lib/host/code.mli: Darco_guest Format Isa

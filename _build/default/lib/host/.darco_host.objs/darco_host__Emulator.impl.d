@@ -1,0 +1,1 @@
+lib/host/emulator.ml: Array Code Darco_guest Flagcalc Isa Machine Memory Semantics

@@ -1,0 +1,1 @@
+lib/host/emulator.mli: Code Machine

@@ -1,0 +1,1 @@
+lib/host/flagcalc.ml: Code Darco_guest Semantics

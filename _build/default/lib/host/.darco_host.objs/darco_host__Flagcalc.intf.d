@@ -1,0 +1,1 @@
+lib/host/flagcalc.mli: Code

@@ -1,0 +1,1 @@
+lib/host/machine.ml: Array Cpu Darco_guest Flags Hashtbl Int64 Isa List Memory Regs Semantics

@@ -1,0 +1,1 @@
+lib/host/machine.mli: Code Cpu Darco_guest Hashtbl Isa Memory

@@ -1,0 +1,1 @@
+lib/host/regs.ml: Darco_guest Isa

@@ -1,0 +1,1 @@
+lib/host/regs.mli: Code Darco_guest Isa

@@ -1,0 +1,13 @@
+(** Semantics of the [Mkfl] guest-flag-assist instruction.
+
+    Each kind computes the packed guest flags that the corresponding guest
+    ALU operation would produce, by delegating to the shared
+    {!Darco_guest.Semantics}.  (a, b, c) operand meanings:
+    - add/adc/sub/sbb/mulu/muls: the two ALU operands; c = carry-in (0/1)
+    - logic:                     a = the result value
+    - shifts/rotates:            a = value, b = count, c = incoming flags
+                                 (returned unchanged for a zero count)
+    - inc/dec:                   a = value, c = incoming flags (CF preserved)
+    - neg:                       a = value *)
+
+val compute : Code.flkind -> a:int -> b:int -> c:int -> int

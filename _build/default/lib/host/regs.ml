@@ -1,0 +1,17 @@
+open Darco_guest
+
+let zero = 0
+let guest r = 1 + Isa.reg_index r
+let flags = 9
+let scratch0 = 10
+let scratch1 = 11
+let scratch2 = 12
+let spill_scratch0 = 13
+let spill_scratch1 = 14
+let alloc_first = 16
+let alloc_last = 55
+let guest_f f = Isa.freg_index f
+let falloc_first = 8
+let falloc_last = 27
+let fscratch0 = 28
+let fscratch1 = 29

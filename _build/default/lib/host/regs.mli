@@ -1,0 +1,44 @@
+open Darco_guest
+
+(** The co-designed register convention: how guest architectural state is
+    direct-mapped onto host registers.
+
+    At every region boundary (entry, exit, transition to/from the
+    interpreter) guest state lives in these fixed host registers; inside an
+    optimization region the register allocator is free to rename.  The
+    direct mapping is one of the paper's emulation-cost optimizations: guest
+    registers never have to be loaded/stored from a context block. *)
+
+val zero : Code.reg
+(** r0, hard-wired zero. *)
+
+val guest : Isa.reg -> Code.reg
+(** r1..r8 hold EAX..EDI. *)
+
+val flags : Code.reg
+(** r9 holds the packed guest flags ({!Darco_guest.Flags} layout). *)
+
+val scratch0 : Code.reg
+val scratch1 : Code.reg
+val scratch2 : Code.reg
+(** r10..r12: scratch registers reserved for inline service sequences
+    (profiling stubs, IBTC probes); never allocated. *)
+
+val spill_scratch0 : Code.reg
+val spill_scratch1 : Code.reg
+(** r13/r14: reserved for register-allocator spill reload sequences. *)
+
+val alloc_first : Code.reg
+val alloc_last : Code.reg
+(** r16..r55: the allocatable pool for optimization regions. *)
+
+val guest_f : Isa.freg -> Code.freg
+(** f0..f7 hold the guest FP registers. *)
+
+val falloc_first : Code.freg
+val falloc_last : Code.freg
+(** f8..f27: allocatable FP pool. *)
+
+val fscratch0 : Code.freg
+val fscratch1 : Code.freg
+(** f28/f29: FP spill scratch. *)

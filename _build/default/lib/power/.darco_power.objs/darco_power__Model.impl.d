@@ -1,0 +1,1 @@
+lib/power/model.ml: Darco_timing Format

@@ -1,0 +1,1 @@
+lib/power/model.mli: Darco_timing Format

@@ -1,0 +1,80 @@
+type coefficients = {
+  pj_int_op : float;
+  pj_mul_op : float;
+  pj_fp_op : float;
+  pj_regfile_read : float;
+  pj_regfile_write : float;
+  pj_il1_access : float;
+  pj_dl1_access : float;
+  pj_l2_access : float;
+  pj_mem_access : float;
+  pj_btb_access : float;
+  pj_fetch_decode : float;
+  leakage_watts : float;
+  clock_ghz : float;
+}
+
+let default_coefficients =
+  {
+    pj_int_op = 0.6;
+    pj_mul_op = 2.8;
+    pj_fp_op = 3.5;
+    pj_regfile_read = 0.15;
+    pj_regfile_write = 0.2;
+    pj_il1_access = 3.0;
+    pj_dl1_access = 3.4;
+    pj_l2_access = 18.0;
+    pj_mem_access = 240.0;
+    pj_btb_access = 0.8;
+    pj_fetch_decode = 1.1;
+    leakage_watts = 0.12;
+    clock_ghz = 1.0;
+  }
+
+type report = {
+  dynamic_joules : float;
+  leakage_joules : float;
+  total_joules : float;
+  seconds : float;
+  avg_watts : float;
+  epi_nj : float;
+}
+
+let evaluate ?(coeffs = default_coefficients) (e : Darco_timing.Pipeline.events) =
+  let pj = 1e-12 in
+  let f = float_of_int in
+  let dynamic =
+    pj
+    *. (coeffs.pj_int_op *. f e.e_int_ops
+       +. (coeffs.pj_mul_op *. f e.e_mul_ops)
+       +. (coeffs.pj_fp_op *. f e.e_fp_ops)
+       +. (coeffs.pj_regfile_read *. f e.e_regfile_reads)
+       +. (coeffs.pj_regfile_write *. f e.e_regfile_writes)
+       +. (coeffs.pj_il1_access *. f e.e_il1.accesses)
+       +. (coeffs.pj_dl1_access *. f e.e_dl1.accesses)
+       +. (coeffs.pj_l2_access *. f e.e_l2.accesses)
+       +. (coeffs.pj_mem_access *. f e.e_l2.misses)
+       +. (coeffs.pj_btb_access *. f e.e_btb)
+       +. (coeffs.pj_fetch_decode *. f e.e_insns))
+  in
+  let seconds = f e.e_cycles /. (coeffs.clock_ghz *. 1e9) in
+  let leakage = coeffs.leakage_watts *. seconds in
+  let total = dynamic +. leakage in
+  {
+    dynamic_joules = dynamic;
+    leakage_joules = leakage;
+    total_joules = total;
+    seconds;
+    avg_watts = (if seconds = 0.0 then 0.0 else total /. seconds);
+    epi_nj = (if e.e_insns = 0 then 0.0 else total /. float_of_int e.e_insns *. 1e9);
+  }
+
+let perf_per_watt (e : Darco_timing.Pipeline.events) r =
+  if r.total_joules = 0.0 then 0.0
+  else float_of_int e.e_insns /. 1e6 /. r.seconds /. r.avg_watts
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>energy: %.3e J dynamic + %.3e J leakage = %.3e J@ \
+     time %.3e s, avg power %.3f W, EPI %.2f nJ@]"
+    r.dynamic_joules r.leakage_joules r.total_joules r.seconds r.avg_watts r.epi_nj

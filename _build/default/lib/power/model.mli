@@ -1,0 +1,42 @@
+(** A McPAT-style analytical power/energy model.
+
+    Event-driven like McPAT: the timing simulator's event counts are
+    combined with per-structure dynamic energy coefficients plus a leakage
+    power floor.  Coefficients are order-of-magnitude values for a ~1 GHz
+    low-power in-order core in a planar bulk node; absolute numbers are not
+    meant to match any silicon, but relative comparisons between
+    configurations (the paper's use of McPAT) are meaningful. *)
+
+type coefficients = {
+  pj_int_op : float;
+  pj_mul_op : float;
+  pj_fp_op : float;
+  pj_regfile_read : float;
+  pj_regfile_write : float;
+  pj_il1_access : float;
+  pj_dl1_access : float;
+  pj_l2_access : float;
+  pj_mem_access : float;
+  pj_btb_access : float;
+  pj_fetch_decode : float;   (** per instruction through the front end *)
+  leakage_watts : float;
+  clock_ghz : float;
+}
+
+val default_coefficients : coefficients
+
+type report = {
+  dynamic_joules : float;
+  leakage_joules : float;
+  total_joules : float;
+  seconds : float;
+  avg_watts : float;
+  epi_nj : float;            (** energy per instruction, nanojoules *)
+}
+
+val evaluate : ?coeffs:coefficients -> Darco_timing.Pipeline.events -> report
+
+val perf_per_watt : Darco_timing.Pipeline.events -> report -> float
+(** MIPS per watt for the measured run. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/studies/speed.ml: Darco Darco_timing Format Unix

@@ -1,0 +1,1 @@
+lib/studies/speed.mli: Darco Darco_guest Format Program

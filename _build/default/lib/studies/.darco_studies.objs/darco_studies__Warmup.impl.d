@@ -1,0 +1,1 @@
+lib/studies/warmup.ml: Array Darco Darco_timing Darco_util Format Hashtbl List Option Unix

@@ -1,0 +1,1 @@
+lib/studies/warmup.mli: Darco Darco_guest Darco_timing Format Program

@@ -1,0 +1,36 @@
+type t = {
+  guest_mips_emulated : float;
+  guest_mips_timing : float;
+  host_mips_emulated : float;
+  host_mips_timing : float;
+}
+
+let run_once ?cfg ~timing ~insns program ~seed =
+  let ctl = Darco.Controller.create ?cfg ~seed program in
+  if timing then begin
+    let pipe = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
+    ctl.co.on_retire <- Some (Darco_timing.Pipeline.step pipe)
+  end;
+  let t0 = Unix.gettimeofday () in
+  ignore (Darco.Controller.run ~max_insns:insns ctl);
+  let dt = Unix.gettimeofday () -. t0 in
+  let st = Darco.Controller.stats ctl in
+  (float_of_int (Darco.Stats.guest_total st) /. dt, float_of_int (Darco.Stats.host_total st) /. dt)
+
+let measure ?cfg ?(insns = 400_000) program ~seed =
+  let g_emu, h_emu = run_once ?cfg ~timing:false ~insns program ~seed in
+  let g_tim, h_tim = run_once ?cfg ~timing:true ~insns program ~seed in
+  {
+    guest_mips_emulated = g_emu /. 1e6;
+    guest_mips_timing = g_tim /. 1e6;
+    host_mips_emulated = h_emu /. 1e6;
+    host_mips_timing = h_tim /. 1e6;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>guest ISA: %.2f MIPS emulated, %.0f KIPS with timing@ \
+     host ISA:  %.2f MIPS emulated, %.2f MIPS with timing@]"
+    t.guest_mips_emulated
+    (1000. *. t.guest_mips_timing)
+    t.host_mips_emulated t.host_mips_timing

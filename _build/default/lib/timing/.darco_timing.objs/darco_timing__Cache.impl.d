@@ -1,0 +1,1 @@
+lib/timing/cache.ml: Array Tconfig

@@ -1,0 +1,1 @@
+lib/timing/cache.mli: Tconfig

@@ -1,0 +1,1 @@
+lib/timing/pipeline.ml: Array Cache Code Darco_host Emulator Format List Predictor Prefetch Tconfig Tlb

@@ -1,0 +1,1 @@
+lib/timing/pipeline.mli: Cache Darco_host Emulator Format Tconfig

@@ -1,0 +1,1 @@
+lib/timing/predictor.ml: Array Tconfig

@@ -1,0 +1,1 @@
+lib/timing/prefetch.ml: Array Cache Tconfig

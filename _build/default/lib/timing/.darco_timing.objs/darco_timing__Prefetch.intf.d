@@ -1,0 +1,1 @@
+lib/timing/prefetch.mli: Cache Tconfig

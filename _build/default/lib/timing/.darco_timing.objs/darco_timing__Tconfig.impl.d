@@ -1,0 +1,1 @@
+lib/timing/tconfig.ml:

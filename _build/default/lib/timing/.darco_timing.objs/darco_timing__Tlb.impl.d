@@ -1,0 +1,1 @@
+lib/timing/tlb.ml: Array Tconfig

@@ -1,0 +1,102 @@
+type stats = {
+  mutable accesses : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable prefetch_fills : int;
+}
+
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool; mutable lru : int }
+
+type t = {
+  name : string;
+  geom : Tconfig.cache_geom;
+  sets : line array array;
+  parent : int -> is_write:bool -> int;
+  stats : stats;
+  mutable tick : int;
+  line_bits : int;
+  set_bits : int;
+  set_mask : int;
+}
+
+let log2 n =
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let create ~name (geom : Tconfig.cache_geom) ~parent =
+  {
+    name;
+    geom;
+    sets =
+      Array.init geom.sets (fun _ ->
+          Array.init geom.ways (fun _ -> { tag = 0; valid = false; dirty = false; lru = 0 }));
+    parent;
+    stats = { accesses = 0; misses = 0; writebacks = 0; prefetch_fills = 0 };
+    tick = 0;
+    line_bits = log2 geom.line;
+    set_bits = log2 geom.sets;
+    set_mask = geom.sets - 1;
+  }
+
+let locate t addr =
+  let block = addr lsr t.line_bits in
+  let set = t.sets.(block land t.set_mask) in
+  let tag = block lsr t.set_bits in
+  (set, tag)
+
+let find_way set tag =
+  let n = Array.length set in
+  let rec go i = if i >= n then None else if set.(i).valid && set.(i).tag = tag then Some set.(i) else go (i + 1) in
+  go 0
+
+let victim set =
+  Array.fold_left (fun best l -> if l.lru < best.lru then l else best) set.(0) set
+
+let fill t set tag ~dirty =
+  let l = victim set in
+  if l.valid && l.dirty then begin
+    t.stats.writebacks <- t.stats.writebacks + 1;
+    (* Dirty evictions write back to the parent; the latency is off the
+       load's critical path and is not charged. *)
+    ignore (t.parent 0 ~is_write:true)
+  end;
+  l.valid <- true;
+  l.dirty <- dirty;
+  l.tag <- tag;
+  t.tick <- t.tick + 1;
+  l.lru <- t.tick
+
+let access t addr ~is_write =
+  t.stats.accesses <- t.stats.accesses + 1;
+  let set, tag = locate t addr in
+  match find_way set tag with
+  | Some l ->
+    t.tick <- t.tick + 1;
+    l.lru <- t.tick;
+    if is_write then l.dirty <- true;
+    t.geom.latency
+  | None ->
+    t.stats.misses <- t.stats.misses + 1;
+    let below = t.parent addr ~is_write:false in
+    fill t set tag ~dirty:is_write;
+    t.geom.latency + below
+
+let prefetch t addr =
+  let set, tag = locate t addr in
+  match find_way set tag with
+  | Some _ -> ()
+  | None ->
+    t.stats.prefetch_fills <- t.stats.prefetch_fills + 1;
+    ignore (t.parent addr ~is_write:false);
+    fill t set tag ~dirty:false
+
+let contains t addr =
+  let set, tag = locate t addr in
+  find_way set tag <> None
+
+let stats t = t.stats
+let name t = t.name
+
+let miss_rate t =
+  if t.stats.accesses = 0 then 0.0
+  else float_of_int t.stats.misses /. float_of_int t.stats.accesses

@@ -1,0 +1,28 @@
+(** Set-associative write-back, write-allocate cache with LRU replacement.
+    Levels are linked by a [parent] access function; the innermost parent is
+    main memory (fixed latency). *)
+
+type t
+
+type stats = {
+  mutable accesses : int;
+  mutable misses : int;
+  mutable writebacks : int;
+  mutable prefetch_fills : int;
+}
+
+val create :
+  name:string -> Tconfig.cache_geom -> parent:(int -> is_write:bool -> int) -> t
+
+val access : t -> int -> is_write:bool -> int
+(** [access t addr ~is_write] returns the total latency (own + recursive
+    miss latency) and updates contents/stats. *)
+
+val prefetch : t -> int -> unit
+(** Fill the line without charging latency or demand-access stats (fills go
+    through the parent silently). *)
+
+val contains : t -> int -> bool
+val stats : t -> stats
+val name : t -> string
+val miss_rate : t -> float

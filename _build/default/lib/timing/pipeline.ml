@@ -1,0 +1,317 @@
+open Darco_host
+
+type summary = {
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  branch_accuracy : float;
+  il1_miss_rate : float;
+  dl1_miss_rate : float;
+  l2_miss_rate : float;
+  itlb_miss_rate : float;
+  dtlb_miss_rate : float;
+  mispredicts : int;
+  prefetches : int;
+}
+
+type events = {
+  e_cycles : int;
+  e_insns : int;
+  e_int_ops : int;
+  e_mul_ops : int;
+  e_fp_ops : int;
+  e_mem_reads : int;
+  e_mem_writes : int;
+  e_branches : int;
+  e_il1 : Cache.stats;
+  e_dl1 : Cache.stats;
+  e_l2 : Cache.stats;
+  e_btb : int;
+  e_regfile_reads : int;
+  e_regfile_writes : int;
+}
+
+(* Ring buffer of recent cycles, for the IQ-occupancy and physical-register
+   in-flight caps. *)
+type ring = { buf : int array; mutable n : int }
+
+let ring_make size = { buf = Array.make (max 1 size) 0; n = 0 }
+
+let ring_push r v =
+  r.buf.(r.n mod Array.length r.buf) <- v;
+  r.n <- r.n + 1
+
+(* Cycle at which the element [cap] positions back completes (0 when the
+   window is not yet full). *)
+let ring_cap r =
+  if r.n < Array.length r.buf then 0 else r.buf.(r.n mod Array.length r.buf)
+
+type t = {
+  cfg : Tconfig.t;
+  (* memory hierarchy *)
+  l2 : Cache.t;
+  il1 : Cache.t;
+  dl1 : Cache.t;
+  l2tlb : Tlb.t;
+  itlb : Tlb.t;
+  dtlb : Tlb.t;
+  pf : Prefetch.t;
+  bp : Predictor.t;
+  (* scoreboard *)
+  int_ready : int array;
+  fp_ready : int array;
+  simple_free : int array;
+  complex_free : int array;
+  vector_free : int array;
+  rport_free : int array;
+  wport_free : int array;
+  iq_ring : ring;
+  inflight_ring : ring;
+  (* front-end state *)
+  mutable fetch_cycle : int;
+  mutable fetch_count : int;
+  mutable last_fetch_line : int;
+  mutable redirect_at : int;
+  (* back-end state *)
+  mutable last_issue : int;
+  mutable issued_in_cycle : int;
+  mutable horizon : int;   (* latest completion cycle *)
+  (* counters *)
+  mutable insns : int;
+  mutable int_ops : int;
+  mutable mul_ops : int;
+  mutable fp_ops : int;
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable branches : int;
+  mutable rf_reads : int;
+  mutable rf_writes : int;
+}
+
+let create (cfg : Tconfig.t) =
+  let memory _addr ~is_write:_ = cfg.mem_latency in
+  let l2 = Cache.create ~name:"L2" cfg.l2 ~parent:memory in
+  let l2_parent addr ~is_write = Cache.access l2 addr ~is_write in
+  let il1 = Cache.create ~name:"IL1" cfg.il1 ~parent:l2_parent in
+  let dl1 = Cache.create ~name:"DL1" cfg.dl1 ~parent:l2_parent in
+  let l2tlb = Tlb.second_level cfg in
+  {
+    cfg;
+    l2;
+    il1;
+    dl1;
+    l2tlb;
+    itlb = Tlb.create cfg.itlb ~parent:(fun vpn -> Tlb.access l2tlb (vpn lsl 12));
+    dtlb = Tlb.create cfg.dtlb ~parent:(fun vpn -> Tlb.access l2tlb (vpn lsl 12));
+    pf = Prefetch.create cfg ~into:dl1;
+    bp = Predictor.create cfg;
+    int_ready = Array.make 64 0;
+    fp_ready = Array.make 32 0;
+    simple_free = Array.make (max 1 cfg.n_simple) 0;
+    complex_free = Array.make (max 1 cfg.n_complex) 0;
+    vector_free = Array.make (max 1 cfg.n_vector) 0;
+    rport_free = Array.make (max 1 cfg.mem_read_ports) 0;
+    wport_free = Array.make (max 1 cfg.mem_write_ports) 0;
+    iq_ring = ring_make cfg.iq_size;
+    inflight_ring = ring_make cfg.phys_regs;
+    fetch_cycle = 0;
+    fetch_count = 0;
+    last_fetch_line = -1;
+    redirect_at = 0;
+    last_issue = 0;
+    issued_in_cycle = 0;
+    horizon = 0;
+    insns = 0;
+    int_ops = 0;
+    mul_ops = 0;
+    fp_ops = 0;
+    mem_reads = 0;
+    mem_writes = 0;
+    branches = 0;
+    rf_reads = 0;
+    rf_writes = 0;
+  }
+
+(* The vector class exists for the SIMD-extension configuration; the
+   current host ISA routes nothing to it. *)
+type cls = Simple | Complex | Vector | Mem_read | Mem_write [@@warning "-37"]
+
+(* (unit class, result latency, unit occupancy, stream weight) *)
+let classify (cfg : Tconfig.t) (insn : Code.insn) =
+  match insn with
+  | Code.Bin ((Mul | Mulhu | Mulhs), _, _, _) ->
+    (Complex, cfg.complex_mul_latency, 1, 1)
+  | Code.Fbin (Fdiv, _, _, _) -> (Complex, cfg.fp_div_latency, cfg.fp_div_latency, 1)
+  | Code.Fbin (_, _, _, _) -> (Complex, cfg.fp_latency, 1, 1)
+  | Code.Fun (Fsqrt, _, _) -> (Complex, cfg.fp_div_latency + 3, cfg.fp_div_latency, 1)
+  | Code.Fun (_, _, _) | Code.Fmov _ | Code.Fli _ -> (Complex, 1, 1, 1)
+  | Code.Fcmp _ | Code.Cvtif _ | Code.Cvtfi _ -> (Complex, 2, 1, 1)
+  | Code.Callrt_f (fn, _, _) ->
+    let c = Code.rt_cost fn in
+    (Complex, c, c, c)
+  | Code.Callrt_div { signed; _ } ->
+    let c = Code.rt_cost (if signed then Rt_divs else Rt_divu) in
+    (Complex, c, c, c)
+  | Code.Load _ | Code.Sload _ | Code.Fload _ -> (Mem_read, 0, 1, 1)
+  | Code.Store _ | Code.Fstore _ -> (Mem_write, 1, 1, 1)
+  | Code.Nop | Code.Li _ | Code.Bin _ | Code.Bini _ | Code.Mkfl _ | Code.Isel _
+  | Code.B _ | Code.J _ | Code.Jr _ | Code.Assert _ | Code.Chk | Code.Commit _
+  | Code.Exit _ ->
+    (Simple, 1, 1, 1)
+
+let acquire_unit free_cycles at occupancy =
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c < free_cycles.(!best) then best := i else ignore c) free_cycles;
+  let start = max at free_cycles.(!best) in
+  free_cycles.(!best) <- start + occupancy;
+  start
+
+let line_of (cfg : Tconfig.t) pc = pc / cfg.il1.line
+
+let step t (ri : Emulator.retire_info) =
+  let cfg = t.cfg in
+  (* ---- front end ---- *)
+  if t.redirect_at > t.fetch_cycle then begin
+    t.fetch_cycle <- t.redirect_at;
+    t.fetch_count <- 0;
+    t.last_fetch_line <- -1
+  end;
+  if t.fetch_count >= cfg.fetch_width then begin
+    t.fetch_cycle <- t.fetch_cycle + 1;
+    t.fetch_count <- 0
+  end;
+  let line = line_of cfg ri.host_pc in
+  if line <> t.last_fetch_line then begin
+    t.last_fetch_line <- line;
+    let tlb_extra = Tlb.access t.itlb ri.host_pc in
+    let ic = Cache.access t.il1 ri.host_pc ~is_write:false in
+    (* only the portion beyond a first-cycle hit stalls fetch *)
+    t.fetch_cycle <- t.fetch_cycle + tlb_extra + (ic - cfg.il1.latency)
+  end;
+  (* instruction-queue backpressure *)
+  t.fetch_cycle <- max t.fetch_cycle (ring_cap t.iq_ring);
+  t.fetch_count <- t.fetch_count + 1;
+  let at_decode = t.fetch_cycle + cfg.decode_depth in
+  (* ---- issue ---- *)
+  let cls, latency, occupancy, weight = classify cfg ri.insn in
+  let src_ready =
+    List.fold_left
+      (fun acc r -> max acc t.int_ready.(r))
+      0 (Code.uses ri.insn)
+  in
+  let src_ready =
+    List.fold_left (fun acc r -> max acc t.fp_ready.(r)) src_ready (Code.fuses ri.insn)
+  in
+  let in_order_at =
+    if t.issued_in_cycle >= cfg.issue_width then t.last_issue + 1 else t.last_issue
+  in
+  let earliest =
+    max (max at_decode src_ready) (max in_order_at (ring_cap t.inflight_ring))
+  in
+  let units =
+    match cls with
+    | Simple -> t.simple_free
+    | Complex -> t.complex_free
+    | Vector -> t.vector_free
+    | Mem_read -> t.rport_free
+    | Mem_write -> t.wport_free
+  in
+  let issue = acquire_unit units earliest occupancy in
+  if issue > t.last_issue then begin
+    t.last_issue <- issue;
+    t.issued_in_cycle <- 1
+  end
+  else t.issued_in_cycle <- t.issued_in_cycle + 1;
+  (* ---- execute ---- *)
+  let result_latency =
+    match ri.mem_access with
+    | Some (addr, `Load) ->
+      t.mem_reads <- t.mem_reads + 1;
+      let tlb_extra = Tlb.access t.dtlb addr in
+      let lat = Cache.access t.dl1 addr ~is_write:false in
+      Prefetch.observe t.pf ~pc:ri.host_pc ~addr;
+      tlb_extra + lat
+    | Some (addr, `Store) ->
+      t.mem_writes <- t.mem_writes + 1;
+      let tlb_extra = Tlb.access t.dtlb addr in
+      let lat = Cache.access t.dl1 addr ~is_write:true in
+      ignore lat;
+      tlb_extra + 1
+    | None -> latency
+  in
+  let done_at = issue + max 1 result_latency in
+  List.iter (fun r -> t.int_ready.(r) <- done_at) (Code.defs ri.insn);
+  List.iter (fun r -> t.fp_ready.(r) <- done_at) (Code.fdefs ri.insn);
+  t.rf_reads <- t.rf_reads + List.length (Code.uses ri.insn) + List.length (Code.fuses ri.insn);
+  t.rf_writes <- t.rf_writes + List.length (Code.defs ri.insn) + List.length (Code.fdefs ri.insn);
+  (* ---- control ---- *)
+  (match ri.branch with
+  | Some (taken, target) ->
+    t.branches <- t.branches + 1;
+    let resolve = issue + 1 in
+    (match Predictor.observe t.bp ~pc:ri.host_pc ~taken ~target with
+    | `Correct -> ()
+    | `Mispredict -> t.redirect_at <- max t.redirect_at (resolve + cfg.mispredict_penalty))
+  | None -> ());
+  (* ---- bookkeeping ---- *)
+  ring_push t.iq_ring issue;
+  ring_push t.inflight_ring done_at;
+  t.horizon <- max t.horizon done_at;
+  t.insns <- t.insns + weight;
+  (match cls with
+  | Simple -> t.int_ops <- t.int_ops + 1
+  | Complex -> (
+    match ri.insn with
+    | Code.Bin _ -> t.mul_ops <- t.mul_ops + 1
+    | _ -> t.fp_ops <- t.fp_ops + 1)
+  | Vector | Mem_read | Mem_write -> ())
+
+let cycles t = max t.horizon t.last_issue
+let instructions t = t.insns
+
+let summary t =
+  let c = cycles t in
+  {
+    instructions = t.insns;
+    cycles = c;
+    ipc = (if c = 0 then 0.0 else float_of_int t.insns /. float_of_int c);
+    branch_accuracy = Predictor.accuracy t.bp;
+    il1_miss_rate = Cache.miss_rate t.il1;
+    dl1_miss_rate = Cache.miss_rate t.dl1;
+    l2_miss_rate = Cache.miss_rate t.l2;
+    itlb_miss_rate = Tlb.miss_rate t.itlb;
+    dtlb_miss_rate = Tlb.miss_rate t.dtlb;
+    mispredicts = (Predictor.stats t.bp).mispredicts;
+    prefetches = (Prefetch.stats t.pf).issued;
+  }
+
+let events t =
+  {
+    e_cycles = cycles t;
+    e_insns = t.insns;
+    e_int_ops = t.int_ops;
+    e_mul_ops = t.mul_ops;
+    e_fp_ops = t.fp_ops;
+    e_mem_reads = t.mem_reads;
+    e_mem_writes = t.mem_writes;
+    e_branches = t.branches;
+    e_il1 = Cache.stats t.il1;
+    e_dl1 = Cache.stats t.dl1;
+    e_l2 = Cache.stats t.l2;
+    e_btb = t.branches;
+    e_regfile_reads = t.rf_reads;
+    e_regfile_writes = t.rf_writes;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>insns %d, cycles %d, IPC %.3f@ branch accuracy %.2f%% (%d mispredicts)@ \
+     IL1 miss %.2f%%, DL1 miss %.2f%%, L2 miss %.2f%%@ \
+     ITLB miss %.3f%%, DTLB miss %.3f%%, prefetches %d@]"
+    s.instructions s.cycles s.ipc
+    (100. *. s.branch_accuracy)
+    s.mispredicts (100. *. s.il1_miss_rate) (100. *. s.dl1_miss_rate)
+    (100. *. s.l2_miss_rate)
+    (100. *. s.itlb_miss_rate)
+    (100. *. s.dtlb_miss_rate)
+    s.prefetches

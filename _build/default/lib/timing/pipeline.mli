@@ -1,0 +1,51 @@
+open Darco_host
+
+(** The in-order superscalar timing model: decoupled front-end (I-TLB,
+    I-cache, BTB + gshare, decode pipe) and back-end (in-order scoreboarded
+    issue, simple/complex/vector units, memory ports, D-TLB + 2-level data
+    cache with a stride prefetcher), separated by an instruction queue.
+
+    Trace-driven: feed it the retired host instruction stream via {!step}
+    (it plugs directly into {!Darco.Tol.t}'s [on_retire] hook). *)
+
+type t
+
+type summary = {
+  instructions : int;
+  cycles : int;
+  ipc : float;
+  branch_accuracy : float;
+  il1_miss_rate : float;
+  dl1_miss_rate : float;
+  l2_miss_rate : float;
+  itlb_miss_rate : float;
+  dtlb_miss_rate : float;
+  mispredicts : int;
+  prefetches : int;
+}
+
+(** Event counts consumed by the power model. *)
+type events = {
+  e_cycles : int;
+  e_insns : int;
+  e_int_ops : int;
+  e_mul_ops : int;
+  e_fp_ops : int;
+  e_mem_reads : int;
+  e_mem_writes : int;
+  e_branches : int;
+  e_il1 : Cache.stats;
+  e_dl1 : Cache.stats;
+  e_l2 : Cache.stats;
+  e_btb : int;
+  e_regfile_reads : int;
+  e_regfile_writes : int;
+}
+
+val create : Tconfig.t -> t
+val step : t -> Emulator.retire_info -> unit
+val cycles : t -> int
+val instructions : t -> int
+val summary : t -> summary
+val events : t -> events
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,69 @@
+type stats = {
+  mutable branches : int;
+  mutable mispredicts : int;
+  mutable btb_misses : int;
+}
+
+type t = {
+  pht : int array;         (* 2-bit saturating counters *)
+  mutable ghr : int;
+  ghr_mask : int;
+  btb_tag : int array;
+  btb_target : int array;
+  btb_mask : int;
+  stats : stats;
+}
+
+let create (cfg : Tconfig.t) =
+  let pht_size = 1 lsl cfg.gshare_bits in
+  {
+    pht = Array.make pht_size 2 (* weakly taken *);
+    ghr = 0;
+    ghr_mask = pht_size - 1;
+    btb_tag = Array.make cfg.btb_entries (-1);
+    btb_target = Array.make cfg.btb_entries 0;
+    btb_mask = cfg.btb_entries - 1;
+    stats = { branches = 0; mispredicts = 0; btb_misses = 0 };
+  }
+
+let pht_index t pc = (pc lsr 2) lxor t.ghr land t.ghr_mask
+let btb_index t pc = (pc lsr 2) land t.btb_mask
+
+let predict t ~pc =
+  let taken = t.pht.(pht_index t pc) >= 2 in
+  let i = btb_index t pc in
+  let target = if t.btb_tag.(i) = pc then Some t.btb_target.(i) else None in
+  (taken, target)
+
+let update t ~pc ~taken ~target =
+  let i = pht_index t pc in
+  t.pht.(i) <- (if taken then min 3 (t.pht.(i) + 1) else max 0 (t.pht.(i) - 1));
+  t.ghr <- ((t.ghr lsl 1) lor if taken then 1 else 0) land t.ghr_mask;
+  if taken then begin
+    let bi = btb_index t pc in
+    t.btb_tag.(bi) <- pc;
+    t.btb_target.(bi) <- target
+  end
+
+let observe t ~pc ~taken ~target =
+  t.stats.branches <- t.stats.branches + 1;
+  let pred_taken, pred_target = predict t ~pc in
+  let outcome =
+    if pred_taken <> taken then `Mispredict
+    else if taken then
+      match pred_target with
+      | Some tg when tg = target -> `Correct
+      | Some _ | None ->
+        t.stats.btb_misses <- t.stats.btb_misses + 1;
+        `Mispredict
+    else `Correct
+  in
+  if outcome = `Mispredict then t.stats.mispredicts <- t.stats.mispredicts + 1;
+  update t ~pc ~taken ~target;
+  outcome
+
+let stats t = t.stats
+
+let accuracy t =
+  if t.stats.branches = 0 then 1.0
+  else 1.0 -. (float_of_int t.stats.mispredicts /. float_of_int t.stats.branches)

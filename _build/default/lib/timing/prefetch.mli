@@ -1,0 +1,11 @@
+(** PC-indexed stride data prefetcher.  When a load PC shows a stable
+    stride, the next [degree] strided lines are filled into the data
+    cache. *)
+
+type t
+
+type stats = { mutable issued : int; mutable triggered : int }
+
+val create : Tconfig.t -> into:Cache.t -> t
+val observe : t -> pc:int -> addr:int -> unit
+val stats : t -> stats

@@ -1,0 +1,87 @@
+type cache_geom = { sets : int; ways : int; line : int; latency : int }
+type tlb_geom = { entries : int; latency : int }
+
+type t = {
+  fetch_width : int;
+  decode_depth : int;
+  issue_width : int;
+  iq_size : int;
+  phys_regs : int;
+  n_simple : int;
+  n_complex : int;
+  n_vector : int;
+  mem_read_ports : int;
+  mem_write_ports : int;
+  complex_mul_latency : int;
+  fp_latency : int;
+  fp_div_latency : int;
+  gshare_bits : int;
+  btb_entries : int;
+  mispredict_penalty : int;
+  il1 : cache_geom;
+  dl1 : cache_geom;
+  l2 : cache_geom;
+  itlb : tlb_geom;
+  dtlb : tlb_geom;
+  l2tlb : tlb_geom;
+  tlb_walk_latency : int;
+  mem_latency : int;
+  prefetch : bool;
+  prefetch_table : int;
+  prefetch_degree : int;
+  vector_length : int;
+}
+
+let default =
+  {
+    fetch_width = 2;
+    decode_depth = 3;
+    issue_width = 2;
+    iq_size = 32;
+    phys_regs = 96;
+    n_simple = 2;
+    n_complex = 1;
+    n_vector = 1;
+    mem_read_ports = 1;
+    mem_write_ports = 1;
+    complex_mul_latency = 3;
+    fp_latency = 4;
+    fp_div_latency = 12;
+    gshare_bits = 12;
+    btb_entries = 512;
+    mispredict_penalty = 8;
+    il1 = { sets = 64; ways = 4; line = 64; latency = 1 };
+    dl1 = { sets = 64; ways = 4; line = 64; latency = 2 };
+    l2 = { sets = 512; ways = 8; line = 64; latency = 12 };
+    itlb = { entries = 32; latency = 0 };
+    dtlb = { entries = 64; latency = 0 };
+    l2tlb = { entries = 512; latency = 6 };
+    tlb_walk_latency = 30;
+    mem_latency = 120;
+    prefetch = true;
+    prefetch_table = 64;
+    prefetch_degree = 2;
+    vector_length = 128;
+  }
+
+let narrow =
+  {
+    default with
+    fetch_width = 1;
+    issue_width = 1;
+    n_simple = 1;
+    iq_size = 8;
+    phys_regs = 48;
+  }
+
+let wide =
+  {
+    default with
+    fetch_width = 4;
+    issue_width = 4;
+    n_simple = 4;
+    n_complex = 2;
+    mem_read_ports = 2;
+    iq_size = 64;
+    phys_regs = 160;
+  }

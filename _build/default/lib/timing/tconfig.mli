@@ -1,0 +1,52 @@
+(** Timing-simulator parameters — the paper's list: issue width, instruction
+    queue size, numbers and latencies of execution units, physical register
+    count, branch predictor and BTB sizes, cache and TLB geometries and
+    latencies, memory ports, and the stride prefetcher. *)
+
+type cache_geom = {
+  sets : int;
+  ways : int;
+  line : int;       (** bytes, power of two *)
+  latency : int;    (** hit latency in cycles *)
+}
+
+type tlb_geom = { entries : int; latency : int }
+
+type t = {
+  fetch_width : int;
+  decode_depth : int;        (** front-end stages after fetch *)
+  issue_width : int;
+  iq_size : int;
+  phys_regs : int;           (** cap on in-flight results *)
+  n_simple : int;
+  n_complex : int;
+  n_vector : int;            (** reserved for the SIMD extension *)
+  mem_read_ports : int;
+  mem_write_ports : int;
+  complex_mul_latency : int;
+  fp_latency : int;
+  fp_div_latency : int;
+  gshare_bits : int;         (** log2 PHT entries *)
+  btb_entries : int;
+  mispredict_penalty : int;
+  il1 : cache_geom;
+  dl1 : cache_geom;
+  l2 : cache_geom;
+  itlb : tlb_geom;
+  dtlb : tlb_geom;
+  l2tlb : tlb_geom;
+  tlb_walk_latency : int;
+  mem_latency : int;
+  prefetch : bool;
+  prefetch_table : int;
+  prefetch_degree : int;
+  vector_length : int;       (** SIMD width parameter (reserved) *)
+}
+
+val default : t
+
+val narrow : t
+(** 1-wide baseline core. *)
+
+val wide : t
+(** 4-wide configuration. *)

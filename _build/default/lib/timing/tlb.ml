@@ -1,0 +1,61 @@
+type stats = { mutable accesses : int; mutable misses : int }
+
+type entry = { mutable vpn : int; mutable valid : bool; mutable lru : int }
+
+type t = {
+  entries : entry array;
+  latency : int;
+  parent : int -> int;
+  stats : stats;
+  mutable tick : int;
+}
+
+let page_bits = 12
+
+let create (geom : Tconfig.tlb_geom) ~parent =
+  {
+    entries = Array.init geom.entries (fun _ -> { vpn = 0; valid = false; lru = 0 });
+    latency = geom.latency;
+    parent;
+    stats = { accesses = 0; misses = 0 };
+    tick = 0;
+  }
+
+let walker (cfg : Tconfig.t) _vpn = cfg.tlb_walk_latency
+
+let access t addr =
+  let vpn = addr lsr page_bits in
+  t.stats.accesses <- t.stats.accesses + 1;
+  t.tick <- t.tick + 1;
+  let hit =
+    Array.fold_left
+      (fun acc e ->
+        if e.valid && e.vpn = vpn then begin
+          e.lru <- t.tick;
+          true
+        end
+        else acc)
+      false t.entries
+  in
+  if hit then t.latency
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    let below = t.parent vpn in
+    let v =
+      Array.fold_left (fun best e -> if e.lru < best.lru then e else best) t.entries.(0)
+        t.entries
+    in
+    v.valid <- true;
+    v.vpn <- vpn;
+    v.lru <- t.tick;
+    t.latency + below
+  end
+
+let second_level (cfg : Tconfig.t) =
+  create cfg.l2tlb ~parent:(fun vpn -> walker cfg vpn)
+
+let stats t = t.stats
+
+let miss_rate t =
+  if t.stats.accesses = 0 then 0.0
+  else float_of_int t.stats.misses /. float_of_int t.stats.accesses

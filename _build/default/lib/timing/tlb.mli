@@ -1,0 +1,23 @@
+(** Fully-associative LRU translation look-aside buffer.  A first-level
+    miss probes the shared second-level TLB; a miss there pays the page-walk
+    latency. *)
+
+type t
+
+type stats = { mutable accesses : int; mutable misses : int }
+
+val create : Tconfig.tlb_geom -> parent:(int -> int) -> t
+(** [parent vpn] returns the extra latency of resolving a miss. *)
+
+val walker : Tconfig.t -> int -> int
+(** The terminal page-table walker: constant [tlb_walk_latency]. *)
+
+val access : t -> int -> int
+(** [access t addr] returns added translation latency (0 on a hit with zero
+    [latency]). *)
+
+val second_level : Tconfig.t -> t
+(** Build the shared L2 TLB backed by the page walker. *)
+
+val stats : t -> stats
+val miss_rate : t -> float

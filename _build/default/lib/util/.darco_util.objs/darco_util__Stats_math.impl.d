@@ -1,0 +1,1 @@
+lib/util/stats_math.ml: Array List

@@ -1,0 +1,53 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  assert (bound > 0);
+  (* mask into OCaml's non-negative int range *)
+  let r = Int64.to_int (int64 t) land max_int in
+  r mod bound
+
+let in_range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+let chance t p = float t < p
+let choose t a = a.(int t (Array.length a))
+
+let weighted t choices =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 choices in
+  assert (total > 0.0);
+  let target = float t *. total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Rng.weighted: empty"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if acc +. w >= target then x else pick (acc +. w) rest
+  in
+  pick 0.0 choices
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

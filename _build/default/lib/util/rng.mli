@@ -1,0 +1,45 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the repository (workload generation, property
+    tests, sampling) goes through this module so that every run is exactly
+    reproducible from a seed.  The generator is SplitMix64, which has a
+    trivially splittable state and excellent statistical quality for
+    simulation purposes. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val in_range : t -> int -> int -> int
+(** [in_range t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val weighted : t -> (float * 'a) list -> 'a
+(** [weighted t choices] picks proportionally to the (positive) weights.
+    The list must be non-empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,53 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0.0 xs in
+    exp (logsum /. float_of_int (List.length xs))
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percent part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
+
+let correlation xs ys =
+  let n = Array.length xs in
+  assert (n = Array.length ys);
+  if n = 0 then 0.0
+  else begin
+    let mx = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    let my = Array.fold_left ( +. ) 0.0 ys /. float_of_int n in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0 else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+let relative_error measured reference =
+  if reference = 0.0 then 0.0 else abs_float ((measured -. reference) /. reference)
+
+let histogram_distance a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  let sum v = Array.fold_left ( +. ) 0.0 v in
+  let sa = sum a and sb = sum b in
+  if sa = 0.0 || sb = 0.0 then if sa = sb then 0.0 else 1.0
+  else begin
+    let d = ref 0.0 in
+    for i = 0 to n - 1 do
+      d := !d +. abs_float ((a.(i) /. sa) -. (b.(i) /. sb))
+    done;
+    !d /. 2.0
+  end

@@ -1,0 +1,27 @@
+(** Small statistics toolbox used by benches, the warm-up heuristic and the
+    reporting code. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val percent : float -> float -> float
+(** [percent part whole] is [100 * part / whole], 0 when [whole = 0]. *)
+
+val correlation : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length series.  Returns 0
+    when either series has no variance. *)
+
+val relative_error : float -> float -> float
+(** [relative_error measured reference] as a fraction of [reference]
+    (absolute value); 0 when [reference = 0]. *)
+
+val histogram_distance : float array -> float array -> float
+(** Total-variation-style distance between two distributions given as
+    same-length non-negative weight vectors (each is normalised first).
+    Range [\[0, 1\]]. *)

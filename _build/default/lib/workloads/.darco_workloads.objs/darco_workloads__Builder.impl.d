@@ -1,0 +1,1 @@
+lib/workloads/builder.ml: Array Asm Bytes Char Darco_guest Darco_util Isa List Printf

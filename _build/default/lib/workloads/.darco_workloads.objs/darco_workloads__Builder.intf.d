@@ -1,0 +1,1 @@
+lib/workloads/builder.mli: Asm Darco_guest Darco_util Isa Program

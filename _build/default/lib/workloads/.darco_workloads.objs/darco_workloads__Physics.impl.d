@@ -1,0 +1,1 @@
+lib/workloads/physics.ml: Array Asm Builder Darco_guest Darco_util Printf Scaffold

@@ -1,0 +1,1 @@
+lib/workloads/physics.mli: Darco_guest Program

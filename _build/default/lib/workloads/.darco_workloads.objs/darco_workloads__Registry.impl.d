@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Darco_guest List Physics Spec_fp Spec_int String

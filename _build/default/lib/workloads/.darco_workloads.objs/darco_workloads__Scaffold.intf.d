@@ -1,0 +1,1 @@
+lib/workloads/scaffold.mli: Builder

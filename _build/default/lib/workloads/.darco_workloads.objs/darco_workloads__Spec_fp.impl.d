@@ -1,0 +1,1 @@
+lib/workloads/spec_fp.ml: Array Asm Builder Darco_guest Darco_util Scaffold

@@ -1,0 +1,1 @@
+lib/workloads/spec_fp.mli: Darco_guest Program

@@ -1,0 +1,1 @@
+lib/workloads/spec_int.ml: Array Asm Builder Darco_guest Darco_util Isa List Printf Scaffold

@@ -1,0 +1,1 @@
+lib/workloads/spec_int.mli: Darco_guest Program

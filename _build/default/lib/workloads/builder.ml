@@ -1,0 +1,164 @@
+open Darco_guest
+module Rng = Darco_util.Rng
+
+type t = { a : Asm.t; rng : Rng.t; mutable next_label : int }
+
+let create ?(base = 0x1000) ~seed () =
+  { a = Asm.create ~base (); rng = Rng.create seed; next_label = 0 }
+
+let asm t = t.a
+let rng t = t.rng
+let i t insn = Asm.insn t.a insn
+
+let fresh t stem =
+  t.next_label <- t.next_label + 1;
+  Printf.sprintf "%s_%d" stem t.next_label
+
+let counted_loop t ~reg ~count body =
+  let head = fresh t "loop" in
+  i t (Mov (Reg reg, Imm count));
+  Asm.label t.a head;
+  body ();
+  i t (Dec (Reg reg));
+  Asm.jcc t.a NE head
+
+let while_loop t ~cond body =
+  let head = fresh t "while" in
+  let stop = fresh t "done" in
+  Asm.label t.a head;
+  cond stop;
+  body ();
+  Asm.jmp t.a head;
+  Asm.label t.a stop
+
+let func t name body =
+  let skip = fresh t "skip" in
+  Asm.jmp t.a skip;
+  Asm.label t.a name;
+  body ();
+  i t Ret;
+  Asm.label t.a skip
+
+let jump_table t name targets =
+  let skip = fresh t "skip" in
+  Asm.jmp t.a skip;
+  Asm.align t.a 4;
+  Asm.label t.a name;
+  List.iter (fun target -> Asm.dword_label t.a target) targets;
+  Asm.label t.a skip
+
+let table_dispatch t ~table ~index = Asm.jmp_table t.a table index
+
+let mem_of resolve label index off : Isa.mem =
+  { base = None; index; disp = resolve label + off }
+
+let load_arr t dst label ?index ?(off = 0) () =
+  Asm.insn_with t.a (fun resolve -> Isa.Mov (Reg dst, Mem (mem_of resolve label index off)))
+
+let store_arr t label ?index ?(off = 0) src =
+  Asm.insn_with t.a (fun resolve -> Isa.Mov (Mem (mem_of resolve label index off), Reg src))
+
+let fload_arr t fdst label ?index ?(off = 0) () =
+  Asm.insn_with t.a (fun resolve -> Isa.Fld (fdst, mem_of resolve label index off))
+
+let fstore_arr t label ?index ?(off = 0) fsrc =
+  Asm.insn_with t.a (fun resolve -> Isa.Fst (mem_of resolve label index off, fsrc))
+
+let load8_arr t dst label ?index ?(off = 0) () =
+  Asm.insn_with t.a (fun resolve ->
+      Isa.Movx (W8, false, dst, mem_of resolve label index off))
+
+let store8_arr t label ?index ?(off = 0) src =
+  Asm.insn_with t.a (fun resolve -> Isa.Movw (W8, mem_of resolve label index off, src))
+
+let addr_of t r label = Asm.mov_label t.a r label
+
+let array32 t name values =
+  let skip = fresh t "skip" in
+  Asm.jmp t.a skip;
+  Asm.align t.a 4;
+  Asm.label t.a name;
+  Array.iter (fun v -> Asm.dword t.a v) values;
+  Asm.label t.a skip
+
+let array8 t name values =
+  let skip = fresh t "skip" in
+  Asm.jmp t.a skip;
+  Asm.label t.a name;
+  Asm.bytes t.a (Bytes.init (Array.length values) (fun i -> Char.chr (values.(i) land 0xFF)));
+  Asm.label t.a skip
+
+let array_f64 t name values =
+  let skip = fresh t "skip" in
+  Asm.jmp t.a skip;
+  Asm.align t.a 8;
+  Asm.label t.a name;
+  Array.iter (fun v -> Asm.f64 t.a v) values;
+  Asm.label t.a skip
+
+let zero_bytes t name n =
+  let skip = fresh t "skip" in
+  Asm.jmp t.a skip;
+  Asm.align t.a 8;
+  Asm.label t.a name;
+  Asm.zeros t.a n;
+  Asm.label t.a skip
+
+(* Flag-clobbering integer filler over a limited register set, keeping
+   values bounded so overflow semantics never matter for termination. *)
+let filler_regs = [| Isa.EAX; Isa.EDX; Isa.ESI; Isa.EDI |]
+
+let filler_ops t ~n =
+  for _ = 1 to n do
+    let r1 = Rng.choose t.rng filler_regs in
+    let r2 = Rng.choose t.rng filler_regs in
+    let insn : Isa.insn =
+      match Rng.int t.rng 6 with
+      | 0 -> Alu (Add, Reg r1, Reg r2)
+      | 1 -> Alu (Xor, Reg r1, Reg r2)
+      | 2 -> Alu (Sub, Reg r1, Imm (Rng.int t.rng 4096))
+      | 3 -> Shift (Shl, Reg r1, Imm (Rng.in_range t.rng 1 5))
+      | 4 -> Alu (And, Reg r1, Imm 0xFFFFF)
+      | _ -> Imul2 (r1, Imm (Rng.in_range t.rng 3 17))
+    in
+    i t insn
+  done
+
+let filler_fregs = [| Isa.F0; Isa.F1; Isa.F2; Isa.F3; Isa.F4; Isa.F5 |]
+
+let filler_fp_ops t ~n ~trig =
+  for _ = 1 to n do
+    let f1 = Rng.choose t.rng filler_fregs in
+    let f2 = Rng.choose t.rng filler_fregs in
+    if Rng.chance t.rng trig then
+      i t (Fun_ ((if Rng.bool t.rng then Fsin else Fcos), f1))
+    else
+      let insn : Isa.insn =
+        match Rng.int t.rng 4 with
+        | 0 -> Fbin (Fadd, f1, f2)
+        | 1 -> Fbin (Fmul, f1, f2)
+        | 2 -> Fbin (Fsub, f1, f2)
+        | _ -> Fun_ (Fabs, f1)
+      in
+      i t insn
+  done
+
+let exit_program t ~code =
+  (match code with
+  | Isa.Reg EBX -> ()
+  | _ -> i t (Mov (Reg EBX, code)));
+  i t (Mov (Reg EAX, Imm 1));
+  i t Syscall;
+  i t Halt
+
+let scratch_buf = 0x0700_0000
+
+let print32 t value =
+  i t (Mov (Mem { base = None; index = None; disp = scratch_buf }, value));
+  i t (Mov (Reg EBX, Imm 1));
+  i t (Mov (Reg ECX, Imm scratch_buf));
+  i t (Mov (Reg EDX, Imm 4));
+  i t (Mov (Reg EAX, Imm 4));
+  i t Syscall
+
+let assemble ?entry t = Asm.assemble ?entry t.a

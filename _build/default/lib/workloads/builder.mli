@@ -1,0 +1,85 @@
+open Darco_guest
+
+(** Program-construction DSL over the assembler, used by the synthetic
+    benchmark kernels.  Provides structured control flow (counted loops,
+    call/ret functions, jump tables), data sections, and deterministic
+    pseudo-random code generation for inflating static footprints (the
+    Physicsbench-style low dynamic/static-ratio workloads). *)
+
+type t
+
+val create : ?base:int -> seed:int -> unit -> t
+val asm : t -> Asm.t
+val rng : t -> Darco_util.Rng.t
+
+val i : t -> Isa.insn -> unit
+(** Emit one instruction. *)
+
+val fresh : t -> string -> string
+(** A fresh label with the given stem. *)
+
+val counted_loop : t -> reg:Isa.reg -> count:int -> (unit -> unit) -> unit
+(** [counted_loop t ~reg ~count body]: [reg] counts down from [count];
+    the body must preserve [reg]. *)
+
+val while_loop : t -> cond:(string -> unit) -> (unit -> unit) -> unit
+(** [while_loop t ~cond body]: [cond exit_label] emits code that jumps to
+    [exit_label] to leave the loop. *)
+
+val func : t -> string -> (unit -> unit) -> unit
+(** Define a callable function (label + body + RET).  Emitted in place;
+    execution falls around it via an internal jump. *)
+
+val jump_table : t -> string -> string list -> unit
+(** [jump_table t name targets] emits a table of code addresses; index with
+    [JmpInd] on [Mem {base; index*4; disp = name}]. *)
+
+val table_dispatch : t -> table:string -> index:Isa.reg -> unit
+(** Indirect jump through a jump table using the (bounded) index register;
+    the caller guarantees the index is in range. *)
+
+val load_arr :
+  t -> Isa.reg -> string -> ?index:Isa.reg * Isa.scale -> ?off:int -> unit -> unit
+(** [load_arr t dst label ~index ~off ()]: dst <- \[label + index*scale + off\]. *)
+
+val store_arr :
+  t -> string -> ?index:Isa.reg * Isa.scale -> ?off:int -> Isa.reg -> unit
+
+val fload_arr :
+  t -> Isa.freg -> string -> ?index:Isa.reg * Isa.scale -> ?off:int -> unit -> unit
+
+val fstore_arr :
+  t -> string -> ?index:Isa.reg * Isa.scale -> ?off:int -> Isa.freg -> unit
+
+val load8_arr :
+  t -> Isa.reg -> string -> ?index:Isa.reg * Isa.scale -> ?off:int -> unit -> unit
+(** Zero-extending byte load. *)
+
+val store8_arr :
+  t -> string -> ?index:Isa.reg * Isa.scale -> ?off:int -> Isa.reg -> unit
+
+val addr_of : t -> Isa.reg -> string -> unit
+(** Load a label's address into a register. *)
+
+val array32 : t -> string -> int array -> unit
+val array8 : t -> string -> int array -> unit
+val array_f64 : t -> string -> float array -> unit
+val zero_bytes : t -> string -> int -> unit
+(** Data sections (emitted in place; jump around them). *)
+
+val filler_ops : t -> n:int -> unit
+(** [n] deterministic random register-to-register integer instructions
+    (EAX/EDX/ESI/EDI only; flags clobbered). *)
+
+val filler_fp_ops : t -> n:int -> trig:float -> unit
+(** Random FP instructions over F0-F5; [trig] is the fraction of
+    sin/cos. *)
+
+val exit_program : t -> code:Isa.operand -> unit
+(** exit(code) syscall followed by HALT. *)
+
+val print32 : t -> Isa.operand -> unit
+(** Write the 4 raw bytes of a value to fd 1 (uses a scratch buffer;
+    clobbers EAX/EBX/ECX/EDX). *)
+
+val assemble : ?entry:string -> t -> Program.t

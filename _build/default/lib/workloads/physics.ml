@@ -1,0 +1,100 @@
+open Darco_guest
+module B = Builder
+module Rng = Darco_util.Rng
+
+(* Physicsbench structure: a scene of simulated objects, each with its own
+   generated update function (the low dynamic/static ratio), all of them
+   calling a shared constraint-solver routine (the hot code).  Trigonometry
+   appears both in the solver (raising SBM emulation cost, the paper's
+   Physicsbench observation) and in the per-object bodies.
+
+   [inner] controls how hot each object's own math is: the hot kernels
+   (breakable/deformable/explosions/highspeed) run their bodies past the
+   superblock threshold; the cold ones (continuous/periodic/ragdoll) keep
+   the bodies BBM-resident, giving the large BBM fractions of Figure 4. *)
+
+let make ~seed ~objects ~steps ~inner ~solver_iters ~trig ?(scale = 1) () =
+  let b = B.create ~seed () in
+  let rng = B.rng b in
+  B.i b (Mov (Reg EBX, Imm 0));
+  B.i b (Fldi (F7, 0.0));
+  (* one-shot scene setup: interpreter-resident *)
+  Scaffold.cold b ~n:1800;
+  B.array_f64 b "state"
+    (Array.init (4 * objects) (fun _ -> (Rng.float rng *. 2.0) -. 1.0));
+  (* the shared constraint solver: hot, promoted to a superblock *)
+  B.func b "solver" (fun () ->
+      (* one angular correction per solve... *)
+      B.i b (Fmov (F2, F1));
+      B.i b (Fun_ (Fsin, F2));
+      B.i b (Fbin (Fadd, F0, F2));
+      B.counted_loop b ~reg:ECX ~count:solver_iters (fun () ->
+          B.i b (Fbin (Fmul, F0, F1));
+          B.i b (Fldi (F2, 0.75));
+          B.i b (Fbin (Fmul, F0, F2));
+          B.i b (Fbin (Fadd, F0, F1));
+          B.i b (Fmov (F3, F0));
+          B.i b (Fun_ (Fabs, F3));
+          B.i b (Fldi (F4, 1.0));
+          B.i b (Fbin (Fadd, F3, F4));
+          B.i b (Fbin (Fdiv, F0, F3));
+          B.i b (Fbin (Fadd, F7, F0))));
+  let fname k = Printf.sprintf "obj%d" k in
+  for k = 0 to objects - 1 do
+    B.func b (fname k) (fun () ->
+        let base = 32 * k in
+        B.fload_arr b F0 "state" ~off:base ();
+        B.fload_arr b F1 "state" ~off:(base + 8) ();
+        let body () =
+          B.filler_fp_ops b ~n:(6 + Rng.int rng 5) ~trig;
+          B.i b (Fbin (Fadd, F0, F1));
+          B.i b (Fldi (F2, 0.5));
+          B.i b (Fbin (Fmul, F0, F2))
+        in
+        if inner > 1 then B.counted_loop b ~reg:EDX ~count:inner body else body ();
+        B.fstore_arr b "state" ~off:base F0;
+        B.fstore_arr b "state" ~off:(base + 8) F1;
+        Asm.call (B.asm b) "solver")
+  done;
+  (* the simulation loop: every object stepped every frame *)
+  B.counted_loop b ~reg:EDI ~count:(steps * scale) (fun () ->
+      for k = 0 to objects - 1 do
+        Asm.call (B.asm b) (fname k)
+      done);
+  B.i b (Fist (EBX, F7));
+  B.i b (Alu (And, Reg EBX, Imm 0xFFFFFF));
+  B.print32 b (Reg EBX);
+  B.exit_program b ~code:(Reg EBX);
+  B.assemble b
+
+let breakable ?scale () =
+  make ~seed:301 ~objects:56 ~steps:30 ~inner:18 ~solver_iters:4 ~trig:0.05 ?scale ()
+
+let continuous ?scale () =
+  make ~seed:302 ~objects:110 ~steps:40 ~inner:1 ~solver_iters:2 ~trig:0.05 ?scale ()
+
+let deformable ?scale () =
+  make ~seed:303 ~objects:72 ~steps:28 ~inner:16 ~solver_iters:4 ~trig:0.06 ?scale ()
+
+let explosions ?scale () =
+  make ~seed:304 ~objects:64 ~steps:32 ~inner:18 ~solver_iters:5 ~trig:0.05 ?scale ()
+
+let highspeed ?scale () =
+  make ~seed:305 ~objects:48 ~steps:36 ~inner:22 ~solver_iters:4 ~trig:0.05 ?scale ()
+
+let periodic ?scale () =
+  make ~seed:306 ~objects:150 ~steps:30 ~inner:1 ~solver_iters:2 ~trig:0.09 ?scale ()
+
+let ragdoll ?scale () =
+  make ~seed:307 ~objects:120 ~steps:38 ~inner:1 ~solver_iters:2 ~trig:0.05 ?scale ()
+
+let all =
+  [
+    ("breakable", breakable);
+    ("continuous", continuous);
+    ("deformable", deformable);
+    ("explosions", explosions);
+    ("highspeed", highspeed);
+    ("periodic", periodic);
+    ("ragdoll", ragdoll);
+  ]

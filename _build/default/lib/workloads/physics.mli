@@ -1,0 +1,22 @@
+open Darco_guest
+
+(** Physicsbench-like synthetic kernels (Yeh et al., "Parallax").
+
+    Characteristics from the paper's analysis: low dynamic-to-static
+    instruction ratio (much code executed few times — [continuous],
+    [periodic] and [ragdoll] extremely so, keeping large fractions of the
+    stream in BBM), and heavy use of trigonometric functions that the host
+    must emulate in software (raising emulation cost).
+
+    Each kernel generates one distinct update function per simulated object
+    and calls them all every simulation step. *)
+
+val breakable : ?scale:int -> unit -> Program.t
+val continuous : ?scale:int -> unit -> Program.t
+val deformable : ?scale:int -> unit -> Program.t
+val explosions : ?scale:int -> unit -> Program.t
+val highspeed : ?scale:int -> unit -> Program.t
+val periodic : ?scale:int -> unit -> Program.t
+val ragdoll : ?scale:int -> unit -> Program.t
+
+val all : (string * (?scale:int -> unit -> Program.t)) list

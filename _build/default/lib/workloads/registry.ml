@@ -1,0 +1,34 @@
+type suite = Specint | Specfp | Physicsbench
+
+type entry = {
+  name : string;
+  suite : suite;
+  build : ?scale:int -> unit -> Darco_guest.Program.t;
+}
+
+let suite_name = function
+  | Specint -> "SPECINT2006"
+  | Specfp -> "SPECFP2006"
+  | Physicsbench -> "Physicsbench"
+
+let all =
+  List.map (fun (name, build) -> { name; suite = Specint; build }) Spec_int.all
+  @ List.map (fun (name, build) -> { name; suite = Specfp; build }) Spec_fp.all
+  @ List.map (fun (name, build) -> { name; suite = Physicsbench; build }) Physics.all
+
+let by_suite s = List.filter (fun e -> e.suite = s) all
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let find name =
+  match List.find_opt (fun e -> e.name = name) all with
+  | Some e -> e
+  | None -> (
+    match List.filter (fun e -> contains_sub ~sub:name e.name) all with
+    | [ e ] -> e
+    | _ -> raise Not_found)
+
+let names () = List.map (fun e -> e.name) all

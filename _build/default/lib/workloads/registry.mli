@@ -1,0 +1,20 @@
+open Darco_guest
+
+(** The benchmark registry: every synthetic kernel with its suite, in the
+    paper's order. *)
+
+type suite = Specint | Specfp | Physicsbench
+
+type entry = {
+  name : string;
+  suite : suite;
+  build : ?scale:int -> unit -> Program.t;
+}
+
+val suite_name : suite -> string
+val all : entry list
+val by_suite : suite -> entry list
+val find : string -> entry
+(** Lookup by exact name or by unique substring; raises [Not_found]. *)
+
+val names : unit -> string list

@@ -1,0 +1,20 @@
+
+
+let cold b ~n =
+  let chunk = 40 in
+  let chunks = max 1 (n / chunk) in
+  for _ = 1 to chunks do
+    Builder.filler_ops b ~n:chunk
+  done
+
+let warm b ~blocks ~iters =
+  for _ = 1 to blocks do
+    Builder.counted_loop b ~reg:EBP ~count:iters (fun () -> Builder.filler_ops b ~n:12)
+  done
+
+let warm_fp b ~blocks ~iters ~trig =
+  for _ = 1 to blocks do
+    Builder.counted_loop b ~reg:EBP ~count:iters (fun () ->
+        Builder.filler_fp_ops b ~n:10 ~trig;
+        Builder.filler_ops b ~n:3)
+  done

@@ -1,0 +1,21 @@
+(** Shared execution-phase scaffolding for the synthetic benchmark kernels.
+
+    The paper's Figure 4 behaviour is driven by how often each piece of
+    static code executes: code seen fewer than the BB threshold stays
+    interpreted (IM), code between the BB and superblock thresholds runs as
+    basic-block translations (BBM), and hotter code is promoted to
+    superblocks (SBM).  Kernels combine their algorithmic hot loops with
+    [cold]/[warm] phases to reproduce each suite's characteristic
+    dynamic-to-static instruction ratio. *)
+
+val cold : Builder.t -> n:int -> unit
+(** About [n] dynamic instructions of once-executed straight-line code
+    (stays in IM). *)
+
+val warm : Builder.t -> blocks:int -> iters:int -> unit
+(** [blocks] distinct loop bodies each executed [iters] times (choose
+    [iters] between the promotion thresholds for BBM-resident code).
+    Clobbers EAX/EDX/ESI/EDI and EBP. *)
+
+val warm_fp : Builder.t -> blocks:int -> iters:int -> trig:float -> unit
+(** FP variant; also clobbers F0-F5. *)

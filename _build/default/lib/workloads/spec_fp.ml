@@ -1,0 +1,494 @@
+open Darco_guest
+module B = Builder
+module Rng = Darco_util.Rng
+
+(* FP kernels accumulate their checksum in F7; the integer conversion is
+   printed and returned so output comparison covers the FP datapath too. *)
+
+let start b ~cold ~warm_blocks ~warm_iters ~trig =
+  B.i b (Mov (Reg EBX, Imm 0));
+  B.i b (Fldi (F7, 0.0));
+  Scaffold.cold b ~n:cold;
+  Scaffold.warm_fp b ~blocks:warm_blocks ~iters:warm_iters ~trig
+
+let finish b =
+  B.i b (Fist (EBX, F7));
+  B.i b (Alu (And, Reg EBX, Imm 0xFFFFFF));
+  B.print32 b (Reg EBX);
+  B.exit_program b ~code:(Reg EBX)
+
+let rand_f64 rng n lo hi =
+  Array.init n (fun _ -> lo +. (Rng.float rng *. (hi -. lo)))
+
+(* 410.bwaves: 1-D wave-equation stencil, ping-ponged between two grids. *)
+let bwaves ?(scale = 1) () =
+  let b = B.create ~seed:201 () in
+  let rng = B.rng b in
+  let n = 1024 in
+  start b ~cold:900 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  B.array_f64 b "u" (rand_f64 rng n 0.0 1.0);
+  B.array_f64 b "v" (Array.make n 0.0);
+  B.i b (Fldi (F6, 0.12));
+  let stencil src dst =
+    B.i b (Mov (Reg ESI, Imm 8));
+    B.counted_loop b ~reg:ECX ~count:(n - 2) (fun () ->
+        B.fload_arr b F0 src ~index:(ESI, S1) ~off:(-8) ();
+        B.fload_arr b F1 src ~index:(ESI, S1) ();
+        B.fload_arr b F2 src ~index:(ESI, S1) ~off:8 ();
+        B.i b (Fmov (F3, F1));
+        B.i b (Fbin (Fadd, F3, F1));
+        B.i b (Fmov (F4, F0));
+        B.i b (Fbin (Fadd, F4, F2));
+        B.i b (Fbin (Fsub, F4, F3));
+        B.i b (Fbin (Fmul, F4, F6));
+        B.i b (Fbin (Fadd, F4, F1));
+        B.fstore_arr b dst ~index:(ESI, S1) F4;
+        B.i b (Alu (Add, Reg ESI, Imm 8)))
+  in
+  B.counted_loop b ~reg:EDI ~count:(44 * scale) (fun () ->
+      stencil "u" "v";
+      stencil "v" "u");
+  B.i b (Mov (Reg ESI, Imm 0));
+  B.counted_loop b ~reg:ECX ~count:n (fun () ->
+      B.fload_arr b F0 "u" ~index:(ESI, S1) ();
+      B.i b (Fbin (Fadd, F7, F0));
+      B.i b (Alu (Add, Reg ESI, Imm 8)));
+  finish b;
+  B.assemble b
+
+(* 433.milc: streams of complex multiply-accumulates. *)
+let milc ?(scale = 1) () =
+  let b = B.create ~seed:202 () in
+  let rng = B.rng b in
+  start b ~cold:800 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let n = 64 in
+  B.array_f64 b "cx" (rand_f64 rng (2 * n) (-1.0) 1.0);
+  B.counted_loop b ~reg:EDI ~count:(18000 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Reg EDI));
+      B.i b (Alu (And, Reg ESI, Imm (n - 1)));
+      B.i b (Shift (Shl, Reg ESI, Imm 4));
+      B.fload_arr b F0 "cx" ~index:(ESI, S1) ();
+      B.fload_arr b F1 "cx" ~index:(ESI, S1) ~off:8 ();
+      B.fload_arr b F2 "cx" ~index:(ESI, S1) ~off:16 ();
+      B.fload_arr b F3 "cx" ~index:(ESI, S1) ~off:24 ();
+      B.i b (Fmov (F4, F0));
+      B.i b (Fbin (Fmul, F4, F2));
+      B.i b (Fmov (F5, F1));
+      B.i b (Fbin (Fmul, F5, F3));
+      B.i b (Fbin (Fsub, F4, F5));
+      B.i b (Fmov (F5, F0));
+      B.i b (Fbin (Fmul, F5, F3));
+      B.i b (Fmov (F6, F1));
+      B.i b (Fbin (Fmul, F6, F2));
+      B.i b (Fbin (Fadd, F5, F6));
+      B.i b (Fbin (Fmul, F4, F4));
+      B.i b (Fbin (Fmul, F5, F5));
+      B.i b (Fldi (F6, 1e-6));
+      B.i b (Fbin (Fmul, F4, F6));
+      B.i b (Fbin (Fmul, F5, F6));
+      B.i b (Fbin (Fadd, F7, F4));
+      B.i b (Fbin (Fadd, F7, F5)));
+  finish b;
+  B.assemble b
+
+(* 434.zeusmp: 2-D 5-point stencil over a 32x32 grid. *)
+let zeusmp ?(scale = 1) () =
+  let b = B.create ~seed:203 () in
+  let rng = B.rng b in
+  start b ~cold:900 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let dim = 32 in
+  B.array_f64 b "g0" (rand_f64 rng (dim * dim) 0.0 4.0);
+  B.array_f64 b "g1" (Array.make (dim * dim) 0.0);
+  B.i b (Fldi (F6, 0.2));
+  let row_bytes = 8 * dim in
+  let sweep src dst =
+    B.i b (Mov (Reg ESI, Imm (row_bytes + 8)));
+    B.counted_loop b ~reg:EDX ~count:(dim - 2) (fun () ->
+        B.i b (Push (Reg ESI));
+        B.counted_loop b ~reg:ECX ~count:(dim - 2) (fun () ->
+            B.fload_arr b F0 src ~index:(ESI, S1) ();
+            B.fload_arr b F1 src ~index:(ESI, S1) ~off:(-8) ();
+            B.i b (Fbin (Fadd, F0, F1));
+            B.fload_arr b F1 src ~index:(ESI, S1) ~off:8 ();
+            B.i b (Fbin (Fadd, F0, F1));
+            B.fload_arr b F1 src ~index:(ESI, S1) ~off:(-row_bytes) ();
+            B.i b (Fbin (Fadd, F0, F1));
+            B.fload_arr b F1 src ~index:(ESI, S1) ~off:row_bytes ();
+            B.i b (Fbin (Fadd, F0, F1));
+            B.i b (Fbin (Fmul, F0, F6));
+            B.fstore_arr b dst ~index:(ESI, S1) F0;
+            B.i b (Alu (Add, Reg ESI, Imm 8)));
+        B.i b (Pop ESI);
+        B.i b (Alu (Add, Reg ESI, Imm row_bytes)))
+  in
+  B.counted_loop b ~reg:EDI ~count:(15 * scale) (fun () ->
+      sweep "g0" "g1";
+      sweep "g1" "g0");
+  B.fload_arr b F0 "g0" ~off:(8 * ((dim * 16) + 16)) ();
+  B.i b (Fbin (Fadd, F7, F0));
+  finish b;
+  B.assemble b
+
+(* 435.gromacs: pairwise nonbonded forces with rsqrt-style inner math. *)
+let gromacs ?(scale = 1) () =
+  let b = B.create ~seed:204 () in
+  let rng = B.rng b in
+  start b ~cold:1000 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let nparticles = 128 in
+  let npairs = 512 in
+  B.array_f64 b "px" (rand_f64 rng nparticles (-4.0) 4.0);
+  B.array_f64 b "py" (rand_f64 rng nparticles (-4.0) 4.0);
+  B.array_f64 b "pz" (rand_f64 rng nparticles (-4.0) 4.0);
+  let pairs =
+    Array.init (2 * npairs) (fun k ->
+        if k mod 2 = 0 then 8 * Rng.int rng nparticles else 8 * Rng.int rng nparticles)
+  in
+  B.array32 b "pairs" pairs;
+  B.counted_loop b ~reg:EDI ~count:(40 * scale) (fun () ->
+      B.i b (Mov (Reg EBP, Imm 0));
+      B.counted_loop b ~reg:EDX ~count:npairs (fun () ->
+          B.load_arr b ESI "pairs" ~index:(EBP, S8) ();
+          B.load_arr b ECX "pairs" ~index:(EBP, S8) ~off:4 ();
+          let axis name =
+            B.fload_arr b F0 name ~index:(ESI, S1) ();
+            B.fload_arr b F1 name ~index:(ECX, S1) ();
+            B.i b (Fbin (Fsub, F0, F1));
+            B.i b (Fmov (F1, F0));
+            B.i b (Fbin (Fmul, F1, F0))
+          in
+          axis "px";
+          B.i b (Fmov (F2, F1));
+          axis "py";
+          B.i b (Fbin (Fadd, F2, F1));
+          axis "pz";
+          B.i b (Fbin (Fadd, F2, F1));
+          B.i b (Fldi (F3, 0.01));
+          B.i b (Fbin (Fadd, F2, F3));
+          B.i b (Fun_ (Fsqrt, F2));
+          B.i b (Fldi (F3, 1.0));
+          B.i b (Fbin (Fdiv, F3, F2));
+          B.i b (Fmov (F4, F3));
+          B.i b (Fbin (Fmul, F4, F3));
+          B.i b (Fbin (Fmul, F4, F3));
+          B.i b (Fldi (F5, 1e-3));
+          B.i b (Fbin (Fmul, F4, F5));
+          B.i b (Fbin (Fadd, F7, F4));
+          B.i b (Inc (Reg EBP))));
+  finish b;
+  B.assemble b
+
+(* 436.cactusADM: very long straight-line update expressions (big basic
+   blocks). *)
+let cactusadm ?(scale = 1) () =
+  let b = B.create ~seed:205 () in
+  let rng = B.rng b in
+  start b ~cold:1000 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let n = 512 in
+  B.array_f64 b "grid" (rand_f64 rng n 0.5 1.5);
+  B.counted_loop b ~reg:EDI ~count:(34 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:n (fun () ->
+          B.fload_arr b F0 "grid" ~index:(ESI, S1) ();
+          (* a long deterministic chain: one big block *)
+          B.i b (Fmov (F1, F0));
+          for k = 1 to 10 do
+            B.i b (Fldi (F2, 0.5 +. (0.01 *. float_of_int k)));
+            B.i b (Fbin (Fmul, F1, F2));
+            B.i b (Fbin (Fadd, F1, F0));
+            B.i b (Fldi (F3, 1.0 +. (0.001 *. float_of_int k)));
+            B.i b (Fbin (Fdiv, F1, F3))
+          done;
+          B.fstore_arr b "grid" ~index:(ESI, S1) F1;
+          B.i b (Fbin (Fadd, F7, F1));
+          B.i b (Alu (Add, Reg ESI, Imm 8))));
+  finish b;
+  B.assemble b
+
+(* 437.leslie3d: fused triad streams. *)
+let leslie3d ?(scale = 1) () =
+  let b = B.create ~seed:206 () in
+  let rng = B.rng b in
+  start b ~cold:900 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let n = 2048 in
+  B.array_f64 b "aa" (Array.make n 0.0);
+  B.array_f64 b "bb" (rand_f64 rng n (-1.0) 1.0);
+  B.array_f64 b "cc" (rand_f64 rng n (-1.0) 1.0);
+  B.i b (Fldi (F6, 0.98));
+  B.counted_loop b ~reg:EDI ~count:(26 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:n (fun () ->
+          B.fload_arr b F0 "bb" ~index:(ESI, S1) ();
+          B.i b (Fbin (Fmul, F0, F6));
+          B.fload_arr b F1 "cc" ~index:(ESI, S1) ();
+          B.i b (Fbin (Fadd, F0, F1));
+          B.fstore_arr b "aa" ~index:(ESI, S1) F0;
+          B.i b (Alu (Add, Reg ESI, Imm 8)));
+      B.fload_arr b F0 "aa" ~off:(8 * 100) ();
+      B.i b (Fbin (Fadd, F7, F0)));
+  finish b;
+  B.assemble b
+
+(* 444.namd: O(n^2) force accumulation over a particle set. *)
+let namd ?(scale = 1) () =
+  let b = B.create ~seed:207 () in
+  let rng = B.rng b in
+  start b ~cold:900 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let n = 56 in
+  B.array_f64 b "pos" (rand_f64 rng n (-2.0) 2.0);
+  B.counted_loop b ~reg:EDI ~count:(17 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:EDX ~count:n (fun () ->
+          B.fload_arr b F0 "pos" ~index:(ESI, S1) ();
+          B.i b (Mov (Reg EBP, Imm 0));
+          B.counted_loop b ~reg:ECX ~count:n (fun () ->
+              B.fload_arr b F1 "pos" ~index:(EBP, S1) ();
+              B.i b (Fbin (Fsub, F1, F0));
+              B.i b (Fbin (Fmul, F1, F1));
+              B.i b (Fldi (F2, 0.003));
+              B.i b (Fbin (Fmul, F1, F2));
+              B.i b (Fbin (Fadd, F7, F1));
+              B.i b (Alu (Add, Reg EBP, Imm 8)));
+          B.i b (Alu (Add, Reg ESI, Imm 8))));
+  finish b;
+  B.assemble b
+
+(* 450.soplex: dot products plus comparison-driven pivot scans (mixed FP
+   and branches). *)
+let soplex ?(scale = 1) () =
+  let b = B.create ~seed:208 () in
+  let rng = B.rng b in
+  start b ~cold:1000 ~warm_blocks:16 ~warm_iters:58 ~trig:0.0;
+  let n = 1024 in
+  B.array_f64 b "va" (rand_f64 rng n (-1.0) 1.0);
+  B.array_f64 b "vb" (rand_f64 rng n (-1.0) 1.0);
+  B.counted_loop b ~reg:EDI ~count:(38 * scale) (fun () ->
+      (* dot product *)
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.i b (Fldi (F0, 0.0));
+      B.counted_loop b ~reg:ECX ~count:n (fun () ->
+          B.fload_arr b F1 "va" ~index:(ESI, S1) ();
+          B.fload_arr b F2 "vb" ~index:(ESI, S1) ();
+          B.i b (Fbin (Fmul, F1, F2));
+          B.i b (Fbin (Fadd, F0, F1));
+          B.i b (Alu (Add, Reg ESI, Imm 8)));
+      B.i b (Fbin (Fadd, F7, F0));
+      (* pivot scan: argmax |v| with FP compares *)
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.i b (Fldi (F3, 0.0));
+      B.counted_loop b ~reg:ECX ~count:n (fun () ->
+          let no = B.fresh b "no" in
+          B.fload_arr b F1 "va" ~index:(ESI, S1) ();
+          B.i b (Fun_ (Fabs, F1));
+          B.i b (Fcmp (F1, F3));
+          Asm.jcc (B.asm b) BE no;
+          B.i b (Fmov (F3, F1));
+          Asm.label (B.asm b) no;
+          B.i b (Alu (Add, Reg ESI, Imm 8)));
+      B.i b (Fbin (Fadd, F7, F3)));
+  finish b;
+  B.assemble b
+
+(* 453.povray: ray-sphere intersection tests; discriminant branches plus a
+   sprinkle of trigonometry. *)
+let povray ?(scale = 1) () =
+  let b = B.create ~seed:209 () in
+  let rng = B.rng b in
+  start b ~cold:1100 ~warm_blocks:16 ~warm_iters:58 ~trig:0.05;
+  let n = 512 in
+  B.array_f64 b "rays" (rand_f64 rng (2 * n) (-1.0) 1.0);
+  B.counted_loop b ~reg:EDI ~count:(28 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:n (fun () ->
+          let miss = B.fresh b "miss" in
+          let no_trig = B.fresh b "no_trig" in
+          B.fload_arr b F0 "rays" ~index:(ESI, S1) ();
+          B.fload_arr b F1 "rays" ~index:(ESI, S1) ~off:8 ();
+          (* disc = b*b - 4ac with a=1, c from the second coordinate *)
+          B.i b (Fmov (F2, F0));
+          B.i b (Fbin (Fmul, F2, F0));
+          B.i b (Fldi (F3, 4.0));
+          B.i b (Fbin (Fmul, F3, F1));
+          B.i b (Fbin (Fsub, F2, F3));
+          B.i b (Fldi (F4, 0.0));
+          B.i b (Fcmp (F2, F4));
+          Asm.jcc (B.asm b) B miss;
+          B.i b (Fun_ (Fsqrt, F2));
+          B.i b (Fbin (Fadd, F7, F2));
+          Asm.label (B.asm b) miss;
+          (* every 16th ray: angular bookkeeping with sin *)
+          B.i b (Mov (Reg EAX, Reg ECX));
+          B.i b (Alu (And, Reg EAX, Imm 15));
+          Asm.jcc (B.asm b) NE no_trig;
+          B.i b (Fmov (F5, F0));
+          B.i b (Fun_ (Fsin, F5));
+          B.i b (Fbin (Fadd, F7, F5));
+          Asm.label (B.asm b) no_trig;
+          B.i b (Alu (Add, Reg ESI, Imm 16))));
+  finish b;
+  B.assemble b
+
+(* 454.calculix: repeated forward-elimination sweeps (division-heavy). *)
+let calculix ?(scale = 1) () =
+  let b = B.create ~seed:210 () in
+  let rng = B.rng b in
+  start b ~cold:900 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let dim = 16 in
+  B.array_f64 b "mat" (rand_f64 rng (dim * dim) 1.0 2.0);
+  let row = 8 * dim in
+  B.counted_loop b ~reg:EDI ~count:(60 * scale) (fun () ->
+      (* strengthen the diagonal to keep the elimination well-conditioned *)
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:dim (fun () ->
+          B.fload_arr b F0 "mat" ~index:(ESI, S1) ();
+          B.i b (Fldi (F1, 2.5));
+          B.i b (Fbin (Fadd, F0, F1));
+          B.fstore_arr b "mat" ~index:(ESI, S1) F0;
+          B.i b (Alu (Add, Reg ESI, Imm (row + 8))));
+      (* elimination sweep below the first two pivots *)
+      for k = 0 to 1 do
+        let pivot_off = (k * row) + (k * 8) in
+        B.i b (Mov (Reg ESI, Imm ((k + 1) * row)));
+        B.counted_loop b ~reg:EDX ~count:(dim - k - 1) (fun () ->
+            B.fload_arr b F0 "mat" ~index:(ESI, S1) ~off:(k * 8) ();
+            B.fload_arr b F1 "mat" ~off:pivot_off ();
+            B.i b (Fbin (Fdiv, F0, F1));
+            B.i b (Mov (Reg EBP, Imm (k * 8)));
+            B.counted_loop b ~reg:ECX ~count:(dim - k) (fun () ->
+                B.fload_arr b F1 "mat" ~index:(EBP, S1) ~off:(k * row) ();
+                B.i b (Fbin (Fmul, F1, F0));
+                B.i b (Push (Reg ESI));
+                B.i b (Alu (Add, Reg ESI, Reg EBP));
+                B.fload_arr b F2 "mat" ~index:(ESI, S1) ();
+                B.i b (Fbin (Fsub, F2, F1));
+                B.fstore_arr b "mat" ~index:(ESI, S1) F2;
+                B.i b (Pop ESI);
+                B.i b (Alu (Add, Reg EBP, Imm 8)));
+            B.i b (Fbin (Fadd, F7, F0));
+            B.i b (Alu (Add, Reg ESI, Imm row)))
+      done);
+  finish b;
+  B.assemble b
+
+(* 459.GemsFDTD: interleaved E/H leapfrog updates. *)
+let gemsfdtd ?(scale = 1) () =
+  let b = B.create ~seed:211 () in
+  let rng = B.rng b in
+  start b ~cold:900 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let n = 1024 in
+  B.array_f64 b "ef" (rand_f64 rng n (-0.5) 0.5);
+  B.array_f64 b "hf" (rand_f64 rng n (-0.5) 0.5);
+  B.i b (Fldi (F6, 0.45));
+  B.counted_loop b ~reg:EDI ~count:(34 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 8));
+      B.counted_loop b ~reg:ECX ~count:(n - 2) (fun () ->
+          B.fload_arr b F0 "hf" ~index:(ESI, S1) ();
+          B.fload_arr b F1 "hf" ~index:(ESI, S1) ~off:(-8) ();
+          B.i b (Fbin (Fsub, F0, F1));
+          B.i b (Fbin (Fmul, F0, F6));
+          B.fload_arr b F1 "ef" ~index:(ESI, S1) ();
+          B.i b (Fbin (Fadd, F1, F0));
+          B.fstore_arr b "ef" ~index:(ESI, S1) F1;
+          B.i b (Alu (Add, Reg ESI, Imm 8)));
+      B.i b (Mov (Reg ESI, Imm 8));
+      B.counted_loop b ~reg:ECX ~count:(n - 2) (fun () ->
+          B.fload_arr b F0 "ef" ~index:(ESI, S1) ~off:8 ();
+          B.fload_arr b F1 "ef" ~index:(ESI, S1) ();
+          B.i b (Fbin (Fsub, F0, F1));
+          B.i b (Fbin (Fmul, F0, F6));
+          B.fload_arr b F1 "hf" ~index:(ESI, S1) ();
+          B.i b (Fbin (Fadd, F1, F0));
+          B.fstore_arr b "hf" ~index:(ESI, S1) F1;
+          B.i b (Alu (Add, Reg ESI, Imm 8))));
+  B.fload_arr b F0 "ef" ~off:(8 * 31) ();
+  B.i b (Fbin (Fadd, F7, F0));
+  finish b;
+  B.assemble b
+
+(* 470.lbm: wide collision kernels — nine loads, relax, nine stores per
+   cell. *)
+let lbm ?(scale = 1) () =
+  let b = B.create ~seed:212 () in
+  let rng = B.rng b in
+  start b ~cold:900 ~warm_blocks:14 ~warm_iters:58 ~trig:0.0;
+  let cells = 256 in
+  B.array_f64 b "f" (rand_f64 rng (9 * cells) 0.1 1.1);
+  B.i b (Fldi (F6, 1.0 /. 9.0));
+  B.i b (Fldi (F5, 0.6));
+  B.counted_loop b ~reg:EDI ~count:(16 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:cells (fun () ->
+          (* avg of the nine populations *)
+          B.i b (Fldi (F0, 0.0));
+          for k = 0 to 8 do
+            B.fload_arr b F1 "f" ~index:(ESI, S1) ~off:(8 * k) ();
+            B.i b (Fbin (Fadd, F0, F1))
+          done;
+          B.i b (Fbin (Fmul, F0, F6));
+          for k = 0 to 8 do
+            B.fload_arr b F1 "f" ~index:(ESI, S1) ~off:(8 * k) ();
+            B.i b (Fmov (F2, F0));
+            B.i b (Fbin (Fsub, F2, F1));
+            B.i b (Fbin (Fmul, F2, F5));
+            B.i b (Fbin (Fadd, F1, F2));
+            B.fstore_arr b "f" ~index:(ESI, S1) ~off:(8 * k) F1
+          done;
+          B.i b (Fbin (Fadd, F7, F0));
+          B.i b (Alu (Add, Reg ESI, Imm 72))));
+  finish b;
+  B.assemble b
+
+(* 482.sphinx3: Gaussian log-likelihood scoring with best-score tracking. *)
+let sphinx3 ?(scale = 1) () =
+  let b = B.create ~seed:213 () in
+  let rng = B.rng b in
+  start b ~cold:1000 ~warm_blocks:16 ~warm_iters:58 ~trig:0.0;
+  let frames = 128 in
+  let dims = 16 in
+  B.array_f64 b "feat" (rand_f64 rng (frames * dims) (-1.0) 1.0);
+  B.array_f64 b "mean" (rand_f64 rng dims (-0.5) 0.5);
+  B.array_f64 b "wvar" (rand_f64 rng dims 0.5 1.5);
+  B.counted_loop b ~reg:EDI ~count:(24 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.i b (Fldi (F4, 1e9));
+      B.counted_loop b ~reg:EDX ~count:frames (fun () ->
+          B.i b (Fldi (F0, 0.0));
+          B.i b (Mov (Reg EBP, Imm 0));
+          B.counted_loop b ~reg:ECX ~count:dims (fun () ->
+              B.i b (Push (Reg ESI));
+              B.i b (Alu (Add, Reg ESI, Reg EBP));
+              B.fload_arr b F1 "feat" ~index:(ESI, S1) ();
+              B.i b (Pop ESI);
+              B.fload_arr b F2 "mean" ~index:(EBP, S1) ();
+              B.i b (Fbin (Fsub, F1, F2));
+              B.i b (Fbin (Fmul, F1, F1));
+              B.fload_arr b F2 "wvar" ~index:(EBP, S1) ();
+              B.i b (Fbin (Fmul, F1, F2));
+              B.i b (Fbin (Fadd, F0, F1));
+              B.i b (Alu (Add, Reg EBP, Imm 8)));
+          (* track the best (lowest) score *)
+          let worse = B.fresh b "worse" in
+          B.i b (Fcmp (F0, F4));
+          Asm.jcc (B.asm b) AE worse;
+          B.i b (Fmov (F4, F0));
+          Asm.label (B.asm b) worse;
+          B.i b (Alu (Add, Reg ESI, Imm (8 * dims))));
+      B.i b (Fbin (Fadd, F7, F4)));
+  finish b;
+  B.assemble b
+
+let all =
+  [
+    ("410.bwaves", bwaves);
+    ("433.milc", milc);
+    ("434.zeusmp", zeusmp);
+    ("435.gromacs", gromacs);
+    ("436.cactusADM", cactusadm);
+    ("437.leslie3d", leslie3d);
+    ("444.namd", namd);
+    ("450.soplex", soplex);
+    ("453.povray", povray);
+    ("454.calculix", calculix);
+    ("459.GemsFDTD", gemsfdtd);
+    ("470.lbm", lbm);
+    ("482.sphinx3", sphinx3);
+  ]

@@ -1,0 +1,48 @@
+open Darco_guest
+
+(** SPECFP2006-like synthetic kernels: floating-point loops with larger
+    basic blocks, high dynamic-to-static instruction ratios, stencils,
+    reductions and dense linear algebra.  [scale] multiplies hot iteration
+    counts. *)
+
+val bwaves : ?scale:int -> unit -> Program.t
+(** 1-D wave stencil *)
+
+val milc : ?scale:int -> unit -> Program.t
+(** complex 2x2 products *)
+
+val zeusmp : ?scale:int -> unit -> Program.t
+(** 2-D 5-point stencil *)
+
+val gromacs : ?scale:int -> unit -> Program.t
+(** pairwise forces *)
+
+val cactusadm : ?scale:int -> unit -> Program.t
+(** long expression chains *)
+
+val leslie3d : ?scale:int -> unit -> Program.t
+(** fused triads *)
+
+val namd : ?scale:int -> unit -> Program.t
+(** n-body accumulation *)
+
+val soplex : ?scale:int -> unit -> Program.t
+(** dot products + pivots *)
+
+val povray : ?scale:int -> unit -> Program.t
+(** ray-sphere tests *)
+
+val calculix : ?scale:int -> unit -> Program.t
+(** elimination steps *)
+
+val gemsfdtd : ?scale:int -> unit -> Program.t
+(** leapfrog field update *)
+
+val lbm : ?scale:int -> unit -> Program.t
+(** collision kernel *)
+
+val sphinx3 : ?scale:int -> unit -> Program.t
+(** log-likelihood scan *)
+
+
+val all : (string * (?scale:int -> unit -> Program.t)) list

@@ -1,0 +1,458 @@
+open Darco_guest
+module B = Builder
+module Rng = Darco_util.Rng
+
+(* Every kernel: EBX accumulates a checksum that is printed and returned,
+   so differential validation also covers observable output. *)
+
+let finish b =
+  B.print32 b (Reg EBX);
+  B.exit_program b ~code:(Reg EBX)
+
+(* 400.perlbench: interpreter-style token hashing with jump-table opcode
+   dispatch (indirect branches, small blocks). *)
+let perlbench ?(scale = 1) () =
+  let b = B.create ~seed:101 () in
+  let rng = B.rng b in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1400;
+  Scaffold.warm b ~blocks:50 ~iters:58;
+  B.array8 b "text" (Array.init 4096 (fun _ -> Rng.int rng 256));
+  let handlers = List.init 8 (fun k -> Printf.sprintf "h%d" k) in
+  List.iteri
+    (fun k h ->
+      B.func b h (fun () ->
+          B.i b (Alu (Add, Reg EBX, Imm ((k * 17) + 1)));
+          if k mod 2 = 0 then B.i b (Shift (Rol, Reg EBX, Imm 3))
+          else B.i b (Alu (Xor, Reg EBX, Imm (k * 0x1111)))))
+    handlers;
+  B.jump_table b "handlers" handlers;
+  B.counted_loop b ~reg:EDI ~count:(9000 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Reg EDI));
+      B.i b (Imul2 (ESI, Imm 13));
+      B.i b (Alu (And, Reg ESI, Imm 0xFF8));
+      B.i b (Mov (Reg EAX, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:8 (fun () ->
+          B.load8_arr b EDX "text" ~index:(ESI, S1) ();
+          B.i b (Imul2 (EAX, Imm 31));
+          B.i b (Alu (Add, Reg EAX, Reg EDX));
+          B.i b (Inc (Reg ESI)));
+      B.i b (Alu (And, Reg EAX, Imm 7));
+      Asm.insn_with (B.asm b) (fun resolve ->
+          Isa.CallInd
+            (Mem { base = None; index = Some (EAX, S4); disp = resolve "handlers" })));
+  finish b;
+  B.assemble b
+
+(* 401.bzip2: run-length compression passes over byte buffers. *)
+let bzip2 ?(scale = 1) () =
+  let b = B.create ~seed:102 () in
+  let rng = B.rng b in
+  let input =
+    let buf = ref [] and filled = ref 0 in
+    while !filled < 2048 do
+      let v = Rng.int rng 256 and len = 1 + Rng.int rng 6 in
+      let len = min len (2048 - !filled) in
+      for _ = 1 to len do
+        buf := v :: !buf
+      done;
+      filled := !filled + len
+    done;
+    Array.of_list (List.rev !buf)
+  in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1000;
+  Scaffold.warm b ~blocks:40 ~iters:58;
+  B.array8 b "input" input;
+  B.zero_bytes b "output" 4608;
+  B.func b "emit_pair" (fun () ->
+      B.store8_arr b "output" ~index:(EBP, S1) EAX;
+      B.i b (Inc (Reg EBP));
+      B.store8_arr b "output" ~index:(EBP, S1) ECX;
+      B.i b (Inc (Reg EBP)));
+  B.counted_loop b ~reg:EDI ~count:(22 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.i b (Mov (Reg EBP, Imm 0));
+      B.while_loop b
+        ~cond:(fun stop ->
+          B.i b (Cmp (Reg ESI, Imm 2048));
+          Asm.jcc (B.asm b) GE stop)
+        (fun () ->
+          B.load8_arr b EAX "input" ~index:(ESI, S1) ();
+          B.i b (Mov (Reg ECX, Imm 1));
+          B.while_loop b
+            ~cond:(fun stop ->
+              B.i b (Mov (Reg EDX, Reg ESI));
+              B.i b (Alu (Add, Reg EDX, Reg ECX));
+              B.i b (Cmp (Reg EDX, Imm 2048));
+              Asm.jcc (B.asm b) GE stop;
+              B.load8_arr b EDX "input" ~index:(EDX, S1) ();
+              B.i b (Cmp (Reg EDX, Reg EAX));
+              Asm.jcc (B.asm b) NE stop;
+              B.i b (Cmp (Reg ECX, Imm 255));
+              Asm.jcc (B.asm b) GE stop)
+            (fun () -> B.i b (Inc (Reg ECX)));
+          Asm.call (B.asm b) "emit_pair";
+          B.i b (Alu (Add, Reg ESI, Reg ECX)));
+      B.i b (Alu (Add, Reg EBX, Reg EBP)));
+  (* checksum the compressed stream once *)
+  B.i b (Mov (Reg ESI, Imm 0));
+  B.counted_loop b ~reg:ECX ~count:4608 (fun () ->
+      B.load8_arr b EAX "output" ~index:(ESI, S1) ();
+      B.i b (Alu (Add, Reg EBX, Reg EAX));
+      B.i b (Inc (Reg ESI)));
+  finish b;
+  B.assemble b
+
+(* 403.gcc: many small functions reached through an indirect call table;
+   big static footprint, moderate reuse. *)
+let gcc ?(scale = 1) () =
+  let b = B.create ~seed:103 () in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:2600;
+  Scaffold.warm b ~blocks:30 ~iters:56;
+  let nfuncs = 22 in
+  let fnames = List.init nfuncs (fun k -> Printf.sprintf "fn%d" k) in
+  List.iteri
+    (fun k name ->
+      B.func b name (fun () ->
+          B.i b (Push (Reg ESI));
+          B.i b (Push (Reg EDI));
+          B.filler_ops b ~n:10;
+          B.i b (Pop EDI);
+          B.i b (Pop ESI);
+          B.i b (Alu (Add, Reg EBX, Imm (k + 1)))))
+    fnames;
+  B.jump_table b "fns" fnames;
+  B.counted_loop b ~reg:EDI ~count:(500 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:nfuncs (fun () ->
+          Asm.insn_with (B.asm b) (fun resolve ->
+              Isa.CallInd (Mem { base = None; index = Some (ESI, S4); disp = resolve "fns" }));
+          B.i b (Inc (Reg ESI))));
+  finish b;
+  B.assemble b
+
+(* 429.mcf: pointer chasing over a permuted linked list (cache-hostile,
+   tight dependent loads). *)
+let mcf ?(scale = 1) () =
+  let b = B.create ~seed:104 () in
+  let rng = B.rng b in
+  let n = 1024 in
+  let perm = Array.init n (fun i -> i) in
+  Rng.shuffle rng perm;
+  (* next.(perm i) = perm ((i+1) mod n): one big cycle *)
+  let node = Array.make (2 * n) 0 in
+  for i = 0 to n - 1 do
+    let this = perm.(i) and next = perm.((i + 1) mod n) in
+    node.((2 * this) + 0) <- Rng.int rng 1000;
+    node.((2 * this) + 1) <- 8 * next
+  done;
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:900;
+  Scaffold.warm b ~blocks:16 ~iters:58;
+  B.array32 b "nodes" node;
+  B.counted_loop b ~reg:EDI ~count:(70 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:n (fun () ->
+          B.load_arr b EAX "nodes" ~index:(ESI, S1) ();
+          B.i b (Alu (Add, Reg EBX, Reg EAX));
+          B.load_arr b ESI "nodes" ~index:(ESI, S1) ~off:4 ()));
+  finish b;
+  B.assemble b
+
+(* 445.gobmk: board scanning with neighbour tests; data-dependent,
+   poorly-biased branches. *)
+let gobmk ?(scale = 1) () =
+  let b = B.create ~seed:105 () in
+  let rng = B.rng b in
+  let board = Array.init 1024 (fun _ -> if Rng.chance rng 0.42 then 1 else 0) in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1100;
+  Scaffold.warm b ~blocks:36 ~iters:58;
+  B.array8 b "board" board;
+  B.func b "neighbours" (fun () ->
+      B.load8_arr b EDX "board" ~index:(ESI, S1) ~off:(-1) ();
+      B.i b (Mov (Reg ECX, Reg EDX));
+      B.load8_arr b EDX "board" ~index:(ESI, S1) ~off:1 ();
+      B.i b (Alu (Add, Reg ECX, Reg EDX));
+      B.load8_arr b EDX "board" ~index:(ESI, S1) ~off:(-32) ();
+      B.i b (Alu (Add, Reg ECX, Reg EDX));
+      B.load8_arr b EDX "board" ~index:(ESI, S1) ~off:32 ();
+      B.i b (Alu (Add, Reg ECX, Reg EDX)));
+  B.counted_loop b ~reg:EDI ~count:(50 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 33));
+      B.counted_loop b ~reg:EBP ~count:950 (fun () ->
+          let skip = B.fresh b "skip" in
+          let low = B.fresh b "low" in
+          B.load8_arr b EAX "board" ~index:(ESI, S1) ();
+          B.i b (Test (Reg EAX, Reg EAX));
+          Asm.jcc (B.asm b) E skip;
+          Asm.call (B.asm b) "neighbours";
+          B.i b (Cmp (Reg ECX, Imm 2));
+          Asm.jcc (B.asm b) L low;
+          B.i b (Alu (Add, Reg EBX, Reg ECX));
+          Asm.label (B.asm b) low;
+          B.i b (Alu (Add, Reg EBX, Imm 1));
+          Asm.label (B.asm b) skip;
+          B.i b (Inc (Reg ESI))));
+  finish b;
+  B.assemble b
+
+(* 458.sjeng: recursive search, call/return dominated with bit mixing. *)
+let sjeng ?(scale = 1) () =
+  let b = B.create ~seed:106 () in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1000;
+  Scaffold.warm b ~blocks:24 ~iters:58;
+  B.func b "search" (fun () ->
+      let deeper = B.fresh b "deeper" in
+      let fin = B.fresh b "fin" in
+      B.i b (Test (Reg EAX, Reg EAX));
+      Asm.jcc (B.asm b) NE deeper;
+      B.i b (Mov (Reg EAX, Imm 0x5A));
+      Asm.jmp (B.asm b) fin;
+      Asm.label (B.asm b) deeper;
+      B.i b (Push (Reg EAX));
+      B.i b (Dec (Reg EAX));
+      Asm.call (B.asm b) "search";
+      B.i b (Pop EDX);
+      B.i b (Push (Reg EAX));
+      B.i b (Mov (Reg EAX, Reg EDX));
+      B.i b (Shift (Shr, Reg EAX, Imm 1));
+      (let zero = B.fresh b "zero" in
+       B.i b (Test (Reg EAX, Reg EAX));
+       Asm.jcc (B.asm b) E zero;
+       B.i b (Dec (Reg EAX));
+       Asm.label (B.asm b) zero);
+      Asm.call (B.asm b) "search";
+      B.i b (Pop EDX);
+      B.i b (Alu (Xor, Reg EAX, Reg EDX));
+      B.i b (Imul2 (EAX, Imm 3));
+      B.i b (Alu (And, Reg EAX, Imm 0xFFFF));
+      Asm.label (B.asm b) fin);
+  B.counted_loop b ~reg:EDI ~count:(130 * scale) (fun () ->
+      B.i b (Mov (Reg EAX, Imm 16));
+      Asm.call (B.asm b) "search";
+      B.i b (Alu (Add, Reg EBX, Reg EAX)));
+  finish b;
+  B.assemble b
+
+(* 462.libquantum: streaming gate application over a state vector —
+   extremely regular, highly biased. *)
+let libquantum ?(scale = 1) () =
+  let b = B.create ~seed:107 () in
+  let rng = B.rng b in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:700;
+  Scaffold.warm b ~blocks:20 ~iters:58;
+  B.array32 b "state" (Array.init 4096 (fun _ -> Rng.int rng 0x7FFFFFFF));
+  B.counted_loop b ~reg:EDI ~count:(14 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:4096 (fun () ->
+          let rare = B.fresh b "rare" in
+          B.load_arr b EAX "state" ~index:(ESI, S4) ();
+          B.i b (Alu (Xor, Reg EAX, Imm 0x2545F491));
+          B.i b (Shift (Rol, Reg EAX, Imm 3));
+          B.store_arr b "state" ~index:(ESI, S4) EAX;
+          B.i b (Alu (And, Reg EAX, Imm 0xFF));
+          Asm.jcc (B.asm b) NE rare;
+          B.i b (Inc (Reg EBX));
+          Asm.label (B.asm b) rare;
+          B.i b (Inc (Reg ESI))));
+  finish b;
+  B.assemble b
+
+(* 464.h264ref: sum of absolute differences over byte frames; mostly-biased
+   sign branches. *)
+let h264ref ?(scale = 1) () =
+  let b = B.create ~seed:108 () in
+  let rng = B.rng b in
+  let base_frame = Array.init 4096 (fun _ -> 64 + Rng.int rng 128) in
+  let noisy = Array.map (fun v -> min 255 (v + Rng.int rng 8)) base_frame in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1200;
+  Scaffold.warm b ~blocks:34 ~iters:58;
+  B.array8 b "ref" base_frame;
+  B.array8 b "cur" noisy;
+  B.counted_loop b ~reg:EDI ~count:(12 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:4096 (fun () ->
+          let pos = B.fresh b "pos" in
+          B.load8_arr b EAX "cur" ~index:(ESI, S1) ();
+          B.load8_arr b EDX "ref" ~index:(ESI, S1) ();
+          B.i b (Alu (Sub, Reg EAX, Reg EDX));
+          Asm.jcc (B.asm b) NS pos;
+          B.i b (Neg (Reg EAX));
+          Asm.label (B.asm b) pos;
+          B.i b (Alu (Add, Reg EBX, Reg EAX));
+          B.i b (Inc (Reg ESI))));
+  finish b;
+  B.assemble b
+
+(* 471.omnetpp: discrete-event wheel; handlers dispatched indirectly keep
+   scheduling future events. *)
+let omnetpp ?(scale = 1) () =
+  let b = B.create ~seed:109 () in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1300;
+  Scaffold.warm b ~blocks:40 ~iters:58;
+  let wheel = Array.init 64 (fun i -> if i mod 3 = 0 then i mod 4 else -1) in
+  B.array32 b "wheel" wheel;
+  let handlers = List.init 4 (fun k -> Printf.sprintf "ev%d" k) in
+  List.iteri
+    (fun k h ->
+      B.func b h (fun () ->
+          (* schedule a follow-up event of the next kind *)
+          B.i b (Mov (Reg ECX, Reg ESI));
+          B.i b (Alu (Add, Reg ECX, Imm ((k * 7) + 3)));
+          B.i b (Alu (And, Reg ECX, Imm 63));
+          B.i b (Mov (Reg EDX, Imm ((k + 1) land 3)));
+          B.store_arr b "wheel" ~index:(ECX, S4) EDX;
+          B.i b (Alu (Add, Reg EBX, Imm (k + 1)))))
+    handlers;
+  B.jump_table b "evtab" handlers;
+  let join = B.fresh b "join" in
+  B.counted_loop b ~reg:EDI ~count:(12000 * scale) (fun () ->
+      let empty = B.fresh b "empty" in
+      B.i b (Mov (Reg ESI, Reg EDI));
+      B.i b (Alu (And, Reg ESI, Imm 63));
+      B.load_arr b EAX "wheel" ~index:(ESI, S4) ();
+      B.i b (Test (Reg EAX, Reg EAX));
+      Asm.jcc (B.asm b) S empty;
+      (* consume the event, dispatch its handler *)
+      B.i b (Mov (Reg EDX, Imm 0xFFFFFFFF));
+      B.store_arr b "wheel" ~index:(ESI, S4) EDX;
+      Asm.insn_with (B.asm b) (fun resolve ->
+          Isa.CallInd
+            (Mem { base = None; index = Some (EAX, S4); disp = resolve "evtab" }));
+      Asm.jmp (B.asm b) join;
+      Asm.label (B.asm b) empty;
+      B.i b (Inc (Reg EBX));
+      Asm.label (B.asm b) join);
+  finish b;
+  B.assemble b
+
+(* 473.astar: repeated relaxation over a grid with comparison-driven
+   updates. *)
+let astar ?(scale = 1) () =
+  let b = B.create ~seed:110 () in
+  let rng = B.rng b in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1000;
+  Scaffold.warm b ~blocks:26 ~iters:58;
+  let dist = Array.init 256 (fun i -> if i = 0 then 0 else 0x7FFF) in
+  B.array32 b "dist" dist;
+  B.array32 b "weight" (Array.init 256 (fun _ -> 1 + Rng.int rng 9));
+  B.func b "relax" (fun () ->
+      let no_update = B.fresh b "noupd" in
+      B.load_arr b EAX "dist" ~index:(ESI, S4) ~off:(-4) ();
+      B.load_arr b EDX "weight" ~index:(ESI, S4) ();
+      B.i b (Alu (Add, Reg EAX, Reg EDX));
+      B.load_arr b EDX "dist" ~index:(ESI, S4) ();
+      B.i b (Cmp (Reg EAX, Reg EDX));
+      Asm.jcc (B.asm b) GE no_update;
+      B.store_arr b "dist" ~index:(ESI, S4) EAX;
+      B.i b (Inc (Reg EBX));
+      Asm.label (B.asm b) no_update);
+  B.counted_loop b ~reg:EDI ~count:(120 * scale) (fun () ->
+      B.i b (Mov (Reg ESI, Imm 1));
+      B.counted_loop b ~reg:ECX ~count:255 (fun () ->
+          Asm.call (B.asm b) "relax";
+          B.i b (Inc (Reg ESI))));
+  B.load_arr b EAX "dist" ~off:(255 * 4) ();
+  B.i b (Alu (Add, Reg EBX, Reg EAX));
+  finish b;
+  B.assemble b
+
+(* 483.xalancbmk: string-table matching with REP CMPS (the complex string
+   instructions the software layer defers to the interpreter). *)
+let xalancbmk ?(scale = 1) () =
+  let b = B.create ~seed:111 () in
+  let rng = B.rng b in
+  B.i b (Mov (Reg EBX, Imm 0));
+  Scaffold.cold b ~n:1200;
+  Scaffold.warm b ~blocks:38 ~iters:58;
+  let nstrings = 16 in
+  let strings =
+    Array.init nstrings (fun _ -> Array.init 16 (fun _ -> 32 + Rng.int rng 96))
+  in
+  Array.iteri (fun i s -> B.array8 b (Printf.sprintf "str%d" i) s) strings;
+  (* one contiguous table copy for sequential scanning *)
+  B.array8 b "table" (Array.concat (Array.to_list strings));
+  let tags = List.init 4 (fun k -> Printf.sprintf "tag%d" k) in
+  B.jump_table b "tags" tags;
+  let join = B.fresh b "join" in
+  B.counted_loop b ~reg:EDI ~count:(2500 * scale) (fun () ->
+      (* query = strings[(EDI*5) mod 16] *)
+      B.i b (Mov (Reg EAX, Reg EDI));
+      B.i b (Imul2 (EAX, Imm 5));
+      B.i b (Alu (And, Reg EAX, Imm 15));
+      B.i b (Shift (Shl, Reg EAX, Imm 4));
+      B.i b (Push (Reg EDI));
+      (* scan the table for the query *)
+      B.i b (Mov (Reg EBP, Imm 0));
+      let found = B.fresh b "found" in
+      (* per-entry comparison: first-word rejection, then the full REP CMPS
+         (interpreter-resident) only on a prefix match.  EDX returns 0 on a
+         match. *)
+      B.func b "match_entry" (fun () ->
+          let next = B.fresh b "next" in
+          let fin = B.fresh b "fin" in
+          B.addr_of b ESI "table";
+          B.i b (Alu (Add, Reg ESI, Reg EAX));
+          B.addr_of b EDI "table";
+          B.i b (Mov (Reg EDX, Reg EBP));
+          B.i b (Shift (Shl, Reg EDX, Imm 4));
+          B.i b (Alu (Add, Reg EDI, Reg EDX));
+          B.i b (Mov (Reg ECX, Mem { base = Some ESI; index = None; disp = 0 }));
+          B.i b (Mov (Reg EDX, Mem { base = Some EDI; index = None; disp = 0 }));
+          B.i b (Cmp (Reg ECX, Reg EDX));
+          Asm.jcc (B.asm b) NE next;
+          B.i b (Mov (Reg ECX, Imm 4));
+          B.i b (Str (Cmps, W32, Repe));
+          Asm.jcc (B.asm b) NE next;
+          B.i b (Mov (Reg EDX, Imm 0));
+          Asm.jmp (B.asm b) fin;
+          Asm.label (B.asm b) next;
+          B.i b (Mov (Reg EDX, Imm 1));
+          Asm.label (B.asm b) fin);
+      B.while_loop b
+        ~cond:(fun stop ->
+          B.i b (Cmp (Reg EBP, Imm nstrings));
+          Asm.jcc (B.asm b) GE stop)
+        (fun () ->
+          Asm.call (B.asm b) "match_entry";
+          B.i b (Test (Reg EDX, Reg EDX));
+          Asm.jcc (B.asm b) E found;
+          B.i b (Inc (Reg EBP)));
+      Asm.label (B.asm b) found;
+      B.i b (Alu (Add, Reg EBX, Reg EBP));
+      B.i b (Mov (Reg EAX, Reg EBP));
+      B.i b (Alu (And, Reg EAX, Imm 3));
+      B.table_dispatch b ~table:"tags" ~index:EAX;
+      List.iteri
+        (fun k h ->
+          Asm.label (B.asm b) h;
+          B.i b (Alu (Add, Reg EBX, Imm ((k * 5) + 1)));
+          Asm.jmp (B.asm b) join)
+        tags;
+      Asm.label (B.asm b) join;
+      B.i b (Pop EDI));
+  finish b;
+  B.assemble b
+
+let all =
+  [
+    ("400.perlbench", perlbench);
+    ("401.bzip2", bzip2);
+    ("403.gcc", gcc);
+    ("429.mcf", mcf);
+    ("445.gobmk", gobmk);
+    ("458.sjeng", sjeng);
+    ("462.libquantum", libquantum);
+    ("464.h264ref", h264ref);
+    ("471.omnetpp", omnetpp);
+    ("473.astar", astar);
+    ("483.xalancbmk", xalancbmk);
+  ]

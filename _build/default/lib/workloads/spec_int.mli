@@ -1,0 +1,43 @@
+open Darco_guest
+
+(** SPECINT2006-like synthetic kernels: integer code with small basic
+    blocks, frequent data-dependent branches, calls/returns, indirect jumps
+    and string operations — each named after the benchmark whose
+    characteristics it stands in for (see DESIGN.md on the substitution).
+
+    [scale] multiplies the hot-phase iteration counts (default 1). *)
+
+val perlbench : ?scale:int -> unit -> Program.t
+(** String hashing + jump-table opcode dispatch (interpreter-like). *)
+
+val bzip2 : ?scale:int -> unit -> Program.t
+(** Run-length compression passes over byte buffers. *)
+
+val gcc : ?scale:int -> unit -> Program.t
+(** Many small functions, indirect calls, large static footprint. *)
+
+val mcf : ?scale:int -> unit -> Program.t
+(** Pointer-chasing over a permuted linked list. *)
+
+val gobmk : ?scale:int -> unit -> Program.t
+(** Board scans with neighbour tests (branchy). *)
+
+val sjeng : ?scale:int -> unit -> Program.t
+(** Recursive game-tree search with bit manipulation. *)
+
+val libquantum : ?scale:int -> unit -> Program.t
+(** Streaming gate application over a large state vector. *)
+
+val h264ref : ?scale:int -> unit -> Program.t
+(** Block SAD computation over byte frames. *)
+
+val omnetpp : ?scale:int -> unit -> Program.t
+(** Discrete-event wheel with indirect handler dispatch. *)
+
+val astar : ?scale:int -> unit -> Program.t
+(** Grid relaxation with open-set minimum scans. *)
+
+val xalancbmk : ?scale:int -> unit -> Program.t
+(** String-table matching with REP CMPS plus tag dispatch. *)
+
+val all : (string * (?scale:int -> unit -> Program.t)) list

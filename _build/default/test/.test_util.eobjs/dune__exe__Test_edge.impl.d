@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Asm Config Controller Darco Darco_guest Darco_host Darco_timing Darco_util Interp_ref List Printf String Tgen

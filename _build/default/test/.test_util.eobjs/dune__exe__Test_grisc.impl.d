@@ -1,0 +1,1 @@
+test/test_grisc.ml: Alcotest Array Bytes Char Cpu Darco Darco_grisc Darco_guest Darco_host Darco_util Isa List Loader Memory QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_host.ml: Alcotest Array Bytes Code Cpu Darco_guest Darco_host Emulator Flagcalc Flags Isa Machine Memory QCheck QCheck_alcotest Regs Semantics

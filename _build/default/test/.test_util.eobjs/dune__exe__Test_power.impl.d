@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Darco_host Darco_power Darco_timing Pipeline Tconfig

@@ -1,0 +1,1 @@
+test/test_studies.ml: Alcotest Darco Darco_studies Darco_workloads Lazy List

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Asm Config Controller Darco Darco_guest Darco_workloads Debug Interp_ref QCheck QCheck_alcotest Stats String Tgen Tol

@@ -1,0 +1,1 @@
+test/test_timing.ml: Alcotest Cache Darco_host Darco_timing Darco_util List Pipeline Predictor Prefetch QCheck QCheck_alcotest Tconfig Tlb

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Darco_util Hashtbl List Option QCheck QCheck_alcotest String

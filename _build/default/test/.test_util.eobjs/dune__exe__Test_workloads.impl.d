@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Asm Bytes Darco Darco_guest Darco_workloads Interp_ref List Program String

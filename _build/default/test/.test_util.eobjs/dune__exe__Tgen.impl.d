@@ -1,0 +1,1 @@
+test/tgen.ml: Alcotest Asm Cpu Darco_guest Darco_util Isa List Memory Printf String

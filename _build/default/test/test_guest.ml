@@ -1,0 +1,535 @@
+open Darco_guest
+module Rng = Darco_util.Rng
+
+(* --- semantics ---------------------------------------------------------- *)
+
+let flags_t = Alcotest.testable (Fmt.of_to_string Flags.to_string) ( = )
+
+let test_add_flags () =
+  let res, f = Semantics.alu Add ~cf_in:false 0xFFFFFFFF 1 in
+  Alcotest.(check int) "wraps" 0 res;
+  Alcotest.(check bool) "CF" true (Flags.cf f);
+  Alcotest.(check bool) "ZF" true (Flags.zf f);
+  Alcotest.(check bool) "OF clear (unsigned carry only)" false (Flags.of_ f);
+  let _, f = Semantics.alu Add ~cf_in:false 0x7FFFFFFF 1 in
+  Alcotest.(check bool) "signed overflow sets OF" true (Flags.of_ f);
+  Alcotest.(check bool) "no carry" false (Flags.cf f);
+  Alcotest.(check bool) "SF set" true (Flags.sf f)
+
+let test_sub_flags () =
+  let res, f = Semantics.alu Sub ~cf_in:false 3 5 in
+  Alcotest.(check int) "wraps" (Semantics.mask32 (-2)) res;
+  Alcotest.(check bool) "borrow sets CF" true (Flags.cf f);
+  Alcotest.(check bool) "SF" true (Flags.sf f);
+  let _, f = Semantics.alu Sub ~cf_in:false 0x80000000 1 in
+  Alcotest.(check bool) "INT_MIN - 1 overflows" true (Flags.of_ f)
+
+let test_adc_sbb_chain () =
+  (* 64-bit add via adc: 0xFFFFFFFF_FFFFFFFF + 1 = 0 carry-out *)
+  let lo, f1 = Semantics.alu Add ~cf_in:false 0xFFFFFFFF 1 in
+  let hi, f2 = Semantics.alu Adc ~cf_in:(Flags.cf f1) 0xFFFFFFFF 0 in
+  Alcotest.(check int) "lo" 0 lo;
+  Alcotest.(check int) "hi" 0 hi;
+  Alcotest.(check bool) "carry out" true (Flags.cf f2);
+  let lo, f1 = Semantics.alu Sub ~cf_in:false 0 1 in
+  let hi, _ = Semantics.alu Sbb ~cf_in:(Flags.cf f1) 5 0 in
+  Alcotest.(check int) "borrow lo" 0xFFFFFFFF lo;
+  Alcotest.(check int) "borrow hi" 4 hi
+
+let test_logic_flags () =
+  let res, f = Semantics.alu And ~cf_in:true 0xF0F0 0x0F0F in
+  Alcotest.(check int) "and" 0 res;
+  Alcotest.(check bool) "ZF" true (Flags.zf f);
+  Alcotest.(check bool) "CF cleared" false (Flags.cf f);
+  Alcotest.(check bool) "OF cleared" false (Flags.of_ f)
+
+let test_inc_dec_preserve_cf () =
+  let flags = Flags.make ~cf:true ~zf:false ~sf:false ~of_:false in
+  let res, f = Semantics.inc 0xFFFFFFFF ~flags in
+  Alcotest.(check int) "inc wraps" 0 res;
+  Alcotest.(check bool) "CF preserved" true (Flags.cf f);
+  Alcotest.(check bool) "ZF set" true (Flags.zf f);
+  let res, f = Semantics.dec 0 ~flags:0 in
+  Alcotest.(check int) "dec wraps" 0xFFFFFFFF res;
+  Alcotest.(check bool) "CF still clear" false (Flags.cf f)
+
+let test_shift_semantics () =
+  let v, f = Semantics.shift Shl 0x80000001 ~count:1 ~flags:0 in
+  Alcotest.(check int) "shl" 2 v;
+  Alcotest.(check bool) "CF from msb" true (Flags.cf f);
+  let v, f0 = Semantics.shift Shr 0x3 ~count:1 ~flags:0 in
+  Alcotest.(check int) "shr" 1 v;
+  Alcotest.(check bool) "CF from lsb" true (Flags.cf f0);
+  let v, _ = Semantics.shift Sar 0x80000000 ~count:4 ~flags:0 in
+  Alcotest.(check int) "sar sign-fills" 0xF8000000 v;
+  let v, _ = Semantics.shift Rol 0x80000001 ~count:1 ~flags:0 in
+  Alcotest.(check int) "rol" 3 v;
+  let v, _ = Semantics.shift Ror 0x1 ~count:1 ~flags:0 in
+  Alcotest.(check int) "ror" 0x80000000 v;
+  (* zero count leaves flags untouched *)
+  let sentinel = Flags.make ~cf:true ~zf:true ~sf:true ~of_:true in
+  let v, f = Semantics.shift Shl 123 ~count:0 ~flags:sentinel in
+  Alcotest.(check int) "value unchanged" 123 v;
+  Alcotest.check flags_t "flags unchanged" sentinel f;
+  (* counts are masked to 5 bits *)
+  let v, _ = Semantics.shift Shl 1 ~count:33 ~flags:0 in
+  Alcotest.(check int) "count masked" 2 v
+
+let test_mul () =
+  let lo, hi, f = Semantics.mul_u 0xFFFFFFFF 0xFFFFFFFF in
+  Alcotest.(check int) "lo" 1 lo;
+  Alcotest.(check int) "hi" 0xFFFFFFFE hi;
+  Alcotest.(check bool) "wide" true (Flags.cf f);
+  let lo, hi, f = Semantics.mul_s 0xFFFFFFFF 3 in
+  (* -1 * 3 = -3 *)
+  Alcotest.(check int) "slo" 0xFFFFFFFD lo;
+  Alcotest.(check int) "shi" 0xFFFFFFFF hi;
+  Alcotest.(check bool) "fits" false (Flags.cf f);
+  let lo, _, _ = Semantics.mul_u 123456 789 in
+  Alcotest.(check int) "plain" (123456 * 789) lo
+
+let test_div () =
+  let q, r = Semantics.div_u ~hi:0 ~lo:100 7 in
+  Alcotest.(check int) "q" 14 q;
+  Alcotest.(check int) "r" 2 r;
+  (* wide dividend *)
+  let q, r = Semantics.div_u ~hi:1 ~lo:0 2 in
+  Alcotest.(check int) "2^32/2" 0x80000000 q;
+  Alcotest.(check int) "rem" 0 r;
+  (* division by zero is defined, not trapping *)
+  let q, r = Semantics.div_u ~hi:5 ~lo:77 0 in
+  Alcotest.(check int) "q = all-ones" 0xFFFFFFFF q;
+  Alcotest.(check int) "r = lo" 77 r;
+  (* signed: -7 / 2 = -3 rem -1 *)
+  let q, r = Semantics.div_s ~hi:0xFFFFFFFF ~lo:(Semantics.mask32 (-7)) 2 in
+  Alcotest.(check int) "signed q" (Semantics.mask32 (-3)) q;
+  Alcotest.(check int) "signed r" (Semantics.mask32 (-1)) r
+
+let prop_div_identity =
+  QCheck.Test.make ~name:"div: n = q*d + r, 0 <= r < d (unsigned, narrow)"
+    ~count:500
+    QCheck.(pair (int_bound 0x3FFFFFFF) (int_range 1 0xFFFF))
+    (fun (n, d) ->
+      let q, r = Semantics.div_u ~hi:0 ~lo:n d in
+      (q * d) + r = n && r < d)
+
+let prop_alu_matches_int64 =
+  QCheck.Test.make ~name:"add/sub value matches an Int64 model" ~count:1000
+    QCheck.(triple bool (int_bound 0xFFFFFFF) (int_bound 0xFFFFFFF))
+    (fun (is_add, a0, b0) ->
+      let a = Semantics.mask32 (a0 * 17) and b = Semantics.mask32 (b0 * 29) in
+      let res, _ =
+        Semantics.alu (if is_add then Add else Sub) ~cf_in:false a b
+      in
+      let model =
+        Int64.to_int
+          (Int64.logand
+             (if is_add then Int64.add (Int64.of_int a) (Int64.of_int b)
+              else Int64.sub (Int64.of_int a) (Int64.of_int b))
+             0xFFFFFFFFL)
+      in
+      res = model)
+
+let test_sign_extend () =
+  Alcotest.(check int) "byte" 0xFFFFFF80 (Semantics.sign_extend W8 0x80);
+  Alcotest.(check int) "byte pos" 0x7F (Semantics.sign_extend W8 0x7F);
+  Alcotest.(check int) "word" 0xFFFF8000 (Semantics.sign_extend W16 0x8000);
+  Alcotest.(check int) "dword id" 0x12345678 (Semantics.sign_extend W32 0x12345678)
+
+let test_f2i () =
+  Alcotest.(check int) "trunc pos" 3 (Semantics.f2i 3.99);
+  Alcotest.(check int) "trunc neg" (Semantics.mask32 (-3)) (Semantics.f2i (-3.99));
+  Alcotest.(check int) "nan" 0x80000000 (Semantics.f2i Float.nan);
+  Alcotest.(check int) "overflow" 0x80000000 (Semantics.f2i 1e30);
+  Alcotest.(check int) "neg overflow" 0x80000000 (Semantics.f2i (-1e30))
+
+let test_fcmp () =
+  let f = Semantics.fcmp_flags 1.0 2.0 in
+  Alcotest.(check bool) "below" true (Flags.eval_cond B f);
+  let f = Semantics.fcmp_flags 2.0 2.0 in
+  Alcotest.(check bool) "equal" true (Flags.eval_cond E f);
+  let f = Semantics.fcmp_flags Float.nan 2.0 in
+  Alcotest.(check bool) "unordered: CF and ZF" true (Flags.cf f && Flags.zf f)
+
+(* --- flags / conditions -------------------------------------------------- *)
+
+let test_eval_cond () =
+  let f_eq = snd (Semantics.alu Sub ~cf_in:false 5 5) in
+  let f_lt = snd (Semantics.alu Sub ~cf_in:false 3 5) in
+  let f_gt = snd (Semantics.alu Sub ~cf_in:false 7 5) in
+  let checks =
+    [
+      (Isa.E, f_eq, true); (Isa.E, f_lt, false);
+      (Isa.NE, f_gt, true); (Isa.L, f_lt, true); (Isa.L, f_eq, false);
+      (Isa.LE, f_eq, true); (Isa.G, f_gt, true); (Isa.GE, f_eq, true);
+      (Isa.B, f_lt, true); (Isa.A, f_gt, true); (Isa.AE, f_eq, true);
+      (Isa.BE, f_eq, true); (Isa.S, f_lt, true); (Isa.NS, f_gt, true);
+    ]
+  in
+  List.iter
+    (fun (c, f, expect) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "cond %s" (Isa.to_string (Jcc (c, 0))))
+        expect (Flags.eval_cond c f))
+    checks
+
+let prop_negate_cond =
+  QCheck.Test.make ~name:"negate_cond inverts every condition" ~count:500
+    QCheck.(pair (int_bound 13) (int_bound 15))
+    (fun (ci, f) ->
+      let c = Isa.all_conds.(ci) in
+      Flags.eval_cond c f = not (Flags.eval_cond (Isa.negate_cond c) f))
+
+(* --- codec -------------------------------------------------------------- *)
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"encode/decode roundtrip of random instructions"
+    ~count:2000 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed * 31 + 5) in
+      let insn = Tgen.insn rng in
+      let pc = 0x1000 + (Rng.int rng 0x1000 * 4) in
+      let encoded = Codec.encode ~pc insn in
+      let fetched i = Char.code (Bytes.get encoded (i - pc)) in
+      let decoded, len = Codec.decode ~fetch:fetched ~pc in
+      len = Bytes.length encoded && decoded = Codec.canonical insn)
+
+let test_codec_control () =
+  (* control transfers encode PC-relative: same insn at different PCs *)
+  List.iter
+    (fun insn ->
+      List.iter
+        (fun pc ->
+          let b = Codec.encode ~pc insn in
+          let decoded, len = Codec.decode ~fetch:(fun i -> Char.code (Bytes.get b (i - pc))) ~pc in
+          Alcotest.(check int) "length" (Bytes.length b) len;
+          Alcotest.(check bool) (Isa.to_string insn) true (decoded = insn))
+        [ 0x1000; 0x7FFF; 0x123456 ])
+    [
+      Isa.Jmp 0x2000;
+      Isa.Jcc (NE, 0x400);
+      Isa.Call 0x999999;
+      Isa.Ret;
+      Isa.JmpInd (Reg EAX);
+      Isa.Syscall;
+      Isa.Halt;
+      Isa.Str (Movs, W32, Rep);
+    ]
+
+let test_codec_bad_encoding () =
+  Alcotest.check_raises "invalid opcode" (Codec.Bad_encoding 0) (fun () ->
+      ignore (Codec.decode ~fetch:(fun _ -> 0xFF) ~pc:0))
+
+let test_codec_variable_length () =
+  let short = Codec.length (Mov (Reg EAX, Reg ECX)) in
+  let long = Codec.length (Mov (Mem { base = Some EAX; index = Some (ECX, S4); disp = 100000 }, Imm 7)) in
+  Alcotest.(check bool) "variable length" true (short < long);
+  Alcotest.(check int) "one-byte nop" 1 (Codec.length Nop)
+
+(* --- memory ------------------------------------------------------------- *)
+
+let test_memory_rw () =
+  let m = Memory.create `Auto_zero in
+  Memory.write32 m 0x1000 0xDEADBEEF;
+  Alcotest.(check int) "read32" 0xDEADBEEF (Memory.read32 m 0x1000);
+  Alcotest.(check int) "read8" 0xEF (Memory.read8 m 0x1000);
+  Alcotest.(check int) "read8 hi" 0xDE (Memory.read8 m 0x1003);
+  Memory.write m W16 0x1000 0x1234;
+  Alcotest.(check int) "merged" 0xDEAD1234 (Memory.read32 m 0x1000)
+
+let test_memory_page_boundary () =
+  let m = Memory.create `Auto_zero in
+  let addr = 0x1FFE in
+  Memory.write32 m addr 0xCAFEBABE;
+  Alcotest.(check int) "straddling read" 0xCAFEBABE (Memory.read32 m addr);
+  Alcotest.(check bool) "both pages exist" true
+    (Memory.has_page m 1 && Memory.has_page m 2)
+
+let test_memory_fault_policy () =
+  let m = Memory.create `Fault in
+  Alcotest.check_raises "faults" (Memory.Page_fault 5) (fun () ->
+      ignore (Memory.read8 m (5 * 4096)));
+  Memory.install_page m 5 (Bytes.make 4096 'x');
+  Alcotest.(check int) "after install" (Char.code 'x') (Memory.read8 m (5 * 4096))
+
+let test_memory_f64 () =
+  let m = Memory.create `Auto_zero in
+  Memory.write_f64 m 0x2000 3.14159;
+  Alcotest.(check (float 0.0)) "roundtrip" 3.14159 (Memory.read_f64 m 0x2000);
+  Memory.write_f64 m 0x2008 (-0.0);
+  Alcotest.(check bool) "negative zero preserved" true
+    (Int64.bits_of_float (Memory.read_f64 m 0x2008) = Int64.bits_of_float (-0.0))
+
+let test_memory_equal_page () =
+  let a = Memory.create `Auto_zero and b = Memory.create `Auto_zero in
+  Memory.write32 a 0x1000 0;
+  (* zero page in a, absent in b: equal *)
+  Alcotest.(check bool) "absent = zero" true (Memory.equal_page a b 1);
+  Memory.write32 a 0x1000 5;
+  Alcotest.(check bool) "differs" false (Memory.equal_page a b 1)
+
+(* --- cpu ---------------------------------------------------------------- *)
+
+let test_cpu_ops () =
+  let c = Cpu.create () in
+  Cpu.set c EAX 0x1_2345_6789;
+  Alcotest.(check int) "masked to 32 bits" 0x23456789 (Cpu.get c EAX);
+  let d = Cpu.copy c in
+  Alcotest.(check bool) "copy equal" true (Cpu.equal c d);
+  Cpu.set d EBX 1;
+  Alcotest.(check bool) "diverged" false (Cpu.equal c d);
+  Alcotest.(check bool) "diff names ebx" true
+    (List.exists (fun s -> String.length s >= 3 && String.sub s 0 3 = "ebx") (Cpu.diff c d))
+
+(* --- step: targeted instruction semantics ------------------------------- *)
+
+let exec_insns insns =
+  let a = Asm.create ~base:0x1000 () in
+  List.iter (Asm.insn a) insns;
+  Asm.insn a Halt;
+  let p = Asm.assemble a in
+  let cpu, mem = Loader.boot p in
+  let ic = Step.icache_create () in
+  let rec go n =
+    if n > 10000 then Alcotest.fail "did not halt";
+    if not cpu.Cpu.halted then begin
+      ignore (Step.step ic cpu mem);
+      go (n + 1)
+    end
+  in
+  go 0;
+  (cpu, mem)
+
+let test_step_push_pop () =
+  let cpu, _ = exec_insns [ Mov (Reg EAX, Imm 77); Push (Reg EAX); Pop EDX ] in
+  Alcotest.(check int) "popped" 77 (Cpu.get cpu EDX);
+  Alcotest.(check int) "sp restored" Loader.stack_top (Cpu.get cpu ESP)
+
+let test_step_pop_esp () =
+  let cpu, _ = exec_insns [ Push (Imm 0x4242); Pop ESP ] in
+  Alcotest.(check int) "pop esp = loaded value" 0x4242 (Cpu.get cpu ESP)
+
+let test_step_call_ret () =
+  let a = Asm.create ~base:0x1000 () in
+  Asm.jmp a "main";
+  Asm.label a "f";
+  Asm.insn a (Mov (Reg EAX, Imm 9));
+  Asm.insn a Ret;
+  Asm.label a "main";
+  Asm.insn a (Mov (Reg EAX, Imm 1));
+  Asm.call a "f";
+  Asm.insn a (Alu (Add, Reg EAX, Imm 100));
+  Asm.insn a Halt;
+  let p = Asm.assemble a in
+  let r = Interp_ref.boot ~seed:0 p in
+  ignore (Interp_ref.run_to_halt r);
+  Alcotest.(check int) "call/ret flow" 109 (Cpu.get r.cpu EAX)
+
+let test_step_string_rep_movs () =
+  let cpu, mem =
+    exec_insns
+      [
+        Mov (Mem { base = None; index = None; disp = 0x3000 }, Imm 0x11223344);
+        Mov (Mem { base = None; index = None; disp = 0x3004 }, Imm 0x55667788);
+        Mov (Reg ESI, Imm 0x3000);
+        Mov (Reg EDI, Imm 0x3100);
+        Mov (Reg ECX, Imm 8);
+        Str (Movs, W8, Rep);
+      ]
+  in
+  Alcotest.(check int) "copied lo" 0x11223344 (Memory.read32 mem 0x3100);
+  Alcotest.(check int) "copied hi" 0x55667788 (Memory.read32 mem 0x3104);
+  Alcotest.(check int) "ecx exhausted" 0 (Cpu.get cpu ECX);
+  Alcotest.(check int) "esi advanced" 0x3008 (Cpu.get cpu ESI)
+
+let test_step_repe_cmps () =
+  let cpu, _ =
+    exec_insns
+      [
+        Mov (Mem { base = None; index = None; disp = 0x3000 }, Imm 0xAAAA);
+        Mov (Mem { base = None; index = None; disp = 0x3100 }, Imm 0xAAAB);
+        Mov (Reg ESI, Imm 0x3000);
+        Mov (Reg EDI, Imm 0x3100);
+        Mov (Reg ECX, Imm 4);
+        Str (Cmps, W8, Repe);
+      ]
+  in
+  (* bytes 0: AA=AB? no: stops after first compare *)
+  Alcotest.(check int) "stopped early" 3 (Cpu.get cpu ECX);
+  Alcotest.(check bool) "ZF clear" false (Flags.zf cpu.flags)
+
+let test_step_stos_scas () =
+  let cpu, mem =
+    exec_insns
+      [
+        Mov (Reg EAX, Imm 0x5A);
+        Mov (Reg EDI, Imm 0x3000);
+        Mov (Reg ECX, Imm 16);
+        Str (Stos, W8, Rep);
+        Mov (Reg EDI, Imm 0x3000);
+        Mov (Reg ECX, Imm 32);
+        Mov (Reg EAX, Imm 0x5A);
+        Str (Scas, W8, Repe);
+      ]
+  in
+  Alcotest.(check int) "filled" 0x5A5A5A5A (Memory.read32 mem 0x3000);
+  (* scas runs until the zero byte after the 16 filled ones *)
+  Alcotest.(check int) "stopped past fill" (0x3000 + 17) (Cpu.get cpu EDI)
+
+let test_step_cmov_setcc () =
+  let cpu, _ =
+    exec_insns
+      [
+        Mov (Reg EAX, Imm 1);
+        Mov (Reg EDX, Imm 99);
+        Cmp (Reg EAX, Imm 5);
+        Cmov (L, EAX, Reg EDX);
+        Setcc (GE, ECX);
+      ]
+  in
+  Alcotest.(check int) "cmov taken" 99 (Cpu.get cpu EAX);
+  Alcotest.(check int) "setcc false" 0 (Cpu.get cpu ECX)
+
+let test_step_fault_leaves_state () =
+  (* a faulting instruction must not modify any state *)
+  let m = Memory.create `Fault in
+  Memory.install_page m 1 (Bytes.make 4096 '\000');
+  let a = Asm.create ~base:0x1000 () in
+  Asm.insn a (Mov (Reg EAX, Mem { base = None; index = None; disp = 0x800000 }));
+  let p = Asm.assemble a in
+  List.iter (fun (addr, b) -> Memory.blit_bytes m addr b) p.chunks;
+  let cpu = Cpu.create () in
+  cpu.eip <- 0x1000;
+  Cpu.set cpu EAX 42;
+  let snapshot = Cpu.copy cpu in
+  let ic = Step.icache_create () in
+  Alcotest.check_raises "fault" (Memory.Page_fault (0x800000 / 4096)) (fun () ->
+      ignore (Step.step ic cpu m));
+  Alcotest.(check bool) "state untouched" true (Cpu.equal snapshot cpu)
+
+(* --- asm / loader / syscall --------------------------------------------- *)
+
+let test_asm_duplicate_label () =
+  let a = Asm.create () in
+  Asm.label a "x";
+  Alcotest.check_raises "dup" (Failure "Asm: duplicate label x") (fun () ->
+      Asm.label a "x")
+
+let test_asm_undefined_label () =
+  let a = Asm.create () in
+  Asm.jmp a "nowhere";
+  Alcotest.check_raises "undef" (Failure "Asm: undefined label nowhere") (fun () ->
+      ignore (Asm.assemble a))
+
+let test_asm_layout () =
+  let a = Asm.create ~base:0x1000 () in
+  Asm.insn a Nop;
+  Asm.label a "after_nop";
+  Asm.insn a Nop;
+  let p = Asm.assemble a in
+  Alcotest.(check int) "label address" 0x1001 (Program.symbol p "after_nop");
+  Alcotest.(check int) "image size" 2 (Program.code_bytes p)
+
+let test_syscall_write_and_exit () =
+  let a = Asm.create ~base:0x1000 () in
+  Asm.insn a (Mov (Mem { base = None; index = None; disp = 0x3000 }, Imm 0x6F6C6568));
+  (* "helo" *)
+  Asm.insn a (Mov (Reg EBX, Imm 1));
+  Asm.insn a (Mov (Reg ECX, Imm 0x3000));
+  Asm.insn a (Mov (Reg EDX, Imm 4));
+  Asm.insn a (Mov (Reg EAX, Imm 4));
+  Asm.insn a Syscall;
+  Asm.insn a (Mov (Reg EBX, Imm 33));
+  Asm.insn a (Mov (Reg EAX, Imm 1));
+  Asm.insn a Syscall;
+  Asm.insn a Halt;
+  let r = Interp_ref.boot ~seed:0 (Asm.assemble a) in
+  ignore (Interp_ref.run_to_halt r);
+  Alcotest.(check string) "output" "helo" (Interp_ref.output r);
+  Alcotest.(check (option int)) "exit code" (Some 33) r.exit_code
+
+let test_syscall_read () =
+  let a = Asm.create ~base:0x1000 () in
+  Asm.insn a (Mov (Reg EBX, Imm 0));
+  Asm.insn a (Mov (Reg ECX, Imm 0x3000));
+  Asm.insn a (Mov (Reg EDX, Imm 5));
+  Asm.insn a (Mov (Reg EAX, Imm 3));
+  Asm.insn a Syscall;
+  Asm.insn a Halt;
+  let r = Interp_ref.boot ~input:"abcdef" ~seed:0 (Asm.assemble a) in
+  ignore (Interp_ref.run_to_halt r);
+  Alcotest.(check int) "bytes read" 5 (Cpu.get r.cpu EAX);
+  Alcotest.(check int) "buffer" (Char.code 'a') (Memory.read8 r.mem 0x3000);
+  Alcotest.(check int) "buffer end" (Char.code 'e') (Memory.read8 r.mem 0x3004)
+
+let test_run_until_counts () =
+  let a = Asm.create ~base:0x1000 () in
+  for _ = 1 to 10 do
+    Asm.insn a Nop
+  done;
+  Asm.insn a Halt;
+  let r = Interp_ref.boot ~seed:0 (Asm.assemble a) in
+  Interp_ref.run_until r 4;
+  Alcotest.(check int) "retired exactly" 4 r.retired;
+  Alcotest.(check int) "eip advanced" 0x1004 r.cpu.eip
+
+let () =
+  Alcotest.run "guest"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "add flags" `Quick test_add_flags;
+          Alcotest.test_case "sub flags" `Quick test_sub_flags;
+          Alcotest.test_case "adc/sbb chains" `Quick test_adc_sbb_chain;
+          Alcotest.test_case "logic flags" `Quick test_logic_flags;
+          Alcotest.test_case "inc/dec preserve CF" `Quick test_inc_dec_preserve_cf;
+          Alcotest.test_case "shifts" `Quick test_shift_semantics;
+          Alcotest.test_case "multiply" `Quick test_mul;
+          Alcotest.test_case "divide" `Quick test_div;
+          Alcotest.test_case "sign extension" `Quick test_sign_extend;
+          Alcotest.test_case "float->int" `Quick test_f2i;
+          Alcotest.test_case "fcmp" `Quick test_fcmp;
+          QCheck_alcotest.to_alcotest prop_div_identity;
+          QCheck_alcotest.to_alcotest prop_alu_matches_int64;
+        ] );
+      ( "conditions",
+        [
+          Alcotest.test_case "eval_cond table" `Quick test_eval_cond;
+          QCheck_alcotest.to_alcotest prop_negate_cond;
+        ] );
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          Alcotest.test_case "control transfers" `Quick test_codec_control;
+          Alcotest.test_case "bad encoding" `Quick test_codec_bad_encoding;
+          Alcotest.test_case "variable length" `Quick test_codec_variable_length;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_rw;
+          Alcotest.test_case "page boundary" `Quick test_memory_page_boundary;
+          Alcotest.test_case "fault policy" `Quick test_memory_fault_policy;
+          Alcotest.test_case "f64" `Quick test_memory_f64;
+          Alcotest.test_case "equal_page" `Quick test_memory_equal_page;
+        ] );
+      ("cpu", [ Alcotest.test_case "get/set/copy/diff" `Quick test_cpu_ops ]);
+      ( "step",
+        [
+          Alcotest.test_case "push/pop" `Quick test_step_push_pop;
+          Alcotest.test_case "pop esp" `Quick test_step_pop_esp;
+          Alcotest.test_case "call/ret" `Quick test_step_call_ret;
+          Alcotest.test_case "rep movs" `Quick test_step_string_rep_movs;
+          Alcotest.test_case "repe cmps" `Quick test_step_repe_cmps;
+          Alcotest.test_case "stos/scas" `Quick test_step_stos_scas;
+          Alcotest.test_case "cmov/setcc" `Quick test_step_cmov_setcc;
+          Alcotest.test_case "fault atomicity" `Quick test_step_fault_leaves_state;
+        ] );
+      ( "asm-loader-syscall",
+        [
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+          Alcotest.test_case "layout" `Quick test_asm_layout;
+          Alcotest.test_case "write + exit" `Quick test_syscall_write_and_exit;
+          Alcotest.test_case "read input" `Quick test_syscall_read;
+          Alcotest.test_case "run_until" `Quick test_run_until_counts;
+        ] );
+    ]

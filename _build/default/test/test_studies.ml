@@ -1,0 +1,48 @@
+(* The speed and warm-up studies, on reduced inputs. *)
+
+let program = lazy ((Darco_workloads.Registry.find "462.libquantum").build ())
+
+let test_speed_measure () =
+  let s = Darco_studies.Speed.measure ~insns:60_000 (Lazy.force program) ~seed:1 in
+  Alcotest.(check bool) "guest emulated > 0" true (s.guest_mips_emulated > 0.0);
+  Alcotest.(check bool) "host emulated > 0" true (s.host_mips_emulated > 0.0);
+  Alcotest.(check bool) "timing slower than functional" true
+    (s.guest_mips_timing < s.guest_mips_emulated)
+
+let test_warmup_study () =
+  let report =
+    Darco_studies.Warmup.run_study ~program:(Lazy.force program) ~seed:1
+      ~sample_offsets:[ 200_000; 320_000 ] ~window:15_000
+      ~baseline_warmup:150_000 ()
+  in
+  Alcotest.(check int) "two samples" 2 (List.length report.samples);
+  Alcotest.(check bool) "error small" true (report.avg_error < 0.15);
+  Alcotest.(check bool) "cost reduced" true (report.speedup > 1.0);
+  List.iter
+    (fun (s : Darco_studies.Warmup.sample_result) ->
+      Alcotest.(check bool) "ipc positive" true (s.ipc_sampled > 0.0 && s.ipc_full > 0.0))
+    report.samples
+
+let test_scaled_thresholds_warm_faster () =
+  (* with downscaled thresholds the same warm-up window reaches SBM much
+     earlier: compare startup metrics *)
+  let cfg = Darco.Config.default in
+  let fast = { cfg with bb_threshold = 1; sb_threshold = 4 } in
+  let run c =
+    let ctl = Darco.Controller.create ~cfg:c ~seed:1 (Lazy.force program) in
+    ignore (Darco.Controller.run ~max_insns:50_000 ctl);
+    match (Darco.Controller.stats ctl).startup_insns with Some n -> n | None -> max_int
+  in
+  Alcotest.(check bool) "scaling accelerates TOL warm-up" true (run fast < run cfg)
+
+let () =
+  Alcotest.run "studies"
+    [
+      ( "speed",
+        [ Alcotest.test_case "measurement" `Quick test_speed_measure ] );
+      ( "warmup",
+        [
+          Alcotest.test_case "study" `Slow test_warmup_study;
+          Alcotest.test_case "threshold scaling" `Quick test_scaled_thresholds_warm_faster;
+        ] );
+    ]

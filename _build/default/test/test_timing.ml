@@ -1,0 +1,267 @@
+open Darco_timing
+module Code = Darco_host.Code
+module Emulator = Darco_host.Emulator
+
+(* --- cache --------------------------------------------------------------- *)
+
+let small_geom : Tconfig.cache_geom = { sets = 4; ways = 2; line = 64; latency = 2 }
+
+let mk_cache ?(geom = small_geom) () =
+  Cache.create ~name:"test" geom ~parent:(fun _ ~is_write:_ -> 100)
+
+let test_cache_hit_miss () =
+  let c = mk_cache () in
+  Alcotest.(check int) "cold miss" 102 (Cache.access c 0x1000 ~is_write:false);
+  Alcotest.(check int) "hit" 2 (Cache.access c 0x1000 ~is_write:false);
+  Alcotest.(check int) "same line hit" 2 (Cache.access c 0x1020 ~is_write:false);
+  Alcotest.(check int) "different line misses" 102 (Cache.access c 0x1040 ~is_write:false);
+  let st = Cache.stats c in
+  Alcotest.(check int) "accesses" 4 st.accesses;
+  Alcotest.(check int) "misses" 2 st.misses
+
+let test_cache_lru_eviction () =
+  let c = mk_cache () in
+  (* set 0 with 2 ways: three conflicting lines *)
+  let addr k = k * small_geom.line * small_geom.sets in
+  ignore (Cache.access c (addr 1) ~is_write:false);
+  ignore (Cache.access c (addr 2) ~is_write:false);
+  ignore (Cache.access c (addr 1) ~is_write:false);
+  (* 2 is now LRU; 3 evicts it *)
+  ignore (Cache.access c (addr 3) ~is_write:false);
+  Alcotest.(check bool) "1 survives" true (Cache.contains c (addr 1));
+  Alcotest.(check bool) "2 evicted" false (Cache.contains c (addr 2))
+
+let test_cache_writeback () =
+  let c = mk_cache () in
+  let addr k = k * small_geom.line * small_geom.sets in
+  ignore (Cache.access c (addr 1) ~is_write:true);
+  ignore (Cache.access c (addr 2) ~is_write:false);
+  ignore (Cache.access c (addr 3) ~is_write:false);
+  Alcotest.(check int) "dirty eviction wrote back" 1 (Cache.stats c).writebacks
+
+let test_cache_prefetch_fill () =
+  let c = mk_cache () in
+  Cache.prefetch c 0x4000;
+  Alcotest.(check bool) "present" true (Cache.contains c 0x4000);
+  Alcotest.(check int) "demand hit after prefetch" 2
+    (Cache.access c 0x4000 ~is_write:false);
+  Alcotest.(check int) "no demand miss counted" 0 (Cache.stats c).misses
+
+(* --- tlb ------------------------------------------------------------------ *)
+
+let test_tlb () =
+  let t = Tlb.create { entries = 2; latency = 0 } ~parent:(fun _ -> 30) in
+  Alcotest.(check int) "cold" 30 (Tlb.access t 0x1000);
+  Alcotest.(check int) "hit" 0 (Tlb.access t 0x1abc);
+  ignore (Tlb.access t 0x2000);
+  ignore (Tlb.access t 0x3000);
+  (* 0x1000 was LRU-evicted by the third page *)
+  Alcotest.(check int) "evicted" 30 (Tlb.access t 0x1000);
+  Alcotest.(check bool) "miss rate sane" true (Tlb.miss_rate t > 0.5)
+
+(* --- branch predictor ------------------------------------------------------ *)
+
+let test_predictor_learns_bias () =
+  let p = Predictor.create Tconfig.default in
+  let pc = 0x1000 in
+  for _ = 1 to 100 do
+    ignore (Predictor.observe p ~pc ~taken:true ~target:0x2000)
+  done;
+  let taken, target = Predictor.predict p ~pc in
+  Alcotest.(check bool) "predicts taken" true taken;
+  Alcotest.(check (option int)) "btb target" (Some 0x2000) target;
+  Alcotest.(check bool) "high accuracy" true (Predictor.accuracy p > 0.9)
+
+let test_predictor_alternating_pattern () =
+  (* gshare with history should learn a strict alternation *)
+  let p = Predictor.create Tconfig.default in
+  let pc = 0x3000 in
+  let mispredicts_late = ref 0 in
+  for i = 1 to 400 do
+    let taken = i mod 2 = 0 in
+    match Predictor.observe p ~pc ~taken ~target:0x4000 with
+    | `Mispredict when i > 200 -> incr mispredicts_late
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "pattern learned" true (!mispredicts_late < 20)
+
+let test_predictor_btb_miss_counts () =
+  let p = Predictor.create Tconfig.default in
+  (* taken branch with no BTB entry: mispredict even if direction right *)
+  for _ = 1 to 5 do
+    ignore (Predictor.observe p ~pc:0x1000 ~taken:true ~target:0x2000)
+  done;
+  Alcotest.(check bool) "btb misses recorded" true ((Predictor.stats p).btb_misses >= 1)
+
+(* --- prefetcher ------------------------------------------------------------ *)
+
+let test_stride_prefetcher () =
+  let dl1 = mk_cache ~geom:{ sets = 64; ways = 4; line = 64; latency = 2 } () in
+  let pf = Prefetch.create Tconfig.default ~into:dl1 in
+  (* constant stride of 256 bytes from one load PC *)
+  for i = 0 to 9 do
+    Prefetch.observe pf ~pc:0x1000 ~addr:(0x10000 + (i * 256))
+  done;
+  Alcotest.(check bool) "prefetches issued" true ((Prefetch.stats pf).issued > 0);
+  (* the next strided line should already be resident *)
+  Alcotest.(check bool) "next line resident" true (Cache.contains dl1 (0x10000 + (10 * 256)))
+
+let test_prefetcher_ignores_random () =
+  let dl1 = mk_cache () in
+  let pf = Prefetch.create Tconfig.default ~into:dl1 in
+  let rng = Darco_util.Rng.create 4 in
+  for _ = 0 to 30 do
+    Prefetch.observe pf ~pc:0x1000 ~addr:(Darco_util.Rng.int rng 0x100000)
+  done;
+  Alcotest.(check bool) "no stable stride, few prefetches" true
+    ((Prefetch.stats pf).issued <= 4)
+
+(* --- pipeline --------------------------------------------------------------- *)
+
+let ri ?(pc = 0xC0000000) ?mem ?branch insn : Emulator.retire_info =
+  { host_pc = pc; insn; mem_access = mem; branch }
+
+let feed cfg stream =
+  let p = Pipeline.create cfg in
+  List.iter (Pipeline.step p) stream;
+  p
+
+let nop_stream n = List.init n (fun i -> ri ~pc:(0xC0000000 + (4 * i)) (Code.Li (20, i)))
+
+let test_pipeline_width_bound () =
+  let p = feed Tconfig.default (nop_stream 1000) in
+  let s = Pipeline.summary p in
+  Alcotest.(check bool) "IPC less than issue width" true
+    (s.ipc <= float_of_int Tconfig.default.issue_width +. 0.001);
+  Alcotest.(check int) "all retired" 1000 s.instructions;
+  (* wider core must not be slower *)
+  let pw = feed Tconfig.wide (nop_stream 1000) in
+  Alcotest.(check bool) "wide >= narrow IPC" true
+    ((Pipeline.summary pw).ipc >= s.ipc -. 0.001)
+
+let test_pipeline_dependency_chain () =
+  (* a serial dependency chain cannot exceed IPC 1 *)
+  let chain = List.init 600 (fun i -> ri ~pc:(0xC0000000 + (4 * i)) (Code.Bini (Add, 20, 20, 1))) in
+  let p = feed Tconfig.wide chain in
+  Alcotest.(check bool) "chain serializes" true ((Pipeline.summary p).ipc <= 1.01);
+  (* independent instructions on a wide core do better *)
+  let par =
+    List.init 600 (fun i -> ri ~pc:(0xC0000000 + (4 * i)) (Code.Bini (Add, 20 + (i mod 8), 21, 1)))
+  in
+  let p2 = feed Tconfig.wide par in
+  Alcotest.(check bool) "parallel faster" true
+    ((Pipeline.summary p2).ipc > (Pipeline.summary p).ipc)
+
+let test_pipeline_memory_latency () =
+  (* dependent loads with cache-hostile strides are slower than hits *)
+  let loads stride =
+    List.init 500 (fun i ->
+        ri ~pc:0xC0000000
+          ~mem:(0x10000 + (i * stride), `Load)
+          (Code.Load (W32, false, 20, 21, 0)))
+  in
+  let hot = feed Tconfig.default (loads 0) in
+  let cold = feed { Tconfig.default with prefetch = false } (loads 8192) in
+  Alcotest.(check bool) "misses cost cycles" true
+    (Pipeline.cycles cold > Pipeline.cycles hot);
+  Alcotest.(check bool) "miss rates ordered" true
+    ((Pipeline.summary cold).dl1_miss_rate > (Pipeline.summary hot).dl1_miss_rate)
+
+let test_pipeline_mispredict_penalty () =
+  let branchy taken_fn =
+    List.init 800 (fun i ->
+        ri ~pc:0xC0000000
+          ~branch:(taken_fn i, 0xC0001000)
+          (Code.B (Beq, 20, 21, 5)))
+  in
+  let predictable = feed Tconfig.default (branchy (fun _ -> true)) in
+  (* adversarial: pseudo-random direction *)
+  let rng = Darco_util.Rng.create 9 in
+  let random = feed Tconfig.default (branchy (fun _ -> Darco_util.Rng.bool rng)) in
+  Alcotest.(check bool) "mispredicts slow the core" true
+    (Pipeline.cycles random > Pipeline.cycles predictable)
+
+let test_pipeline_long_ops () =
+  let sins =
+    List.init 50 (fun _ -> ri (Code.Callrt_f (Rt_sin, 8, 9)))
+  in
+  let p = feed Tconfig.default sins in
+  Alcotest.(check bool) "transcendentals occupy the unit" true
+    (Pipeline.cycles p >= 50 * Code.rt_cost Rt_sin);
+  Alcotest.(check int) "stream weight" (50 * Code.rt_cost Rt_sin) (Pipeline.instructions p)
+
+let prop_pipeline_monotone_cycles =
+  QCheck.Test.make ~name:"cycles grow monotonically with the stream" ~count:50
+    QCheck.small_int (fun seed ->
+      let rng = Darco_util.Rng.create seed in
+      let p = Pipeline.create Tconfig.default in
+      let ok = ref true in
+      let last = ref 0 in
+      for i = 0 to 300 do
+        let insn : Code.insn =
+          match Darco_util.Rng.int rng 5 with
+          | 0 -> Code.Li (20, i)
+          | 1 -> Code.Bin (Add, 21, 20, 21)
+          | 2 -> Code.Load (W32, false, 22, 21, 0)
+          | 3 -> Code.Store (W32, 22, 21, 0)
+          | _ -> Code.Fbin (Fmul, 8, 9, 10)
+        in
+        let mem =
+          match insn with
+          | Code.Load _ -> Some (Darco_util.Rng.int rng 0x40000, `Load)
+          | Code.Store _ -> Some (Darco_util.Rng.int rng 0x40000, `Store)
+          | _ -> None
+        in
+        Pipeline.step p (ri ?mem ~pc:(0xC0000000 + (4 * i)) insn);
+        let c = Pipeline.cycles p in
+        if c < !last then ok := false;
+        last := c
+      done;
+      !ok)
+
+let test_events_populated () =
+  let p =
+    feed Tconfig.default
+      (List.init 100 (fun i ->
+           ri ~pc:(0xC0000000 + (4 * i))
+             ~mem:(0x5000 + (4 * i), `Load)
+             (Code.Load (W32, false, 20, 21, 0))))
+  in
+  let e = Pipeline.events p in
+  Alcotest.(check int) "mem reads" 100 e.e_mem_reads;
+  Alcotest.(check bool) "cycles" true (e.e_cycles > 0);
+  Alcotest.(check bool) "regfile activity" true (e.e_regfile_writes > 0)
+
+let () =
+  Alcotest.run "timing"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "writeback" `Quick test_cache_writeback;
+          Alcotest.test_case "prefetch fill" `Quick test_cache_prefetch_fill;
+        ] );
+      ("tlb", [ Alcotest.test_case "two-level behaviour" `Quick test_tlb ]);
+      ( "predictor",
+        [
+          Alcotest.test_case "learns bias" `Quick test_predictor_learns_bias;
+          Alcotest.test_case "alternating pattern" `Quick test_predictor_alternating_pattern;
+          Alcotest.test_case "btb misses" `Quick test_predictor_btb_miss_counts;
+        ] );
+      ( "prefetcher",
+        [
+          Alcotest.test_case "stride detection" `Quick test_stride_prefetcher;
+          Alcotest.test_case "ignores random" `Quick test_prefetcher_ignores_random;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "width bound" `Quick test_pipeline_width_bound;
+          Alcotest.test_case "dependency chain" `Quick test_pipeline_dependency_chain;
+          Alcotest.test_case "memory latency" `Quick test_pipeline_memory_latency;
+          Alcotest.test_case "mispredict penalty" `Quick test_pipeline_mispredict_penalty;
+          Alcotest.test_case "long operations" `Quick test_pipeline_long_ops;
+          Alcotest.test_case "events" `Quick test_events_populated;
+          QCheck_alcotest.to_alcotest prop_pipeline_monotone_cycles;
+        ] );
+    ]

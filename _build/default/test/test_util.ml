@@ -1,0 +1,138 @@
+module Rng = Darco_util.Rng
+module SM = Darco_util.Stats_math
+module Table = Darco_util.Table
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false (Rng.int64 a = Rng.int64 b)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let c = Rng.split a in
+  Alcotest.(check bool) "split differs" false (Rng.int64 a = Rng.int64 c)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Rng.create seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_in_range =
+  QCheck.Test.make ~name:"Rng.in_range inclusive" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, extra) ->
+      let hi = lo + extra in
+      let rng = Rng.create seed in
+      let v = Rng.in_range rng lo hi in
+      v >= lo && v <= hi)
+
+let prop_float_unit =
+  QCheck.Test.make ~name:"Rng.float in [0,1)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let v = Rng.float rng in
+      v >= 0.0 && v < 1.0)
+
+let test_weighted () =
+  let rng = Rng.create 5 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 3000 do
+    let v = Rng.weighted rng [ (1.0, "a"); (9.0, "b") ] in
+    Hashtbl.replace counts v (1 + Option.value (Hashtbl.find_opt counts v) ~default:0)
+  done;
+  let b = Hashtbl.find counts "b" in
+  Alcotest.(check bool) "weights respected" true (b > 2400 && b < 2950)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 9 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_mean_geomean () =
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (SM.mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "mean empty" 0.0 (SM.mean []);
+  Alcotest.(check (float 1e-6)) "geomean" 2.0 (SM.geomean [ 1.0; 2.0; 4.0 ]);
+  Alcotest.(check (float 1e-6)) "geomean of 1,4" 2.0 (SM.geomean [ 1.0; 4.0 ])
+
+let test_stddev () =
+  Alcotest.(check (float 1e-9)) "constant" 0.0 (SM.stddev [ 5.0; 5.0; 5.0 ]);
+  Alcotest.(check (float 1e-6)) "known" 2.0 (SM.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_correlation () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "self" 1.0 (SM.correlation xs xs);
+  Alcotest.(check (float 1e-9)) "negated" (-1.0)
+    (SM.correlation xs (Array.map (fun v -> -.v) xs));
+  Alcotest.(check (float 1e-9)) "constant series" 0.0
+    (SM.correlation xs [| 1.0; 1.0; 1.0; 1.0 |])
+
+let test_relative_error () =
+  Alcotest.(check (float 1e-9)) "10% high" 0.1 (SM.relative_error 1.1 1.0);
+  Alcotest.(check (float 1e-9)) "10% low" 0.1 (SM.relative_error 0.9 1.0);
+  Alcotest.(check (float 1e-9)) "zero ref" 0.0 (SM.relative_error 5.0 0.0)
+
+let test_histogram_distance () =
+  Alcotest.(check (float 1e-9)) "identical" 0.0
+    (SM.histogram_distance [| 1.0; 2.0 |] [| 2.0; 4.0 |]);
+  Alcotest.(check (float 1e-9)) "disjoint" 1.0
+    (SM.histogram_distance [| 1.0; 0.0 |] [| 0.0; 1.0 |])
+
+let test_table_render () =
+  let s = Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ] in
+  Alcotest.(check bool) "contains separator" true (String.length s > 0 && String.contains s '-');
+  Alcotest.(check bool) "contains cells" true (String.length s >= String.length "a   bb")
+
+let test_stacked_bars_total_width () =
+  let s =
+    Table.stacked_bars ~labels:[ "l1" ]
+      ~series:[ ("x", [| 30.0 |]); ("y", [| 70.0 |]) ]
+  in
+  (* every bar line must be exactly 50 glyphs between the pipes *)
+  String.split_on_char '\n' s
+  |> List.iter (fun line ->
+         match String.index_opt line '|' with
+         | Some i -> (
+           match String.rindex_opt line '|' with
+           | Some j -> Alcotest.(check int) "bar width" 50 (j - i - 1)
+           | None -> ())
+         | None -> ())
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_different_seeds;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "weighted" `Quick test_weighted;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutation;
+          QCheck_alcotest.to_alcotest prop_int_in_bounds;
+          QCheck_alcotest.to_alcotest prop_in_range;
+          QCheck_alcotest.to_alcotest prop_float_unit;
+        ] );
+      ( "stats-math",
+        [
+          Alcotest.test_case "mean/geomean" `Quick test_mean_geomean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "correlation" `Quick test_correlation;
+          Alcotest.test_case "relative error" `Quick test_relative_error;
+          Alcotest.test_case "histogram distance" `Quick test_histogram_distance;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "stacked bars width" `Quick test_stacked_bars_total_width;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+module Registry = Darco_workloads.Registry
+module B = Darco_workloads.Builder
+open Darco_guest
+
+(* Every synthetic benchmark must pass differential validation (checked at
+   every 10k-instruction slice) on a bounded prefix, produce output, and
+   exercise the pipeline. *)
+
+let check_workload (e : Registry.entry) () =
+  let cfg = { Darco.Config.default with slice_fuel = 10_000 } in
+  let ctl = Darco.Controller.create ~cfg ~seed:42 (e.build ()) in
+  ctl.validate_at_checkpoints <- true;
+  (match Darco.Controller.run ~max_insns:120_000 ctl with
+  | `Done | `Limit -> ()
+  | `Diverged d ->
+    Alcotest.failf "%s diverged at %d: %s" e.name d.Darco.Controller.at_retired
+      (String.concat "; " d.Darco.Controller.details));
+  let st = Darco.Controller.stats ctl in
+  Alcotest.(check bool) "executed something" true (Darco.Stats.guest_total st > 5_000);
+  Alcotest.(check bool) "translations happened" true (st.bb_translations > 0)
+
+let workload_cases =
+  List.map
+    (fun (e : Registry.entry) -> Alcotest.test_case e.name `Quick (check_workload e))
+    Registry.all
+
+let test_registry_counts () =
+  Alcotest.(check int) "11 SPECINT" 11 (List.length (Registry.by_suite Registry.Specint));
+  Alcotest.(check int) "13 SPECFP" 13 (List.length (Registry.by_suite Registry.Specfp));
+  Alcotest.(check int) "7 Physicsbench" 7
+    (List.length (Registry.by_suite Registry.Physicsbench));
+  Alcotest.(check int) "31 total" 31 (List.length Registry.all)
+
+let test_registry_find () =
+  Alcotest.(check string) "by substring" "429.mcf" (Registry.find "mcf").name;
+  Alcotest.(check string) "exact" "470.lbm" (Registry.find "470.lbm").name;
+  Alcotest.check_raises "ambiguous" Not_found (fun () -> ignore (Registry.find "4"));
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (Registry.find "nonesuch"))
+
+let test_deterministic_builds () =
+  let p1 = (Registry.find "445.gobmk").build () in
+  let p2 = (Registry.find "445.gobmk").build () in
+  Alcotest.(check bool) "identical images" true
+    (List.for_all2
+       (fun (a1, b1) (a2, b2) -> a1 = a2 && Bytes.equal b1 b2)
+       p1.Program.chunks p2.Program.chunks)
+
+let test_scale_parameter () =
+  let small = (Registry.find "429.mcf").build ~scale:1 () in
+  let r1 = Interp_ref.boot ~seed:1 small in
+  ignore (Interp_ref.run_to_halt r1);
+  let big = (Registry.find "429.mcf").build ~scale:2 () in
+  let r2 = Interp_ref.boot ~seed:1 big in
+  ignore (Interp_ref.run_to_halt r2);
+  Alcotest.(check bool) "scale grows dynamic length" true (r2.retired > r1.retired)
+
+(* --- builder DSL ---------------------------------------------------------- *)
+
+let run_builder b =
+  let r = Interp_ref.boot ~seed:1 (B.assemble b) in
+  ignore (Interp_ref.run_to_halt r);
+  r
+
+let test_builder_counted_loop () =
+  let b = B.create ~seed:1 () in
+  B.i b (Mov (Reg EAX, Imm 0));
+  B.counted_loop b ~reg:ECX ~count:37 (fun () -> B.i b (Inc (Reg EAX)));
+  B.exit_program b ~code:(Reg EAX);
+  let r = run_builder b in
+  Alcotest.(check (option int)) "loop count" (Some 37) r.exit_code
+
+let test_builder_jump_table () =
+  let b = B.create ~seed:2 () in
+  let a = B.asm b in
+  B.i b (Mov (Reg EAX, Imm 2));
+  B.jump_table b "tbl" [ "t0"; "t1"; "t2" ];
+  B.table_dispatch b ~table:"tbl" ~index:EAX;
+  Asm.label a "t0";
+  B.exit_program b ~code:(Imm 10);
+  Asm.label a "t1";
+  B.exit_program b ~code:(Imm 11);
+  Asm.label a "t2";
+  B.exit_program b ~code:(Imm 12);
+  let r = run_builder b in
+  Alcotest.(check (option int)) "dispatched to t2" (Some 12) r.exit_code
+
+let test_builder_func_and_arrays () =
+  let b = B.create ~seed:3 () in
+  B.array32 b "arr" [| 5; 6; 7; 8 |];
+  B.func b "sum4" (fun () ->
+      B.i b (Mov (Reg EAX, Imm 0));
+      B.i b (Mov (Reg ESI, Imm 0));
+      B.counted_loop b ~reg:ECX ~count:4 (fun () ->
+          B.load_arr b EDX "arr" ~index:(ESI, S4) ();
+          B.i b (Alu (Add, Reg EAX, Reg EDX));
+          B.i b (Inc (Reg ESI))));
+  Asm.call (B.asm b) "sum4";
+  B.exit_program b ~code:(Reg EAX);
+  let r = run_builder b in
+  Alcotest.(check (option int)) "sum" (Some 26) r.exit_code
+
+let test_builder_print32 () =
+  let b = B.create ~seed:4 () in
+  B.print32 b (Imm 0x01020304);
+  B.exit_program b ~code:(Imm 0);
+  let r = run_builder b in
+  Alcotest.(check string) "raw bytes LE" "\x04\x03\x02\x01" (Interp_ref.output r)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counts" `Quick test_registry_counts;
+          Alcotest.test_case "find" `Quick test_registry_find;
+          Alcotest.test_case "deterministic" `Quick test_deterministic_builds;
+          Alcotest.test_case "scale" `Quick test_scale_parameter;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "counted loop" `Quick test_builder_counted_loop;
+          Alcotest.test_case "jump table" `Quick test_builder_jump_table;
+          Alcotest.test_case "functions + arrays" `Quick test_builder_func_and_arrays;
+          Alcotest.test_case "print32" `Quick test_builder_print32;
+        ] );
+      ("benchmarks", workload_cases);
+    ]

@@ -1,0 +1,190 @@
+(* Shared deterministic generators for the test suites: random guest
+   instructions (straight-line subset for per-pass differential tests) and
+   random structured guest programs (terminating by construction, for
+   whole-system differential validation). *)
+
+open Darco_guest
+module Rng = Darco_util.Rng
+
+(* Registers the random code may freely clobber.  EBX is reserved as the
+   data-region base and EBP as a second pointer so that memory operands stay
+   inside the data region. *)
+let clobber_regs = [| Isa.EAX; Isa.ECX; Isa.EDX; Isa.ESI; Isa.EDI |]
+let all_fregs = Isa.all_fregs
+let data_base = 0x3000
+let data_size = 2048
+
+let reg rng = Rng.choose rng clobber_regs
+let freg rng = Rng.choose rng all_fregs
+
+let small_imm rng = Rng.in_range rng (-64) 8192
+
+(* A memory operand guaranteed to land in the data region: EBX holds
+   [data_base]; the index register is ANDed into range by the generator
+   before use (callers emit the masking instruction). *)
+let mem_operand rng : Isa.mem =
+  { base = Some EBX; index = None; disp = Rng.int rng (data_size - 16) }
+
+let operand rng : Isa.operand =
+  match Rng.int rng 5 with
+  | 0 | 1 -> Reg (reg rng)
+  | 2 -> Imm (small_imm rng)
+  | _ -> Mem (mem_operand rng)
+
+let dst_operand rng : Isa.operand =
+  if Rng.chance rng 0.7 then Reg (reg rng) else Mem (mem_operand rng)
+
+let alu_op rng : Isa.alu_op =
+  Rng.choose rng [| Isa.Add; Sub; Adc; Sbb; And; Or; Xor |]
+
+let shift_op rng : Isa.shift_op = Rng.choose rng [| Isa.Shl; Shr; Sar; Rol; Ror |]
+let cond rng = Rng.choose rng Isa.all_conds
+
+(* One random straight-line (non-control) instruction. *)
+let rec insn rng : Isa.insn =
+  match Rng.int rng 24 with
+  | 0 -> Mov (dst_operand rng, operand rng)
+  | 1 -> Alu (alu_op rng, dst_operand rng, operand rng)
+  | 2 -> Cmp (operand rng, operand rng)
+  | 3 -> Test (operand rng, operand rng)
+  | 4 -> Inc (dst_operand rng)
+  | 5 -> Dec (dst_operand rng)
+  | 6 -> Neg (dst_operand rng)
+  | 7 -> Not (dst_operand rng)
+  | 8 ->
+    let count : Isa.operand =
+      if Rng.bool rng then Imm (Rng.int rng 40) else Reg ECX
+    in
+    Shift (shift_op rng, dst_operand rng, count)
+  | 9 -> if Rng.bool rng then Mul (Reg (reg rng)) else Imul (Reg (reg rng))
+  | 10 -> Imul2 (reg rng, operand rng)
+  | 11 -> if Rng.bool rng then Div (Reg (reg rng)) else Idiv (Reg (reg rng))
+  | 12 -> Lea (reg rng, mem_operand rng)
+  | 13 ->
+    Movx
+      ( Rng.choose rng [| Isa.W8; W16 |],
+        Rng.bool rng,
+        reg rng,
+        mem_operand rng )
+  | 14 -> Movw (Rng.choose rng [| Isa.W8; W16 |], mem_operand rng, reg rng)
+  | 15 -> Cmov (cond rng, reg rng, operand rng)
+  | 16 -> Setcc (cond rng, reg rng)
+  | 17 -> Fld (freg rng, mem_operand rng)
+  | 18 -> Fst (mem_operand rng, freg rng)
+  | 19 -> (
+    match Rng.int rng 5 with
+    | 0 -> Fmov (freg rng, freg rng)
+    | 1 -> Fldi (freg rng, Rng.float rng *. 8.0)
+    | 2 ->
+      Fbin (Rng.choose rng [| Isa.Fadd; Fsub; Fmul; Fdiv |], freg rng, freg rng)
+    | 3 -> Fun_ (Rng.choose rng [| Isa.Fsqrt; Fsin; Fcos; Fabs; Fchs |], freg rng)
+    | _ -> Fcmp (freg rng, freg rng))
+  | 20 -> Fild (freg rng, reg rng)
+  | 21 -> Fist (reg rng, freg rng)
+  | 22 -> Nop
+  | _ -> if Rng.bool rng then insn rng else Mov (Reg (reg rng), Imm (small_imm rng))
+
+let insn_block rng n = List.init n (fun _ -> insn rng)
+
+(* --- structured random programs for whole-system differential tests --- *)
+
+let setup_pointers a =
+  Asm.insn a (Mov (Reg EBX, Imm data_base));
+  Asm.insn a (Mov (Reg EBP, Imm (data_base + 512)))
+
+(* String ops need controlled pointers/counts; emit a safe harness. *)
+let emit_string_op rng a =
+  Asm.insn a (Mov (Reg ESI, Imm (data_base + Rng.int rng 256)));
+  Asm.insn a (Mov (Reg EDI, Imm (data_base + 512 + Rng.int rng 256)));
+  Asm.insn a (Mov (Reg ECX, Imm (Rng.int rng 24)));
+  let kind = Rng.choose rng [| Isa.Movs; Stos; Lods; Scas; Cmps |] in
+  let width = Rng.choose rng [| Isa.W8; W16; W32 |] in
+  let rep =
+    match kind with
+    | Lods -> Isa.NoRep (* rep lods is pointless and slow *)
+    | _ -> Rng.choose rng [| Isa.NoRep; Rep; Repe; Repne |]
+  in
+  Asm.insn a (Str (kind, width, rep))
+
+let fresh_label =
+  let n = ref 0 in
+  fun stem ->
+    incr n;
+    Printf.sprintf "%s_%d" stem !n
+
+(* Structured code: straight blocks, diamonds, counted loops, calls. *)
+let rec emit_chunk rng a ~depth ~funcs =
+  match Rng.int rng (if depth > 2 then 2 else 6) with
+  | 0 | 1 -> List.iter (Asm.insn a) (insn_block rng (2 + Rng.int rng 8))
+  | 2 ->
+    (* if/else diamond on a random condition *)
+    let other = fresh_label "else" in
+    let join = fresh_label "join" in
+    List.iter (Asm.insn a) (insn_block rng 2);
+    Asm.jcc a (cond rng) other;
+    List.iter (Asm.insn a) (insn_block rng (1 + Rng.int rng 4));
+    Asm.jmp a join;
+    Asm.label a other;
+    List.iter (Asm.insn a) (insn_block rng (1 + Rng.int rng 4));
+    Asm.label a join
+  | 3 ->
+    (* counted loop; the counter lives on the stack so the body can
+       clobber every register *)
+    let head = fresh_label "head" in
+    let count = 2 + Rng.int rng 40 in
+    Asm.insn a (Push (Imm count));
+    Asm.label a head;
+    emit_chunk rng a ~depth:(depth + 1) ~funcs;
+    setup_pointers a;
+    Asm.insn a (Pop ECX);
+    Asm.insn a (Dec (Reg ECX));
+    Asm.insn a (Push (Reg ECX));
+    Asm.jcc a NE head;
+    Asm.insn a (Pop ECX)
+  | 4 when funcs <> [] ->
+    let f = List.nth funcs (Rng.int rng (List.length funcs)) in
+    Asm.call a f
+  | _ -> emit_string_op rng a
+
+let random_program ?(seed = 0) ?(chunks = 8) () =
+  let rng = Rng.create (seed + 7777) in
+  let a = Asm.create ~base:0x1000 () in
+  Asm.jmp a "entry";
+  (* a few callable leaf functions *)
+  let funcs =
+    List.init 3 (fun _ ->
+        let name = fresh_label "fn" in
+        Asm.label a name;
+        List.iter (Asm.insn a) (insn_block rng (2 + Rng.int rng 6));
+        setup_pointers a;
+        Asm.insn a Ret;
+        name)
+  in
+  Asm.label a "entry";
+  setup_pointers a;
+  for _ = 1 to chunks do
+    emit_chunk rng a ~depth:0 ~funcs;
+    setup_pointers a
+  done;
+  (* report a checksum then exit *)
+  Asm.insn a (Mov (Reg EBX, Reg EAX));
+  Asm.insn a (Mov (Reg EAX, Imm 1));
+  Asm.insn a Syscall;
+  Asm.insn a Halt;
+  Asm.assemble a
+
+(* --- comparison helpers --- *)
+
+let check_cpu_equal what (a : Cpu.t) (b : Cpu.t) =
+  if not (Cpu.equal a b) then
+    Alcotest.failf "%s: state differs:\n%s" what (String.concat "\n" (Cpu.diff a b))
+
+let check_mem_equal what (a : Memory.t) (b : Memory.t) =
+  let pages =
+    List.sort_uniq compare (Memory.touched_pages a @ Memory.touched_pages b)
+  in
+  List.iter
+    (fun idx ->
+      if not (Memory.equal_page a b idx) then
+        Alcotest.failf "%s: memory page 0x%x differs" what (Memory.page_base idx))
+    pages
