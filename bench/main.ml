@@ -12,26 +12,48 @@ module SM = Darco_util.Stats_math
 
 type bench_stats = { name : string; suite : Registry.suite; stats : Darco.Stats.t }
 
-let run_benchmark ?(cfg = Darco.Config.default) ?(timing = false) ?max_insns
+(* Machine-readable record of every run this process performed, dumped to
+   BENCH_results.json at exit; a divergence anywhere fails the harness. *)
+type recorded = {
+  r_label : string;
+  r_suite : Registry.suite;
+  r_stats : Darco.Stats.t;
+  r_diverged : (int * string list) option;
+}
+
+let recorded : recorded list ref = ref []
+
+let run_benchmark ?(cfg = Darco.Config.default) ?(timing = false) ?max_insns ?label
     (e : Registry.entry) =
   let ctl = Darco.Controller.create ~cfg ~seed:42 (e.build ()) in
   let pipe =
     if timing then begin
       let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-      ctl.co.on_retire <- Some (Darco_timing.Pipeline.step p);
+      Darco_timing.Pipeline.attach p (Darco.Controller.bus ctl);
       Some p
     end
     else None
   in
-  (match Darco.Controller.run ?max_insns ctl with
-  | `Done -> ()
-  | `Limit -> ()
-  | `Diverged d ->
-    Printf.printf "!! %s diverged at %d: %s\n" e.name d.at_retired
-      (String.concat "; " d.details));
-  ({ name = e.name; suite = e.suite; stats = Darco.Controller.stats ctl }, pipe)
+  let diverged =
+    match Darco.Controller.run ?max_insns ctl with
+    | `Done | `Limit -> None
+    | `Diverged d ->
+      Printf.printf "!! %s diverged at %d: %s\n" e.name d.at_retired
+        (String.concat "; " d.details);
+      Some (d.at_retired, d.details)
+  in
+  let stats = Darco.Controller.stats ctl in
+  recorded :=
+    {
+      r_label = Option.value label ~default:e.name;
+      r_suite = e.suite;
+      r_stats = stats;
+      r_diverged = diverged;
+    }
+    :: !recorded;
+  ({ name = e.name; suite = e.suite; stats }, pipe)
 
-let run_benchmark_stats ?cfg e = fst (run_benchmark ?cfg e)
+let run_benchmark_stats ?cfg ?label e = fst (run_benchmark ?cfg ?label e)
 
 let suite_results = lazy (List.map run_benchmark_stats Registry.all)
 
@@ -179,7 +201,7 @@ let bechamel_speed () =
            let ctl = Darco.Controller.create ~seed:42 (Lazy.force speed_workload) in
            if timing then begin
              let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-             ctl.co.on_retire <- Some (Darco_timing.Pipeline.step p)
+             Darco_timing.Pipeline.attach p (Darco.Controller.bus ctl)
            end;
            ignore (Darco.Controller.run ~max_insns:insns ctl);
            Darco.Controller.stats ctl))
@@ -268,7 +290,10 @@ let ablation_features () =
       let rows =
         List.map
           (fun (name, cfg) ->
-            let r, pipe = run_benchmark ~cfg ~timing:true ~max_insns:250_000 e in
+            let r, pipe =
+              run_benchmark ~cfg ~timing:true ~max_insns:250_000
+                ~label:(e.name ^ "/" ^ name) e
+            in
             let _, _, sbm = Darco.Stats.mode_fractions r.stats in
             let ipc =
               match pipe with
@@ -297,7 +322,9 @@ let ablation_thresholds () =
     List.map
       (fun (bb, sb) ->
         let cfg = { Darco.Config.default with bb_threshold = bb; sb_threshold = sb } in
-        let r = run_benchmark_stats ~cfg e in
+        let r =
+          run_benchmark_stats ~cfg ~label:(Printf.sprintf "%s/bb%d-sb%d" e.name bb sb) e
+        in
         let _, _, sbm = Darco.Stats.mode_fractions r.stats in
         [
           Printf.sprintf "%d / %d" bb sb;
@@ -320,8 +347,34 @@ let all () =
   ablation_features ();
   ablation_thresholds ()
 
+(* Machine-readable companion to the ASCII figures: one entry per run,
+   including the full metrics snapshot and any divergence detail. *)
+let write_results path =
+  let open Darco_obs in
+  let entry r =
+    Jsonx.Obj
+      [
+        ("name", Jsonx.String r.r_label);
+        ("suite", Jsonx.String (Registry.suite_name r.r_suite));
+        ( "diverged",
+          match r.r_diverged with
+          | None -> Jsonx.Null
+          | Some (at, details) ->
+            Jsonx.Obj
+              [
+                ("at", Jsonx.Int at);
+                ("details", Jsonx.List (List.map (fun d -> Jsonx.String d) details));
+              ] );
+        ("metrics", Metrics.to_json r.r_stats);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Jsonx.to_string (Jsonx.List (List.rev_map entry !recorded)));
+  output_char oc '\n';
+  close_out oc
+
 let () =
-  match Array.to_list Sys.argv with
+  (match Array.to_list Sys.argv with
   | [ _ ] | [ _; "all" ] -> all ()
   | _ :: args ->
     List.iter
@@ -337,4 +390,12 @@ let () =
           ablation_thresholds ()
         | other -> Printf.printf "unknown target %s\n" other)
       args
-  | [] -> ()
+  | [] -> ());
+  write_results "BENCH_results.json";
+  let diverged = List.filter (fun r -> r.r_diverged <> None) !recorded in
+  Printf.printf "BENCH_results.json: %d runs, %d diverged\n" (List.length !recorded)
+    (List.length diverged);
+  if diverged <> [] then begin
+    List.iter (fun r -> Printf.printf "  diverged: %s\n" r.r_label) diverged;
+    exit 1
+  end

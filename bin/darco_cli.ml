@@ -40,6 +40,20 @@ let max_insns_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic input seed")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:"Write the typed simulation event stream as JSON lines to $(docv)")
+
+let stats_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-json" ] ~docv:"FILE"
+        ~doc:"Write the final statistics as a JSON metrics snapshot to $(docv)")
+
 let no_flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
 let config_term =
@@ -76,18 +90,22 @@ let config_term =
     $ Arg.(value & opt int Darco.Config.default.sb_threshold & info [ "sb-threshold" ] ~doc:"BBM->SBM promotion threshold"))
 
 let run_cmd =
-  let run bench scale timing validate max_insns seed cfg =
+  let run bench scale timing validate max_insns seed trace stats_json cfg =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     Printf.printf "== %s (%s), %d static bytes ==\n%!" entry.name
       (Darco_workloads.Registry.suite_name entry.suite)
       (Darco_guest.Program.code_bytes program);
-    let ctl = Darco.Controller.create ~cfg ~seed program in
+    (* Sinks attach before the controller exists so initialization events
+       land in the trace too. *)
+    let bus = Darco_obs.Bus.create () in
+    let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) trace in
+    let ctl = Darco.Controller.create ~cfg ~bus ~seed program in
     ctl.validate_at_checkpoints <- validate;
     let pipe =
       if timing then begin
         let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-        ctl.co.on_retire <- Some (Darco_timing.Pipeline.step p);
+        Darco_timing.Pipeline.attach p bus;
         Some p
       end
       else None
@@ -95,6 +113,10 @@ let run_cmd =
     let t0 = Unix.gettimeofday () in
     let result = Darco.Controller.run ~max_insns ctl in
     let dt = Unix.gettimeofday () -. t0 in
+    Option.iter close_out trace_oc;
+    Option.iter
+      (fun path -> Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
+      stats_json;
     (match result with
     | `Done -> Printf.printf "completed"
     | `Limit -> Printf.printf "instruction limit reached"
@@ -125,7 +147,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Run one workload through the co-designed pipeline")
     Term.(
       const run $ bench_arg $ scale_arg $ timing_arg $ validate_arg $ max_insns_arg
-      $ seed_arg $ config_term)
+      $ seed_arg $ trace_arg $ stats_json_arg $ config_term)
 
 let suite_cmd =
   let run scale seed =

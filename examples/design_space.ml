@@ -22,7 +22,7 @@ let configs =
 let run_one name tcfg program =
   let ctl = Darco.Controller.create ~seed:7 program in
   let pipe = T.Pipeline.create tcfg in
-  ctl.co.on_retire <- Some (T.Pipeline.step pipe);
+  T.Pipeline.attach pipe (Darco.Controller.bus ctl);
   ignore (Darco.Controller.run ~max_insns:220_000 ctl);
   let s = T.Pipeline.summary pipe in
   let ev = T.Pipeline.events pipe in

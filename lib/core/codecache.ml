@@ -1,4 +1,6 @@
 open Darco_host
+module Bus = Darco_obs.Bus
+module Event = Darco_obs.Event
 
 (* Host code addresses live in their own region of the address space,
    disjoint from guest data and TOL data. *)
@@ -7,6 +9,7 @@ let code_base = 0xC000_0000
 type t = {
   tolmem : Tolmem.t;
   stats : Stats.t;
+  bus : Bus.t;
   by_pc : (int, Code.region list) Hashtbl.t;
   by_base : (int, Code.region) Hashtbl.t;
   mutable next_id : int;
@@ -16,11 +19,12 @@ type t = {
   ibtc_entries : int;
 }
 
-let create (cfg : Config.t) tolmem stats =
+let create ?(bus = Bus.create ()) (cfg : Config.t) tolmem stats =
   let entries = 1 lsl cfg.ibtc_bits in
   {
     tolmem;
     stats;
+    bus;
     by_pc = Hashtbl.create 256;
     by_base = Hashtbl.create 256;
     next_id = 0;
@@ -37,6 +41,7 @@ let ibtc_clear_entry t i =
   Tolmem.write32 t.tolmem (t.ibtc_base + (8 * i) + 4) 0
 
 let flush t =
+  let regions = Hashtbl.length t.by_base and host_insns = t.total_insns in
   Hashtbl.iter (fun _ (r : Code.region) -> r.invalidated <- true) t.by_base;
   Hashtbl.reset t.by_pc;
   Hashtbl.reset t.by_base;
@@ -44,7 +49,11 @@ let flush t =
   for i = 0 to t.ibtc_entries - 1 do
     ibtc_clear_entry t i
   done;
-  t.stats.code_cache_flushes <- t.stats.code_cache_flushes + 1
+  t.stats.code_cache_flushes <- t.stats.code_cache_flushes + 1;
+  if Bus.active t.bus then
+    Bus.emit t.bus
+      ~at:(Stats.guest_total t.stats)
+      (Event.Cache_flush { regions; host_insns })
 
 let register t (r : Code.region) =
   let existing = Option.value (Hashtbl.find_opt t.by_pc r.entry_pc) ~default:[] in
@@ -90,7 +99,11 @@ let resolve_base t base = Hashtbl.find_opt t.by_base base
 let chain t (e : Code.exit_info) (target : Code.region) =
   e.chain <- Some target;
   target.incoming <- e :: target.incoming;
-  t.stats.chains_made <- t.stats.chains_made + 1
+  t.stats.chains_made <- t.stats.chains_made + 1;
+  if Bus.active t.bus then
+    Bus.emit t.bus
+      ~at:(Stats.guest_total t.stats)
+      (Event.Chain_made { pc = target.entry_pc })
 
 let ibtc_index t pc = pc land (t.ibtc_entries - 1)
 
@@ -98,7 +111,11 @@ let ibtc_fill t ~guest_pc (region : Code.region) =
   let addr = t.ibtc_base + (8 * ibtc_index t guest_pc) in
   Tolmem.write32 t.tolmem addr guest_pc;
   Tolmem.write32 t.tolmem (addr + 4) region.base;
-  t.stats.ibtc_fills <- t.stats.ibtc_fills + 1
+  t.stats.ibtc_fills <- t.stats.ibtc_fills + 1;
+  if Bus.active t.bus then
+    Bus.emit t.bus
+      ~at:(Stats.guest_total t.stats)
+      (Event.Ibtc_fill { pc = guest_pc })
 
 let invalidate t (r : Code.region) =
   r.invalidated <- true;

@@ -2,11 +2,12 @@ open Darco_host
 
 (** The translation code cache: region registry, host code-address
     allocation, chaining management, the IBTC (indirect branch translation
-    cache, after Scott et al.) and capacity-triggered full flushes. *)
+    cache, after Scott et al.) and capacity-triggered full flushes.
+    Publishes [Chain_made], [Ibtc_fill] and [Cache_flush] events. *)
 
 type t
 
-val create : Config.t -> Tolmem.t -> Stats.t -> t
+val create : ?bus:Darco_obs.Bus.t -> Config.t -> Tolmem.t -> Stats.t -> t
 
 val ibtc_base : t -> int
 (** Address of the IBTC table in TOL memory (inline probe sequences use

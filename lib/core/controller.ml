@@ -1,4 +1,6 @@
 open Darco_guest
+module Bus = Darco_obs.Bus
+module Event = Darco_obs.Event
 
 type divergence = { at_retired : int; details : string list }
 
@@ -11,15 +13,19 @@ type t = {
   mutable validate_memory : bool;
 }
 
-let create_at ?(cfg = Config.default) ?input ~seed program ~start =
+let create_at ?(cfg = Config.default) ?bus ?input ~seed program ~start =
+  let bus = match bus with Some b -> b | None -> Bus.create () in
   let reference = Interp_ref.boot ?input ~seed program in
   if start > 0 then Interp_ref.run_until reference start;
   (* Initialization phase: the co-designed component receives the (possibly
      fast-forwarded) x86 architectural state; its memory starts empty and
      fills through data requests. *)
-  let co = Tol.create cfg reference.cpu in
+  let co = Tol.create ~bus cfg reference.cpu in
   (* Keep the retired-instruction clocks aligned for synchronization. *)
   co.stats.guest_im <- reference.retired;
+  if reference.retired > 0 && Bus.active bus then
+    Bus.emit bus ~at:reference.retired
+      (Event.Clock_sync { retired = reference.retired });
   {
     cfg;
     reference;
@@ -29,7 +35,18 @@ let create_at ?(cfg = Config.default) ?input ~seed program ~start =
     validate_memory = false;
   }
 
-let create ?cfg ?input ~seed program = create_at ?cfg ?input ~seed program ~start:0
+let create ?cfg ?bus ?input ~seed program =
+  create_at ?cfg ?bus ?input ~seed program ~start:0
+
+let bus t = t.co.Tol.bus
+
+let emit t ev =
+  if Bus.active t.co.Tol.bus then
+    Bus.emit t.co.Tol.bus ~at:(Tol.retired t.co) ev
+
+let note_validation t kind =
+  t.co.Tol.stats.validations <- t.co.Tol.stats.validations + 1;
+  emit t (Event.Validation { kind })
 
 let catch_up t = Interp_ref.run_until t.reference (Tol.retired t.co)
 
@@ -52,7 +69,7 @@ let compare_states t ~memory =
 
 let validate t ?(memory = false) () =
   catch_up t;
-  t.co.Tol.stats.validations <- t.co.Tol.stats.validations + 1;
+  note_validation t Event.V_explicit;
   compare_states t ~memory
 
 let stats t = t.co.stats
@@ -70,6 +87,7 @@ let ensure_co_pages t addr len =
 let run ?(max_insns = max_int) t =
   let note_divergence d =
     t.divergence <- Some d;
+    emit t (Event.Divergence { details = d.details });
     `Diverged d
   in
   let rec loop () =
@@ -85,7 +103,7 @@ let run ?(max_insns = max_int) t =
         match compare_states t ~memory:false with
         | Some d -> note_divergence d
         | None ->
-          t.co.stats.validations <- t.co.stats.validations + 1;
+          note_validation t Event.V_syscall;
           let effects = Interp_ref.service_syscall t.reference in
           List.iter
             (fun (e : Syscall.effect) ->
@@ -99,15 +117,17 @@ let run ?(max_insns = max_int) t =
       end
       | Tol.Ev_halt -> begin
         catch_up t;
-        t.co.stats.validations <- t.co.stats.validations + 1;
+        note_validation t Event.V_halt;
         match compare_states t ~memory:true with
         | Some d -> note_divergence d
-        | None -> `Done
+        | None ->
+          emit t Event.Halt;
+          `Done
       end
       | Tol.Ev_checkpoint ->
         if t.validate_at_checkpoints then begin
           catch_up t;
-          t.co.stats.validations <- t.co.stats.validations + 1;
+          note_validation t Event.V_checkpoint;
           match compare_states t ~memory:t.validate_memory with
           | Some d -> note_divergence d
           | None -> loop ()

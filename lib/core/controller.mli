@@ -24,14 +24,28 @@ type t = {
   mutable validate_memory : bool;
 }
 
-val create : ?cfg:Config.t -> ?input:string -> seed:int -> Program.t -> t
+val create :
+  ?cfg:Config.t -> ?bus:Darco_obs.Bus.t -> ?input:string -> seed:int -> Program.t -> t
+(** [bus] is the observability spine of the co-designed component: attach
+    event sinks (trace writer, aggregator) and retire subscribers (timing
+    simulator) to it {e before} calling, so initialization events are
+    captured too.  Defaults to a fresh bus with no sinks (zero overhead). *)
 
 val create_at :
-  ?cfg:Config.t -> ?input:string -> seed:int -> Program.t -> start:int -> t
+  ?cfg:Config.t ->
+  ?bus:Darco_obs.Bus.t ->
+  ?input:string ->
+  seed:int ->
+  Program.t ->
+  start:int ->
+  t
 (** Like {!create}, but the x86 component first executes [start] guest
     instructions and the co-designed component is initialized from that
     architectural state — the fast-forward step of sampling-based
     simulation (the warm-up methodology study). *)
+
+val bus : t -> Darco_obs.Bus.t
+(** The co-designed component's event bus. *)
 
 val run : ?max_insns:int -> t -> [ `Done | `Diverged of divergence | `Limit ]
 (** Drive the co-designed component to completion, servicing

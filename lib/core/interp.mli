@@ -3,9 +3,12 @@ open Darco_guest
 (** The TOL interpreter (IM): executes guest instructions one by one on the
     emulated state, guarantees forward progress, profiles basic-block
     repetition, and charges its own execution to the interpreter-overhead
-    category. *)
+    category.  Publishes one [Interp_block] / [Interp_step] event per call
+    on the observability bus (batched, so the per-instruction hot loop does
+    not touch the bus). *)
 
 val step_bb :
+  Darco_obs.Bus.t ->
   Config.t ->
   Stats.t ->
   Profile.t ->
@@ -17,7 +20,8 @@ val step_bb :
     control transfer completed (EIP is the next block).  May raise
     {!Darco_guest.Memory.Page_fault} with consistent state. *)
 
-val step_one : Config.t -> Stats.t -> Step.icache -> Cpu.t -> Memory.t -> unit
+val step_one :
+  Darco_obs.Bus.t -> Config.t -> Stats.t -> Step.icache -> Cpu.t -> Memory.t -> unit
 (** Interpret exactly one instruction (the safety-net path for
     interpreter-only instructions reached from translated code).  The
     instruction must not be a syscall/halt. *)

@@ -1,5 +1,7 @@
 open Darco_guest
 open Darco_host
+module Bus = Darco_obs.Bus
+module Event = Darco_obs.Event
 
 type event =
   | Ev_syscall of int
@@ -10,6 +12,7 @@ type event =
 type t = {
   mutable cfg : Config.t;
   stats : Stats.t;
+  bus : Bus.t;
   cpu : Cpu.t;
   mem : Memory.t;
   machine : Machine.t;
@@ -17,28 +20,29 @@ type t = {
   profile : Profile.t;
   tolmem : Tolmem.t;
   codecache : Codecache.t;
-  mutable on_retire : (Emulator.retire_info -> unit) option;
   (* speculation-failure bookkeeping *)
   fails : (int, int) Hashtbl.t;                    (* region id -> rollbacks *)
   deopt : (int, bool * bool) Hashtbl.t;            (* pc -> (no_asserts, no_memspec) *)
 }
 
-let create cfg initial =
+let create ?(bus = Bus.create ()) cfg initial =
   let mem = Memory.create `Fault in
   let tolmem = Tolmem.create mem in
   let stats = Stats.create () in
   Stats.charge stats Ov_other cfg.Config.costs.init_once;
+  if Bus.active bus then
+    Bus.emit bus ~at:0 (Event.Init { cost = cfg.Config.costs.init_once });
   {
     cfg;
     stats;
+    bus;
     cpu = Cpu.copy initial;
     mem;
     machine = Machine.create mem;
     icache = Step.icache_create ();
     profile = Profile.create tolmem;
     tolmem;
-    codecache = Codecache.create cfg tolmem stats;
-    on_retire = None;
+    codecache = Codecache.create ~bus cfg tolmem stats;
     fails = Hashtbl.create 64;
     deopt = Hashtbl.create 64;
   }
@@ -47,13 +51,18 @@ let retired t = Stats.guest_total t.stats
 
 let charge t cat n = Stats.charge t.stats cat n
 
+let emit t ev = Bus.emit t.bus ~at:(retired t) ev
+let tracing t = Bus.active t.bus
+
 let install_page t idx data =
   t.stats.page_requests <- t.stats.page_requests + 1;
+  if tracing t then emit t (Event.Page_install { index = idx });
   Memory.install_page t.mem idx data
 
-let interpret_one t = Interp.step_one t.cfg t.stats t.icache t.cpu t.mem
+let interpret_one t = Interp.step_one t.bus t.cfg t.stats t.icache t.cpu t.mem
 
 let service_complete_syscall t effects ~len =
+  let eip = t.cpu.eip in
   t.stats.syscalls <- t.stats.syscalls + 1;
   List.iter
     (fun (e : Syscall.effect) ->
@@ -66,7 +75,9 @@ let service_complete_syscall t effects ~len =
     effects;
   t.cpu.eip <- Semantics.mask32 (t.cpu.eip + len);
   t.stats.guest_im <- t.stats.guest_im + 1;
-  charge t Ov_other t.cfg.costs.dispatch_other
+  charge t Ov_other t.cfg.costs.dispatch_other;
+  if tracing t then
+    emit t (Event.Syscall { eip; cost = t.cfg.costs.dispatch_other })
 
 (* --- translation management -------------------------------------------- *)
 
@@ -75,10 +86,22 @@ let deopt_flags t pc =
 
 let translate_bb t pc =
   let rir = Regiongen.translate_bb t.cfg t.profile t.icache t.mem pc in
-  charge t Ov_bb_translate
-    (t.cfg.costs.bb_translate_base + (t.cfg.costs.bb_translate_per_insn * rir.guest_len));
+  let cost =
+    t.cfg.costs.bb_translate_base + (t.cfg.costs.bb_translate_per_insn * rir.guest_len)
+  in
+  charge t Ov_bb_translate cost;
   t.stats.bb_translations <- t.stats.bb_translations + 1;
-  Codecache.insert t.codecache t.cfg rir
+  let region = Codecache.insert t.codecache t.cfg rir in
+  if tracing t then
+    emit t
+      (Event.Bb_translated
+         {
+           pc;
+           guest_len = rir.guest_len;
+           host_len = Array.length region.code;
+           cost;
+         });
+  region
 
 let build_superblock t pc =
   let no_asserts, no_mem = deopt_flags t pc in
@@ -87,9 +110,11 @@ let build_superblock t pc =
       ~use_asserts:(t.cfg.use_asserts && not no_asserts)
       ~use_mem_speculation:(t.cfg.use_mem_speculation && not no_mem)
   in
-  charge t Ov_sb_translate
-    (t.cfg.costs.sb_translate_base
-    + (t.cfg.costs.sb_translate_per_insn * result.region.guest_len));
+  let cost =
+    t.cfg.costs.sb_translate_base
+    + (t.cfg.costs.sb_translate_per_insn * result.region.guest_len)
+  in
+  charge t Ov_sb_translate cost;
   t.stats.sb_translations <- t.stats.sb_translations + 1;
   if result.unrolled then
     t.stats.unrolled_superblocks <- t.stats.unrolled_superblocks + 1;
@@ -98,13 +123,31 @@ let build_superblock t pc =
   (match Codecache.find t.codecache ~prefer_bb:true pc with
   | Some old when old.mode = `Bb -> Codecache.invalidate t.codecache old
   | Some _ | None -> ());
-  Codecache.insert t.codecache t.cfg result.region
+  let region = Codecache.insert t.codecache t.cfg result.region in
+  if tracing t then
+    emit t
+      (Event.Sb_translated
+         {
+           pc;
+           guest_len = result.region.guest_len;
+           host_len = Array.length region.code;
+           cost;
+           unrolled = result.unrolled;
+         });
+  region
 
 (* A speculation failure beyond the limit: retranslate less aggressively. *)
 let handle_speculation_failure t kind (region : Code.region) =
   (match kind with
   | `Assert -> t.stats.assert_rollbacks <- t.stats.assert_rollbacks + 1
   | `Alias -> t.stats.alias_rollbacks <- t.stats.alias_rollbacks + 1);
+  if tracing t then
+    emit t
+      (Event.Rollback
+         {
+           kind = (match kind with `Assert -> Event.Rb_assert | `Alias -> Event.Rb_alias);
+           pc = region.entry_pc;
+         });
   let count = 1 + Option.value (Hashtbl.find_opt t.fails region.id) ~default:0 in
   Hashtbl.replace t.fails region.id count;
   if count > t.cfg.assert_fail_limit then begin
@@ -117,6 +160,16 @@ let handle_speculation_failure t kind (region : Code.region) =
     | `Alias ->
       Hashtbl.replace t.deopt pc (no_asserts, true);
       t.stats.sb_rebuilds_nomem <- t.stats.sb_rebuilds_nomem + 1);
+    if tracing t then
+      emit t
+        (Event.Deopt_rebuild
+           {
+             kind =
+               (match kind with
+               | `Assert -> Event.De_noassert
+               | `Alias -> Event.De_nomem);
+             pc;
+           });
     Codecache.invalidate t.codecache region;
     ignore (build_superblock t pc)
   end
@@ -130,26 +183,53 @@ let account t (res : Emulator.result) =
   t.stats.host_app_bbm <- t.stats.host_app_bbm + res.host_bb;
   t.stats.host_app_sbm <- t.stats.host_app_sbm + res.host_super;
   t.stats.chains_followed <- t.stats.chains_followed + res.chains_followed;
-  t.stats.wasted_host <- t.stats.wasted_host + res.wasted_host
+  t.stats.wasted_host <- t.stats.wasted_host + res.wasted_host;
+  if tracing t then
+    emit t
+      (Event.Region_exec
+         {
+           guest_bb = res.guest_bb;
+           guest_sb = res.guest_super;
+           host_bb = res.host_bb;
+           host_sb = res.host_super;
+           chains_followed = res.chains_followed;
+           wasted_host = res.wasted_host;
+         })
 
-let try_chain t (e : Code.exit_info) target =
+(* Per-iteration dispatch charges go to the stats immediately (unchanged
+   behaviour) and accumulate per category so one batched [Slice_end] event
+   carries them, keeping the dispatch loop off the bus. *)
+let bump t acc cat n =
+  Stats.charge t.stats cat n;
+  acc.(Stats.overhead_index cat) <- acc.(Stats.overhead_index cat) + n
+
+let try_chain t acc (e : Code.exit_info) target =
   if t.cfg.use_chaining then begin
-    charge t Ov_chaining t.cfg.costs.chain_attempt;
+    bump t acc Ov_chaining t.cfg.costs.chain_attempt;
     match Codecache.find t.codecache ~prefer_bb:e.prefer_bb target with
     | Some r -> Codecache.chain t.codecache e r
     | None -> ()
   end
 
-let try_ibtc_fill t guest_pc =
+let try_ibtc_fill t acc guest_pc =
   t.stats.ibtc_misses <- t.stats.ibtc_misses + 1;
+  if tracing t then emit t (Event.Ibtc_miss { pc = guest_pc });
   if t.cfg.use_ibtc then
     match Codecache.find t.codecache guest_pc with
     | Some r ->
-      charge t Ov_other t.cfg.costs.ibtc_fill;
+      bump t acc Ov_other t.cfg.costs.ibtc_fill;
       Codecache.ibtc_fill t.codecache ~guest_pc r
     | None -> ()
 
+let stop_reason = function
+  | Ev_syscall _ -> Event.St_syscall
+  | Ev_halt -> Event.St_halt
+  | Ev_page_fault _ -> Event.St_page_fault
+  | Ev_checkpoint -> Event.St_checkpoint
+
 let run_slice t =
+  if tracing t then emit t Event.Slice_start;
+  let acc = Array.make 7 0 in
   let slice_end = retired t + t.cfg.slice_fuel in
   let resolve base = Codecache.resolve_base t.codecache base in
   let rec loop () =
@@ -157,8 +237,8 @@ let run_slice t =
     else if retired t >= slice_end then Ev_checkpoint
     else begin
       let pc = t.cpu.eip in
-      charge t Ov_other t.cfg.costs.dispatch_other;
-      charge t Ov_cc_lookup t.cfg.costs.cc_lookup;
+      bump t acc Ov_other t.cfg.costs.dispatch_other;
+      bump t acc Ov_cc_lookup t.cfg.costs.cc_lookup;
       match Codecache.find t.codecache pc with
       | Some region -> run_region region
       | None ->
@@ -170,18 +250,20 @@ let run_slice t =
           loop ()
         end
         else begin
-          match Interp.step_bb t.cfg t.stats t.profile t.icache t.cpu t.mem with
+          match Interp.step_bb t.bus t.cfg t.stats t.profile t.icache t.cpu t.mem with
           | `Next -> loop ()
           | `Syscall -> Ev_syscall t.cpu.eip
           | `Halt -> Ev_halt
         end
     end
   and run_region region =
-    charge t Ov_prologue t.cfg.costs.prologue;
+    bump t acc Ov_prologue t.cfg.costs.prologue;
     Machine.copy_guest_in t.machine t.cpu;
     let fuel = (8 * (slice_end - retired t)) + 2_000 in
     let res =
-      Emulator.run t.machine ~resolve ~fuel ?on_retire:t.on_retire region
+      Emulator.run t.machine ~resolve ~fuel
+        ?on_retire:(Bus.retire_hook t.bus)
+        region
     in
     account t res;
     Machine.copy_guest_out t.machine t.cpu;
@@ -190,12 +272,12 @@ let run_slice t =
       match e.kind with
       | Exit_direct target ->
         t.cpu.eip <- target;
-        try_chain t e target;
+        try_chain t acc e target;
         loop ()
       | Exit_indirect reg ->
         let target = Machine.get t.machine reg in
         t.cpu.eip <- target;
-        try_ibtc_fill t target;
+        try_ibtc_fill t acc target;
         loop ()
       | Exit_syscall pc ->
         t.cpu.eip <- pc;
@@ -214,14 +296,14 @@ let run_slice t =
     end
     | Stop_indirect_miss gpc ->
       t.cpu.eip <- gpc;
-      try_ibtc_fill t gpc;
+      try_ibtc_fill t acc gpc;
       loop ()
     | Stop_rollback (kind, failed_region) -> begin
       t.cpu.eip <- failed_region.entry_pc;
       handle_speculation_failure t kind failed_region;
       (* Forward progress through the interpreter, as the paper requires
          after a speculation failure. *)
-      match Interp.step_bb t.cfg t.stats t.profile t.icache t.cpu t.mem with
+      match Interp.step_bb t.bus t.cfg t.stats t.profile t.icache t.cpu t.mem with
       | `Next -> loop ()
       | `Syscall -> Ev_syscall t.cpu.eip
       | `Halt -> Ev_halt
@@ -233,4 +315,14 @@ let run_slice t =
       t.cpu.eip <- gpc;
       loop ()
   in
-  try loop () with Memory.Page_fault p -> Ev_page_fault p
+  let ev = try loop () with Memory.Page_fault p -> Ev_page_fault p in
+  if tracing t then begin
+    let overheads = ref [] in
+    List.iter
+      (fun cat ->
+        let n = acc.(Stats.overhead_index cat) in
+        if n > 0 then overheads := (cat, n) :: !overheads)
+      Stats.all_overheads;
+    emit t (Event.Slice_end { stop = stop_reason ev; overheads = !overheads })
+  end;
+  ev

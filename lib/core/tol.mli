@@ -8,7 +8,14 @@ open Darco_host
     This is the software half of the co-designed component.  [run_slice]
     advances guest execution until an event only the controller can resolve
     (system call, page fault / data request, end of application) or a
-    validation checkpoint. *)
+    validation checkpoint.
+
+    Observability: every lifecycle step (slice boundaries, translations,
+    chain/IBTC activity, rollbacks, deopt rebuilds, page installs,
+    syscalls) is published as a typed event on the bus passed to
+    {!create}, and the retired host application stream flows to the bus's
+    retire subscribers (the timing simulator attaches there).  With no
+    sinks and no subscribers the bus costs nothing on the hot path. *)
 
 type event =
   | Ev_syscall of int        (** EIP of the pending syscall instruction *)
@@ -21,6 +28,7 @@ type t = {
       (** mutable so the warm-up methodology can downscale promotion
           thresholds mid-run *)
   stats : Stats.t;
+  bus : Darco_obs.Bus.t;     (** the observability spine of this component *)
   cpu : Cpu.t;               (** emulated guest architectural state *)
   mem : Memory.t;            (** emulated guest memory (fault policy) *)
   machine : Machine.t;
@@ -28,20 +36,20 @@ type t = {
   profile : Profile.t;
   tolmem : Tolmem.t;
   codecache : Codecache.t;
-  mutable on_retire : (Emulator.retire_info -> unit) option;
-      (** timing-simulator hook for the host application stream *)
   fails : (int, int) Hashtbl.t;
       (** speculation rollbacks per region id *)
   deopt : (int, bool * bool) Hashtbl.t;
       (** per-PC rebuild downgrades: (no asserts, no memory speculation) *)
 }
 
-val create : Config.t -> Cpu.t -> t
+val create : ?bus:Darco_obs.Bus.t -> Config.t -> Cpu.t -> t
 (** [create cfg initial_state] — the initial architectural state comes from
-    the controller (which received it from the x86 component). *)
+    the controller (which received it from the x86 component).  Attach
+    sinks to [bus] before calling to capture initialization events. *)
 
 val retired : t -> int
-(** Guest instructions retired by the co-designed component so far. *)
+(** Guest instructions retired by the co-designed component so far (the
+    event timestamp clock). *)
 
 val run_slice : t -> event
 

@@ -1,0 +1,37 @@
+(** The event bus: the single channel through which the core publishes
+    its lifecycle {!Event.t}s and its retired-host-instruction stream.
+
+    Emission is a no-op when no sink is attached; hot call sites guard
+    event construction behind {!active} so an unobserved run allocates
+    nothing.  Sinks must be attached before the run starts (before
+    [Controller.create] to capture initialization events); attaching
+    mid-run is not supported. *)
+
+type sink = { name : string; handle : at:int -> Event.t -> unit }
+
+type retire = Darco_host.Emulator.retire_info -> unit
+(** A subscriber to the retired host application stream (e.g. the timing
+    simulator's [Pipeline.step]). *)
+
+type t
+
+val create : unit -> t
+
+val active : t -> bool
+(** At least one event sink is attached.  Emitters check this before
+    allocating an event, keeping the unobserved hot path regression-free. *)
+
+val attach : t -> name:string -> (at:int -> Event.t -> unit) -> unit
+
+val emit : t -> at:int -> Event.t -> unit
+(** Deliver to every sink in attachment order.  [at] is the
+    retired-guest-instruction clock of the publishing component. *)
+
+val on_retire : t -> retire -> unit
+(** Subscribe to per-retired-host-instruction records. *)
+
+val retire_hook : t -> retire option
+(** The composed retire subscription ([None] when nobody subscribed), in
+    the shape the host emulator's [?on_retire] parameter expects. *)
+
+val sink_names : t -> string list

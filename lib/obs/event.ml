@@ -1,0 +1,135 @@
+type rollback_kind = Rb_assert | Rb_alias
+type deopt_kind = De_noassert | De_nomem
+type stop_reason = St_syscall | St_halt | St_page_fault | St_checkpoint
+type validation_kind = V_syscall | V_halt | V_checkpoint | V_explicit
+
+type t =
+  | Init of { cost : int }
+  | Clock_sync of { retired : int }
+  | Slice_start
+  | Slice_end of { stop : stop_reason; overheads : (Stats.overhead * int) list }
+  | Interp_block of { pc : int; insns : int; cost : int }
+  | Interp_step of { pc : int; cost : int }
+  | Bb_translated of { pc : int; guest_len : int; host_len : int; cost : int }
+  | Sb_translated of {
+      pc : int;
+      guest_len : int;
+      host_len : int;
+      cost : int;
+      unrolled : bool;
+    }
+  | Region_exec of {
+      guest_bb : int;
+      guest_sb : int;
+      host_bb : int;
+      host_sb : int;
+      chains_followed : int;
+      wasted_host : int;
+    }
+  | Chain_made of { pc : int }
+  | Ibtc_miss of { pc : int }
+  | Ibtc_fill of { pc : int }
+  | Rollback of { kind : rollback_kind; pc : int }
+  | Deopt_rebuild of { kind : deopt_kind; pc : int }
+  | Cache_flush of { regions : int; host_insns : int }
+  | Page_install of { index : int }
+  | Syscall of { eip : int; cost : int }
+  | Validation of { kind : validation_kind }
+  | Divergence of { details : string list }
+  | Halt
+
+let rollback_name = function Rb_assert -> "assert" | Rb_alias -> "alias"
+let deopt_name = function De_noassert -> "noassert" | De_nomem -> "nomem"
+
+let stop_name = function
+  | St_syscall -> "syscall"
+  | St_halt -> "halt"
+  | St_page_fault -> "page_fault"
+  | St_checkpoint -> "checkpoint"
+
+let validation_name = function
+  | V_syscall -> "syscall"
+  | V_halt -> "halt"
+  | V_checkpoint -> "checkpoint"
+  | V_explicit -> "explicit"
+
+let name = function
+  | Init _ -> "init"
+  | Clock_sync _ -> "clock_sync"
+  | Slice_start -> "slice_start"
+  | Slice_end _ -> "slice_end"
+  | Interp_block _ -> "interp_block"
+  | Interp_step _ -> "interp_step"
+  | Bb_translated _ -> "bb_translated"
+  | Sb_translated _ -> "sb_translated"
+  | Region_exec _ -> "region_exec"
+  | Chain_made _ -> "chain_made"
+  | Ibtc_miss _ -> "ibtc_miss"
+  | Ibtc_fill _ -> "ibtc_fill"
+  | Rollback _ -> "rollback"
+  | Deopt_rebuild _ -> "deopt_rebuild"
+  | Cache_flush _ -> "cache_flush"
+  | Page_install _ -> "page_install"
+  | Syscall _ -> "syscall"
+  | Validation _ -> "validation"
+  | Divergence _ -> "divergence"
+  | Halt -> "halt"
+
+let fields ev : (string * Jsonx.t) list =
+  match ev with
+  | Init { cost } -> [ ("cost", Jsonx.Int cost) ]
+  | Clock_sync { retired } -> [ ("retired", Jsonx.Int retired) ]
+  | Slice_start | Halt -> []
+  | Slice_end { stop; overheads } ->
+    [
+      ("stop", Jsonx.String (stop_name stop));
+      ( "overheads",
+        Jsonx.Obj
+          (List.map
+             (fun (cat, n) -> (Stats.overhead_name cat, Jsonx.Int n))
+             overheads) );
+    ]
+  | Interp_block { pc; insns; cost } ->
+    [ ("pc", Jsonx.Int pc); ("insns", Jsonx.Int insns); ("cost", Jsonx.Int cost) ]
+  | Interp_step { pc; cost } -> [ ("pc", Jsonx.Int pc); ("cost", Jsonx.Int cost) ]
+  | Bb_translated { pc; guest_len; host_len; cost } ->
+    [
+      ("pc", Jsonx.Int pc);
+      ("guest_len", Jsonx.Int guest_len);
+      ("host_len", Jsonx.Int host_len);
+      ("cost", Jsonx.Int cost);
+    ]
+  | Sb_translated { pc; guest_len; host_len; cost; unrolled } ->
+    [
+      ("pc", Jsonx.Int pc);
+      ("guest_len", Jsonx.Int guest_len);
+      ("host_len", Jsonx.Int host_len);
+      ("cost", Jsonx.Int cost);
+      ("unrolled", Jsonx.Bool unrolled);
+    ]
+  | Region_exec { guest_bb; guest_sb; host_bb; host_sb; chains_followed; wasted_host }
+    ->
+    [
+      ("guest_bb", Jsonx.Int guest_bb);
+      ("guest_sb", Jsonx.Int guest_sb);
+      ("host_bb", Jsonx.Int host_bb);
+      ("host_sb", Jsonx.Int host_sb);
+      ("chains_followed", Jsonx.Int chains_followed);
+      ("wasted_host", Jsonx.Int wasted_host);
+    ]
+  | Chain_made { pc } | Ibtc_miss { pc } | Ibtc_fill { pc } ->
+    [ ("pc", Jsonx.Int pc) ]
+  | Rollback { kind; pc } ->
+    [ ("kind", Jsonx.String (rollback_name kind)); ("pc", Jsonx.Int pc) ]
+  | Deopt_rebuild { kind; pc } ->
+    [ ("kind", Jsonx.String (deopt_name kind)); ("pc", Jsonx.Int pc) ]
+  | Cache_flush { regions; host_insns } ->
+    [ ("regions", Jsonx.Int regions); ("host_insns", Jsonx.Int host_insns) ]
+  | Page_install { index } -> [ ("page", Jsonx.Int index) ]
+  | Syscall { eip; cost } -> [ ("eip", Jsonx.Int eip); ("cost", Jsonx.Int cost) ]
+  | Validation { kind } -> [ ("kind", Jsonx.String (validation_name kind)) ]
+  | Divergence { details } ->
+    [ ("details", Jsonx.List (List.map (fun d -> Jsonx.String d) details)) ]
+
+let to_json ~at ev =
+  Jsonx.Obj (("at", Jsonx.Int at) :: ("ev", Jsonx.String (name ev)) :: fields ev)

@@ -1,0 +1,62 @@
+(** The typed simulation-lifecycle event vocabulary.
+
+    Every event carries, at emission time, the retired-guest-instruction
+    clock as its timestamp (the [~at] argument of {!Bus.emit}).  The
+    taxonomy is complete with respect to {!Stats.t}: replaying a run's
+    event stream through {!Agg} reproduces every counter exactly. *)
+
+type rollback_kind = Rb_assert | Rb_alias
+type deopt_kind = De_noassert | De_nomem
+
+(** Why a co-designed execution slice returned to the controller. *)
+type stop_reason = St_syscall | St_halt | St_page_fault | St_checkpoint
+
+type validation_kind = V_syscall | V_halt | V_checkpoint | V_explicit
+
+type t =
+  | Init of { cost : int }  (** TOL initialization (charged to [Ov_other]) *)
+  | Clock_sync of { retired : int }
+      (** controller fast-forward: the co-designed clock starts at [retired] *)
+  | Slice_start
+  | Slice_end of { stop : stop_reason; overheads : (Stats.overhead * int) list }
+      (** end of a dispatch slice; [overheads] batches the per-iteration
+          dispatch/lookup/prologue/chaining/IBTC charges of the slice *)
+  | Interp_block of { pc : int; insns : int; cost : int }
+      (** one basic block interpreted in IM *)
+  | Interp_step of { pc : int; cost : int }
+      (** single-instruction safety-net interpretation *)
+  | Bb_translated of { pc : int; guest_len : int; host_len : int; cost : int }
+  | Sb_translated of {
+      pc : int;
+      guest_len : int;
+      host_len : int;
+      cost : int;
+      unrolled : bool;
+    }
+  | Region_exec of {
+      guest_bb : int;
+      guest_sb : int;
+      host_bb : int;
+      host_sb : int;
+      chains_followed : int;
+      wasted_host : int;
+    }  (** one host-emulator run: retirement counts by mode *)
+  | Chain_made of { pc : int }  (** exit patched to the translation of [pc] *)
+  | Ibtc_miss of { pc : int }
+  | Ibtc_fill of { pc : int }
+  | Rollback of { kind : rollback_kind; pc : int }
+  | Deopt_rebuild of { kind : deopt_kind; pc : int }
+      (** speculation-failure limit hit: superblock rebuilt less aggressively *)
+  | Cache_flush of { regions : int; host_insns : int }
+      (** capacity flush; contents at the moment of the flush *)
+  | Page_install of { index : int }  (** data request serviced *)
+  | Syscall of { eip : int; cost : int }
+  | Validation of { kind : validation_kind }
+  | Divergence of { details : string list }
+  | Halt
+
+val name : t -> string
+(** Stable machine-readable event name (the ["ev"] field of the trace). *)
+
+val to_json : at:int -> t -> Jsonx.t
+(** One flat JSON object: [{"at": <clock>, "ev": <name>, ...fields}]. *)

@@ -1,0 +1,75 @@
+let to_json (s : Stats.t) : Jsonx.t =
+  let im, bbm, sbm = Stats.mode_fractions s in
+  Jsonx.Obj
+    [
+      ( "guest",
+        Jsonx.Obj
+          [
+            ("total", Jsonx.Int (Stats.guest_total s));
+            ("im", Jsonx.Int s.guest_im);
+            ("bbm", Jsonx.Int s.guest_bbm);
+            ("sbm", Jsonx.Int s.guest_sbm);
+            ("im_fraction", Jsonx.Float im);
+            ("bbm_fraction", Jsonx.Float bbm);
+            ("sbm_fraction", Jsonx.Float sbm);
+          ] );
+      ( "host",
+        Jsonx.Obj
+          [
+            ("total", Jsonx.Int (Stats.host_total s));
+            ("app_total", Jsonx.Int (Stats.host_app_total s));
+            ("app_bbm", Jsonx.Int s.host_app_bbm);
+            ("app_sbm", Jsonx.Int s.host_app_sbm);
+            ("wasted", Jsonx.Int s.wasted_host);
+            ("emulation_cost_sbm", Jsonx.Float (Stats.emulation_cost_sbm s));
+          ] );
+      ( "overhead",
+        Jsonx.Obj
+          (("total", Jsonx.Int (Stats.total_overhead s))
+          :: ("fraction", Jsonx.Float (Stats.overhead_fraction s))
+          :: List.map
+               (fun cat ->
+                 (Stats.overhead_name cat, Jsonx.Int (Stats.overhead_of s cat)))
+               Stats.all_overheads) );
+      ( "translation",
+        Jsonx.Obj
+          [
+            ("bb", Jsonx.Int s.bb_translations);
+            ("sb", Jsonx.Int s.sb_translations);
+            ("sb_rebuilds_noassert", Jsonx.Int s.sb_rebuilds_noassert);
+            ("sb_rebuilds_nomem", Jsonx.Int s.sb_rebuilds_nomem);
+            ("unrolled_superblocks", Jsonx.Int s.unrolled_superblocks);
+            ("code_cache_flushes", Jsonx.Int s.code_cache_flushes);
+          ] );
+      ( "speculation",
+        Jsonx.Obj
+          [
+            ("assert_rollbacks", Jsonx.Int s.assert_rollbacks);
+            ("alias_rollbacks", Jsonx.Int s.alias_rollbacks);
+          ] );
+      ( "linking",
+        Jsonx.Obj
+          [
+            ("chains_made", Jsonx.Int s.chains_made);
+            ("chains_followed", Jsonx.Int s.chains_followed);
+            ("ibtc_fills", Jsonx.Int s.ibtc_fills);
+            ("ibtc_misses", Jsonx.Int s.ibtc_misses);
+          ] );
+      ( "system",
+        Jsonx.Obj
+          [
+            ("page_requests", Jsonx.Int s.page_requests);
+            ("syscalls", Jsonx.Int s.syscalls);
+            ("validations", Jsonx.Int s.validations);
+          ] );
+      ( "startup_insns",
+        match s.startup_insns with None -> Jsonx.Null | Some n -> Jsonx.Int n );
+    ]
+
+let to_string s = Jsonx.to_string (to_json s)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc (to_string s);
+  output_char oc '\n';
+  close_out oc

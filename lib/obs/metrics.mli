@@ -1,0 +1,9 @@
+(** The JSON metrics snapshot exporter: every {!Stats.t} counter plus
+    the derived figure metrics (mode fractions, SBM emulation cost,
+    overhead fraction and per-category breakdown), grouped by subsystem. *)
+
+val to_json : Stats.t -> Jsonx.t
+val to_string : Stats.t -> string
+
+val write_file : string -> Stats.t -> unit
+(** Write the snapshot (one line of JSON) to [path]. *)

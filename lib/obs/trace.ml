@@ -1,0 +1,10 @@
+let sink oc ~at ev =
+  output_string oc (Jsonx.to_string (Event.to_json ~at ev));
+  output_char oc '\n'
+
+let attach bus oc = Bus.attach bus ~name:"trace" (sink oc)
+
+let attach_file bus path =
+  let oc = open_out path in
+  attach bus oc;
+  oc

@@ -1,0 +1,9 @@
+(** The JSONL trace sink: one JSON object per event, one event per line,
+    [{"at": <retired-insn clock>, "ev": <name>, ...}]. *)
+
+val attach : Bus.t -> out_channel -> unit
+(** Stream events to the channel.  The caller owns the channel and must
+    close (or flush) it after the run. *)
+
+val attach_file : Bus.t -> string -> out_channel
+(** Open [path], attach, and return the channel for the caller to close. *)

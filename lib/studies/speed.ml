@@ -9,7 +9,7 @@ let run_once ?cfg ~timing ~insns program ~seed =
   let ctl = Darco.Controller.create ?cfg ~seed program in
   if timing then begin
     let pipe = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-    ctl.co.on_retire <- Some (Darco_timing.Pipeline.step pipe)
+    Darco_timing.Pipeline.attach pipe (Darco.Controller.bus ctl)
   end;
   let t0 = Unix.gettimeofday () in
   ignore (Darco.Controller.run ~max_insns:insns ctl);

@@ -66,7 +66,7 @@ let run_study ?(cfg = Darco.Config.default) ?(tcfg = Darco_timing.Tconfig.defaul
   let t0 = Unix.gettimeofday () in
   let full = Darco.Controller.create ~cfg ~seed program in
   let pipe = Pipeline.create tcfg in
-  full.co.on_retire <- Some (Pipeline.step pipe);
+  Pipeline.attach pipe (Darco.Controller.bus full);
   let full_results =
     List.map
       (fun offset ->
@@ -92,7 +92,7 @@ let run_study ?(cfg = Darco.Config.default) ?(tcfg = Darco_timing.Tconfig.defaul
         let ctl = Darco.Controller.create_at ~cfg ~seed program ~start in
         let t_b0 = Unix.gettimeofday () in
         let wpipe = Pipeline.create tcfg in
-        ctl.co.on_retire <- Some (Pipeline.step wpipe);
+        Pipeline.attach wpipe (Darco.Controller.bus ctl);
         ignore (Darco.Controller.run ~max_insns:offset ctl);
         let before = (Pipeline.instructions wpipe, Pipeline.cycles wpipe) in
         ignore (Darco.Controller.run ~max_insns:(offset + window) ctl);
@@ -120,7 +120,7 @@ let run_study ?(cfg = Darco.Config.default) ?(tcfg = Darco_timing.Tconfig.defaul
               let tc0 = Unix.gettimeofday () in
               (* warming the microarchitectural state alongside TOL state *)
               let wpipe = Pipeline.create tcfg in
-              ctl.co.on_retire <- Some (Pipeline.step wpipe);
+              Pipeline.attach wpipe (Darco.Controller.bus ctl);
               ignore (Darco.Controller.run ~max_insns:offset ctl);
               let corr =
                 correlate auth_hist (Darco.Profile.histogram ctl.co.profile)

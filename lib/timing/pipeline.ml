@@ -315,3 +315,5 @@ let pp_summary ppf s =
     (100. *. s.itlb_miss_rate)
     (100. *. s.dtlb_miss_rate)
     s.prefetches
+
+let attach t bus = Darco_obs.Bus.on_retire bus (step t)

@@ -5,8 +5,8 @@ open Darco_host
     issue, simple/complex/vector units, memory ports, D-TLB + 2-level data
     cache with a stride prefetcher), separated by an instruction queue.
 
-    Trace-driven: feed it the retired host instruction stream via {!step}
-    (it plugs directly into {!Darco.Tol.t}'s [on_retire] hook). *)
+    Trace-driven: feed it the retired host instruction stream via {!step},
+    or subscribe it to a run's observability bus with {!attach}. *)
 
 type t
 
@@ -44,6 +44,11 @@ type events = {
 
 val create : Tconfig.t -> t
 val step : t -> Emulator.retire_info -> unit
+
+val attach : t -> Darco_obs.Bus.t -> unit
+(** Subscribe {!step} to the bus's retired-instruction stream (attach
+    before the run starts). *)
+
 val cycles : t -> int
 val instructions : t -> int
 val summary : t -> summary

@@ -1,0 +1,152 @@
+open Darco
+open Darco_obs
+
+(* The observability layer: the event bus must be invisible when nothing
+   listens, and when the aggregator listens it must rebuild the exact
+   Stats.t the core maintains directly. *)
+
+let workloads = [ "401.bzip2"; "429.mcf"; "458.sjeng" ]
+let max_insns = 120_000
+
+let run_with_bus ?(attach = fun _ -> ()) name =
+  let e = Darco_workloads.Registry.find name in
+  let bus = Bus.create () in
+  attach bus;
+  let ctl = Controller.create ~bus ~seed:42 (e.build ()) in
+  ignore (Controller.run ~max_insns ctl);
+  (ctl, bus)
+
+(* --- Jsonx: the hand-rolled JSON printer/parser ------------------------- *)
+
+let test_jsonx_roundtrip () =
+  let samples =
+    [
+      Jsonx.Null;
+      Jsonx.Bool true;
+      Jsonx.Int (-42);
+      Jsonx.Float 3.5;
+      Jsonx.String "with \"quotes\", \\ and \n control";
+      Jsonx.List [ Jsonx.Int 1; Jsonx.Null; Jsonx.String "x" ];
+      Jsonx.Obj
+        [
+          ("at", Jsonx.Int 17);
+          ("ev", Jsonx.String "slice_end");
+          ("nested", Jsonx.Obj [ ("empty", Jsonx.List []) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = Jsonx.to_string j in
+      Alcotest.(check bool) ("roundtrip " ^ s) true (Jsonx.parse s = j))
+    samples
+
+let test_jsonx_parse_errors () =
+  List.iter
+    (fun s ->
+      match Jsonx.parse s with
+      | exception Jsonx.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected parse error on %S" s)
+    [ ""; "{"; "[1,]"; "\"unterminated"; "truely" ]
+
+(* --- aggregator exactness ----------------------------------------------- *)
+
+let render stats = Format.asprintf "%a" Stats.pp_summary stats
+
+let test_aggregator_matches name () =
+  let agg = ref (Stats.create ()) in
+  let ctl, _bus = run_with_bus ~attach:(fun bus -> agg := Agg.attach bus) name in
+  let direct = Controller.stats ctl in
+  if not (Stats.equal direct !agg) then
+    Alcotest.failf "aggregator drift on %s:\ndirect:\n%s\naggregated:\n%s" name
+      (render direct) (render !agg);
+  Alcotest.(check string) "pp_summary identical" (render direct) (render !agg)
+
+(* --- trace sink: every JSONL line parses back --------------------------- *)
+
+let get_int key j =
+  match Option.bind (Jsonx.member key j) Jsonx.to_int with
+  | Some n -> n
+  | None -> Alcotest.failf "missing int field %S" key
+
+let get_str key j =
+  match Option.bind (Jsonx.member key j) Jsonx.to_str with
+  | Some s -> s
+  | None -> Alcotest.failf "missing string field %S" key
+
+let test_trace_jsonl () =
+  let path = Filename.temp_file "darco_trace" ".jsonl" in
+  let oc = ref stdout in
+  let ctl, _bus =
+    run_with_bus ~attach:(fun bus -> oc := Trace.attach_file bus path) "429.mcf"
+  in
+  close_out !oc;
+  let ic = open_in path in
+  let lines = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lines;
+       let j = Jsonx.parse line in
+       let at = get_int "at" j in
+       let ev = get_str "ev" j in
+       if at < 0 || String.length ev = 0 then
+         Alcotest.failf "bad trace record: %s" line
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "trace non-empty" true (!lines > 0);
+  Alcotest.(check bool) "run retired instructions" true
+    (Stats.guest_total (Controller.stats ctl) > 0)
+
+(* --- silent bus: no sinks must not change execution --------------------- *)
+
+let test_no_sink_identical () =
+  let quiet, qbus = run_with_bus "401.bzip2" in
+  Alcotest.(check bool) "bus stays inactive" false (Bus.active qbus);
+  let observed, _ =
+    run_with_bus ~attach:(fun bus -> ignore (Agg.attach bus)) "401.bzip2"
+  in
+  let sq = Controller.stats quiet and so = Controller.stats observed in
+  Alcotest.(check int) "same guest_total" (Stats.guest_total sq)
+    (Stats.guest_total so);
+  Alcotest.(check bool) "identical counters" true (Stats.equal sq so)
+
+(* --- metrics snapshot parses back with consistent totals ---------------- *)
+
+let test_metrics_json () =
+  let ctl, _ = run_with_bus "458.sjeng" in
+  let s = Controller.stats ctl in
+  let j = Jsonx.parse (Metrics.to_string s) in
+  let section name =
+    match Jsonx.member name j with
+    | Some sub -> sub
+    | None -> Alcotest.failf "missing section %S" name
+  in
+  Alcotest.(check int) "guest total" (Stats.guest_total s)
+    (get_int "total" (section "guest"));
+  Alcotest.(check int) "overhead total" (Stats.total_overhead s)
+    (get_int "total" (section "overhead"))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "jsonx",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_jsonx_parse_errors;
+        ] );
+      ( "aggregator",
+        List.map
+          (fun w ->
+            Alcotest.test_case ("matches direct stats: " ^ w) `Quick
+              (test_aggregator_matches w))
+          workloads );
+      ( "sinks",
+        [
+          Alcotest.test_case "trace JSONL parses back" `Quick test_trace_jsonl;
+          Alcotest.test_case "no-sink run identical" `Quick test_no_sink_identical;
+          Alcotest.test_case "metrics snapshot" `Quick test_metrics_json;
+        ] );
+    ]
