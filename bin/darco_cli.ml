@@ -111,12 +111,20 @@ let run_cmd =
       else None
     in
     let t0 = Unix.gettimeofday () in
-    let result = Darco.Controller.run ~max_insns ctl in
+    (* The trace sink must be closed (and the stats snapshot written) even
+       when the run diverges or raises — otherwise buffered trail events are
+       lost exactly when they matter most. *)
+    let result =
+      Fun.protect
+        ~finally:(fun () ->
+          Option.iter close_out_noerr trace_oc;
+          Option.iter
+            (fun path ->
+              Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
+            stats_json)
+        (fun () -> Darco.Controller.run ~max_insns ctl)
+    in
     let dt = Unix.gettimeofday () -. t0 in
-    Option.iter close_out trace_oc;
-    Option.iter
-      (fun path -> Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
-      stats_json;
     (match result with
     | `Done -> Printf.printf "completed"
     | `Limit -> Printf.printf "instruction limit reached"
@@ -267,6 +275,296 @@ let debug_cmd =
           & opt (some string) None
           & info [ "inject" ] ~doc:"Inject a bug: 'cse' or 'sched'"))
 
+(* --- sampled simulation ------------------------------------------------ *)
+
+module Snapshot = Darco_sampling.Snapshot
+module Driver = Darco_sampling.Driver
+module Sweep = Darco_sampling.Sweep
+
+let json_num j =
+  match j with
+  | Some (Darco_obs.Jsonx.Float f) -> Some f
+  | Some (Darco_obs.Jsonx.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let checkpoint_cmd =
+  let run bench scale seed at out timing functional cfg =
+    let entry = Darco_workloads.Registry.find bench in
+    let program = entry.build ~scale () in
+    let snap =
+      if functional then begin
+        let ir = Darco_guest.Interp_ref.boot ~seed program in
+        Darco_guest.Interp_ref.run_until ir at;
+        Snapshot.capture_reference ir
+      end
+      else begin
+        let bus = Darco_obs.Bus.create () in
+        let pipe =
+          if timing then begin
+            let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
+            Darco_timing.Pipeline.attach p bus;
+            Some p
+          end
+          else None
+        in
+        let ctl = Darco.Controller.create ~cfg ~bus ~seed program in
+        (match Darco.Controller.run ~max_insns:at ctl with
+        | `Limit | `Done -> ()
+        | `Diverged d ->
+          Printf.eprintf "DIVERGED at %d before the checkpoint was reached\n"
+            d.at_retired;
+          exit 1);
+        Snapshot.capture ?pipeline:pipe ctl
+      end
+    in
+    Snapshot.write_file out snap;
+    Printf.printf "%s\n" (Darco_obs.Jsonx.to_string (Snapshot.manifest snap))
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:
+         "Run a workload to a given instruction count and snapshot the \
+          complete co-designed state to a file")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg
+      $ Arg.(value & opt int 100_000 & info [ "at" ] ~doc:"Snapshot at (or just past) this many retired guest instructions")
+      $ Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot file to write")
+      $ Arg.(value & flag & info [ "timing" ] ~doc:"Also capture a warmed timing pipeline")
+      $ Arg.(value & flag & info [ "functional" ] ~doc:"Capture only the x86 component (cheap fast-forward checkpoint)")
+      $ config_term)
+
+let resume_cmd =
+  let run file max_insns stats_json timing =
+    match Snapshot.read_file file with
+    | exception Darco_sampling.Buf.Corrupt msg ->
+      Printf.eprintf "corrupt snapshot %s: %s\n" file msg;
+      exit 1
+    | snap ->
+      Printf.printf "== resuming %s (%s, %d insns retired) ==\n%!" file
+        (match Snapshot.kind snap with
+        | Snapshot.Functional -> "functional"
+        | Snapshot.Full -> "full")
+        (Snapshot.retired snap);
+      let bus = Darco_obs.Bus.create () in
+      let pipe =
+        match Snapshot.restore_pipeline snap with
+        | Some p ->
+          Darco_timing.Pipeline.attach p bus;
+          Some p
+        | None ->
+          if timing then begin
+            let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
+            Darco_timing.Pipeline.attach p bus;
+            Some p
+          end
+          else None
+      in
+      let ctl = Snapshot.restore ~bus snap in
+      let t0 = Unix.gettimeofday () in
+      let result =
+        Fun.protect
+          ~finally:(fun () ->
+            Option.iter
+              (fun path ->
+                Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
+              stats_json)
+          (fun () -> Darco.Controller.run ~max_insns ctl)
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      (match result with
+      | `Done -> Printf.printf "completed"
+      | `Limit -> Printf.printf "instruction limit reached"
+      | `Diverged d ->
+        Printf.printf "DIVERGED at %d retired insns:\n  %s" d.at_retired
+          (String.concat "\n  " d.details));
+      Printf.printf " in %.2fs (exit code %s)\n" dt
+        (match Darco.Controller.exit_code ctl with
+        | Some c -> string_of_int c
+        | None -> "-");
+      Format.printf "%a@." Darco.Stats.pp_summary (Darco.Controller.stats ctl);
+      Option.iter
+        (fun p ->
+          Format.printf "--- timing ---@.%a@." Darco_timing.Pipeline.pp_summary
+            (Darco_timing.Pipeline.summary p))
+        pipe
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Restore a snapshot and continue the run (bit-identically for full snapshots)")
+    Term.(
+      const run
+      $ Arg.(required & pos 0 (some string) None & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file (from darco checkpoint)")
+      $ max_insns_arg $ stats_json_arg
+      $ Arg.(value & flag & info [ "timing" ] ~doc:"Attach a cold timing pipeline if the snapshot carries none"))
+
+let sample_cmd =
+  let run bench scale seed interval offsets nsamples horizon window warmup jobs
+      json_out verify max_error =
+    let entry = Darco_workloads.Registry.find bench in
+    let program = entry.build ~scale () in
+    let offsets =
+      match offsets with
+      | Some s ->
+        List.map
+          (fun tok ->
+            match int_of_string_opt (String.trim tok) with
+            | Some v -> v
+            | None -> invalid_arg ("bad offset: " ^ tok))
+          (String.split_on_char ',' s)
+      | None -> List.init nsamples (fun i -> (i + 1) * horizon / (nsamples + 1))
+    in
+    let offsets = List.sort_uniq compare offsets in
+    let horizon =
+      List.fold_left (fun acc o -> max acc (o + window)) horizon offsets
+    in
+    Printf.printf
+      "== %s: functional fast-forward to %d, checkpoint every %d ==\n%!"
+      entry.name horizon interval;
+    let t0 = Unix.gettimeofday () in
+    let checkpoints =
+      Driver.functional_checkpoints ~seed ~interval ~horizon program
+    in
+    Printf.printf "%d checkpoints in %.2fs; %d detailed windows on %d workers\n%!"
+      (List.length checkpoints)
+      (Unix.gettimeofday () -. t0)
+      (List.length offsets) jobs;
+    let results =
+      Sweep.map ~jobs
+        ~label:(fun off -> Printf.sprintf "%s@%d" entry.name off)
+        (fun off ->
+          Driver.window_json
+            (Driver.detailed_window ~warmup ~checkpoints ~offset:off ~window ()))
+        offsets
+    in
+    (* optional verification: the same windows under uninterrupted detailed
+       simulation (the authoritative answer sampling approximates) *)
+    let full_ipcs =
+      if not verify then []
+      else begin
+        Printf.printf "verifying against full detailed simulation...\n%!";
+        let bus = Darco_obs.Bus.create () in
+        let pipe = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
+        Darco_timing.Pipeline.attach pipe bus;
+        (* fine slices, so window edges match the sampled measurement *)
+        let cfg = { Darco.Config.default with slice_fuel = 2_000 } in
+        let ctl = Darco.Controller.create ~cfg ~bus ~seed program in
+        List.map
+          (fun off ->
+            ignore (Darco.Controller.run ~max_insns:off ctl);
+            let bi = Darco_timing.Pipeline.instructions pipe in
+            let bc = Darco_timing.Pipeline.cycles pipe in
+            ignore (Darco.Controller.run ~max_insns:(off + window) ctl);
+            let di = Darco_timing.Pipeline.instructions pipe - bi in
+            let dc = Darco_timing.Pipeline.cycles pipe - bc in
+            (off, if dc = 0 then 0.0 else float_of_int di /. float_of_int dc))
+          offsets
+      end
+    in
+    let errors = ref [] in
+    let sample_rows =
+      List.map2
+        (fun off (r : Sweep.result) ->
+          match r.outcome with
+          | Sweep.Failed reason ->
+            Printf.printf "%-28s FAILED: %s\n" r.label reason;
+            Darco_obs.Jsonx.Obj
+              [
+                ("label", Darco_obs.Jsonx.String r.label);
+                ("ok", Darco_obs.Jsonx.Bool false);
+                ("reason", Darco_obs.Jsonx.String reason);
+              ]
+          | Sweep.Ok json ->
+            let ipc =
+              Option.value ~default:0.0 (json_num (Darco_obs.Jsonx.member "ipc" json))
+            in
+            let extra =
+              match List.assoc_opt off full_ipcs with
+              | None ->
+                Printf.printf "%-28s IPC %.3f\n" r.label ipc;
+                []
+              | Some full ->
+                let err =
+                  Darco_util.Stats_math.relative_error ipc full
+                in
+                errors := err :: !errors;
+                Printf.printf "%-28s IPC %.3f vs %.3f full (error %.2f%%)\n"
+                  r.label ipc full (100. *. err);
+                [
+                  ("ipc_full", Darco_obs.Jsonx.Float full);
+                  ("error", Darco_obs.Jsonx.Float err);
+                ]
+            in
+            Darco_obs.Jsonx.Obj
+              ([
+                 ("label", Darco_obs.Jsonx.String r.label);
+                 ("ok", Darco_obs.Jsonx.Bool true);
+                 ("result", json);
+               ]
+              @ extra))
+        offsets results
+    in
+    let avg_error =
+      match !errors with [] -> None | es -> Some (Darco_util.Stats_math.mean es)
+    in
+    Option.iter
+      (fun e -> Printf.printf "average sampling error: %.2f%%\n" (100. *. e))
+      avg_error;
+    let failed =
+      List.exists
+        (fun (r : Sweep.result) ->
+          match r.outcome with Sweep.Failed _ -> true | Sweep.Ok _ -> false)
+        results
+    in
+    Option.iter
+      (fun path ->
+        let doc =
+          Darco_obs.Jsonx.Obj
+            ([
+               ("benchmark", Darco_obs.Jsonx.String entry.name);
+               ("seed", Darco_obs.Jsonx.Int seed);
+               ("interval", Darco_obs.Jsonx.Int interval);
+               ("window", Darco_obs.Jsonx.Int window);
+               ("warmup", Darco_obs.Jsonx.Int warmup);
+               ("samples", Darco_obs.Jsonx.List sample_rows);
+             ]
+            @
+            match avg_error with
+            | None -> []
+            | Some e -> [ ("avg_error", Darco_obs.Jsonx.Float e) ])
+        in
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc (Darco_obs.Jsonx.to_string doc));
+        Printf.printf "wrote %s\n" path)
+      json_out;
+    if failed then exit 1;
+    match (avg_error, max_error) with
+    | Some e, Some bound when e > bound ->
+      Printf.eprintf "average sampling error %.2f%% exceeds bound %.2f%%\n"
+        (100. *. e) (100. *. bound);
+      exit 1
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "sample"
+       ~doc:
+         "Sampled simulation: functional fast-forward with periodic \
+          checkpoints, then detailed measurement windows swept across worker \
+          processes")
+    Term.(
+      const run $ bench_arg $ scale_arg $ seed_arg
+      $ Arg.(value & opt int 50_000 & info [ "interval" ] ~doc:"Guest instructions between functional checkpoints")
+      $ Arg.(value & opt (some string) None & info [ "offsets" ] ~docv:"A,B,C" ~doc:"Explicit sample offsets (comma-separated)")
+      $ Arg.(value & opt int 4 & info [ "samples" ] ~doc:"Number of evenly spaced samples (when --offsets is absent)")
+      $ Arg.(value & opt int 400_000 & info [ "horizon" ] ~doc:"Span of guest execution to sample (when --offsets is absent)")
+      $ Arg.(value & opt int 25_000 & info [ "window" ] ~doc:"Detailed measurement window length")
+      $ Arg.(value & opt int 30_000 & info [ "warmup" ] ~doc:"Detailed warm-up before each window")
+      $ Arg.(value & opt int 4 & info [ "jobs" ] ~doc:"Worker processes")
+      $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the sweep results as JSON to $(docv)")
+      $ Arg.(value & flag & info [ "verify" ] ~doc:"Also run full detailed simulation and report per-sample IPC error")
+      $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction"))
+
 let speed_cmd =
   let run bench scale insns seed =
     let entry = Darco_workloads.Registry.find bench in
@@ -284,4 +582,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; suite_cmd; disasm_cmd; trace_cmd; regions_cmd; debug_cmd; speed_cmd ]))
+          [ list_cmd; run_cmd; suite_cmd; checkpoint_cmd; resume_cmd; sample_cmd;
+            disasm_cmd; trace_cmd; regions_cmd; debug_cmd; speed_cmd ]))

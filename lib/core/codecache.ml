@@ -136,3 +136,65 @@ let invalidate t (r : Code.region) =
 
 let region_count t = Hashtbl.length t.by_base
 let total_host_insns t = t.total_insns
+
+(* --- snapshot support ---------------------------------------------------- *)
+
+type persisted = {
+  p_regions : Code.region list;
+  p_by_pc : (int * int list) list;
+  p_next_id : int;
+  p_next_base : int;
+  p_total_insns : int;
+  p_ibtc_base : int;
+  p_ibtc_entries : int;
+}
+
+let persist t =
+  let regions =
+    Hashtbl.fold (fun _ r acc -> r :: acc) t.by_base []
+    |> List.sort (fun (a : Code.region) b -> compare a.id b.id)
+  in
+  let by_pc =
+    Hashtbl.fold
+      (fun pc rs acc -> (pc, List.map (fun (r : Code.region) -> r.id) rs) :: acc)
+      t.by_pc []
+    |> List.sort compare
+  in
+  {
+    p_regions = regions;
+    p_by_pc = by_pc;
+    p_next_id = t.next_id;
+    p_next_base = t.next_base;
+    p_total_insns = t.total_insns;
+    p_ibtc_base = t.ibtc_base;
+    p_ibtc_entries = t.ibtc_entries;
+  }
+
+let unpersist ?(bus = Bus.create ()) tolmem stats p =
+  let t =
+    {
+      tolmem;
+      stats;
+      bus;
+      by_pc = Hashtbl.create 256;
+      by_base = Hashtbl.create 256;
+      next_id = p.p_next_id;
+      next_base = p.p_next_base;
+      total_insns = p.p_total_insns;
+      (* The IBTC table itself lives in TOL memory and travels with the
+         memory image; only its address is re-attached here. *)
+      ibtc_base = p.p_ibtc_base;
+      ibtc_entries = p.p_ibtc_entries;
+    }
+  in
+  let by_id = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Code.region) ->
+      Hashtbl.replace by_id r.id r;
+      Hashtbl.replace t.by_base r.base r)
+    p.p_regions;
+  List.iter
+    (fun (pc, ids) ->
+      Hashtbl.replace t.by_pc pc (List.map (Hashtbl.find by_id) ids))
+    p.p_by_pc;
+  t

@@ -33,3 +33,25 @@ val ibtc_fill : t -> guest_pc:int -> Code.region -> unit
 val flush : t -> unit
 val region_count : t -> int
 val total_host_insns : t -> int
+
+type persisted = {
+  p_regions : Code.region list;
+      (** live regions, sorted by id; chain links and incoming lists are
+          carried by the regions themselves *)
+  p_by_pc : (int * int list) list;
+      (** guest PC -> region ids, preserving lookup preference order *)
+  p_next_id : int;
+  p_next_base : int;
+  p_total_insns : int;
+  p_ibtc_base : int;
+  p_ibtc_entries : int;
+}
+(** The code-cache registry as plain data, for snapshots.  Deterministic:
+    persisting the same cache twice yields equal values. *)
+
+val persist : t -> persisted
+
+val unpersist : ?bus:Darco_obs.Bus.t -> Tolmem.t -> Stats.t -> persisted -> t
+(** Rebuild the registry around restored regions.  Unlike {!create} this
+    allocates nothing from TOL memory: the IBTC address comes from the
+    persisted record (its contents travel with the memory image). *)

@@ -13,10 +13,8 @@ type t = {
   mutable validate_memory : bool;
 }
 
-let create_at ?(cfg = Config.default) ?bus ?input ~seed program ~start =
+let of_reference ?(cfg = Config.default) ?bus (reference : Interp_ref.t) =
   let bus = match bus with Some b -> b | None -> Bus.create () in
-  let reference = Interp_ref.boot ?input ~seed program in
-  if start > 0 then Interp_ref.run_until reference start;
   (* Initialization phase: the co-designed component receives the (possibly
      fast-forwarded) x86 architectural state; its memory starts empty and
      fills through data requests. *)
@@ -34,6 +32,11 @@ let create_at ?(cfg = Config.default) ?bus ?input ~seed program ~start =
     validate_at_checkpoints = false;
     validate_memory = false;
   }
+
+let create_at ?cfg ?bus ?input ~seed program ~start =
+  let reference = Interp_ref.boot ?input ~seed program in
+  if start > 0 then Interp_ref.run_until reference start;
+  of_reference ?cfg ?bus reference
 
 let create ?cfg ?bus ?input ~seed program =
   create_at ?cfg ?bus ?input ~seed program ~start:0

@@ -44,6 +44,13 @@ val create_at :
     architectural state — the fast-forward step of sampling-based
     simulation (the warm-up methodology study). *)
 
+val of_reference : ?cfg:Config.t -> ?bus:Darco_obs.Bus.t -> Interp_ref.t -> t
+(** Adopt an already-advanced x86 component (e.g. restored from a
+    checkpoint, see [Darco_sampling]) and initialize a cold co-designed
+    component from its architectural state.  [create_at ~start] is
+    equivalent to booting a reference, running it to [start] and calling
+    this. *)
+
 val bus : t -> Darco_obs.Bus.t
 (** The co-designed component's event bus. *)
 

@@ -42,6 +42,29 @@ let reset_exec_counter t pc =
   | None -> ()
   | Some a -> Tolmem.write32 t.tolmem a 0
 
+type persisted = {
+  p_interp : (int * int) list;
+  p_exec : (int * int) list;
+  p_edges : (int * (int * int)) list;
+}
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+let persist t =
+  {
+    p_interp = sorted_bindings t.interp;
+    p_exec = sorted_bindings t.exec;
+    p_edges = sorted_bindings t.edges;
+  }
+
+let unpersist tolmem p =
+  let t = create tolmem in
+  List.iter (fun (pc, c) -> Hashtbl.replace t.interp pc c) p.p_interp;
+  List.iter (fun (pc, a) -> Hashtbl.replace t.exec pc a) p.p_exec;
+  List.iter (fun (pc, pair) -> Hashtbl.replace t.edges pc pair) p.p_edges;
+  t
+
 let histogram t =
   let tbl = Hashtbl.create 64 in
   Hashtbl.iter (fun pc c -> Hashtbl.replace tbl pc c) t.interp;

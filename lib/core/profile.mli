@@ -35,3 +35,17 @@ val reset_exec_counter : t -> int -> unit
 val histogram : t -> (int * int) list
 (** Per-BB total observed execution counts (interpreted + in-code BBM
     counter), the TOL profiler state the warm-up heuristic correlates. *)
+
+type persisted = {
+  p_interp : (int * int) list;       (** pc -> interpreted count *)
+  p_exec : (int * int) list;         (** pc -> counter address *)
+  p_edges : (int * (int * int)) list;(** pc -> (taken, fall) addresses *)
+}
+(** Profiler bookkeeping as plain data, sorted by PC (the counter {e
+    values} live in TOL memory and travel with the memory image). *)
+
+val persist : t -> persisted
+
+val unpersist : Tolmem.t -> persisted -> t
+(** Rebuild over a restored TOL-memory allocator; counter addresses are
+    reattached, not reallocated. *)

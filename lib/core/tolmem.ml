@@ -3,6 +3,8 @@ open Darco_guest
 type t = { mem : Memory.t; mutable brk : int }
 
 let create mem = { mem; brk = Loader.tol_base }
+let brk t = t.brk
+let restore mem ~brk = { mem; brk }
 
 let ensure_page t addr =
   let idx = Memory.page_index addr in

@@ -12,6 +12,14 @@ type t
 val create : Memory.t -> t
 (** Pages are installed into the given (fault-policy) memory on demand. *)
 
+val brk : t -> int
+(** Current allocation break (for snapshots). *)
+
+val restore : Memory.t -> brk:int -> t
+(** Rebuild the allocator over an already-populated memory image; [brk]
+    must come from {!brk} of the captured allocator so future allocations
+    continue at the same addresses. *)
+
 val alloc : t -> int -> int
 (** [alloc t bytes] returns the address of a fresh zeroed block (4-byte
     aligned). *)

@@ -22,6 +22,37 @@ let create ?(input = "") ~seed ~brk () =
     out = Buffer.create 256;
   }
 
+type persisted = {
+  p_brk : int;
+  p_time : int;
+  p_input_pos : int;
+  p_input : string;
+  p_rng_state : int64;
+  p_output : string;
+}
+
+let persist t =
+  {
+    p_brk = t.brk;
+    p_time = t.time;
+    p_input_pos = t.input_pos;
+    p_input = t.input;
+    p_rng_state = Darco_util.Rng.state t.rng;
+    p_output = Buffer.contents t.out;
+  }
+
+let unpersist p =
+  let out = Buffer.create (max 256 (String.length p.p_output)) in
+  Buffer.add_string out p.p_output;
+  {
+    brk = p.p_brk;
+    time = p.p_time;
+    input_pos = p.p_input_pos;
+    input = p.p_input;
+    rng = Darco_util.Rng.of_state p.p_rng_state;
+    out;
+  }
+
 let set_eax cpu v =
   Cpu.set cpu Isa.EAX v;
   Set_reg (Isa.EAX, Semantics.mask32 v)

@@ -27,6 +27,22 @@ type effect =
 
 val create : ?input:string -> seed:int -> brk:int -> unit -> t
 
+type persisted = {
+  p_brk : int;
+  p_time : int;
+  p_input_pos : int;
+  p_input : string;
+  p_rng_state : int64;
+  p_output : string;
+}
+(** The complete OS-layer state as plain data, for snapshots.  Captures the
+    program break, the deterministic clock, the input cursor, the RNG state
+    and everything written so far, so a restored run continues (and outputs)
+    exactly as the original would have. *)
+
+val persist : t -> persisted
+val unpersist : persisted -> t
+
 val execute : t -> Cpu.t -> Memory.t -> effect list
 (** Run the system call selected by the authoritative [Cpu.t]/[Memory.t]
     state, mutate that state, and return the effects to replay.  EIP is not

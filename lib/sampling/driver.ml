@@ -1,0 +1,100 @@
+open Darco_guest
+module Pipeline = Darco_timing.Pipeline
+module Jsonx = Darco_obs.Jsonx
+
+type checkpoint = { at : int; snapshot : Snapshot.t }
+
+let functional_checkpoints ?input ~seed ~interval ~horizon program =
+  if interval <= 0 then invalid_arg "Driver.functional_checkpoints: interval <= 0";
+  let ir = Interp_ref.boot ?input ~seed program in
+  let acc = ref [ { at = 0; snapshot = Snapshot.capture_reference ir } ] in
+  let continue = ref true in
+  while !continue do
+    let next = ir.retired + interval in
+    if next > horizon || ir.cpu.halted then continue := false
+    else begin
+      Interp_ref.run_until ir next;
+      acc := { at = ir.retired; snapshot = Snapshot.capture_reference ir } :: !acc;
+      (* the guest may halt before reaching [next]; the checkpoint at the
+         halt point is still useful, but there is nothing beyond it *)
+      if ir.retired < next then continue := false
+    end
+  done;
+  List.rev !acc
+
+let nearest checkpoints target =
+  match
+    List.fold_left
+      (fun best ck ->
+        if ck.at <= target then
+          match best with
+          | Some b when b.at >= ck.at -> best
+          | _ -> Some ck
+        else best)
+      None checkpoints
+  with
+  | Some ck -> ck
+  | None -> (
+    (* no checkpoint at or before the target: settle for the earliest *)
+    match checkpoints with
+    | ck :: _ -> ck
+    | [] -> invalid_arg "Driver.nearest: no checkpoints")
+
+let reference_at checkpoints target =
+  let ck = nearest checkpoints target in
+  let ir = Snapshot.restore_reference ck.snapshot in
+  if target > ir.retired then Interp_ref.run_until ir target;
+  ir
+
+let controller_at ?cfg ?bus checkpoints ~start =
+  Darco.Controller.of_reference ?cfg ?bus (reference_at checkpoints start)
+
+type window_result = {
+  w_offset : int;
+  w_window : int;
+  w_warmup : int;
+  w_from_checkpoint : int;
+  w_instructions : int;
+  w_cycles : int;
+  w_ipc : float;
+}
+
+let detailed_window ?(cfg = Darco.Config.default)
+    ?(tcfg = Darco_timing.Tconfig.default) ?(warmup = 30_000) ~checkpoints ~offset
+    ~window () =
+  (* The controller stops at slice boundaries; coarse slices would swallow
+     the whole measurement window in one step.  Clamp the slice fuel so the
+     warm-up/window edges land (nearly) where requested. *)
+  let cfg = { cfg with Darco.Config.slice_fuel = min cfg.Darco.Config.slice_fuel 2_000 } in
+  let start = max 0 (offset - warmup) in
+  let from = (nearest checkpoints start).at in
+  let bus = Darco_obs.Bus.create () in
+  let pipe = Pipeline.create tcfg in
+  Pipeline.attach pipe bus;
+  let ctl = controller_at ~cfg ~bus checkpoints ~start in
+  ignore (Darco.Controller.run ~max_insns:offset ctl);
+  let before_i = Pipeline.instructions pipe and before_c = Pipeline.cycles pipe in
+  ignore (Darco.Controller.run ~max_insns:(offset + window) ctl);
+  let di = Pipeline.instructions pipe - before_i in
+  let dc = Pipeline.cycles pipe - before_c in
+  {
+    w_offset = offset;
+    w_window = window;
+    w_warmup = offset - start;
+    w_from_checkpoint = from;
+    w_instructions = di;
+    w_cycles = dc;
+    w_ipc = (if dc = 0 then 0.0 else float_of_int di /. float_of_int dc);
+  }
+
+let window_json r =
+  Jsonx.Obj
+    [
+      ("offset", Jsonx.Int r.w_offset);
+      ("window", Jsonx.Int r.w_window);
+      ("warmup", Jsonx.Int r.w_warmup);
+      ("from_checkpoint", Jsonx.Int r.w_from_checkpoint);
+      ("instructions", Jsonx.Int r.w_instructions);
+      ("cycles", Jsonx.Int r.w_cycles);
+      ("ipc", Jsonx.Float r.w_ipc);
+    ]

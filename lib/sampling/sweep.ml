@@ -1,0 +1,74 @@
+module Jsonx = Darco_obs.Jsonx
+
+type outcome = Ok of Jsonx.t | Failed of string
+type result = { label : string; outcome : outcome }
+
+let write_whole path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Exit codes used by workers: 0 = the temp file holds the JSON result,
+   3 = the temp file holds an error description. *)
+let run_child f item path =
+  match
+    try write_whole path (Jsonx.to_string (f item)); 0
+    with e -> (try write_whole path (Printexc.to_string e) with _ -> ()); 3
+  with
+  | code -> Unix._exit code
+  | exception _ -> Unix._exit 3
+
+let collect path status =
+  match status with
+  | Unix.WEXITED 0 -> (
+    match Jsonx.parse (read_whole path) with
+    | json -> Ok json
+    | exception Jsonx.Parse_error msg -> Failed ("worker result unreadable: " ^ msg)
+    | exception Sys_error msg -> Failed ("worker result unreadable: " ^ msg))
+  | Unix.WEXITED 3 ->
+    let reason = try read_whole path with Sys_error _ -> "" in
+    Failed (if reason = "" then "worker failed" else "worker failed: " ^ reason)
+  | Unix.WEXITED n -> Failed (Printf.sprintf "worker exited with code %d" n)
+  | Unix.WSIGNALED s -> Failed (Printf.sprintf "worker killed by signal %d" s)
+  | Unix.WSTOPPED s -> Failed (Printf.sprintf "worker stopped by signal %d" s)
+
+let map ?(jobs = 4) ~label f items =
+  let jobs = max 1 jobs in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let outcomes = Array.make n (Failed "not run") in
+  let pending = Hashtbl.create jobs in (* pid -> (index, temp path) *)
+  let reap_one () =
+    let pid, status = Unix.wait () in
+    match Hashtbl.find_opt pending pid with
+    | None -> () (* not ours; nothing to record *)
+    | Some (idx, path) ->
+      Hashtbl.remove pending pid;
+      outcomes.(idx) <- collect path status;
+      (try Sys.remove path with Sys_error _ -> ())
+  in
+  Array.iteri
+    (fun idx item ->
+      while Hashtbl.length pending >= jobs do
+        reap_one ()
+      done;
+      let path = Filename.temp_file "darco_sweep" ".json" in
+      (* flush before forking so buffered output is not emitted twice *)
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 -> run_child f item path
+      | pid -> Hashtbl.replace pending pid (idx, path))
+    items;
+  while Hashtbl.length pending > 0 do
+    reap_one ()
+  done;
+  List.mapi
+    (fun idx item -> { label = label item; outcome = outcomes.(idx) })
+    (Array.to_list items)

@@ -1,0 +1,19 @@
+(** Multi-process sample sweep.
+
+    Each work item runs in a forked worker process; a worker that crashes
+    (uncaught exception, fatal signal, OOM kill) loses only its own sample —
+    the parent records a per-sample failure and keeps going.  Results come
+    back as JSON through per-worker temp files. *)
+
+type outcome =
+  | Ok of Darco_obs.Jsonx.t
+  | Failed of string  (** human-readable reason: exception, signal, bad exit *)
+
+type result = { label : string; outcome : outcome }
+
+val map :
+  ?jobs:int -> label:('a -> string) -> ('a -> Darco_obs.Jsonx.t) -> 'a list -> result list
+(** [map ~label f items] evaluates [f] on every item, at most [jobs]
+    (default 4) workers at a time, and returns results in input order.
+    [f] runs in the child only; no state it mutates is visible to the
+    parent. *)

@@ -58,10 +58,18 @@ let ipc_of (before_i, before_c) (after_i, after_c) =
   if dc = 0 then 0.0 else float_of_int di /. float_of_int dc
 
 let run_study ?(cfg = Darco.Config.default) ?(tcfg = Darco_timing.Tconfig.default)
-    ?(candidates = default_candidates) ?(baseline_warmup = 600_000) ~program ~seed
-    ~sample_offsets ~window () =
+    ?(candidates = default_candidates) ?(baseline_warmup = 600_000)
+    ?(checkpoint_interval = 100_000) ~program ~seed ~sample_offsets ~window () =
   let cfg = { cfg with slice_fuel = 2_000 } in
   let horizon = List.fold_left max 0 sample_offsets + window in
+  (* One functional fast-forward pass drops checkpoints every
+     [checkpoint_interval] guest instructions; every sample below then
+     starts from the nearest checkpoint, so per-sample cost no longer grows
+     with the sample's offset. *)
+  let checkpoints =
+    Darco_sampling.Driver.functional_checkpoints ~seed
+      ~interval:checkpoint_interval ~horizon program
+  in
   (* --- authoritative: detailed simulation from the start --- *)
   let t0 = Unix.gettimeofday () in
   let full = Darco.Controller.create ~cfg ~seed program in
@@ -89,7 +97,7 @@ let run_study ?(cfg = Darco.Config.default) ?(tcfg = Darco_timing.Tconfig.defaul
     List.map
       (fun (offset, _, ipc_full) ->
         let start = max 0 (offset - baseline_warmup) in
-        let ctl = Darco.Controller.create_at ~cfg ~seed program ~start in
+        let ctl = Darco_sampling.Driver.controller_at ~cfg checkpoints ~start in
         let t_b0 = Unix.gettimeofday () in
         let wpipe = Pipeline.create tcfg in
         Pipeline.attach wpipe (Darco.Controller.bus ctl);
@@ -114,8 +122,8 @@ let run_study ?(cfg = Darco.Config.default) ?(tcfg = Darco_timing.Tconfig.defaul
             (fun cand ->
               let start = max 0 (offset - cand.warmup_insns) in
               let ctl =
-                Darco.Controller.create_at ~cfg:(scaled cfg cand.scale_factor) ~seed
-                  program ~start
+                Darco_sampling.Driver.controller_at
+                  ~cfg:(scaled cfg cand.scale_factor) checkpoints ~start
               in
               let tc0 = Unix.gettimeofday () in
               (* warming the microarchitectural state alongside TOL state *)

@@ -48,11 +48,16 @@ val run_study :
   ?tcfg:Darco_timing.Tconfig.t ->
   ?candidates:candidate list ->
   ?baseline_warmup:int ->
+  ?checkpoint_interval:int ->
   program:Program.t ->
   seed:int ->
   sample_offsets:int list ->
   window:int ->
   unit ->
   report
+(** Every fast-forward (baseline and per-candidate) starts from the nearest
+    functional checkpoint, dropped every [checkpoint_interval] guest
+    instructions (default 100k) in a single pass up front — so a sample's
+    cost depends on its warm-up length, not its offset. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -97,6 +97,48 @@ let contains t addr =
 let stats t = t.stats
 let name t = t.name
 
+type persisted = {
+  p_lines : (int * bool * bool * int) array array;  (* (tag, valid, dirty, lru) *)
+  p_tick : int;
+  p_accesses : int;
+  p_misses : int;
+  p_writebacks : int;
+  p_prefetch_fills : int;
+}
+
+let persist t =
+  {
+    p_lines =
+      Array.map (Array.map (fun l -> (l.tag, l.valid, l.dirty, l.lru))) t.sets;
+    p_tick = t.tick;
+    p_accesses = t.stats.accesses;
+    p_misses = t.stats.misses;
+    p_writebacks = t.stats.writebacks;
+    p_prefetch_fills = t.stats.prefetch_fills;
+  }
+
+let apply t p =
+  if
+    Array.length p.p_lines <> Array.length t.sets
+    || (Array.length t.sets > 0 && Array.length p.p_lines.(0) <> Array.length t.sets.(0))
+  then invalid_arg (t.name ^ ": persisted cache geometry mismatch");
+  Array.iteri
+    (fun si ways ->
+      Array.iteri
+        (fun wi (tag, valid, dirty, lru) ->
+          let l = t.sets.(si).(wi) in
+          l.tag <- tag;
+          l.valid <- valid;
+          l.dirty <- dirty;
+          l.lru <- lru)
+        ways)
+    p.p_lines;
+  t.tick <- p.p_tick;
+  t.stats.accesses <- p.p_accesses;
+  t.stats.misses <- p.p_misses;
+  t.stats.writebacks <- p.p_writebacks;
+  t.stats.prefetch_fills <- p.p_prefetch_fills
+
 let miss_rate t =
   if t.stats.accesses = 0 then 0.0
   else float_of_int t.stats.misses /. float_of_int t.stats.accesses

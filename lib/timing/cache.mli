@@ -26,3 +26,21 @@ val contains : t -> int -> bool
 val stats : t -> stats
 val name : t -> string
 val miss_rate : t -> float
+
+type persisted = {
+  p_lines : (int * bool * bool * int) array array;
+      (** per set, per way: (tag, valid, dirty, lru) *)
+  p_tick : int;
+  p_accesses : int;
+  p_misses : int;
+  p_writebacks : int;
+  p_prefetch_fills : int;
+}
+(** Cache contents and statistics as plain data (the microarchitectural
+    warm state a snapshot may carry). *)
+
+val persist : t -> persisted
+
+val apply : t -> persisted -> unit
+(** Overwrite a freshly-created cache of the same geometry with persisted
+    contents.  Raises [Invalid_argument] on a geometry mismatch. *)

@@ -317,3 +317,126 @@ let pp_summary ppf s =
     s.prefetches
 
 let attach t bus = Darco_obs.Bus.on_retire bus (step t)
+
+(* --- snapshot support ---------------------------------------------------- *)
+
+type persisted = {
+  p_cfg : Tconfig.t;
+  p_l2 : Cache.persisted;
+  p_il1 : Cache.persisted;
+  p_dl1 : Cache.persisted;
+  p_l2tlb : Tlb.persisted;
+  p_itlb : Tlb.persisted;
+  p_dtlb : Tlb.persisted;
+  p_pf : Prefetch.persisted;
+  p_bp : Predictor.persisted;
+  p_int_ready : int array;
+  p_fp_ready : int array;
+  p_simple_free : int array;
+  p_complex_free : int array;
+  p_vector_free : int array;
+  p_rport_free : int array;
+  p_wport_free : int array;
+  p_iq_ring : int array * int;
+  p_inflight_ring : int array * int;
+  p_fetch_cycle : int;
+  p_fetch_count : int;
+  p_last_fetch_line : int;
+  p_redirect_at : int;
+  p_last_issue : int;
+  p_issued_in_cycle : int;
+  p_horizon : int;
+  p_insns : int;
+  p_int_ops : int;
+  p_mul_ops : int;
+  p_fp_ops : int;
+  p_mem_reads : int;
+  p_mem_writes : int;
+  p_branches : int;
+  p_rf_reads : int;
+  p_rf_writes : int;
+}
+
+let persist t =
+  {
+    p_cfg = t.cfg;
+    p_l2 = Cache.persist t.l2;
+    p_il1 = Cache.persist t.il1;
+    p_dl1 = Cache.persist t.dl1;
+    p_l2tlb = Tlb.persist t.l2tlb;
+    p_itlb = Tlb.persist t.itlb;
+    p_dtlb = Tlb.persist t.dtlb;
+    p_pf = Prefetch.persist t.pf;
+    p_bp = Predictor.persist t.bp;
+    p_int_ready = Array.copy t.int_ready;
+    p_fp_ready = Array.copy t.fp_ready;
+    p_simple_free = Array.copy t.simple_free;
+    p_complex_free = Array.copy t.complex_free;
+    p_vector_free = Array.copy t.vector_free;
+    p_rport_free = Array.copy t.rport_free;
+    p_wport_free = Array.copy t.wport_free;
+    p_iq_ring = (Array.copy t.iq_ring.buf, t.iq_ring.n);
+    p_inflight_ring = (Array.copy t.inflight_ring.buf, t.inflight_ring.n);
+    p_fetch_cycle = t.fetch_cycle;
+    p_fetch_count = t.fetch_count;
+    p_last_fetch_line = t.last_fetch_line;
+    p_redirect_at = t.redirect_at;
+    p_last_issue = t.last_issue;
+    p_issued_in_cycle = t.issued_in_cycle;
+    p_horizon = t.horizon;
+    p_insns = t.insns;
+    p_int_ops = t.int_ops;
+    p_mul_ops = t.mul_ops;
+    p_fp_ops = t.fp_ops;
+    p_mem_reads = t.mem_reads;
+    p_mem_writes = t.mem_writes;
+    p_branches = t.branches;
+    p_rf_reads = t.rf_reads;
+    p_rf_writes = t.rf_writes;
+  }
+
+let blit_same name src dst =
+  if Array.length src <> Array.length dst then
+    invalid_arg ("Pipeline.restore: " ^ name ^ " size mismatch");
+  Array.blit src 0 dst 0 (Array.length dst)
+
+let restore p =
+  let t = create p.p_cfg in
+  Cache.apply t.l2 p.p_l2;
+  Cache.apply t.il1 p.p_il1;
+  Cache.apply t.dl1 p.p_dl1;
+  Tlb.apply t.l2tlb p.p_l2tlb;
+  Tlb.apply t.itlb p.p_itlb;
+  Tlb.apply t.dtlb p.p_dtlb;
+  Prefetch.apply t.pf p.p_pf;
+  Predictor.apply t.bp p.p_bp;
+  blit_same "int_ready" p.p_int_ready t.int_ready;
+  blit_same "fp_ready" p.p_fp_ready t.fp_ready;
+  blit_same "simple_free" p.p_simple_free t.simple_free;
+  blit_same "complex_free" p.p_complex_free t.complex_free;
+  blit_same "vector_free" p.p_vector_free t.vector_free;
+  blit_same "rport_free" p.p_rport_free t.rport_free;
+  blit_same "wport_free" p.p_wport_free t.wport_free;
+  let ring_apply name r (buf, n) =
+    blit_same name buf r.buf;
+    r.n <- n
+  in
+  ring_apply "iq_ring" t.iq_ring p.p_iq_ring;
+  ring_apply "inflight_ring" t.inflight_ring p.p_inflight_ring;
+  t.fetch_cycle <- p.p_fetch_cycle;
+  t.fetch_count <- p.p_fetch_count;
+  t.last_fetch_line <- p.p_last_fetch_line;
+  t.redirect_at <- p.p_redirect_at;
+  t.last_issue <- p.p_last_issue;
+  t.issued_in_cycle <- p.p_issued_in_cycle;
+  t.horizon <- p.p_horizon;
+  t.insns <- p.p_insns;
+  t.int_ops <- p.p_int_ops;
+  t.mul_ops <- p.p_mul_ops;
+  t.fp_ops <- p.p_fp_ops;
+  t.mem_reads <- p.p_mem_reads;
+  t.mem_writes <- p.p_mem_writes;
+  t.branches <- p.p_branches;
+  t.rf_reads <- p.p_rf_reads;
+  t.rf_writes <- p.p_rf_writes;
+  t

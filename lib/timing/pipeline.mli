@@ -54,3 +54,50 @@ val instructions : t -> int
 val summary : t -> summary
 val events : t -> events
 val pp_summary : Format.formatter -> summary -> unit
+
+(** Complete microarchitectural state of a pipeline, as plain data.  Used by
+    the snapshot codec to carry warmed caches, TLBs, predictor and prefetcher
+    state across a checkpoint/restore boundary. *)
+type persisted = {
+  p_cfg : Tconfig.t;
+  p_l2 : Cache.persisted;
+  p_il1 : Cache.persisted;
+  p_dl1 : Cache.persisted;
+  p_l2tlb : Tlb.persisted;
+  p_itlb : Tlb.persisted;
+  p_dtlb : Tlb.persisted;
+  p_pf : Prefetch.persisted;
+  p_bp : Predictor.persisted;
+  p_int_ready : int array;
+  p_fp_ready : int array;
+  p_simple_free : int array;
+  p_complex_free : int array;
+  p_vector_free : int array;
+  p_rport_free : int array;
+  p_wport_free : int array;
+  p_iq_ring : int array * int;
+  p_inflight_ring : int array * int;
+  p_fetch_cycle : int;
+  p_fetch_count : int;
+  p_last_fetch_line : int;
+  p_redirect_at : int;
+  p_last_issue : int;
+  p_issued_in_cycle : int;
+  p_horizon : int;
+  p_insns : int;
+  p_int_ops : int;
+  p_mul_ops : int;
+  p_fp_ops : int;
+  p_mem_reads : int;
+  p_mem_writes : int;
+  p_branches : int;
+  p_rf_reads : int;
+  p_rf_writes : int;
+}
+
+val persist : t -> persisted
+
+val restore : persisted -> t
+(** Build a pipeline whose observable behaviour continues exactly where
+    [persist] left off.  Raises [Invalid_argument] if the persisted arrays
+    do not match the geometry implied by [p_cfg]. *)

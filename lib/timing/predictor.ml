@@ -64,6 +64,40 @@ let observe t ~pc ~taken ~target =
 
 let stats t = t.stats
 
+type persisted = {
+  p_pht : int array;
+  p_ghr : int;
+  p_btb_tag : int array;
+  p_btb_target : int array;
+  p_branches : int;
+  p_mispredicts : int;
+  p_btb_misses : int;
+}
+
+let persist t =
+  {
+    p_pht = Array.copy t.pht;
+    p_ghr = t.ghr;
+    p_btb_tag = Array.copy t.btb_tag;
+    p_btb_target = Array.copy t.btb_target;
+    p_branches = t.stats.branches;
+    p_mispredicts = t.stats.mispredicts;
+    p_btb_misses = t.stats.btb_misses;
+  }
+
+let apply t p =
+  if
+    Array.length p.p_pht <> Array.length t.pht
+    || Array.length p.p_btb_tag <> Array.length t.btb_tag
+  then invalid_arg "Predictor.apply: persisted predictor geometry mismatch";
+  Array.blit p.p_pht 0 t.pht 0 (Array.length t.pht);
+  Array.blit p.p_btb_tag 0 t.btb_tag 0 (Array.length t.btb_tag);
+  Array.blit p.p_btb_target 0 t.btb_target 0 (Array.length t.btb_target);
+  t.ghr <- p.p_ghr;
+  t.stats.branches <- p.p_branches;
+  t.stats.mispredicts <- p.p_mispredicts;
+  t.stats.btb_misses <- p.p_btb_misses
+
 let accuracy t =
   if t.stats.branches = 0 then 1.0
   else 1.0 -. (float_of_int t.stats.mispredicts /. float_of_int t.stats.branches)

@@ -23,3 +23,19 @@ val observe : t -> pc:int -> taken:bool -> target:int -> [ `Correct | `Mispredic
 
 val stats : t -> stats
 val accuracy : t -> float
+
+type persisted = {
+  p_pht : int array;
+  p_ghr : int;
+  p_btb_tag : int array;
+  p_btb_target : int array;
+  p_branches : int;
+  p_mispredicts : int;
+  p_btb_misses : int;
+}
+
+val persist : t -> persisted
+
+val apply : t -> persisted -> unit
+(** Overwrite a freshly-created predictor of the same geometry.  Raises
+    [Invalid_argument] on a geometry mismatch. *)

@@ -57,3 +57,31 @@ let observe t ~pc ~addr =
   end
 
 let stats t = t.stats
+
+type persisted = {
+  p_table : (int * int * int * int) array;  (* (tag, last_addr, stride, confidence) *)
+  p_issued : int;
+  p_triggered : int;
+}
+
+let persist t =
+  {
+    p_table =
+      Array.map (fun e -> (e.tag, e.last_addr, e.stride, e.confidence)) t.table;
+    p_issued = t.stats.issued;
+    p_triggered = t.stats.triggered;
+  }
+
+let apply t p =
+  if Array.length p.p_table <> Array.length t.table then
+    invalid_arg "Prefetch.apply: persisted table size mismatch";
+  Array.iteri
+    (fun i (tag, last_addr, stride, confidence) ->
+      let e = t.table.(i) in
+      e.tag <- tag;
+      e.last_addr <- last_addr;
+      e.stride <- stride;
+      e.confidence <- confidence)
+    p.p_table;
+  t.stats.issued <- p.p_issued;
+  t.stats.triggered <- p.p_triggered

@@ -9,3 +9,16 @@ type stats = { mutable issued : int; mutable triggered : int }
 val create : Tconfig.t -> into:Cache.t -> t
 val observe : t -> pc:int -> addr:int -> unit
 val stats : t -> stats
+
+type persisted = {
+  p_table : (int * int * int * int) array;
+      (** (tag, last_addr, stride, confidence) per entry *)
+  p_issued : int;
+  p_triggered : int;
+}
+
+val persist : t -> persisted
+
+val apply : t -> persisted -> unit
+(** Overwrite a freshly-created prefetcher of the same table size.  Raises
+    [Invalid_argument] on a size mismatch. *)

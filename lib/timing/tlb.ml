@@ -56,6 +56,35 @@ let second_level (cfg : Tconfig.t) =
 
 let stats t = t.stats
 
+type persisted = {
+  p_entries : (int * bool * int) array;  (* (vpn, valid, lru) *)
+  p_tick : int;
+  p_accesses : int;
+  p_misses : int;
+}
+
+let persist t =
+  {
+    p_entries = Array.map (fun e -> (e.vpn, e.valid, e.lru)) t.entries;
+    p_tick = t.tick;
+    p_accesses = t.stats.accesses;
+    p_misses = t.stats.misses;
+  }
+
+let apply t p =
+  if Array.length p.p_entries <> Array.length t.entries then
+    invalid_arg "Tlb.apply: persisted TLB geometry mismatch";
+  Array.iteri
+    (fun i (vpn, valid, lru) ->
+      let e = t.entries.(i) in
+      e.vpn <- vpn;
+      e.valid <- valid;
+      e.lru <- lru)
+    p.p_entries;
+  t.tick <- p.p_tick;
+  t.stats.accesses <- p.p_accesses;
+  t.stats.misses <- p.p_misses
+
 let miss_rate t =
   if t.stats.accesses = 0 then 0.0
   else float_of_int t.stats.misses /. float_of_int t.stats.accesses

@@ -21,3 +21,16 @@ val second_level : Tconfig.t -> t
 
 val stats : t -> stats
 val miss_rate : t -> float
+
+type persisted = {
+  p_entries : (int * bool * int) array;  (** (vpn, valid, lru) per entry *)
+  p_tick : int;
+  p_accesses : int;
+  p_misses : int;
+}
+
+val persist : t -> persisted
+
+val apply : t -> persisted -> unit
+(** Overwrite a freshly-created TLB of the same size with persisted
+    contents.  Raises [Invalid_argument] on a size mismatch. *)

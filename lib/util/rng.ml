@@ -8,6 +8,8 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let create seed = { state = mix (Int64.of_int seed) }
+let state t = t.state
+let of_state s = { state = s }
 
 let int64 t =
   t.state <- Int64.add t.state golden_gamma;

@@ -16,6 +16,13 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 
+val state : t -> int64
+(** The raw SplitMix64 state word (for checkpointing). *)
+
+val of_state : int64 -> t
+(** Rebuild a generator from a {!state} word; the stream continues exactly
+    where the captured generator left off. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

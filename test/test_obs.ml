@@ -41,6 +41,83 @@ let test_jsonx_roundtrip () =
       Alcotest.(check bool) ("roundtrip " ^ s) true (Jsonx.parse s = j))
     samples
 
+(* --- Jsonx: property-based round-trip ----------------------------------- *)
+
+(* Two deliberate asymmetries in the printer/parser pair:
+   - an integer-valued float >= 1e15 prints via %.17g without a decimal
+     point, so it parses back as [Int];
+   - the parser folds numerically-equal floats (e.g. -0.0 vs 0.0).
+   Semantic equality accepts exactly those coercions and nothing else. *)
+let rec jsonx_sem_eq a b =
+  match (a, b) with
+  | Jsonx.Float x, Jsonx.Float y -> x = y
+  | Jsonx.Int i, Jsonx.Float f | Jsonx.Float f, Jsonx.Int i ->
+    Float.is_integer f && Float.abs f < 4e18 && int_of_float f = i
+  | Jsonx.List xs, Jsonx.List ys ->
+    List.length xs = List.length ys && List.for_all2 jsonx_sem_eq xs ys
+  | Jsonx.Obj xs, Jsonx.Obj ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && jsonx_sem_eq v1 v2)
+         xs ys
+  | _ -> a = b
+
+let gen_jsonx =
+  let open QCheck.Gen in
+  (* full ASCII, including the control characters that print as \u escapes
+     and the quote/backslash/newline family with dedicated escapes *)
+  let ascii_string = string_size ~gen:(map Char.chr (int_range 0 127)) (int_range 0 12) in
+  let edge_floats =
+    [
+      0.0; -0.0; 1.0; -1.0; 0.1; -0.5; Float.pi; 1e-300; 1.5e300; max_float;
+      min_float; 4.94e-324 (* subnormal *); 1e15 (* %.1f/%.17g boundary *);
+      1e16; 9007199254740992.0 (* 2^53 *); 0.30000000000000004;
+    ]
+  in
+  let finite f = if Float.is_finite f then f else 0.0 in
+  let leaf =
+    oneof
+      [
+        return Jsonx.Null;
+        map (fun b -> Jsonx.Bool b) bool;
+        map (fun i -> Jsonx.Int i) int;
+        map (fun f -> Jsonx.Float f) (oneof [ oneofl edge_floats; map finite float ]);
+        map (fun s -> Jsonx.String s) ascii_string;
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n <= 0 then leaf
+         else
+           frequency
+             [
+               (2, leaf);
+               (1, map (fun l -> Jsonx.List l) (list_size (int_range 0 4) (self (n / 2))));
+               ( 1,
+                 map
+                   (fun kvs -> Jsonx.Obj kvs)
+                   (list_size (int_range 0 4) (pair ascii_string (self (n / 2)))) );
+             ])
+
+let arb_jsonx = QCheck.make ~print:Jsonx.to_string gen_jsonx
+
+let prop_jsonx_roundtrip =
+  QCheck.Test.make ~name:"parse (to_string j) = j up to Int/Float coercion"
+    ~count:500 arb_jsonx (fun j -> jsonx_sem_eq (Jsonx.parse (Jsonx.to_string j)) j)
+
+(* Strings must round-trip byte-exactly, whatever needed escaping. *)
+let prop_jsonx_string_exact =
+  QCheck.Test.make ~name:"escaped strings round-trip byte-exactly" ~count:500
+    QCheck.(string_gen_of_size Gen.(int_range 0 64) Gen.(map Char.chr (int_range 0 127)))
+    (fun s -> Jsonx.parse (Jsonx.to_string (Jsonx.String s)) = Jsonx.String s)
+
+(* Printing is a fixpoint after one parse: print . parse . print = print. *)
+let prop_jsonx_print_stable =
+  QCheck.Test.make ~name:"to_string stable across a parse round" ~count:500
+    arb_jsonx (fun j ->
+      let s = Jsonx.to_string j in
+      String.equal (Jsonx.to_string (Jsonx.parse s)) s)
+
 let test_jsonx_parse_errors () =
   List.iter
     (fun s ->
@@ -136,6 +213,9 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_jsonx_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_jsonx_parse_errors;
+          QCheck_alcotest.to_alcotest prop_jsonx_roundtrip;
+          QCheck_alcotest.to_alcotest prop_jsonx_string_exact;
+          QCheck_alcotest.to_alcotest prop_jsonx_print_stable;
         ] );
       ( "aggregator",
         List.map

@@ -1,0 +1,267 @@
+open Darco
+open Darco_sampling
+module Stats = Darco_obs.Stats
+module Pipeline = Darco_timing.Pipeline
+
+(* Snapshot/restore must be invisible: a run interrupted at an arbitrary
+   point, serialized, deserialized and resumed has to retire the same
+   instruction stream and end in the same state as a run never interrupted. *)
+
+let cfg = { Config.quick with slice_fuel = 2_000 }
+
+let build name = (Darco_workloads.Registry.find name).build ~scale:1 ()
+
+let expect_done what = function
+  | `Done -> ()
+  | `Limit -> Alcotest.failf "%s: hit instruction limit" what
+  | `Diverged (d : Controller.divergence) ->
+    Alcotest.failf "%s: diverged at %d:\n%s" what d.at_retired
+      (String.concat "\n" d.details)
+
+type final = {
+  f_stats : Stats.t;
+  f_ref_hash : string;
+  f_co_hash : string;
+  f_output : string;
+  f_exit : int option;
+}
+
+let final_of (ctl : Controller.t) =
+  {
+    f_stats = Controller.stats ctl;
+    f_ref_hash = Snapshot.memory_hash ctl.reference.mem;
+    f_co_hash = Snapshot.memory_hash ctl.co.mem;
+    f_output = Controller.output ctl;
+    f_exit = Controller.exit_code ctl;
+  }
+
+let check_final what want got =
+  Alcotest.(check bool) (what ^ ": final stats identical") true
+    (Stats.equal want.f_stats got.f_stats);
+  Alcotest.(check string) (what ^ ": guest memory hash") want.f_ref_hash got.f_ref_hash;
+  Alcotest.(check string) (what ^ ": co-designed memory hash") want.f_co_hash
+    got.f_co_hash;
+  Alcotest.(check string) (what ^ ": program output") want.f_output got.f_output;
+  Alcotest.(check (option int)) (what ^ ": exit code") want.f_exit got.f_exit
+
+let roundtrip_workload name offsets () =
+  let program = build name in
+  let seed = 7 in
+  let full = Controller.create ~cfg ~seed program in
+  expect_done (name ^ " uninterrupted") (Controller.run full);
+  let want = final_of full in
+  List.iter
+    (fun offset ->
+      let part = Controller.create ~cfg ~seed program in
+      (match Controller.run ~max_insns:offset part with
+      | `Limit -> ()
+      | `Done -> Alcotest.failf "%s: offset %d beyond program end" name offset
+      | `Diverged _ -> Alcotest.failf "%s: diverged before offset %d" name offset);
+      (* serialize through bytes, not just in-memory structures *)
+      let bytes = Snapshot.to_string (Snapshot.capture part) in
+      let snap = Snapshot.of_string bytes in
+      Alcotest.(check bool) "full kind" true (Snapshot.kind snap = Snapshot.Full);
+      let resumed = Snapshot.restore snap in
+      expect_done
+        (Printf.sprintf "%s resumed from offset %d" name offset)
+        (Controller.run resumed);
+      check_final (Printf.sprintf "%s @%d" name offset) want (final_of resumed))
+    offsets
+
+(* A warmed timing pipeline captured alongside the snapshot must continue
+   cycle-identically too. *)
+let test_timing_roundtrip () =
+  let program = build "continuous" in
+  let seed = 3 in
+  let tcfg = Darco_timing.Tconfig.default in
+  let run_full () =
+    let bus = Darco_obs.Bus.create () in
+    let pipe = Pipeline.create tcfg in
+    Pipeline.attach pipe bus;
+    let ctl = Controller.create ~cfg ~bus ~seed program in
+    expect_done "timing uninterrupted" (Controller.run ctl);
+    pipe
+  in
+  let want = run_full () in
+  let bus = Darco_obs.Bus.create () in
+  let pipe = Pipeline.create tcfg in
+  Pipeline.attach pipe bus;
+  let part = Controller.create ~cfg ~bus ~seed program in
+  (match Controller.run ~max_insns:60_000 part with
+  | `Limit -> ()
+  | _ -> Alcotest.fail "expected limit");
+  let bytes = Snapshot.to_string (Snapshot.capture ~pipeline:pipe part) in
+  let snap = Snapshot.of_string bytes in
+  let bus2 = Darco_obs.Bus.create () in
+  let pipe2 =
+    match Snapshot.restore_pipeline snap with
+    | Some p -> p
+    | None -> Alcotest.fail "snapshot lost its timing section"
+  in
+  Pipeline.attach pipe2 bus2;
+  let resumed = Snapshot.restore ~bus:bus2 snap in
+  expect_done "timing resumed" (Controller.run resumed);
+  Alcotest.(check int) "cycles identical" (Pipeline.cycles want) (Pipeline.cycles pipe2);
+  Alcotest.(check int) "host instructions identical" (Pipeline.instructions want)
+    (Pipeline.instructions pipe2)
+
+(* Functional snapshots: the x86 component alone, restored and run to halt,
+   behaves exactly like an uninterrupted plain emulation. *)
+let test_functional_reference () =
+  let program = build "470.lbm" in
+  let plain = Darco_guest.Interp_ref.boot ~seed:5 program in
+  ignore (Darco_guest.Interp_ref.run_to_halt plain);
+  let ir = Darco_guest.Interp_ref.boot ~seed:5 program in
+  Darco_guest.Interp_ref.run_until ir 25_000;
+  let snap = Snapshot.of_string (Snapshot.to_string (Snapshot.capture_reference ir)) in
+  Alcotest.(check bool) "functional kind" true (Snapshot.kind snap = Snapshot.Functional);
+  Alcotest.(check int) "retired recorded" 25_000 (Snapshot.retired snap);
+  let restored = Snapshot.restore_reference snap in
+  ignore (Darco_guest.Interp_ref.run_to_halt restored);
+  Alcotest.(check string) "output" (Darco_guest.Interp_ref.output plain)
+    (Darco_guest.Interp_ref.output restored);
+  Alcotest.(check (option int)) "exit code" plain.exit_code restored.exit_code;
+  Alcotest.(check int) "retired" plain.retired restored.retired;
+  Alcotest.(check string) "memory"
+    (Snapshot.memory_hash plain.mem)
+    (Snapshot.memory_hash restored.mem)
+
+(* The sampling driver's fast-forward path must be bit-identical to the
+   O(offset) [create_at] it replaces. *)
+let test_driver_matches_create_at () =
+  let program = build "continuous" in
+  let seed = 11 in
+  let checkpoints =
+    Driver.functional_checkpoints ~seed ~interval:20_000 ~horizon:150_000 program
+  in
+  Alcotest.(check bool) "several checkpoints" true (List.length checkpoints >= 5);
+  List.iter
+    (fun start ->
+      let via_driver = Driver.controller_at ~cfg checkpoints ~start in
+      let via_create = Controller.create_at ~cfg ~seed program ~start in
+      expect_done "driver path" (Controller.run via_driver);
+      expect_done "create_at path" (Controller.run via_create);
+      Alcotest.(check bool)
+        (Printf.sprintf "stats identical from start %d" start)
+        true
+        (Stats.equal (Controller.stats via_driver) (Controller.stats via_create)))
+    [ 0; 35_000; 90_000 ]
+
+(* Corruption must surface as a clean [Buf.Corrupt], never a crash or a
+   silently wrong snapshot. *)
+let test_corrupted_snapshot () =
+  let program = build "continuous" in
+  let part = Controller.create ~cfg ~seed:7 program in
+  (match Controller.run ~max_insns:30_000 part with
+  | `Limit -> ()
+  | _ -> Alcotest.fail "expected limit");
+  let good = Snapshot.to_string (Snapshot.capture part) in
+  let expect_corrupt what s =
+    match Snapshot.of_string s with
+    | _ -> Alcotest.failf "%s: accepted corrupted snapshot" what
+    | exception Buf.Corrupt _ -> ()
+  in
+  (* flip one byte in the middle of a section payload: CRC must catch it *)
+  let flipped = Bytes.of_string good in
+  let mid = String.length good / 2 in
+  Bytes.set flipped mid (Char.chr (Char.code (Bytes.get flipped mid) lxor 0x40));
+  expect_corrupt "bit flip" (Bytes.to_string flipped);
+  (* truncations at every framing granularity *)
+  expect_corrupt "truncated header" (String.sub good 0 3);
+  expect_corrupt "truncated section" (String.sub good 0 (String.length good / 3));
+  expect_corrupt "one byte short" (String.sub good 0 (String.length good - 1));
+  (* bad magic / unsupported version *)
+  expect_corrupt "bad magic" ("XSNP" ^ String.sub good 4 (String.length good - 4));
+  let future = Bytes.of_string good in
+  Bytes.set future 4 '\xff';
+  expect_corrupt "future version" (Bytes.to_string future);
+  (* trailing garbage *)
+  expect_corrupt "trailing bytes" (good ^ "extra");
+  (* and the good bytes still restore fine afterwards *)
+  let resumed = Snapshot.restore (Snapshot.of_string good) in
+  expect_done "good bytes resume" (Controller.run resumed)
+
+(* A crashing worker loses only its own sample. *)
+let test_sweep_contains_crashes () =
+  let module J = Darco_obs.Jsonx in
+  let results =
+    Sweep.map ~jobs:2 ~label:string_of_int
+      (fun i ->
+        if i = 1 then failwith "boom"
+        else if i = 2 then begin
+          (* die without the courtesy of an exception *)
+          Unix.kill (Unix.getpid ()) Sys.sigkill;
+          assert false
+        end
+        else J.Obj [ ("v", J.Int i) ])
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "all samples reported" 4 (List.length results);
+  let nth n = (List.nth results n).Sweep.outcome in
+  (match nth 0 with
+  | Sweep.Ok json ->
+    Alcotest.(check (option int)) "payload survives" (Some 0)
+      (Option.bind (J.member "v" json) J.to_int)
+  | Sweep.Failed r -> Alcotest.failf "sample 0 failed: %s" r);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  (match nth 1 with
+  | Sweep.Failed reason ->
+    Alcotest.(check bool) "exception reason captured" true (contains reason "boom")
+  | Sweep.Ok _ -> Alcotest.fail "exception not contained");
+  (match nth 2 with
+  | Sweep.Failed reason ->
+    Alcotest.(check bool) "signal death reported" true
+      (String.length reason > 0)
+  | Sweep.Ok _ -> Alcotest.fail "signal death not contained");
+  match nth 3 with
+  | Sweep.Ok _ -> ()
+  | Sweep.Failed r -> Alcotest.failf "sample 3 failed: %s" r
+
+let test_manifest () =
+  let program = build "continuous" in
+  let part = Controller.create ~cfg ~seed:7 program in
+  (match Controller.run ~max_insns:10_000 part with
+  | `Limit -> ()
+  | _ -> Alcotest.fail "expected limit");
+  let snap = Snapshot.capture part in
+  let m = Snapshot.manifest snap in
+  let module J = Darco_obs.Jsonx in
+  let str_field name = Option.bind (J.member name m) J.to_str in
+  let int_field name = Option.bind (J.member name m) J.to_int in
+  Alcotest.(check (option string)) "kind" (Some "full") (str_field "kind");
+  Alcotest.(check (option int)) "version" (Some Snapshot.version) (int_field "version");
+  match J.member "sections" m with
+  | Some (J.List sections) ->
+    Alcotest.(check bool) "at least guest+code sections" true (List.length sections >= 2)
+  | _ -> Alcotest.fail "sections not a list"
+
+let () =
+  Alcotest.run "sampling"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "462.libquantum" `Quick
+            (roundtrip_workload "462.libquantum" [ 2_000; 60_000; 250_000 ]);
+          Alcotest.test_case "470.lbm" `Quick
+            (roundtrip_workload "470.lbm" [ 5_000; 120_000 ]);
+          Alcotest.test_case "continuous (physics)" `Quick
+            (roundtrip_workload "continuous" [ 1_000; 40_000; 150_000 ]);
+          Alcotest.test_case "timing pipeline" `Quick test_timing_roundtrip;
+          Alcotest.test_case "functional reference" `Quick test_functional_reference;
+        ] );
+      ( "driver",
+        [ Alcotest.test_case "matches create_at" `Quick test_driver_matches_create_at ]
+      );
+      ( "sweep",
+        [ Alcotest.test_case "crash containment" `Quick test_sweep_contains_crashes ]
+      );
+      ( "format",
+        [
+          Alcotest.test_case "corruption detected" `Quick test_corrupted_snapshot;
+          Alcotest.test_case "manifest" `Quick test_manifest;
+        ] );
+    ]
