@@ -23,6 +23,11 @@ type recorded = {
 
 let recorded : recorded list ref = ref []
 
+(* Sampling-error summary of the §VI-E study (when it ran), so the JSON
+   carries the IPC point estimates together with their confidence
+   intervals rather than bare numbers. *)
+let sampling_summary : Darco_obs.Jsonx.t option ref = ref None
+
 let run_benchmark ?(cfg = Darco.Config.default) ?(timing = false) ?max_insns ?label
     (e : Registry.entry) =
   let ctl = Darco.Controller.create ~cfg ~seed:42 (e.build ()) in
@@ -256,6 +261,33 @@ let warmup () =
       ~window:25_000 ()
   in
   Format.printf "%a@." Darco_studies.Warmup.pp_report report;
+  let open Darco_obs in
+  let ipcs = List.map (fun (s : Darco_studies.Warmup.sample_result) -> s.ipc_sampled) report.samples in
+  sampling_summary :=
+    Some
+      (Jsonx.Obj
+         [
+           ("benchmark", Jsonx.String "462.libquantum");
+           ("window", Jsonx.Int 25_000);
+           ("ipc_mean", Jsonx.Float report.ipc_sampled_mean);
+           ("ipc_stddev", Jsonx.Float (SM.sample_stddev ipcs));
+           ("ipc_ci95", Jsonx.Float report.ipc_sampled_ci95);
+           ("ipc_full_mean", Jsonx.Float report.ipc_full_mean);
+           ("ipc_full_ci95", Jsonx.Float report.ipc_full_ci95);
+           ("avg_error", Jsonx.Float report.avg_error);
+           ( "samples",
+             Jsonx.List
+               (List.map
+                  (fun (s : Darco_studies.Warmup.sample_result) ->
+                    Jsonx.Obj
+                      [
+                        ("offset", Jsonx.Int s.offset);
+                        ("ipc", Jsonx.Float s.ipc_sampled);
+                        ("ipc_full", Jsonx.Float s.ipc_full);
+                        ("error", Jsonx.Float s.error);
+                      ])
+                  report.samples) );
+         ]);
   print_endline "  (paper: ~65x simulation-cost reduction at 0.75% average error)\n"
 
 (* --- ablations: the design choices DESIGN.md calls out --- *)
@@ -368,8 +400,16 @@ let write_results path =
         ("metrics", Metrics.to_json r.r_stats);
       ]
   in
+  let doc =
+    Jsonx.Obj
+      [
+        ("runs", Jsonx.List (List.rev_map entry !recorded));
+        ( "sampling",
+          match !sampling_summary with Some j -> j | None -> Jsonx.Null );
+      ]
+  in
   let oc = open_out path in
-  output_string oc (Jsonx.to_string (Jsonx.List (List.rev_map entry !recorded)));
+  output_string oc (Jsonx.to_string doc);
   output_char oc '\n';
   close_out oc
 

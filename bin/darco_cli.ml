@@ -1,6 +1,7 @@
 (* The DARCO command-line interface: run workloads through the co-designed
-   pipeline, optionally with the timing and power simulators, and inspect
-   the software-layer statistics. *)
+   pipeline, optionally with the timing and power simulators, inspect the
+   software-layer statistics, and drive sampled simulation — locally or
+   across a cluster of worker daemons. *)
 
 open Cmdliner
 
@@ -14,45 +15,66 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available workloads")
     Term.(const run $ const ())
 
-let bench_arg =
-  Arg.(
-    required
-    & pos 0 (some string) None
-    & info [] ~docv:"BENCH" ~doc:"Workload name (or unique substring)")
+(* --- the shared flag-spec table ---------------------------------------- *)
 
-let scale_arg =
-  Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Hot-phase iteration multiplier")
+(* One declaration per flag; every command assembles its interface from
+   these rows instead of re-implementing --seed/--input/--trace/... with
+   subtly different docs and defaults. *)
+module Flag = struct
+  let bench =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BENCH" ~doc:"Workload name (or unique substring)")
 
-let timing_arg =
-  Arg.(value & flag & info [ "timing" ] ~doc:"Enable the timing and power simulators")
+  let scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Hot-phase iteration multiplier")
 
-let validate_arg =
-  Arg.(
-    value & flag
-    & info [ "validate-checkpoints" ]
-        ~doc:"Validate architectural state at every execution slice")
+  let timing =
+    Arg.(value & flag & info [ "timing" ] ~doc:"Enable the timing and power simulators")
 
-let max_insns_arg =
-  Arg.(
-    value
-    & opt int max_int
-    & info [ "max-insns" ] ~doc:"Stop after this many retired guest instructions")
+  let max_insns =
+    Arg.(
+      value
+      & opt int max_int
+      & info [ "max-insns" ] ~doc:"Stop after this many retired guest instructions")
 
-let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic input seed")
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Deterministic input seed")
 
-let trace_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE.jsonl"
-        ~doc:"Write the typed simulation event stream as JSON lines to $(docv)")
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "input" ] ~docv:"STRING"
+          ~doc:"Feed $(docv) to the guest's standard input (read syscalls)")
 
-let stats_json_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "stats-json" ] ~docv:"FILE"
-        ~doc:"Write the final statistics as a JSON metrics snapshot to $(docv)")
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.jsonl"
+          ~doc:"Write the typed simulation event stream as JSON lines to $(docv)")
+
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write the final statistics as a JSON metrics snapshot to $(docv)")
+
+  (* The bundle almost every simulating command wants. *)
+  type sim = {
+    seed : int;
+    input : string option;
+    trace : string option;
+    stats_json : string option;
+  }
+
+  let sim =
+    Term.(
+      const (fun seed input trace stats_json -> { seed; input; trace; stats_json })
+      $ seed $ input $ trace $ stats_json)
+end
 
 let no_flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
@@ -89,8 +111,44 @@ let config_term =
     $ Arg.(value & opt int Darco.Config.default.bb_threshold & info [ "bb-threshold" ] ~doc:"IM->BBM promotion threshold")
     $ Arg.(value & opt int Darco.Config.default.sb_threshold & info [ "sb-threshold" ] ~doc:"BBM->SBM promotion threshold"))
 
+(* --- shared run/report plumbing ---------------------------------------- *)
+
+(* Run the controller with the trace sink closed (and the stats snapshot
+   written) even when the run diverges or raises — otherwise buffered trail
+   events are lost exactly when they matter most. *)
+let timed_run ?max_insns ~trace_oc ~stats_json ctl =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter close_out_noerr trace_oc;
+        Option.iter
+          (fun path -> Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
+          stats_json)
+      (fun () -> Darco.Controller.run ?max_insns ctl)
+  in
+  (result, Unix.gettimeofday () -. t0)
+
+let report_outcome ~dt ctl result =
+  (match result with
+  | `Done -> Printf.printf "completed"
+  | `Limit -> Printf.printf "instruction limit reached"
+  | `Diverged (d : Darco.Controller.divergence) ->
+    Printf.printf "DIVERGED at %d retired insns:\n  %s" d.at_retired
+      (String.concat "\n  " d.details));
+  Printf.printf " in %.2fs (exit code %s)\n" dt
+    (match Darco.Controller.exit_code ctl with
+    | Some c -> string_of_int c
+    | None -> "-");
+  Format.printf "%a@." Darco.Stats.pp_summary (Darco.Controller.stats ctl)
+
+let attach_timing bus =
+  let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
+  Darco_timing.Pipeline.attach p bus;
+  p
+
 let run_cmd =
-  let run bench scale timing validate max_insns seed trace stats_json cfg =
+  let run bench scale timing validate max_insns (sim : Flag.sim) cfg =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     Printf.printf "== %s (%s), %d static bytes ==\n%!" entry.name
@@ -99,45 +157,17 @@ let run_cmd =
     (* Sinks attach before the controller exists so initialization events
        land in the trace too. *)
     let bus = Darco_obs.Bus.create () in
-    let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) trace in
-    let ctl = Darco.Controller.create ~cfg ~bus ~seed program in
+    let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
+    let ctl =
+      Darco.Controller.create ~cfg ~bus ?input:sim.input ~seed:sim.seed program
+    in
     ctl.validate_at_checkpoints <- validate;
-    let pipe =
-      if timing then begin
-        let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-        Darco_timing.Pipeline.attach p bus;
-        Some p
-      end
-      else None
+    let pipe = if timing then Some (attach_timing bus) else None in
+    let result, dt =
+      timed_run ~max_insns ~trace_oc ~stats_json:sim.stats_json ctl
     in
-    let t0 = Unix.gettimeofday () in
-    (* The trace sink must be closed (and the stats snapshot written) even
-       when the run diverges or raises — otherwise buffered trail events are
-       lost exactly when they matter most. *)
-    let result =
-      Fun.protect
-        ~finally:(fun () ->
-          Option.iter close_out_noerr trace_oc;
-          Option.iter
-            (fun path ->
-              Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
-            stats_json)
-        (fun () -> Darco.Controller.run ~max_insns ctl)
-    in
-    let dt = Unix.gettimeofday () -. t0 in
-    (match result with
-    | `Done -> Printf.printf "completed"
-    | `Limit -> Printf.printf "instruction limit reached"
-    | `Diverged d ->
-      Printf.printf "DIVERGED at %d retired insns:\n  %s" d.at_retired
-        (String.concat "\n  " d.details));
-    Printf.printf " in %.2fs (exit code %s)\n"
-      dt
-      (match Darco.Controller.exit_code ctl with
-      | Some c -> string_of_int c
-      | None -> "-");
+    report_outcome ~dt ctl result;
     let st = Darco.Controller.stats ctl in
-    Format.printf "%a@." Darco.Stats.pp_summary st;
     Printf.printf "guest speed: %.2f MIPS (functional%s)\n"
       (float_of_int (Darco.Stats.guest_total st) /. dt /. 1e6)
       (if timing then " + timing" else "");
@@ -154,8 +184,12 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload through the co-designed pipeline")
     Term.(
-      const run $ bench_arg $ scale_arg $ timing_arg $ validate_arg $ max_insns_arg
-      $ seed_arg $ trace_arg $ stats_json_arg $ config_term)
+      const run $ Flag.bench $ Flag.scale $ Flag.timing
+      $ Arg.(
+          value & flag
+          & info [ "validate-checkpoints" ]
+              ~doc:"Validate architectural state at every execution slice")
+      $ Flag.max_insns $ Flag.sim $ config_term)
 
 let suite_cmd =
   let run scale seed =
@@ -189,7 +223,7 @@ let suite_cmd =
     print_endline (Darco_util.Table.render ~header rows)
   in
   Cmd.v (Cmd.info "suite" ~doc:"Run every workload; print the summary table")
-    Term.(const run $ scale_arg $ seed_arg)
+    Term.(const run $ Flag.scale $ Flag.seed)
 
 (* --- monitoring / debugging tools ------------------------------------- *)
 
@@ -202,7 +236,7 @@ let disasm_cmd =
   in
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload's guest code")
     Term.(
-      const run $ bench_arg $ scale_arg
+      const run $ Flag.bench $ Flag.scale
       $ Arg.(value & opt int 200 & info [ "limit" ] ~doc:"Max instructions"))
 
 let trace_cmd =
@@ -219,9 +253,9 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Trace guest execution on the authoritative emulator")
     Term.(
-      const run $ bench_arg $ scale_arg
+      const run $ Flag.bench $ Flag.scale
       $ Arg.(value & opt int 64 & info [ "limit" ] ~doc:"Instructions to trace")
-      $ seed_arg)
+      $ Flag.seed)
 
 let regions_cmd =
   let run bench scale max_insns seed =
@@ -247,9 +281,9 @@ let regions_cmd =
   Cmd.v
     (Cmd.info "regions" ~doc:"Run a bounded window and dump translated superblocks")
     Term.(
-      const run $ bench_arg $ scale_arg
+      const run $ Flag.bench $ Flag.scale
       $ Arg.(value & opt int 50_000 & info [ "max-insns" ] ~doc:"Window size")
-      $ seed_arg)
+      $ Flag.seed)
 
 let debug_cmd =
   let run bench scale seed fault =
@@ -269,7 +303,7 @@ let debug_cmd =
     (Cmd.info "debug"
        ~doc:"Investigate a divergence (optionally with an injected bug)")
     Term.(
-      const run $ bench_arg $ scale_arg $ seed_arg
+      const run $ Flag.bench $ Flag.scale $ Flag.seed
       $ Arg.(
           value
           & opt (some string) None
@@ -280,6 +314,7 @@ let debug_cmd =
 module Snapshot = Darco_sampling.Snapshot
 module Driver = Darco_sampling.Driver
 module Sweep = Darco_sampling.Sweep
+module Work = Darco_sampling.Work
 
 let json_num j =
   match j with
@@ -288,27 +323,26 @@ let json_num j =
   | _ -> None
 
 let checkpoint_cmd =
-  let run bench scale seed at out timing functional cfg =
+  let run bench scale (sim : Flag.sim) at out timing functional cfg =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     let snap =
       if functional then begin
-        let ir = Darco_guest.Interp_ref.boot ~seed program in
+        let ir = Darco_guest.Interp_ref.boot ?input:sim.input ~seed:sim.seed program in
         Darco_guest.Interp_ref.run_until ir at;
         Snapshot.capture_reference ir
       end
       else begin
         let bus = Darco_obs.Bus.create () in
-        let pipe =
-          if timing then begin
-            let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-            Darco_timing.Pipeline.attach p bus;
-            Some p
-          end
-          else None
+        let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
+        let pipe = if timing then Some (attach_timing bus) else None in
+        let ctl =
+          Darco.Controller.create ~cfg ~bus ?input:sim.input ~seed:sim.seed program
         in
-        let ctl = Darco.Controller.create ~cfg ~bus ~seed program in
-        (match Darco.Controller.run ~max_insns:at ctl with
+        let result, _dt =
+          timed_run ~max_insns:at ~trace_oc ~stats_json:sim.stats_json ctl
+        in
+        (match result with
         | `Limit | `Done -> ()
         | `Diverged d ->
           Printf.eprintf "DIVERGED at %d before the checkpoint was reached\n"
@@ -326,15 +360,15 @@ let checkpoint_cmd =
          "Run a workload to a given instruction count and snapshot the \
           complete co-designed state to a file")
     Term.(
-      const run $ bench_arg $ scale_arg $ seed_arg
+      const run $ Flag.bench $ Flag.scale $ Flag.sim
       $ Arg.(value & opt int 100_000 & info [ "at" ] ~doc:"Snapshot at (or just past) this many retired guest instructions")
       $ Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot file to write")
-      $ Arg.(value & flag & info [ "timing" ] ~doc:"Also capture a warmed timing pipeline")
+      $ Flag.timing
       $ Arg.(value & flag & info [ "functional" ] ~doc:"Capture only the x86 component (cheap fast-forward checkpoint)")
       $ config_term)
 
 let resume_cmd =
-  let run file max_insns stats_json timing =
+  let run file max_insns (sim : Flag.sim) timing =
     match Snapshot.read_file file with
     | exception Darco_sampling.Buf.Corrupt msg ->
       Printf.eprintf "corrupt snapshot %s: %s\n" file msg;
@@ -346,42 +380,19 @@ let resume_cmd =
         | Snapshot.Full -> "full")
         (Snapshot.retired snap);
       let bus = Darco_obs.Bus.create () in
+      let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
       let pipe =
         match Snapshot.restore_pipeline snap with
         | Some p ->
           Darco_timing.Pipeline.attach p bus;
           Some p
-        | None ->
-          if timing then begin
-            let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-            Darco_timing.Pipeline.attach p bus;
-            Some p
-          end
-          else None
+        | None -> if timing then Some (attach_timing bus) else None
       in
       let ctl = Snapshot.restore ~bus snap in
-      let t0 = Unix.gettimeofday () in
-      let result =
-        Fun.protect
-          ~finally:(fun () ->
-            Option.iter
-              (fun path ->
-                Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
-              stats_json)
-          (fun () -> Darco.Controller.run ~max_insns ctl)
+      let result, dt =
+        timed_run ~max_insns ~trace_oc ~stats_json:sim.stats_json ctl
       in
-      let dt = Unix.gettimeofday () -. t0 in
-      (match result with
-      | `Done -> Printf.printf "completed"
-      | `Limit -> Printf.printf "instruction limit reached"
-      | `Diverged d ->
-        Printf.printf "DIVERGED at %d retired insns:\n  %s" d.at_retired
-          (String.concat "\n  " d.details));
-      Printf.printf " in %.2fs (exit code %s)\n" dt
-        (match Darco.Controller.exit_code ctl with
-        | Some c -> string_of_int c
-        | None -> "-");
-      Format.printf "%a@." Darco.Stats.pp_summary (Darco.Controller.stats ctl);
+      report_outcome ~dt ctl result;
       Option.iter
         (fun p ->
           Format.printf "--- timing ---@.%a@." Darco_timing.Pipeline.pp_summary
@@ -394,12 +405,13 @@ let resume_cmd =
     Term.(
       const run
       $ Arg.(required & pos 0 (some string) None & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file (from darco checkpoint)")
-      $ max_insns_arg $ stats_json_arg
+      $ Flag.max_insns $ Flag.sim
       $ Arg.(value & flag & info [ "timing" ] ~doc:"Attach a cold timing pipeline if the snapshot carries none"))
 
 let sample_cmd =
-  let run bench scale seed interval offsets nsamples horizon window warmup jobs
-      json_out verify max_error =
+  let run bench scale (sim : Flag.sim) interval offsets nsamples horizon window
+      warmup jobs backend_str dispatch_timeout dispatch_retries json_out verify
+      max_error =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     let offsets =
@@ -417,24 +429,44 @@ let sample_cmd =
     let horizon =
       List.fold_left (fun acc o -> max acc (o + window)) horizon offsets
     in
+    let spec =
+      match
+        Darco_dispatch.spec_of_string ~jobs ~timeout:dispatch_timeout
+          ~retries:dispatch_retries backend_str
+      with
+      | Ok s -> s
+      | Error e ->
+        Printf.eprintf "%s\n" e;
+        exit 2
+    in
+    (* the dispatch lifecycle is observable through the ordinary trace sink *)
+    let bus = Darco_obs.Bus.create () in
+    let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
+    let backend = Darco_dispatch.backend ~bus ~fallback_jobs:jobs spec in
     Printf.printf
       "== %s: functional fast-forward to %d, checkpoint every %d ==\n%!"
       entry.name horizon interval;
     let t0 = Unix.gettimeofday () in
     let checkpoints =
-      Driver.functional_checkpoints ~seed ~interval ~horizon program
+      Driver.functional_checkpoints ?input:sim.input ~seed:sim.seed ~interval
+        ~horizon program
     in
-    Printf.printf "%d checkpoints in %.2fs; %d detailed windows on %d workers\n%!"
+    Printf.printf "%d checkpoints in %.2fs; %d detailed windows via %s\n%!"
       (List.length checkpoints)
       (Unix.gettimeofday () -. t0)
-      (List.length offsets) jobs;
-    let results =
-      Sweep.map ~jobs
-        ~label:(fun off -> Printf.sprintf "%s@%d" entry.name off)
+      (List.length offsets) backend.Sweep.Backend.name;
+    let works =
+      List.map
         (fun off ->
-          Driver.window_json
-            (Driver.detailed_window ~warmup ~checkpoints ~offset:off ~window ()))
+          Work.of_window ~checkpoints
+            ~label:(Printf.sprintf "%s@%d" entry.name off)
+            ~offset:off ~window ~warmup)
         offsets
+    in
+    let results =
+      Fun.protect
+        ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
+        (fun () -> Sweep.run backend works)
     in
     (* optional verification: the same windows under uninterrupted detailed
        simulation (the authoritative answer sampling approximates) *)
@@ -442,12 +474,14 @@ let sample_cmd =
       if not verify then []
       else begin
         Printf.printf "verifying against full detailed simulation...\n%!";
-        let bus = Darco_obs.Bus.create () in
-        let pipe = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
-        Darco_timing.Pipeline.attach pipe bus;
+        let vbus = Darco_obs.Bus.create () in
+        let pipe = attach_timing vbus in
         (* fine slices, so window edges match the sampled measurement *)
         let cfg = { Darco.Config.default with slice_fuel = 2_000 } in
-        let ctl = Darco.Controller.create ~cfg ~bus ~seed program in
+        let ctl =
+          Darco.Controller.create ~cfg ~bus:vbus ?input:sim.input ~seed:sim.seed
+            program
+        in
         List.map
           (fun off ->
             ignore (Darco.Controller.run ~max_insns:off ctl);
@@ -461,6 +495,7 @@ let sample_cmd =
       end
     in
     let errors = ref [] in
+    let ipcs = ref [] in
     let sample_rows =
       List.map2
         (fun off (r : Sweep.result) ->
@@ -477,6 +512,7 @@ let sample_cmd =
             let ipc =
               Option.value ~default:0.0 (json_num (Darco_obs.Jsonx.member "ipc" json))
             in
+            ipcs := ipc :: !ipcs;
             let extra =
               match List.assoc_opt off full_ipcs with
               | None ->
@@ -503,6 +539,14 @@ let sample_cmd =
               @ extra))
         offsets results
     in
+    (* the sweep's point estimate, with its SMARTS-style sampling error *)
+    let ipcs = List.rev !ipcs in
+    let ipc_mean = Darco_util.Stats_math.mean ipcs in
+    let ipc_stddev = Darco_util.Stats_math.sample_stddev ipcs in
+    let ipc_ci95 = Darco_util.Stats_math.ci95_halfwidth ipcs in
+    if ipcs <> [] then
+      Printf.printf "sweep IPC %.3f ± %.3f (95%% CI, stddev %.3f, n=%d)\n"
+        ipc_mean ipc_ci95 ipc_stddev (List.length ipcs);
     let avg_error =
       match !errors with [] -> None | es -> Some (Darco_util.Stats_math.mean es)
     in
@@ -521,10 +565,13 @@ let sample_cmd =
           Darco_obs.Jsonx.Obj
             ([
                ("benchmark", Darco_obs.Jsonx.String entry.name);
-               ("seed", Darco_obs.Jsonx.Int seed);
+               ("seed", Darco_obs.Jsonx.Int sim.seed);
                ("interval", Darco_obs.Jsonx.Int interval);
                ("window", Darco_obs.Jsonx.Int window);
                ("warmup", Darco_obs.Jsonx.Int warmup);
+               ("ipc_mean", Darco_obs.Jsonx.Float ipc_mean);
+               ("ipc_stddev", Darco_obs.Jsonx.Float ipc_stddev);
+               ("ipc_ci95", Darco_obs.Jsonx.Float ipc_ci95);
                ("samples", Darco_obs.Jsonx.List sample_rows);
              ]
             @
@@ -550,20 +597,43 @@ let sample_cmd =
     (Cmd.info "sample"
        ~doc:
          "Sampled simulation: functional fast-forward with periodic \
-          checkpoints, then detailed measurement windows swept across worker \
-          processes")
+          checkpoints, then detailed measurement windows swept across an \
+          execution backend — forked local workers or remote worker daemons")
     Term.(
-      const run $ bench_arg $ scale_arg $ seed_arg
+      const run $ Flag.bench $ Flag.scale $ Flag.sim
       $ Arg.(value & opt int 50_000 & info [ "interval" ] ~doc:"Guest instructions between functional checkpoints")
       $ Arg.(value & opt (some string) None & info [ "offsets" ] ~docv:"A,B,C" ~doc:"Explicit sample offsets (comma-separated)")
       $ Arg.(value & opt int 4 & info [ "samples" ] ~doc:"Number of evenly spaced samples (when --offsets is absent)")
       $ Arg.(value & opt int 400_000 & info [ "horizon" ] ~doc:"Span of guest execution to sample (when --offsets is absent)")
       $ Arg.(value & opt int 25_000 & info [ "window" ] ~doc:"Detailed measurement window length")
       $ Arg.(value & opt int 30_000 & info [ "warmup" ] ~doc:"Detailed warm-up before each window")
-      $ Arg.(value & opt int 4 & info [ "jobs" ] ~doc:"Worker processes")
+      $ Arg.(value & opt int 4 & info [ "jobs" ] ~doc:"Worker processes (local backend / remote fallback)")
+      $ Arg.(value & opt string "local" & info [ "backend" ] ~docv:"SPEC" ~doc:"Execution backend: local, local:JOBS, or remote:HOST:PORT[,HOST:PORT...]")
+      $ Arg.(value & opt float 60.0 & info [ "dispatch-timeout" ] ~docv:"SECONDS" ~doc:"Remote backend: per-work-unit deadline")
+      $ Arg.(value & opt int 2 & info [ "dispatch-retries" ] ~docv:"N" ~doc:"Remote backend: re-dispatches per unit after a worker is lost")
       $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the sweep results as JSON to $(docv)")
       $ Arg.(value & flag & info [ "verify" ] ~doc:"Also run full detailed simulation and report per-sample IPC error")
       $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction"))
+
+let worker_cmd =
+  let run listen quiet =
+    match Darco_dispatch.addr_of_string listen with
+    | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+    | Ok { Darco_dispatch.host; port } ->
+      Darco_dispatch.Worker.serve ~quiet ~host ~port ()
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:
+         "Run a sample-sweep worker daemon: accept work units (snapshot + \
+          window parameters) over the dispatch TCP protocol, execute them, \
+          and stream back per-sample JSON results")
+    Term.(
+      const run
+      $ Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Bind and serve on $(docv)")
+      $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-connection log lines"))
 
 let speed_cmd =
   let run bench scale insns seed =
@@ -573,9 +643,9 @@ let speed_cmd =
   in
   Cmd.v (Cmd.info "speed" ~doc:"Measure emulation/simulation throughput")
     Term.(
-      const run $ bench_arg $ scale_arg
+      const run $ Flag.bench $ Flag.scale
       $ Arg.(value & opt int 300_000 & info [ "insns" ] ~doc:"Guest instructions")
-      $ seed_arg)
+      $ Flag.seed)
 
 let () =
   let info = Cmd.info "darco" ~doc:"DARCO co-designed processor simulation infrastructure" in
@@ -583,4 +653,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; suite_cmd; checkpoint_cmd; resume_cmd; sample_cmd;
-            disasm_cmd; trace_cmd; regions_cmd; debug_cmd; speed_cmd ]))
+            worker_cmd; disasm_cmd; trace_cmd; regions_cmd; debug_cmd; speed_cmd ]))

@@ -1,0 +1,7 @@
+(* Library interface: the dispatcher API is the front door; the wire codec
+   and the worker daemon are exposed for the CLI and the tests. *)
+
+module Wire = Wire
+module Worker = Worker
+module Dispatch = Dispatch
+include Dispatch

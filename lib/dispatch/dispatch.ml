@@ -1,0 +1,311 @@
+module B = Darco_sampling.Buf
+module Sweep = Darco_sampling.Sweep
+module Work = Darco_sampling.Work
+module Jsonx = Darco_obs.Jsonx
+module Bus = Darco_obs.Bus
+module Event = Darco_obs.Event
+
+type addr = { host : string; port : int }
+
+let addr_to_string a = Printf.sprintf "%s:%d" a.host a.port
+
+let addr_of_string s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "worker address %S is not HOST:PORT" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && p < 65536 && host <> "" -> Ok { host; port = p }
+    | _ -> Error (Printf.sprintf "worker address %S is not HOST:PORT" s))
+
+type spec =
+  | Local of { jobs : int }
+  | Remote of { workers : addr list; timeout : float; retries : int }
+
+let spec_of_string ?(jobs = 4) ?(timeout = 60.0) ?(retries = 2) s =
+  let prefix p =
+    String.length s > String.length p
+    && String.sub s 0 (String.length p) = p
+  in
+  if s = "local" then Ok (Local { jobs })
+  else if prefix "local:" then begin
+    match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
+    | Some j when j >= 1 -> Ok (Local { jobs = j })
+    | _ -> Error (Printf.sprintf "bad backend %S: expected local:JOBS" s)
+  end
+  else if prefix "remote:" then begin
+    let rest = String.sub s 7 (String.length s - 7) in
+    let parts = String.split_on_char ',' rest in
+    let rec collect acc = function
+      | [] -> Ok (Remote { workers = List.rev acc; timeout; retries })
+      | p :: tl -> (
+        match addr_of_string (String.trim p) with
+        | Ok a -> collect (a :: acc) tl
+        | Error e -> Error e)
+    in
+    collect [] parts
+  end
+  else
+    Error
+      (Printf.sprintf
+         "bad backend %S: expected local:JOBS or remote:HOST:PORT[,HOST:PORT...]"
+         s)
+
+(* --- the dispatcher ----------------------------------------------------- *)
+
+(* Base delay before a unit bounced off a dead worker is eligible again;
+   doubles per attempt (0.2s, 0.4s, 0.8s, ...). *)
+let backoff_base = 0.2
+
+type worker_state = {
+  w_addr : string;
+  mutable w_fd : Unix.file_descr option;
+  (* unit index, attempt number, absolute per-unit deadline *)
+  mutable w_busy : (int * int * float) option;
+}
+
+let emit bus ev = Option.iter (fun b -> Bus.emit b ~at:0 ev) bus
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* Non-blocking connect bounded by [timeout] seconds, then the Hello
+   handshake bounded by the same budget. *)
+let connect_worker ~bus ~timeout (a : addr) =
+  let name = addr_to_string a in
+  let fail fd reason =
+    Option.iter close_quietly fd;
+    emit bus (Event.Worker_lost { worker = name; reason });
+    None
+  in
+  match Worker.resolve a.host with
+  | exception Invalid_argument m -> fail None m
+  | inet -> (
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.set_nonblock fd;
+    let sockaddr = Unix.ADDR_INET (inet, a.port) in
+    let deadline = Unix.gettimeofday () +. timeout in
+    let connected =
+      match Unix.connect fd sockaddr with
+      | () -> true
+      | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _)
+        -> (
+        match Unix.select [] [ fd ] [] timeout with
+        | _, [ _ ], _ -> Unix.getsockopt_error fd = None
+        | _ -> false)
+      | exception Unix.Unix_error _ -> false
+    in
+    if not connected then fail (Some fd) "connection refused or timed out"
+    else begin
+      Unix.clear_nonblock fd;
+      match
+        Wire.send fd (Wire.Hello Wire.protocol_version);
+        Wire.recv ~deadline fd
+      with
+      | Wire.Hello v when v = Wire.protocol_version ->
+        emit bus (Event.Worker_up { worker = name });
+        Some { w_addr = name; w_fd = Some fd; w_busy = None }
+      | Wire.Hello v ->
+        fail (Some fd) (Printf.sprintf "protocol version mismatch (worker speaks %d)" v)
+      | Wire.Fail m -> fail (Some fd) m
+      | _ -> fail (Some fd) "unexpected handshake reply"
+      | exception Wire.Timeout -> fail (Some fd) "handshake timed out"
+      | exception Wire.Closed -> fail (Some fd) "connection closed during handshake"
+      | exception B.Corrupt m -> fail (Some fd) ("malformed handshake: " ^ m)
+    end)
+
+let run_remote ?bus ?(fallback_jobs = 4) ~workers ~timeout ~retries works =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let units = Array.of_list works in
+  let n = Array.length units in
+  let outcomes = Array.make n (Sweep.Failed "not dispatched") in
+  let finished = Array.make n false in
+  let done_count = ref 0 in
+  let settle i outcome =
+    if not finished.(i) then begin
+      outcomes.(i) <- outcome;
+      finished.(i) <- true;
+      incr done_count
+    end
+  in
+  (* (unit index, attempt, earliest re-dispatch time), input order *)
+  let pending = ref (List.init n (fun i -> (i, 0, 0.0))) in
+  let requeue (i, attempt) reason =
+    let label = units.(i).Work.label in
+    if attempt >= retries then
+      settle i
+        (Sweep.Failed
+           (Printf.sprintf "gave up after %d attempts (last: %s)" (attempt + 1)
+              reason))
+    else begin
+      let delay = backoff_base *. (2.0 ** float_of_int attempt) in
+      emit bus
+        (Event.Dispatch_retry { unit_label = label; attempt = attempt + 1; delay });
+      pending := !pending @ [ (i, attempt + 1, Unix.gettimeofday () +. delay) ]
+    end
+  in
+  let lose_worker w reason =
+    emit bus (Event.Worker_lost { worker = w.w_addr; reason });
+    Option.iter close_quietly w.w_fd;
+    w.w_fd <- None;
+    match w.w_busy with
+    | None -> ()
+    | Some (i, attempt, _) ->
+      w.w_busy <- None;
+      requeue (i, attempt) reason
+  in
+  let ws = List.filter_map (connect_worker ~bus ~timeout) workers in
+  let live () = List.filter (fun w -> w.w_fd <> None) ws in
+  let fallback reason =
+    emit bus (Event.Dispatch_fallback { reason });
+    let todo =
+      List.filter_map
+        (fun (i, _, _) -> if finished.(i) then None else Some i)
+        !pending
+    in
+    pending := [];
+    let results =
+      Sweep.run
+        (Sweep.Backend.local ~jobs:fallback_jobs ())
+        (List.map (fun i -> units.(i)) todo)
+    in
+    List.iter2 (fun i (r : Sweep.result) -> settle i r.outcome) todo results
+  in
+  if live () = [] then
+    fallback
+      (Printf.sprintf "no reachable workers among [%s]"
+         (String.concat ", " (List.map addr_to_string workers)))
+  else begin
+    while !done_count < n do
+      let now = Unix.gettimeofday () in
+      (* hand eligible units to idle live workers, input order first *)
+      List.iter
+        (fun w ->
+          if w.w_fd <> None && w.w_busy = None then begin
+            let rec pick acc = function
+              | [] -> None
+              | (i, attempt, at) :: tl when at <= now && not finished.(i) ->
+                pending := List.rev_append acc tl;
+                Some (i, attempt)
+              | u :: tl -> pick (u :: acc) tl
+            in
+            match pick [] !pending with
+            | None -> ()
+            | Some (i, attempt) -> (
+              let fd = Option.get w.w_fd in
+              emit bus
+                (Event.Dispatch_sent
+                   {
+                     unit_label = units.(i).Work.label;
+                     worker = w.w_addr;
+                     attempt;
+                   });
+              match Wire.send fd (Wire.Work (Work.to_string units.(i))) with
+              | () -> w.w_busy <- Some (i, attempt, now +. timeout)
+              | exception (Wire.Closed | Unix.Unix_error _) ->
+                (* lose_worker would double-requeue: the unit was never
+                   marked busy, so requeue it directly *)
+                emit bus
+                  (Event.Worker_lost { worker = w.w_addr; reason = "send failed" });
+                Option.iter close_quietly w.w_fd;
+                w.w_fd <- None;
+                requeue (i, attempt) "send failed")
+          end)
+        ws;
+      if !done_count >= n then ()
+      else if live () = [] then fallback "all workers lost"
+      else begin
+        let busy = List.filter (fun w -> w.w_busy <> None) (live ()) in
+        (* earliest moment anything can change: a unit deadline expiring or
+           a backed-off unit becoming eligible *)
+        let next_wake =
+          List.fold_left
+            (fun acc w ->
+              match w.w_busy with
+              | Some (_, _, dl) -> min acc dl
+              | None -> acc)
+            (now +. 1.0) busy
+        in
+        let next_wake =
+          List.fold_left
+            (fun acc (i, _, at) -> if finished.(i) then acc else min acc at)
+            next_wake !pending
+        in
+        if busy = [] then begin
+          (* only backed-off units remain; sleep until one is eligible *)
+          let pause = max 0.01 (min 0.5 (next_wake -. now)) in
+          Unix.sleepf pause
+        end
+        else begin
+          let fds = List.map (fun w -> Option.get w.w_fd) busy in
+          let ready =
+            match Unix.select fds [] [] (max 0.01 (next_wake -. now)) with
+            | r, _, _ -> r
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+          in
+          List.iter
+            (fun w ->
+              match (w.w_fd, w.w_busy) with
+              | Some fd, Some (i, attempt, dl) when List.memq fd ready -> (
+                match Wire.recv ~deadline:dl fd with
+                | Wire.Result text -> (
+                  w.w_busy <- None;
+                  match Jsonx.parse text with
+                  | json ->
+                    emit bus
+                      (Event.Dispatch_done
+                         {
+                           unit_label = units.(i).Work.label;
+                           worker = w.w_addr;
+                           ok = true;
+                         });
+                    settle i (Sweep.Ok json)
+                  | exception Jsonx.Parse_error m ->
+                    (* the frame passed its CRC, so this is the worker
+                       misbehaving, not the network: drop it and retry *)
+                    w.w_busy <- Some (i, attempt, dl);
+                    lose_worker w ("unparseable result: " ^ m))
+                | Wire.Fail reason ->
+                  (* the unit itself failed over a healthy connection —
+                     deterministic, so retrying elsewhere would not help *)
+                  w.w_busy <- None;
+                  emit bus
+                    (Event.Dispatch_done
+                       {
+                         unit_label = units.(i).Work.label;
+                         worker = w.w_addr;
+                         ok = false;
+                       });
+                  settle i (Sweep.Failed reason)
+                | Wire.Hello _ | Wire.Ping | Wire.Pong | Wire.Work _ ->
+                  lose_worker w "protocol violation"
+                | exception Wire.Closed -> lose_worker w "connection closed mid-unit"
+                | exception Wire.Timeout -> lose_worker w "work unit timed out"
+                | exception B.Corrupt m -> lose_worker w ("malformed frame: " ^ m))
+              | Some _, Some (_, _, dl) when dl <= Unix.gettimeofday () ->
+                lose_worker w "work unit timed out"
+              | _ -> ())
+            busy
+        end
+      end
+    done;
+    List.iter (fun w -> Option.iter close_quietly w.w_fd) ws
+  end;
+  List.mapi
+    (fun i (u : Work.t) -> { Sweep.label = u.Work.label; outcome = outcomes.(i) })
+    (Array.to_list units)
+
+let remote ?bus ?fallback_jobs ?(timeout = 60.0) ?(retries = 2) workers :
+    Sweep.Backend.t =
+  {
+    Sweep.Backend.name =
+      Printf.sprintf "remote:%s"
+        (String.concat "," (List.map addr_to_string workers));
+    dispatch = run_remote ?bus ?fallback_jobs ~workers ~timeout ~retries;
+  }
+
+let backend ?bus ?fallback_jobs spec : Sweep.Backend.t =
+  match spec with
+  | Local { jobs } -> Sweep.Backend.local ~jobs ()
+  | Remote { workers; timeout; retries } ->
+    remote ?bus ?fallback_jobs ~timeout ~retries workers

@@ -1,0 +1,62 @@
+(** Distributed sample dispatch (the [Remote] sweep backend).
+
+    A dispatcher holds one TCP connection per worker daemon
+    ({!Worker.serve}, [darco worker --listen HOST:PORT]) and drives a
+    sweep to completion in the presence of cluster reality:
+
+    - every in-flight unit carries an absolute {b deadline} ([timeout]
+      seconds from dispatch);
+    - a worker whose connection refuses, closes, corrupts a frame or
+      blows the deadline is {b lost}: its unit is requeued with
+      exponential backoff (0.2s doubling) and handed to another live
+      worker, up to [retries] re-dispatches before the unit settles as
+      [Failed];
+    - a {!Wire.Fail} reply over a healthy connection is a deterministic
+      per-unit failure and is {e not} retried — matching the [Local]
+      backend's crash-containment semantics;
+    - when no workers are reachable (at start or mid-run), the remaining
+      units {b fall back} to the local fork backend, so a sweep always
+      completes;
+    - every step emits a typed event ([Worker_up], [Worker_lost],
+      [Dispatch_sent], [Dispatch_done], [Dispatch_retry],
+      [Dispatch_fallback]) on [bus], so a cluster run is traceable
+      end to end with the ordinary [--trace] machinery.
+
+    Results return in input order and are bit-identical to the [Local]
+    backend's: workers execute the same [Work.exec], and the JSON text
+    round-trips exactly ([Jsonx] prints floats with [%.17g]). *)
+
+type addr = { host : string; port : int }
+
+val addr_to_string : addr -> string
+val addr_of_string : string -> (addr, string) result
+(** ["host:port"]; the port must be in [1, 65535]. *)
+
+(** A backend choice as plain data — what the CLI's [--backend] flag
+    parses to, resolved to an executable {!Darco_sampling.Sweep.Backend.t}
+    by {!backend}. *)
+type spec =
+  | Local of { jobs : int }
+  | Remote of { workers : addr list; timeout : float; retries : int }
+
+val spec_of_string :
+  ?jobs:int -> ?timeout:float -> ?retries:int -> string -> (spec, string) result
+(** Parse [local], [local:JOBS] or [remote:HOST:PORT[,HOST:PORT...]].
+    [jobs] (default 4) fills in [local]'s job count; [timeout] (default
+    60s) and [retries] (default 2) parameterize the remote spec. *)
+
+val backend :
+  ?bus:Darco_obs.Bus.t ->
+  ?fallback_jobs:int ->
+  spec ->
+  Darco_sampling.Sweep.Backend.t
+
+val remote :
+  ?bus:Darco_obs.Bus.t ->
+  ?fallback_jobs:int ->
+  ?timeout:float ->
+  ?retries:int ->
+  addr list ->
+  Darco_sampling.Sweep.Backend.t
+(** The distributed backend described above.  [fallback_jobs] (default 4)
+    bounds the local fork pool used when no workers are reachable. *)

@@ -1,0 +1,106 @@
+module B = Darco_sampling.Buf
+
+exception Timeout
+exception Closed
+
+let protocol_version = 1
+
+(* A work unit embeds a whole memory image; generous, but bounded so a
+   corrupted length field cannot make us allocate the address space. *)
+let max_frame = 1 lsl 28
+
+type msg =
+  | Hello of int
+  | Ping
+  | Pong
+  | Work of string
+  | Result of string
+  | Fail of string
+
+let tag_of = function
+  | Hello _ -> "HELO"
+  | Ping -> "PING"
+  | Pong -> "PONG"
+  | Work _ -> "WORK"
+  | Result _ -> "RSLT"
+  | Fail _ -> "FAIL"
+
+let payload_of = function
+  | Hello v ->
+    let w = B.writer () in
+    B.int w v;
+    B.contents w
+  | Ping | Pong -> ""
+  | Work s | Result s | Fail s -> s
+
+let encode msg =
+  let payload = payload_of msg in
+  let w = B.writer () in
+  B.tag4 w (tag_of msg);
+  B.int w (String.length payload);
+  B.int w (B.crc32 payload);
+  B.raw w payload;
+  B.contents w
+
+let is_closed_error = function
+  | Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNABORTED | Unix.ESHUTDOWN -> true
+  | _ -> false
+
+let send fd msg =
+  let s = encode msg in
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) when is_closed_error e -> raise Closed
+  in
+  go 0
+
+let read_exact ?deadline fd n =
+  let buf = Bytes.create n in
+  let rec go off =
+    if off = n then Bytes.unsafe_to_string buf
+    else begin
+      (match deadline with
+      | None -> ()
+      | Some t ->
+        let remaining = t -. Unix.gettimeofday () in
+        if remaining <= 0.0 then raise Timeout;
+        (match Unix.select [ fd ] [] [] remaining with
+        | [], _, _ -> raise Timeout
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+      match Unix.read fd buf off (n - off) with
+      | 0 -> raise Closed
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (e, _, _) when is_closed_error e -> raise Closed
+    end
+  in
+  go 0
+
+let header_bytes = 4 + 8 + 8 (* tag, payload length, payload CRC *)
+
+let recv ?deadline fd =
+  let r = B.reader (read_exact ?deadline fd header_bytes) in
+  let tag = B.read_tag4 r in
+  let len = B.read_int r in
+  let crc = B.read_int r in
+  if len < 0 || len > max_frame then
+    B.corrupt (Printf.sprintf "frame length %d out of bounds" len);
+  let payload = read_exact ?deadline fd len in
+  if B.crc32 payload <> crc then B.corrupt "frame checksum mismatch";
+  match tag with
+  | "HELO" ->
+    let r = B.reader payload in
+    let v = B.read_int r in
+    B.expect_end r;
+    Hello v
+  | "PING" -> if payload = "" then Ping else B.corrupt "PING carries a payload"
+  | "PONG" -> if payload = "" then Pong else B.corrupt "PONG carries a payload"
+  | "WORK" -> Work payload
+  | "RSLT" -> Result payload
+  | "FAIL" -> Fail payload
+  | other -> B.corrupt (Printf.sprintf "unknown frame tag %S" other)

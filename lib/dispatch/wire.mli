@@ -1,0 +1,45 @@
+(** The dispatch wire protocol: length-prefixed, CRC-framed messages over a
+    stream socket.
+
+    Every frame is [tag4 | payload length (i64 LE) | CRC-32 of payload
+    (i64 LE) | payload] — the same framing discipline as the DSNP snapshot
+    container, so a bit flip, truncation or desynchronized stream surfaces
+    as a clean {!Darco_sampling.Buf.Corrupt}, never a crash or a silently
+    wrong sample.
+
+    The conversation is deliberately tiny.  The dispatcher opens a
+    connection per worker and handshakes with [Hello protocol_version]
+    (the worker echoes it); thereafter each work unit is one [Work]
+    request answered by exactly one [Result] (JSON text) or [Fail]
+    (human-readable reason).  [Ping]/[Pong] checks liveness between
+    units. *)
+
+exception Timeout
+(** A [deadline] passed mid-frame. *)
+
+exception Closed
+(** Peer closed the connection (EOF, ECONNRESET, EPIPE). *)
+
+val protocol_version : int
+
+val max_frame : int
+(** Upper bound on accepted payload sizes; larger length fields are
+    rejected as corrupt before any allocation. *)
+
+type msg =
+  | Hello of int      (** protocol version handshake, echoed by the worker *)
+  | Ping
+  | Pong
+  | Work of string    (** an encoded {!Darco_sampling.Work.t} *)
+  | Result of string  (** the unit's JSON result text *)
+  | Fail of string    (** the unit failed on the worker; reason *)
+
+val send : Unix.file_descr -> msg -> unit
+(** Write one frame, handling short writes and [EINTR].
+    Raises {!Closed} if the peer is gone. *)
+
+val recv : ?deadline:float -> Unix.file_descr -> msg
+(** Read one frame.  [deadline] is an absolute [Unix.gettimeofday] time
+    applied to every blocking step; raises {!Timeout} when it passes,
+    {!Closed} on EOF, {!Darco_sampling.Buf.Corrupt} on a malformed
+    frame. *)

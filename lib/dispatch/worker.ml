@@ -1,0 +1,85 @@
+module B = Darco_sampling.Buf
+module Work = Darco_sampling.Work
+module Jsonx = Darco_obs.Jsonx
+
+let log quiet fmt =
+  Printf.ksprintf
+    (fun s -> if not quiet then Printf.printf "[worker] %s\n%!" s)
+    fmt
+
+let resolve host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | { Unix.h_addr_list = [||]; _ } ->
+      invalid_arg (Printf.sprintf "cannot resolve host %S" host)
+    | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+    | exception Not_found ->
+      invalid_arg (Printf.sprintf "cannot resolve host %S" host))
+
+(* One connection: answer frames until the peer goes away.  A malformed
+   frame means the byte stream can no longer be trusted, so after a [Fail]
+   courtesy reply the connection is dropped — the daemon itself lives on. *)
+let serve_connection ~quiet ~exec fd =
+  let rec loop () =
+    match Wire.recv fd with
+    | Wire.Hello v when v = Wire.protocol_version ->
+      Wire.send fd (Wire.Hello Wire.protocol_version);
+      loop ()
+    | Wire.Hello v ->
+      log quiet "rejecting protocol version %d (speaking %d)" v
+        Wire.protocol_version;
+      Wire.send fd
+        (Wire.Fail
+           (Printf.sprintf "protocol version mismatch: worker speaks %d, got %d"
+              Wire.protocol_version v))
+    | Wire.Ping ->
+      Wire.send fd Wire.Pong;
+      loop ()
+    | Wire.Work encoded ->
+      (match Work.of_string encoded with
+      | work ->
+        log quiet "executing %s (offset %d, window %d, warmup %d)" work.label
+          work.offset work.window work.warmup;
+        (match exec work with
+        | json -> Wire.send fd (Wire.Result (Jsonx.to_string json))
+        | exception e ->
+          log quiet "unit %s failed: %s" work.label (Printexc.to_string e);
+          Wire.send fd (Wire.Fail (Printexc.to_string e)))
+      | exception B.Corrupt msg ->
+        log quiet "rejecting malformed work unit: %s" msg;
+        Wire.send fd (Wire.Fail ("malformed work unit: " ^ msg)));
+      loop ()
+    | Wire.Pong | Wire.Result _ | Wire.Fail _ ->
+      Wire.send fd (Wire.Fail "unexpected message; closing connection")
+    | exception Wire.Closed -> ()
+    | exception B.Corrupt msg ->
+      log quiet "malformed frame (%s); dropping connection" msg;
+      (try Wire.send fd (Wire.Fail ("malformed frame: " ^ msg))
+       with Wire.Closed -> ())
+  in
+  (try loop () with Wire.Closed -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let serve ?(quiet = false) ?(exec = Work.exec) ?ready ~host ~port () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (resolve host, port));
+  Unix.listen sock 16;
+  Option.iter (fun f -> f (Unix.getsockname sock)) ready;
+  log quiet "listening on %s:%d (protocol v%d)" host port Wire.protocol_version;
+  let rec accept_loop () =
+    match Unix.accept sock with
+    | fd, peer ->
+      log quiet "connection from %s"
+        (match peer with
+        | Unix.ADDR_INET (a, p) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        | Unix.ADDR_UNIX p -> p);
+      serve_connection ~quiet ~exec fd;
+      accept_loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+  in
+  accept_loop ()

@@ -1,0 +1,26 @@
+(** The sample-sweep worker daemon ([darco worker --listen HOST:PORT]).
+
+    Accepts dispatcher connections and serves them sequentially: for each
+    {!Wire.Work} frame it decodes the {!Darco_sampling.Work.t}, executes
+    it, and answers with one {!Wire.Result} (JSON) or {!Wire.Fail}.  A
+    unit that raises fails only itself; a malformed frame gets a [Fail]
+    reply and drops that connection (the stream can no longer be trusted)
+    while the daemon keeps accepting.  Never returns normally. *)
+
+val resolve : string -> Unix.inet_addr
+(** Dotted-quad or hostname to address.
+    Raises [Invalid_argument] if unresolvable. *)
+
+val serve :
+  ?quiet:bool ->
+  ?exec:(Darco_sampling.Work.t -> Darco_obs.Jsonx.t) ->
+  ?ready:(Unix.sockaddr -> unit) ->
+  host:string ->
+  port:int ->
+  unit ->
+  unit
+(** [serve ~host ~port ()] binds (SO_REUSEADDR), listens and serves
+    forever.  [ready] is called with the bound address once listening
+    (tests use [port:0] and read the kernel-assigned port here); [exec]
+    overrides unit execution (default {!Darco_sampling.Work.exec});
+    [quiet] silences the per-connection log lines. *)

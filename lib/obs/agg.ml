@@ -3,6 +3,9 @@ let apply (s : Stats.t) ~at:_ (ev : Event.t) =
   | Init { cost } -> Stats.charge s Ov_other cost
   | Clock_sync { retired } -> s.guest_im <- s.guest_im + retired
   | Slice_start | Divergence _ | Halt -> ()
+  (* dispatch infrastructure events carry no simulated-machine counters *)
+  | Worker_up _ | Worker_lost _ | Dispatch_sent _ | Dispatch_done _
+  | Dispatch_retry _ | Dispatch_fallback _ -> ()
   | Slice_end { overheads; _ } ->
     List.iter (fun (cat, n) -> Stats.charge s cat n) overheads
   | Interp_block { insns; cost; _ } ->

@@ -37,6 +37,12 @@ type t =
   | Validation of { kind : validation_kind }
   | Divergence of { details : string list }
   | Halt
+  | Worker_up of { worker : string }
+  | Worker_lost of { worker : string; reason : string }
+  | Dispatch_sent of { unit_label : string; worker : string; attempt : int }
+  | Dispatch_done of { unit_label : string; worker : string; ok : bool }
+  | Dispatch_retry of { unit_label : string; attempt : int; delay : float }
+  | Dispatch_fallback of { reason : string }
 
 let rollback_name = function Rb_assert -> "assert" | Rb_alias -> "alias"
 let deopt_name = function De_noassert -> "noassert" | De_nomem -> "nomem"
@@ -74,6 +80,12 @@ let name = function
   | Validation _ -> "validation"
   | Divergence _ -> "divergence"
   | Halt -> "halt"
+  | Worker_up _ -> "worker_up"
+  | Worker_lost _ -> "worker_lost"
+  | Dispatch_sent _ -> "dispatch_sent"
+  | Dispatch_done _ -> "dispatch_done"
+  | Dispatch_retry _ -> "dispatch_retry"
+  | Dispatch_fallback _ -> "dispatch_fallback"
 
 let fields ev : (string * Jsonx.t) list =
   match ev with
@@ -130,6 +142,28 @@ let fields ev : (string * Jsonx.t) list =
   | Validation { kind } -> [ ("kind", Jsonx.String (validation_name kind)) ]
   | Divergence { details } ->
     [ ("details", Jsonx.List (List.map (fun d -> Jsonx.String d) details)) ]
+  | Worker_up { worker } -> [ ("worker", Jsonx.String worker) ]
+  | Worker_lost { worker; reason } ->
+    [ ("worker", Jsonx.String worker); ("reason", Jsonx.String reason) ]
+  | Dispatch_sent { unit_label; worker; attempt } ->
+    [
+      ("unit", Jsonx.String unit_label);
+      ("worker", Jsonx.String worker);
+      ("attempt", Jsonx.Int attempt);
+    ]
+  | Dispatch_done { unit_label; worker; ok } ->
+    [
+      ("unit", Jsonx.String unit_label);
+      ("worker", Jsonx.String worker);
+      ("ok", Jsonx.Bool ok);
+    ]
+  | Dispatch_retry { unit_label; attempt; delay } ->
+    [
+      ("unit", Jsonx.String unit_label);
+      ("attempt", Jsonx.Int attempt);
+      ("delay", Jsonx.Float delay);
+    ]
+  | Dispatch_fallback { reason } -> [ ("reason", Jsonx.String reason) ]
 
 let to_json ~at ev =
   Jsonx.Obj (("at", Jsonx.Int at) :: ("ev", Jsonx.String (name ev)) :: fields ev)

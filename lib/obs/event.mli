@@ -54,6 +54,20 @@ type t =
   | Validation of { kind : validation_kind }
   | Divergence of { details : string list }
   | Halt
+  (** Distributed-dispatch lifecycle ([Darco_dispatch]).  These events
+      describe the sweep infrastructure, not the simulated machine; they
+      are emitted with [at = 0] (there is no meaningful retired-instruction
+      clock across machines) and touch no {!Stats.t} counter. *)
+  | Worker_up of { worker : string }  (** handshake with [worker] succeeded *)
+  | Worker_lost of { worker : string; reason : string }
+      (** connection refused/closed/timed out; the worker gets no more units *)
+  | Dispatch_sent of { unit_label : string; worker : string; attempt : int }
+  | Dispatch_done of { unit_label : string; worker : string; ok : bool }
+      (** a worker answered: a result ([ok]) or a per-unit failure *)
+  | Dispatch_retry of { unit_label : string; attempt : int; delay : float }
+      (** the unit's worker died mid-flight; requeued after [delay] seconds *)
+  | Dispatch_fallback of { reason : string }
+      (** no live workers; remaining units run on the local fork backend *)
 
 val name : t -> string
 (** Stable machine-readable event name (the ["ev"] field of the trace). *)

@@ -38,7 +38,9 @@ let collect path status =
   | Unix.WSIGNALED s -> Failed (Printf.sprintf "worker killed by signal %d" s)
   | Unix.WSTOPPED s -> Failed (Printf.sprintf "worker stopped by signal %d" s)
 
-let map ?(jobs = 4) ~label f items =
+(* The fork-per-item pool behind the [Local] backend (and the deprecated
+   generic [map]). *)
+let pool_map ?(jobs = 4) ~label f items =
   let jobs = max 1 jobs in
   let items = Array.of_list items in
   let n = Array.length items in
@@ -72,3 +74,22 @@ let map ?(jobs = 4) ~label f items =
   List.mapi
     (fun idx item -> { label = label item; outcome = outcomes.(idx) })
     (Array.to_list items)
+
+module Backend = struct
+  type nonrec t = {
+    name : string;
+    dispatch : Work.t list -> result list;
+  }
+
+  let local ?(jobs = 4) () =
+    {
+      name = Printf.sprintf "local:%d" (max 1 jobs);
+      dispatch =
+        (fun works ->
+          pool_map ~jobs ~label:(fun (w : Work.t) -> w.Work.label) Work.exec works);
+    }
+end
+
+let run (b : Backend.t) works = b.dispatch works
+
+let map = pool_map

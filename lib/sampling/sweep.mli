@@ -1,9 +1,12 @@
-(** Multi-process sample sweep.
+(** Backend-agnostic sample sweeps.
 
-    Each work item runs in a forked worker process; a worker that crashes
-    (uncaught exception, fatal signal, OOM kill) loses only its own sample —
-    the parent records a per-sample failure and keeps going.  Results come
-    back as JSON through per-worker temp files. *)
+    A sweep evaluates a list of {!Work.t} units and returns one {!result}
+    per unit, in input order.  {e How} the units execute is the backend's
+    business: {!Backend.local} forks one worker process per unit on this
+    machine (a crashing worker — uncaught exception, fatal signal, OOM
+    kill — loses only its own sample); [Darco_dispatch.remote] ships units
+    to worker daemons over TCP.  Drivers are written once against
+    {!run} and pick a backend at the edge. *)
 
 type outcome =
   | Ok of Darco_obs.Jsonx.t
@@ -11,9 +14,32 @@ type outcome =
 
 type result = { label : string; outcome : outcome }
 
+(** A sweep execution backend, as a first-class record.  [dispatch] must
+    return results in input order, one per unit, and must contain worker
+    failures as per-unit [Failed] outcomes rather than raising. *)
+module Backend : sig
+  type nonrec t = {
+    name : string;  (** e.g. ["local:4"], ["remote:host:9090"] — for logs *)
+    dispatch : Work.t list -> result list;
+  }
+
+  val local : ?jobs:int -> unit -> t
+  (** Fork-per-unit execution on this machine, at most [jobs] (default 4)
+      concurrent workers.  Each unit runs [Work.exec] in a child process;
+      no state the child mutates is visible to the parent. *)
+end
+
+val run : Backend.t -> Work.t list -> result list
+(** [run backend works] evaluates every unit via the backend and returns
+    results in input order. *)
+
 val map :
   ?jobs:int -> label:('a -> string) -> ('a -> Darco_obs.Jsonx.t) -> 'a list -> result list
+[@@ocaml.deprecated
+  "Sweep.map is the legacy fork-only entry point; build Work.t units and \
+   use Sweep.run (Sweep.Backend.local ()) so callers stay backend-agnostic."]
 (** [map ~label f items] evaluates [f] on every item, at most [jobs]
-    (default 4) workers at a time, and returns results in input order.
-    [f] runs in the child only; no state it mutates is visible to the
-    parent. *)
+    (default 4) forked workers at a time, and returns results in input
+    order.  [f] runs in the child only.  Deprecated shim over the same
+    worker pool that backs {!Backend.local}; kept so pre-backend callers
+    keep compiling. *)

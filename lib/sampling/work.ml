@@ -1,0 +1,65 @@
+module B = Buf
+module Jsonx = Darco_obs.Jsonx
+
+type t = {
+  label : string;
+  snapshot : string;
+  offset : int;
+  window : int;
+  warmup : int;
+}
+
+let magic = "DWRK"
+let version = 1
+
+let of_window ~checkpoints ~label ~offset ~window ~warmup =
+  if window <= 0 then invalid_arg "Work.of_window: window <= 0";
+  if warmup < 0 then invalid_arg "Work.of_window: warmup < 0";
+  let start = max 0 (offset - warmup) in
+  let ck = Driver.nearest checkpoints start in
+  { label; snapshot = Snapshot.to_string ck.Driver.snapshot; offset; window; warmup }
+
+let to_string t =
+  let p = B.writer () in
+  B.str p t.label;
+  B.int p t.offset;
+  B.int p t.window;
+  B.int p t.warmup;
+  B.str p t.snapshot;
+  let payload = B.contents p in
+  let w = B.writer () in
+  B.tag4 w magic;
+  B.u8 w version;
+  B.int w (String.length payload);
+  B.int w (B.crc32 payload);
+  B.raw w payload;
+  B.contents w
+
+let of_string s =
+  let r = B.reader s in
+  if B.read_tag4 r <> magic then B.corrupt "bad work-unit magic";
+  (match B.read_u8 r with
+  | v when v = version -> ()
+  | v -> B.corrupt (Printf.sprintf "unsupported work-unit version %d" v));
+  let len = B.read_int r in
+  let crc = B.read_int r in
+  let payload = B.read_raw r len in
+  B.expect_end r;
+  if B.crc32 payload <> crc then B.corrupt "work-unit checksum mismatch";
+  let r = B.reader payload in
+  let label = B.read_str r in
+  let offset = B.read_int r in
+  let window = B.read_int r in
+  let warmup = B.read_int r in
+  let snapshot = B.read_str r in
+  B.expect_end r;
+  if window <= 0 then B.corrupt "work unit has non-positive window";
+  if warmup < 0 then B.corrupt "work unit has negative warmup";
+  { label; snapshot; offset; window; warmup }
+
+let exec t =
+  let snap = Snapshot.of_string t.snapshot in
+  let checkpoints = [ { Driver.at = Snapshot.retired snap; snapshot = snap } ] in
+  Driver.window_json
+    (Driver.detailed_window ~warmup:t.warmup ~checkpoints ~offset:t.offset
+       ~window:t.window ())

@@ -1,0 +1,40 @@
+(** A self-contained, portable sample work unit.
+
+    One detailed measurement window, packaged so that {e any} process — a
+    forked child on this machine or a worker daemon on another one — can
+    execute it with no shared state: the encoded functional snapshot it
+    starts from plus the window parameters.  The binary encoding is framed
+    like the DSNP snapshot container (magic, version, length, CRC-32), so a
+    corrupted unit is rejected with {!Buf.Corrupt}, never mis-executed. *)
+
+type t = {
+  label : string;     (** human-readable sample name, e.g. ["429.mcf@70000"] *)
+  snapshot : string;  (** encoded functional snapshot ({!Snapshot.to_string}) *)
+  offset : int;       (** where the measurement window begins *)
+  window : int;       (** guest instructions to measure *)
+  warmup : int;       (** detailed warm-up instructions before the window *)
+}
+
+val of_window :
+  checkpoints:Driver.checkpoint list ->
+  label:string ->
+  offset:int ->
+  window:int ->
+  warmup:int ->
+  t
+(** Package one sample: pick the nearest checkpoint at or before
+    [offset - warmup] and embed its encoded snapshot.  Executing the unit
+    is then bit-identical to [Driver.detailed_window] over the full
+    checkpoint list. *)
+
+val exec : t -> Darco_obs.Jsonx.t
+(** Decode the embedded snapshot and run the detailed window
+    ([Driver.detailed_window] under default configs), returning
+    [Driver.window_json] of the result.  Raises {!Buf.Corrupt} if the
+    embedded snapshot is corrupt. *)
+
+(** {1 Wire encoding} *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Raises {!Buf.Corrupt} on bad magic, version, checksum or framing. *)

@@ -15,6 +15,10 @@ type report = {
   samples : sample_result list;
   avg_error : float;
   baseline_error : float;
+  ipc_sampled_mean : float;
+  ipc_sampled_ci95 : float;
+  ipc_full_mean : float;
+  ipc_full_ci95 : float;
   speedup : float;
   t_full : float;
   t_baseline : float;
@@ -161,10 +165,16 @@ let run_study ?(cfg = Darco.Config.default) ?(tcfg = Darco_timing.Tconfig.defaul
       full_results
   in
   let t_sampled = !t_chosen_total in
+  let sampled_ipcs = List.map (fun s -> s.ipc_sampled) samples in
+  let full_ipcs = List.map (fun s -> s.ipc_full) samples in
   {
     samples;
     avg_error = Darco_util.Stats_math.mean (List.map (fun s -> s.error) samples);
     baseline_error = Darco_util.Stats_math.mean baseline_errors;
+    ipc_sampled_mean = Darco_util.Stats_math.mean sampled_ipcs;
+    ipc_sampled_ci95 = Darco_util.Stats_math.ci95_halfwidth sampled_ipcs;
+    ipc_full_mean = Darco_util.Stats_math.mean full_ipcs;
+    ipc_full_ci95 = Darco_util.Stats_math.ci95_halfwidth full_ipcs;
     speedup = (if t_sampled > 0.0 then t_baseline /. t_sampled else 0.0);
     t_full;
     t_baseline;
@@ -182,9 +192,13 @@ let pp_report ppf r =
         s.ipc_sampled s.ipc_full (100. *. s.error))
     r.samples;
   Format.fprintf ppf
-    "average error %.2f%% (long-warm-up baseline: %.2f%%)@ \
+    "sampled IPC %.3f ± %.3f (95%% CI over %d windows; authoritative %.3f ± %.3f)@ \
+     average error %.2f%% (long-warm-up baseline: %.2f%%)@ \
      simulation cost reduced %.1fx vs the conventional long warm-up@ \
      (%.2fs full detailed, %.2fs long-warm-up sampling, %.2fs scaled sampling)@]"
+    r.ipc_sampled_mean r.ipc_sampled_ci95
+    (List.length r.samples)
+    r.ipc_full_mean r.ipc_full_ci95
     (100. *. r.avg_error)
     (100. *. r.baseline_error)
     r.speedup r.t_full r.t_baseline r.t_sampled

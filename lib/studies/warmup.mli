@@ -33,6 +33,15 @@ type report = {
   avg_error : float;
   baseline_error : float;
       (** error of the conventional long-warm-up baseline *)
+  ipc_sampled_mean : float;
+      (** mean sampled IPC across the windows — report it with
+          {!field-ipc_sampled_ci95} so the point estimate carries its
+          sampling error *)
+  ipc_sampled_ci95 : float;
+      (** 95% confidence half-width over the sample windows
+          ([Stats_math.ci95_halfwidth], SMARTS-style) *)
+  ipc_full_mean : float;   (** same, for the authoritative windows *)
+  ipc_full_ci95 : float;
   speedup : float;
       (** baseline (long, unscaled warm-up) time / scaled-warm-up time — the
           paper's "simulation cost reduced 65x" metric *)

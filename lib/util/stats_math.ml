@@ -16,6 +16,20 @@ let stddev xs =
     let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
     sqrt var
 
+let sample_stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    let m = mean xs in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (ss /. (n -. 1.0))
+
+let ci95_halfwidth xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ -> 1.96 *. sample_stddev xs /. sqrt (float_of_int (List.length xs))
+
 let percent part whole = if whole = 0.0 then 0.0 else 100.0 *. part /. whole
 
 let correlation xs ys =

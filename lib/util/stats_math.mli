@@ -10,6 +10,15 @@ val geomean : float list -> float
 val stddev : float list -> float
 (** Population standard deviation; 0 on lists shorter than 2. *)
 
+val sample_stddev : float list -> float
+(** Bessel-corrected (n-1) standard deviation — the estimator sampling
+    error bars want; 0 on lists shorter than 2. *)
+
+val ci95_halfwidth : float list -> float
+(** Half-width of the normal-approximation 95% confidence interval on the
+    mean, [1.96 * sample_stddev / sqrt n] (SMARTS-style sampling error);
+    0 on lists shorter than 2. *)
+
 val percent : float -> float -> float
 (** [percent part whole] is [100 * part / whole], 0 when [whole = 0]. *)
 

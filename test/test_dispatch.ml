@@ -1,0 +1,249 @@
+(* The distributed sweep, tested against real processes: worker daemons
+   forked onto ephemeral loopback ports, a real dispatcher, and failures
+   injected where a cluster actually produces them — a worker dying with a
+   unit in flight, a worker that never existed, a corrupted byte stream. *)
+
+module Sweep = Darco_sampling.Sweep
+module Work = Darco_sampling.Work
+module Driver = Darco_sampling.Driver
+module Wire = Darco_dispatch.Wire
+module Worker = Darco_dispatch.Worker
+module Event = Darco_obs.Event
+module J = Darco_obs.Jsonx
+
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* Fork a worker daemon on an ephemeral port; the child reports the
+   kernel-assigned port through a pipe once it is actually listening, so
+   there is no race between spawn and first connect. *)
+let spawn_worker ?exec () =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    (try
+       Worker.serve ~quiet:true ?exec
+         ~ready:(fun sa ->
+           let port = match sa with Unix.ADDR_INET (_, p) -> p | _ -> 0 in
+           let line = Bytes.of_string (string_of_int port ^ "\n") in
+           ignore (Unix.write w line 0 (Bytes.length line));
+           Unix.close w)
+         ~host:"127.0.0.1" ~port:0 ()
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close w;
+    let buf = Bytes.create 16 in
+    let n = Unix.read r buf 0 16 in
+    Unix.close r;
+    let port = int_of_string (String.trim (Bytes.sub_string buf 0 n)) in
+    (pid, { Darco_dispatch.host = "127.0.0.1"; port })
+
+let reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+(* A small real sweep: functional checkpoints over a physics workload,
+   four short detailed windows.  Shared across tests (the checkpointing
+   pass is the expensive part). *)
+let works =
+  lazy
+    (let program = (Darco_workloads.Registry.find "continuous").build ~scale:1 () in
+     let checkpoints =
+       Driver.functional_checkpoints ~seed:7 ~interval:10_000 ~horizon:40_000
+         program
+     in
+     List.map
+       (fun off ->
+         Work.of_window ~checkpoints
+           ~label:(Printf.sprintf "continuous@%d" off)
+           ~offset:off ~window:2_000 ~warmup:1_000)
+       [ 8_000; 16_000; 24_000; 32_000 ])
+
+let render (r : Sweep.result) =
+  r.label ^ " => "
+  ^ (match r.outcome with
+    | Sweep.Ok j -> J.to_string j
+    | Sweep.Failed e -> "FAILED " ^ e)
+
+(* What the Local backend says — the reference every remote run must
+   reproduce byte for byte. *)
+let expected =
+  lazy (List.map render (Sweep.run (Sweep.Backend.local ~jobs:2 ()) (Lazy.force works)))
+
+let collecting_bus () =
+  let events = ref [] in
+  let bus = Darco_obs.Bus.create () in
+  Darco_obs.Bus.attach bus ~name:"collect" (fun ~at:_ ev -> events := ev :: !events);
+  (bus, events)
+
+let saw events p = List.exists p !events
+
+(* --- 1. loopback end-to-end: remote results bit-identical to Local --- *)
+let test_loopback_e2e () =
+  let p1, a1 = spawn_worker () in
+  let p2, a2 = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap p1; reap p2)
+    (fun () ->
+      let bus, events = collecting_bus () in
+      let remote =
+        Sweep.run (Darco_dispatch.remote ~bus [ a1; a2 ]) (Lazy.force works)
+      in
+      Alcotest.(check (list string))
+        "remote sweep bit-identical to local" (Lazy.force expected)
+        (List.map render remote);
+      Alcotest.(check bool) "both workers connected" true
+        (saw events (function Event.Worker_up _ -> true | _ -> false));
+      Alcotest.(check bool) "every unit acknowledged" true
+        (List.length
+           (List.filter (function Event.Dispatch_done _ -> true | _ -> false)
+              !events)
+        = List.length (Lazy.force works)))
+
+(* --- 2. a worker dies with a unit in flight: the unit is reassigned and
+   the sweep still completes with the right answer --- *)
+let test_worker_died_mid_unit () =
+  (* this daemon handshakes and accepts a unit, then dies without replying *)
+  let pbad, abad = spawn_worker ~exec:(fun _ -> Unix._exit 0) () in
+  let pgood, agood = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap pbad; reap pgood)
+    (fun () ->
+      let bus, events = collecting_bus () in
+      let remote =
+        Sweep.run
+          (Darco_dispatch.remote ~bus ~retries:3 [ abad; agood ])
+          (Lazy.force works)
+      in
+      Alcotest.(check (list string))
+        "completes despite mid-unit worker death" (Lazy.force expected)
+        (List.map render remote);
+      Alcotest.(check bool) "the loss was observed" true
+        (saw events (function Event.Worker_lost _ -> true | _ -> false));
+      Alcotest.(check bool) "the orphaned unit was retried" true
+        (saw events (function Event.Dispatch_retry _ -> true | _ -> false)))
+
+(* --- 3. no reachable worker: graceful degradation to the local fork
+   backend, same results --- *)
+let test_unreachable_falls_back () =
+  (* an ephemeral port with provably nobody behind it *)
+  let sock = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.bind sock (ADDR_INET (Unix.inet_addr_loopback, 0));
+  let port =
+    match Unix.getsockname sock with ADDR_INET (_, p) -> p | _ -> 0
+  in
+  Unix.close sock;
+  let bus, events = collecting_bus () in
+  let remote =
+    Sweep.run
+      (Darco_dispatch.remote ~bus ~fallback_jobs:2 ~timeout:2.0
+         [ { Darco_dispatch.host = "127.0.0.1"; port } ])
+      (Lazy.force works)
+  in
+  Alcotest.(check (list string))
+    "falls back to local and completes" (Lazy.force expected)
+    (List.map render remote);
+  Alcotest.(check bool) "fallback was announced" true
+    (saw events (function Event.Dispatch_fallback _ -> true | _ -> false))
+
+(* --- 4. protocol robustness: malformed frames are rejected cleanly and
+   the daemon keeps serving --- *)
+let le64 n = String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
+
+let write_all fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+let connect (a : Darco_dispatch.addr) =
+  let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+  Unix.connect fd (ADDR_INET (Worker.resolve a.host, a.port));
+  Wire.send fd (Wire.Hello Wire.protocol_version);
+  (match Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) fd with
+  | Wire.Hello v ->
+    Alcotest.(check int) "hello echoed" Wire.protocol_version v
+  | _ -> Alcotest.fail "expected the hello echo");
+  fd
+
+let test_malformed_frame_rejected () =
+  let pid, addr = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap pid)
+    (fun () ->
+      let deadline () = Unix.gettimeofday () +. 10.0 in
+      (* a WORK frame whose payload does not match its CRC *)
+      let fd = connect addr in
+      write_all fd ("WORK" ^ le64 4 ^ le64 0 ^ "junk");
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Fail reason ->
+        Alcotest.(check bool) "reason is non-empty" true (String.length reason > 0)
+      | _ -> Alcotest.fail "expected a Fail reply to a corrupt frame");
+      (* the stream is no longer trusted: the daemon drops this connection *)
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | exception Wire.Closed -> ()
+      | _ -> Alcotest.fail "expected the corrupted connection to be dropped");
+      Unix.close fd;
+      (* a well-framed message that is not a valid work unit fails only the
+         request: the same connection keeps working *)
+      let fd = connect addr in
+      Wire.send fd (Wire.Work "this is not a DWRK unit");
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Fail _ -> ()
+      | _ -> Alcotest.fail "expected a Fail reply to a bogus unit");
+      Wire.send fd Wire.Ping;
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Pong -> ()
+      | _ -> Alcotest.fail "expected Pong after the contained failure");
+      (* and the daemon still executes real work afterwards *)
+      (match Lazy.force works with
+      | w :: _ ->
+        Wire.send fd (Wire.Work (Work.to_string w));
+        (match Wire.recv ~deadline:(deadline ()) fd with
+        | Wire.Result json ->
+          Alcotest.(check bool) "result parses as JSON" true
+            (match J.parse json with _ -> true | exception _ -> false)
+        | _ -> Alcotest.fail "expected a Result for a genuine unit")
+      | [] -> Alcotest.fail "no work units");
+      Unix.close fd)
+
+(* --- spec parsing (the CLI's --backend flag) --- *)
+let test_spec_parsing () =
+  let ok = function Ok s -> s | Error e -> Alcotest.failf "parse failed: %s" e in
+  (match ok (Darco_dispatch.spec_of_string ~jobs:3 "local") with
+  | Darco_dispatch.Local { jobs } -> Alcotest.(check int) "default jobs" 3 jobs
+  | _ -> Alcotest.fail "expected Local");
+  (match ok (Darco_dispatch.spec_of_string "local:9") with
+  | Darco_dispatch.Local { jobs } -> Alcotest.(check int) "explicit jobs" 9 jobs
+  | _ -> Alcotest.fail "expected Local");
+  (match ok (Darco_dispatch.spec_of_string ~timeout:5.0 ~retries:1 "remote:a:1,b:2") with
+  | Darco_dispatch.Remote { workers; timeout; retries } ->
+    Alcotest.(check (list string)) "workers"
+      [ "a:1"; "b:2" ]
+      (List.map Darco_dispatch.addr_to_string workers);
+    Alcotest.(check (float 0.0)) "timeout" 5.0 timeout;
+    Alcotest.(check int) "retries" 1 retries
+  | _ -> Alcotest.fail "expected Remote");
+  let bad s =
+    match Darco_dispatch.spec_of_string s with
+    | Ok _ -> Alcotest.failf "accepted bad spec %S" s
+    | Error _ -> ()
+  in
+  List.iter bad [ ""; "local:zero"; "remote:"; "remote:host"; "remote:host:0"; "ftp:x" ]
+
+let () =
+  Alcotest.run "dispatch"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
+          Alcotest.test_case "malformed frames rejected" `Quick
+            test_malformed_frame_rejected;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "loopback end-to-end" `Quick test_loopback_e2e;
+          Alcotest.test_case "worker dies mid-unit" `Quick
+            test_worker_died_mid_unit;
+          Alcotest.test_case "unreachable worker falls back" `Quick
+            test_unreachable_falls_back;
+        ] );
+    ]

@@ -181,11 +181,15 @@ let test_corrupted_snapshot () =
   let resumed = Snapshot.restore (Snapshot.of_string good) in
   expect_done "good bytes resume" (Controller.run resumed)
 
-(* A crashing worker loses only its own sample. *)
+(* A crashing worker loses only its own sample.  This deliberately goes
+   through the deprecated [Sweep.map] shim: it is the only entry point that
+   accepts a closure, which we need to inject the crash — and the shim
+   shares its worker pool with [Backend.local], so the containment property
+   is tested for both. *)
 let test_sweep_contains_crashes () =
   let module J = Darco_obs.Jsonx in
   let results =
-    Sweep.map ~jobs:2 ~label:string_of_int
+    (Sweep.map [@alert "-deprecated"]) ~jobs:2 ~label:string_of_int
       (fun i ->
         if i = 1 then failwith "boom"
         else if i = 2 then begin
@@ -239,6 +243,34 @@ let test_manifest () =
     Alcotest.(check bool) "at least guest+code sections" true (List.length sections >= 2)
   | _ -> Alcotest.fail "sections not a list"
 
+(* Golden corpus: version-1 snapshot bytes committed under fixtures/ must
+   keep decoding in every future build — the on-disk format is a contract,
+   not an implementation detail.  DESIGN.md ("Snapshot compatibility
+   policy") spells out the guarantee these fixtures enforce; regenerate
+   them only alongside a version bump plus a new decoder arm. *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden_corpus () =
+  let module J = Darco_obs.Jsonx in
+  let decode name = Snapshot.of_string (read_file (Filename.concat "fixtures" name)) in
+  let fn = decode "mcf_40k_functional_v1.dsnp" in
+  Alcotest.(check string) "functional manifest stable"
+    {|{"version":1,"kind":"functional","retired":40000,"sections":[{"tag":"GUST","bytes":16674,"crc32":3925566016}]}|}
+    (J.to_string (Snapshot.manifest fn));
+  let full = decode "mcf_40k_full_v1.dsnp" in
+  Alcotest.(check string) "full manifest stable"
+    {|{"version":1,"kind":"full","retired":372571,"sections":[{"tag":"GUST","bytes":16674,"crc32":863927439},{"tag":"CODE","bytes":55178,"crc32":1244300970}]}|}
+    (J.to_string (Snapshot.manifest full));
+  (* decoded state must still be runnable, not merely parseable *)
+  let ctl = Snapshot.restore full in
+  expect_done "full fixture resumes" (Controller.run ctl);
+  Alcotest.(check (option int)) "resumed exit code" (Some 1)
+    (Controller.exit_code ctl)
+
 let () =
   Alcotest.run "sampling"
     [
@@ -263,5 +295,6 @@ let () =
         [
           Alcotest.test_case "corruption detected" `Quick test_corrupted_snapshot;
           Alcotest.test_case "manifest" `Quick test_manifest;
+          Alcotest.test_case "golden corpus decodes" `Quick test_golden_corpus;
         ] );
     ]
