@@ -60,6 +60,101 @@ let run_benchmark ?(cfg = Darco.Config.default) ?(timing = false) ?max_insns ?la
 
 let run_benchmark_stats ?cfg ?label e = fst (run_benchmark ?cfg ?label e)
 
+(* One fixed-size slice of a chunked run: enough to put an error bar on the
+   table columns that used to be bare end-of-run point estimates. *)
+type chunk = {
+  c_ipc : float;
+  c_tol : float;  (* TOL share of the chunk's host stream, percent *)
+  c_report : Darco_power.Model.report option;
+}
+
+(* Like [run_benchmark], but pausing every [chunk] guest instructions (up
+   to [nchunks] times, or until the workload completes) to difference the
+   live counters — per-chunk IPC, TOL share and power report.  The chunk
+   lists feed mean ± 95% CI columns; the recorded end-of-run entry is the
+   same as the plain runner's. *)
+let run_benchmark_chunked ?(cfg = Darco.Config.default) ?(timing = false)
+    ~chunk ~nchunks ?label (e : Registry.entry) =
+  let ctl = Darco.Controller.create ~cfg ~seed:42 (e.build ()) in
+  let pipe =
+    if timing then begin
+      let p = Darco_timing.Pipeline.create Darco_timing.Tconfig.default in
+      Darco_timing.Pipeline.attach p (Darco.Controller.bus ctl);
+      Some p
+    end
+    else None
+  in
+  let stats = Darco.Controller.stats ctl in
+  let chunks = ref [] in
+  let diverged = ref None in
+  let prev_guest = ref 0 in
+  let prev_ov = ref 0 in
+  let prev_app = ref 0 in
+  let prev_insns = ref 0 in
+  let prev_cycles = ref 0 in
+  let prev_ev =
+    ref
+      (Option.map
+         (fun p -> Darco_timing.Pipeline.events_copy (Darco_timing.Pipeline.events p))
+         pipe)
+  in
+  (try
+     for k = 1 to nchunks do
+       let finished =
+         match Darco.Controller.run ~max_insns:(k * chunk) ctl with
+         | `Limit -> false
+         | `Done -> true
+         | `Diverged d ->
+           Printf.printf "!! %s diverged at %d: %s\n" e.name d.at_retired
+             (String.concat "; " d.details);
+           diverged := Some (d.at_retired, d.details);
+           raise Exit
+       in
+       let guest = Darco.Stats.guest_total stats in
+       let ov = Darco.Stats.total_overhead stats in
+       let app = Darco.Stats.host_app_total stats in
+       let host_d = ov - !prev_ov + (app - !prev_app) in
+       let tol =
+         if host_d = 0 then 0.0 else 100. *. float_of_int (ov - !prev_ov) /. float_of_int host_d
+       in
+       let ipc, report =
+         match pipe with
+         | None -> (0.0, None)
+         | Some p ->
+           let di = Darco_timing.Pipeline.instructions p - !prev_insns in
+           let dc = Darco_timing.Pipeline.cycles p - !prev_cycles in
+           prev_insns := Darco_timing.Pipeline.instructions p;
+           prev_cycles := Darco_timing.Pipeline.cycles p;
+           let now = Darco_timing.Pipeline.events p in
+           let delta = Darco_timing.Pipeline.events_diff now (Option.get !prev_ev) in
+           prev_ev := Some (Darco_timing.Pipeline.events_copy now);
+           ( (if dc = 0 then 0.0 else float_of_int di /. float_of_int dc),
+             Some (Darco_power.Model.evaluate delta) )
+       in
+       (* a zero-length tail chunk (workload already done) carries no signal *)
+       if guest > !prev_guest then
+         chunks := { c_ipc = ipc; c_tol = tol; c_report = report } :: !chunks;
+       prev_guest := guest;
+       prev_ov := ov;
+       prev_app := app;
+       if finished then raise Exit
+     done
+   with Exit -> ());
+  recorded :=
+    {
+      r_label = Option.value label ~default:e.name;
+      r_suite = e.suite;
+      r_stats = stats;
+      r_diverged = !diverged;
+    }
+    :: !recorded;
+  ({ name = e.name; suite = e.suite; stats }, List.rev !chunks)
+
+(* "12.3 ± 0.4" for a per-chunk metric (CI half-width is 0 under 2 chunks). *)
+let pm fmt xs = Printf.sprintf "%s ± %s"
+    (Printf.sprintf fmt (SM.mean xs))
+    (Printf.sprintf fmt (SM.ci95_halfwidth xs))
+
 let suite_results = lazy (List.map run_benchmark_stats Registry.all)
 
 let labels results = List.map (fun r -> r.name) results
@@ -317,28 +412,32 @@ let ablation_features () =
   List.iter
     (fun bench ->
       let e = Registry.find bench in
-      Printf.printf "-- %s --\n" e.name;
-      let header = [ "variant"; "emul-cost"; "host-app"; "TOL%"; "SBM%"; "IPC" ] in
+      Printf.printf "-- %s (5 x 50k-insn chunks, mean ± 95%% CI) --\n" e.name;
+      let header =
+        [ "variant"; "emul-cost"; "host-app"; "TOL%"; "SBM%"; "IPC"; "EPI nJ" ]
+      in
       let rows =
         List.map
           (fun (name, cfg) ->
-            let r, pipe =
-              run_benchmark ~cfg ~timing:true ~max_insns:250_000
+            let r, chunks =
+              run_benchmark_chunked ~cfg ~timing:true ~chunk:50_000 ~nchunks:5
                 ~label:(e.name ^ "/" ^ name) e
             in
             let _, _, sbm = Darco.Stats.mode_fractions r.stats in
-            let ipc =
-              match pipe with
-              | Some p -> (Darco_timing.Pipeline.summary p).ipc
-              | None -> 0.0
+            let epi =
+              (Darco_power.Model.summarize
+                 (List.filter_map (fun c -> c.c_report) chunks))
+                .Darco_power.Model.epi
             in
             [
               name;
               Printf.sprintf "%.2f" (Darco.Stats.emulation_cost_sbm r.stats);
               string_of_int (Darco.Stats.host_app_total r.stats);
-              Printf.sprintf "%.1f" (100. *. Darco.Stats.overhead_fraction r.stats);
+              pm "%.1f" (List.map (fun c -> c.c_tol) chunks);
               Printf.sprintf "%.1f" (100. *. sbm);
-              Printf.sprintf "%.3f" ipc;
+              pm "%.3f" (List.map (fun c -> c.c_ipc) chunks);
+              Printf.sprintf "%.3f ± %.3f" epi.Darco_power.Model.s_mean
+                epi.Darco_power.Model.s_ci95;
             ])
           variants
       in
@@ -354,14 +453,15 @@ let ablation_thresholds () =
     List.map
       (fun (bb, sb) ->
         let cfg = { Darco.Config.default with bb_threshold = bb; sb_threshold = sb } in
-        let r =
-          run_benchmark_stats ~cfg ~label:(Printf.sprintf "%s/bb%d-sb%d" e.name bb sb) e
+        let r, chunks =
+          run_benchmark_chunked ~cfg ~chunk:50_000 ~nchunks:100
+            ~label:(Printf.sprintf "%s/bb%d-sb%d" e.name bb sb) e
         in
         let _, _, sbm = Darco.Stats.mode_fractions r.stats in
         [
           Printf.sprintf "%d / %d" bb sb;
           (match r.stats.startup_insns with Some n -> string_of_int n | None -> "-");
-          Printf.sprintf "%.1f" (100. *. Darco.Stats.overhead_fraction r.stats);
+          pm "%.1f" (List.map (fun c -> c.c_tol) chunks);
           Printf.sprintf "%.1f" (100. *. sbm);
         ])
       [ (2, 8); (4, 32); (8, 64); (16, 128); (32, 512) ]

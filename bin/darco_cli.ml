@@ -410,8 +410,8 @@ let resume_cmd =
 
 let sample_cmd =
   let run bench scale (sim : Flag.sim) interval offsets nsamples horizon window
-      warmup jobs backend_str dispatch_timeout dispatch_retries json_out verify
-      max_error =
+      warmup jobs backend_str dispatch_timeout dispatch_retries store_dir
+      json_out verify max_error =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     let offsets =
@@ -442,7 +442,8 @@ let sample_cmd =
     (* the dispatch lifecycle is observable through the ordinary trace sink *)
     let bus = Darco_obs.Bus.create () in
     let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
-    let backend = Darco_dispatch.backend ~bus ~fallback_jobs:jobs spec in
+    let store = Darco_sampling.Store.create ?dir:store_dir () in
+    let backend = Darco_dispatch.backend ~bus ~fallback_jobs:jobs ~store spec in
     Printf.printf
       "== %s: functional fast-forward to %d, checkpoint every %d ==\n%!"
       entry.name horizon interval;
@@ -458,11 +459,14 @@ let sample_cmd =
     let works =
       List.map
         (fun off ->
-          Work.of_window ~checkpoints
+          Work.of_window_stored ~store ~checkpoints
             ~label:(Printf.sprintf "%s@%d" entry.name off)
             ~offset:off ~window ~warmup)
         offsets
     in
+    Printf.printf "%d distinct checkpoints referenced by %d windows\n%!"
+      (Darco_sampling.Store.count store)
+      (List.length works);
     let results =
       Fun.protect
         ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
@@ -496,6 +500,7 @@ let sample_cmd =
     in
     let errors = ref [] in
     let ipcs = ref [] in
+    let powers = ref [] in
     let sample_rows =
       List.map2
         (fun off (r : Sweep.result) ->
@@ -513,6 +518,13 @@ let sample_cmd =
               Option.value ~default:0.0 (json_num (Darco_obs.Jsonx.member "ipc" json))
             in
             ipcs := ipc :: !ipcs;
+            (match
+               ( json_num (Darco_obs.Jsonx.member "energy_j" json),
+                 json_num (Darco_obs.Jsonx.member "avg_watts" json),
+                 json_num (Darco_obs.Jsonx.member "epi_nj" json) )
+             with
+            | Some e, Some w, Some epi -> powers := (e, w, epi) :: !powers
+            | _ -> ());
             let extra =
               match List.assoc_opt off full_ipcs with
               | None ->
@@ -547,6 +559,24 @@ let sample_cmd =
     if ipcs <> [] then
       Printf.printf "sweep IPC %.3f ± %.3f (95%% CI, stddev %.3f, n=%d)\n"
         ipc_mean ipc_ci95 ipc_stddev (List.length ipcs);
+    (* the same error-bar treatment for the power model's outputs *)
+    let powers = List.rev !powers in
+    let pstat xs =
+      (Darco_util.Stats_math.mean xs, Darco_util.Stats_math.ci95_halfwidth xs)
+    in
+    let watts_mean, watts_ci95 =
+      pstat (List.map (fun (_, w, _) -> w) powers)
+    in
+    let epi_mean, epi_ci95 = pstat (List.map (fun (_, _, e) -> e) powers) in
+    let energy_mean, energy_ci95 =
+      pstat (List.map (fun (e, _, _) -> e) powers)
+    in
+    if powers <> [] then
+      Printf.printf
+        "sweep power %.4g ± %.2g W, EPI %.4g ± %.2g nJ, window energy %.4g ± \
+         %.2g J (95%% CI, n=%d)\n"
+        watts_mean watts_ci95 epi_mean epi_ci95 energy_mean energy_ci95
+        (List.length powers);
     let avg_error =
       match !errors with [] -> None | es -> Some (Darco_util.Stats_math.mean es)
     in
@@ -572,6 +602,12 @@ let sample_cmd =
                ("ipc_mean", Darco_obs.Jsonx.Float ipc_mean);
                ("ipc_stddev", Darco_obs.Jsonx.Float ipc_stddev);
                ("ipc_ci95", Darco_obs.Jsonx.Float ipc_ci95);
+               ("watts_mean", Darco_obs.Jsonx.Float watts_mean);
+               ("watts_ci95", Darco_obs.Jsonx.Float watts_ci95);
+               ("epi_nj_mean", Darco_obs.Jsonx.Float epi_mean);
+               ("epi_nj_ci95", Darco_obs.Jsonx.Float epi_ci95);
+               ("energy_j_mean", Darco_obs.Jsonx.Float energy_mean);
+               ("energy_j_ci95", Darco_obs.Jsonx.Float energy_ci95);
                ("samples", Darco_obs.Jsonx.List sample_rows);
              ]
             @
@@ -611,29 +647,39 @@ let sample_cmd =
       $ Arg.(value & opt string "local" & info [ "backend" ] ~docv:"SPEC" ~doc:"Execution backend: local, local:JOBS, or remote:HOST:PORT[,HOST:PORT...]")
       $ Arg.(value & opt float 60.0 & info [ "dispatch-timeout" ] ~docv:"SECONDS" ~doc:"Remote backend: per-work-unit deadline")
       $ Arg.(value & opt int 2 & info [ "dispatch-retries" ] ~docv:"N" ~doc:"Remote backend: re-dispatches per unit after a worker is lost")
+      $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill the sweep's content-addressed checkpoint store to $(docv)")
       $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the sweep results as JSON to $(docv)")
       $ Arg.(value & flag & info [ "verify" ] ~doc:"Also run full detailed simulation and report per-sample IPC error")
       $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction"))
 
 let worker_cmd =
-  let run listen quiet =
+  let run listen quiet jobs store_dir =
+    if jobs < 1 then begin
+      Printf.eprintf "--jobs must be at least 1\n";
+      exit 2
+    end;
     match Darco_dispatch.addr_of_string listen with
     | Error e ->
       Printf.eprintf "%s\n" e;
       exit 2
     | Ok { Darco_dispatch.host; port } ->
-      Darco_dispatch.Worker.serve ~quiet ~host ~port ()
+      Darco_dispatch.Worker.serve ~quiet ~jobs ?store_dir ~host ~port ()
   in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
          "Run a sample-sweep worker daemon: accept work units (snapshot + \
-          window parameters) over the dispatch TCP protocol, execute them, \
-          and stream back per-sample JSON results")
+          window parameters) over the dispatch TCP protocol, execute them \
+          concurrently in forked children, and stream back per-sample JSON \
+          results.  Digest-addressed units resolve through the daemon's \
+          checkpoint store; each missing checkpoint is fetched from the \
+          dispatcher once")
     Term.(
       const run
       $ Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Bind and serve on $(docv)")
-      $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-connection log lines"))
+      $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-connection log lines")
+      $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Work units to keep executing concurrently (advertised to the dispatcher)")
+      $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill received checkpoints to $(docv) so they survive daemon restarts"))
 
 let speed_cmd =
   let run bench scale insns seed =

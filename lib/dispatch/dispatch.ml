@@ -1,6 +1,7 @@
 module B = Darco_sampling.Buf
 module Sweep = Darco_sampling.Sweep
 module Work = Darco_sampling.Work
+module Store = Darco_sampling.Store
 module Jsonx = Darco_obs.Jsonx
 module Bus = Darco_obs.Bus
 module Event = Darco_obs.Event
@@ -58,11 +59,22 @@ let spec_of_string ?(jobs = 4) ?(timeout = 60.0) ?(retries = 2) s =
    doubles per attempt (0.2s, 0.4s, 0.8s, ...). *)
 let backoff_base = 0.2
 
+(* A unit is only stolen (speculatively duplicated onto an idle worker)
+   once it has been in flight for this fraction of the per-unit timeout —
+   young units are almost certainly just still computing. *)
+let steal_fraction = 0.25
+
+type inflight = { if_attempt : int; if_deadline : float; if_sent_at : float }
+
 type worker_state = {
   w_addr : string;
   mutable w_fd : Unix.file_descr option;
-  (* unit index, attempt number, absolute per-unit deadline *)
-  mutable w_busy : (int * int * float) option;
+  w_slots : int;
+  (* unit index -> its in-flight record; up to [w_slots] entries *)
+  w_inflight : (int, inflight) Hashtbl.t;
+  (* checkpoint digests this worker has been assigned or pushed — any
+     later unit sharing one rides the worker's cached copy *)
+  w_seen : (string, unit) Hashtbl.t;
 }
 
 let emit bus ev = Option.iter (fun b -> Bus.emit b ~at:0 ev) bus
@@ -70,7 +82,9 @@ let emit bus ev = Option.iter (fun b -> Bus.emit b ~at:0 ev) bus
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
 (* Non-blocking connect bounded by [timeout] seconds, then the Hello
-   handshake bounded by the same budget. *)
+   handshake bounded by the same budget.  The socket stays non-blocking:
+   the wire layer parks in select on EAGAIN, so multiplexed traffic never
+   stalls the whole dispatcher on one slow peer. *)
 let connect_worker ~bus ~timeout (a : addr) =
   let name = addr_to_string a in
   let fail fd reason =
@@ -97,35 +111,64 @@ let connect_worker ~bus ~timeout (a : addr) =
     in
     if not connected then fail (Some fd) "connection refused or timed out"
     else begin
-      Unix.clear_nonblock fd;
       match
-        Wire.send fd (Wire.Hello Wire.protocol_version);
+        Wire.send ~deadline fd
+          (Wire.Hello { version = Wire.protocol_version; slots = 0 });
         Wire.recv ~deadline fd
       with
-      | Wire.Hello v when v = Wire.protocol_version ->
+      | Wire.Hello { version = v; slots } when v = Wire.protocol_version ->
         emit bus (Event.Worker_up { worker = name });
-        Some { w_addr = name; w_fd = Some fd; w_busy = None }
-      | Wire.Hello v ->
-        fail (Some fd) (Printf.sprintf "protocol version mismatch (worker speaks %d)" v)
-      | Wire.Fail m -> fail (Some fd) m
+        Some
+          {
+            w_addr = name;
+            w_fd = Some fd;
+            w_slots = max 1 slots;
+            w_inflight = Hashtbl.create 8;
+            w_seen = Hashtbl.create 4;
+          }
+      | Wire.Hello { version = v; _ } ->
+        fail (Some fd)
+          (Printf.sprintf "protocol version mismatch (worker speaks %d)" v)
+      | Wire.Fail { reason; _ } -> fail (Some fd) reason
       | _ -> fail (Some fd) "unexpected handshake reply"
       | exception Wire.Timeout -> fail (Some fd) "handshake timed out"
       | exception Wire.Closed -> fail (Some fd) "connection closed during handshake"
       | exception B.Corrupt m -> fail (Some fd) ("malformed handshake: " ^ m)
     end)
 
-let run_remote ?bus ?(fallback_jobs = 4) ~workers ~timeout ~retries works =
+let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let units = Array.of_list works in
   let n = Array.length units in
   let outcomes = Array.make n (Sweep.Failed "not dispatched") in
   let finished = Array.make n false in
   let done_count = ref 0 in
+  let ws = List.filter_map (connect_worker ~bus ~timeout) workers in
+  let live () = List.filter (fun w -> w.w_fd <> None) ws in
+  (* how many live workers currently hold unit [i] (can exceed 1 after a
+     steal speculatively duplicated it) *)
+  let copies i =
+    List.length
+      (List.filter (fun w -> w.w_fd <> None && Hashtbl.mem w.w_inflight i) ws)
+  in
+  let gauge w =
+    emit bus
+      (Event.Dispatch_inflight
+         { worker = w.w_addr; in_flight = Hashtbl.length w.w_inflight })
+  in
   let settle i outcome =
     if not finished.(i) then begin
       outcomes.(i) <- outcome;
       finished.(i) <- true;
-      incr done_count
+      incr done_count;
+      (* withdraw every other copy so a late duplicate result is ignored *)
+      List.iter
+        (fun w ->
+          if Hashtbl.mem w.w_inflight i then begin
+            Hashtbl.remove w.w_inflight i;
+            gauge w
+          end)
+        ws
     end
   in
   (* (unit index, attempt, earliest re-dispatch time), input order *)
@@ -148,14 +191,99 @@ let run_remote ?bus ?(fallback_jobs = 4) ~workers ~timeout ~retries works =
     emit bus (Event.Worker_lost { worker = w.w_addr; reason });
     Option.iter close_quietly w.w_fd;
     w.w_fd <- None;
-    match w.w_busy with
-    | None -> ()
-    | Some (i, attempt, _) ->
-      w.w_busy <- None;
-      requeue (i, attempt) reason
+    let inflight = Hashtbl.fold (fun i inf acc -> (i, inf) :: acc) w.w_inflight [] in
+    Hashtbl.reset w.w_inflight;
+    (* a unit duplicated onto another live worker is still in flight there;
+       only units with no surviving copy go back on the queue *)
+    List.iter
+      (fun (i, (inf : inflight)) ->
+        if (not finished.(i)) && copies i = 0 then requeue (i, inf.if_attempt) reason)
+      inflight
   in
-  let ws = List.filter_map (connect_worker ~bus ~timeout) workers in
-  let live () = List.filter (fun w -> w.w_fd <> None) ws in
+  (* Assign unit [i] to [w].  [stolen] marks a speculative duplicate: on a
+     send failure it must not be requeued (the victim still holds it). *)
+  let send_unit w ~stolen i attempt =
+    let fd = Option.get w.w_fd in
+    let u = units.(i) in
+    let now = Unix.gettimeofday () in
+    emit bus
+      (Event.Dispatch_sent { unit_label = u.Work.label; worker = w.w_addr; attempt });
+    (match Work.digest u with
+    | None -> ()
+    | Some d ->
+      if Hashtbl.mem w.w_seen d then
+        emit bus (Event.Ckpt_hit { worker = w.w_addr; digest = d })
+      else Hashtbl.replace w.w_seen d ());
+    match Wire.send fd (Wire.Work { id = i; unit_ = Work.to_string u }) with
+    | () ->
+      Hashtbl.replace w.w_inflight i
+        { if_attempt = attempt; if_deadline = now +. timeout; if_sent_at = now };
+      gauge w
+    | exception (Wire.Closed | Wire.Timeout | Unix.Unix_error _) ->
+      lose_worker w "send failed";
+      if not stolen then requeue (i, attempt) "send failed"
+  in
+  let handle_msg w = function
+    | Wire.Result { id; text } ->
+      (* a result for a unit no longer in flight here is a late duplicate
+         of something already settled (or withdrawn); drop it *)
+      if Hashtbl.mem w.w_inflight id then begin
+        match Jsonx.parse text with
+        | json ->
+          emit bus
+            (Event.Dispatch_done
+               { unit_label = units.(id).Work.label; worker = w.w_addr; ok = true });
+          settle id (Sweep.Ok json)
+        | exception Jsonx.Parse_error m ->
+          (* the frame passed its CRC, so this is the worker misbehaving,
+             not the network: drop it (the unit requeues from its table) *)
+          lose_worker w ("unparseable result: " ^ m)
+      end
+    | Wire.Fail { id; reason } when id >= 0 ->
+      if Hashtbl.mem w.w_inflight id then begin
+        emit bus
+          (Event.Dispatch_done
+             { unit_label = units.(id).Work.label; worker = w.w_addr; ok = false });
+        (* the unit itself failed over a healthy connection — execution is
+           deterministic, so retrying (or waiting out a duplicate) would
+           not help *)
+        settle id (Sweep.Failed reason)
+      end
+    | Wire.Fail { reason; _ } -> lose_worker w ("worker reported: " ^ reason)
+    | Wire.Need { digest } -> (
+      match store with
+      | None ->
+        lose_worker w "worker requested a checkpoint but the dispatcher has no store"
+      | Some s -> (
+        match Store.find s digest with
+        | Some bytes -> (
+          match Wire.send (Option.get w.w_fd) (Wire.Ckpt { digest; bytes }) with
+          | () ->
+            Hashtbl.replace w.w_seen digest ();
+            emit bus
+              (Event.Ckpt_push
+                 { worker = w.w_addr; digest; bytes = String.length bytes })
+          | exception (Wire.Closed | Wire.Timeout | Unix.Unix_error _) ->
+            lose_worker w "send failed")
+        | None ->
+          lose_worker w (Printf.sprintf "worker requested unknown checkpoint %s" digest)
+        | exception B.Corrupt m -> lose_worker w ("checkpoint store: " ^ m)))
+    | Wire.Hello _ | Wire.Ping | Wire.Pong | Wire.Work _ | Wire.Ckpt _ ->
+      lose_worker w "protocol violation"
+  in
+  let drain w fd =
+    let deadline =
+      Hashtbl.fold
+        (fun _ (inf : inflight) acc -> min acc inf.if_deadline)
+        w.w_inflight
+        (Unix.gettimeofday () +. timeout)
+    in
+    match Wire.recv ~deadline fd with
+    | msg -> handle_msg w msg
+    | exception Wire.Closed -> lose_worker w "connection closed"
+    | exception Wire.Timeout -> lose_worker w "work unit timed out"
+    | exception B.Corrupt m -> lose_worker w ("malformed frame: " ^ m)
+  in
   let fallback reason =
     emit bus (Event.Dispatch_fallback { reason });
     let todo =
@@ -166,7 +294,7 @@ let run_remote ?bus ?(fallback_jobs = 4) ~workers ~timeout ~retries works =
     pending := [];
     let results =
       Sweep.run
-        (Sweep.Backend.local ~jobs:fallback_jobs ())
+        (Sweep.Backend.local ?store ~jobs:fallback_jobs ())
         (List.map (fun i -> units.(i)) todo)
     in
     List.iter2 (fun i (r : Sweep.result) -> settle i r.outcome) todo results
@@ -178,10 +306,14 @@ let run_remote ?bus ?(fallback_jobs = 4) ~workers ~timeout ~retries works =
   else begin
     while !done_count < n do
       let now = Unix.gettimeofday () in
-      (* hand eligible units to idle live workers, input order first *)
+      (* hand eligible units to free slots, input order first *)
       List.iter
         (fun w ->
-          if w.w_fd <> None && w.w_busy = None then begin
+          let continue = ref true in
+          while
+            !continue && w.w_fd <> None
+            && Hashtbl.length w.w_inflight < w.w_slots
+          do
             let rec pick acc = function
               | [] -> None
               | (i, attempt, at) :: tl when at <= now && not finished.(i) ->
@@ -190,103 +322,102 @@ let run_remote ?bus ?(fallback_jobs = 4) ~workers ~timeout ~retries works =
               | u :: tl -> pick (u :: acc) tl
             in
             match pick [] !pending with
-            | None -> ()
-            | Some (i, attempt) -> (
-              let fd = Option.get w.w_fd in
-              emit bus
-                (Event.Dispatch_sent
-                   {
-                     unit_label = units.(i).Work.label;
-                     worker = w.w_addr;
-                     attempt;
-                   });
-              match Wire.send fd (Wire.Work (Work.to_string units.(i))) with
-              | () -> w.w_busy <- Some (i, attempt, now +. timeout)
-              | exception (Wire.Closed | Unix.Unix_error _) ->
-                (* lose_worker would double-requeue: the unit was never
-                   marked busy, so requeue it directly *)
-                emit bus
-                  (Event.Worker_lost { worker = w.w_addr; reason = "send failed" });
-                Option.iter close_quietly w.w_fd;
-                w.w_fd <- None;
-                requeue (i, attempt) "send failed")
-          end)
+            | None -> continue := false
+            | Some (i, attempt) -> send_unit w ~stolen:false i attempt
+          done)
         ws;
+      (* the queue is drained: idle slots steal (duplicate) the oldest
+         singly-held in-flight unit from another worker — a fast worker
+         finishes it while a slow or wedged one is still grinding, and
+         whichever result lands first settles the unit *)
+      let now = Unix.gettimeofday () in
+      if not (List.exists (fun (i, _, _) -> not finished.(i)) !pending) then
+        List.iter
+          (fun thief ->
+            if
+              thief.w_fd <> None
+              && Hashtbl.length thief.w_inflight < thief.w_slots
+            then begin
+              let best = ref None in
+              List.iter
+                (fun victim ->
+                  if victim != thief && victim.w_fd <> None then
+                    Hashtbl.iter
+                      (fun i (inf : inflight) ->
+                        if
+                          (not finished.(i))
+                          && copies i = 1
+                          && now -. inf.if_sent_at >= steal_fraction *. timeout
+                        then
+                          match !best with
+                          | Some (_, _, (b : inflight))
+                            when b.if_sent_at <= inf.if_sent_at ->
+                            ()
+                          | _ -> best := Some (victim, i, inf))
+                      victim.w_inflight)
+                ws;
+              match !best with
+              | None -> ()
+              | Some (victim, i, { if_attempt = attempt; _ }) ->
+                emit bus
+                  (Event.Steal
+                     {
+                       unit_label = units.(i).Work.label;
+                       from_worker = victim.w_addr;
+                       to_worker = thief.w_addr;
+                     });
+                send_unit thief ~stolen:true i attempt
+            end)
+          ws;
       if !done_count >= n then ()
       else if live () = [] then fallback "all workers lost"
       else begin
-        let busy = List.filter (fun w -> w.w_busy <> None) (live ()) in
-        (* earliest moment anything can change: a unit deadline expiring or
-           a backed-off unit becoming eligible *)
+        let lv = live () in
+        let now = Unix.gettimeofday () in
+        (* earliest moment anything can change: an in-flight deadline
+           expiring or a backed-off unit becoming eligible *)
         let next_wake =
           List.fold_left
             (fun acc w ->
-              match w.w_busy with
-              | Some (_, _, dl) -> min acc dl
-              | None -> acc)
-            (now +. 1.0) busy
+              Hashtbl.fold
+                (fun _ (inf : inflight) acc -> min acc inf.if_deadline)
+                w.w_inflight acc)
+            (now +. 0.25) lv
         in
         let next_wake =
           List.fold_left
             (fun acc (i, _, at) -> if finished.(i) then acc else min acc at)
             next_wake !pending
         in
-        if busy = [] then begin
-          (* only backed-off units remain; sleep until one is eligible *)
-          let pause = max 0.01 (min 0.5 (next_wake -. now)) in
-          Unix.sleepf pause
-        end
-        else begin
-          let fds = List.map (fun w -> Option.get w.w_fd) busy in
-          let ready =
-            match Unix.select fds [] [] (max 0.01 (next_wake -. now)) with
-            | r, _, _ -> r
-            | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
-          in
-          List.iter
-            (fun w ->
-              match (w.w_fd, w.w_busy) with
-              | Some fd, Some (i, attempt, dl) when List.memq fd ready -> (
-                match Wire.recv ~deadline:dl fd with
-                | Wire.Result text -> (
-                  w.w_busy <- None;
-                  match Jsonx.parse text with
-                  | json ->
-                    emit bus
-                      (Event.Dispatch_done
-                         {
-                           unit_label = units.(i).Work.label;
-                           worker = w.w_addr;
-                           ok = true;
-                         });
-                    settle i (Sweep.Ok json)
-                  | exception Jsonx.Parse_error m ->
-                    (* the frame passed its CRC, so this is the worker
-                       misbehaving, not the network: drop it and retry *)
-                    w.w_busy <- Some (i, attempt, dl);
-                    lose_worker w ("unparseable result: " ^ m))
-                | Wire.Fail reason ->
-                  (* the unit itself failed over a healthy connection —
-                     deterministic, so retrying elsewhere would not help *)
-                  w.w_busy <- None;
-                  emit bus
-                    (Event.Dispatch_done
-                       {
-                         unit_label = units.(i).Work.label;
-                         worker = w.w_addr;
-                         ok = false;
-                       });
-                  settle i (Sweep.Failed reason)
-                | Wire.Hello _ | Wire.Ping | Wire.Pong | Wire.Work _ ->
-                  lose_worker w "protocol violation"
-                | exception Wire.Closed -> lose_worker w "connection closed mid-unit"
-                | exception Wire.Timeout -> lose_worker w "work unit timed out"
-                | exception B.Corrupt m -> lose_worker w ("malformed frame: " ^ m))
-              | Some _, Some (_, _, dl) when dl <= Unix.gettimeofday () ->
-                lose_worker w "work unit timed out"
-              | _ -> ())
-            busy
-        end
+        let fds = List.filter_map (fun w -> w.w_fd) lv in
+        let ready =
+          match Unix.select fds [] [] (max 0.01 (next_wake -. now)) with
+          | r, _, _ -> r
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        in
+        List.iter
+          (fun w ->
+            match w.w_fd with
+            | Some fd when List.memq fd ready -> drain w fd
+            | _ -> ())
+          lv;
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun w ->
+            if w.w_fd <> None then begin
+              let expired =
+                Hashtbl.fold
+                  (fun i (inf : inflight) acc ->
+                    if inf.if_deadline <= now then Some i else acc)
+                  w.w_inflight None
+              in
+              match expired with
+              | Some i ->
+                lose_worker w
+                  (Printf.sprintf "unit %s timed out" units.(i).Work.label)
+              | None -> ()
+            end)
+          ws
       end
     done;
     List.iter (fun w -> Option.iter close_quietly w.w_fd) ws
@@ -295,17 +426,17 @@ let run_remote ?bus ?(fallback_jobs = 4) ~workers ~timeout ~retries works =
     (fun i (u : Work.t) -> { Sweep.label = u.Work.label; outcome = outcomes.(i) })
     (Array.to_list units)
 
-let remote ?bus ?fallback_jobs ?(timeout = 60.0) ?(retries = 2) workers :
+let remote ?bus ?fallback_jobs ?store ?(timeout = 60.0) ?(retries = 2) workers :
     Sweep.Backend.t =
   {
     Sweep.Backend.name =
       Printf.sprintf "remote:%s"
         (String.concat "," (List.map addr_to_string workers));
-    dispatch = run_remote ?bus ?fallback_jobs ~workers ~timeout ~retries;
+    dispatch = run_remote ?bus ?fallback_jobs ?store ~workers ~timeout ~retries;
   }
 
-let backend ?bus ?fallback_jobs spec : Sweep.Backend.t =
+let backend ?bus ?fallback_jobs ?store spec : Sweep.Backend.t =
   match spec with
-  | Local { jobs } -> Sweep.Backend.local ~jobs ()
+  | Local { jobs } -> Sweep.Backend.local ?store ~jobs ()
   | Remote { workers; timeout; retries } ->
-    remote ?bus ?fallback_jobs ~timeout ~retries workers
+    remote ?bus ?fallback_jobs ?store ~timeout ~retries workers

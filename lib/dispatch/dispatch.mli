@@ -1,26 +1,42 @@
 (** Distributed sample dispatch (the [Remote] sweep backend).
 
     A dispatcher holds one TCP connection per worker daemon
-    ({!Worker.serve}, [darco worker --listen HOST:PORT]) and drives a
+    ({!Worker.serve}, [darco worker --listen HOST:PORT -j N]) and drives a
     sweep to completion in the presence of cluster reality:
 
+    - each worker advertises its concurrency ([-j], the [slots] field of
+      its {!Wire.Hello} reply) and the dispatcher keeps up to that many
+      units {b multiplexed} in flight per connection, matching results to
+      units by id;
+    - version-2 work units carry a checkpoint {b digest}, not the bytes:
+      a worker missing one asks once ({!Wire.Need}) and the dispatcher
+      serves it from its content-addressed [store] ({!Wire.Ckpt}), so a
+      sweep of many windows sharing a checkpoint ships the snapshot to
+      each worker at most once;
     - every in-flight unit carries an absolute {b deadline} ([timeout]
       seconds from dispatch);
     - a worker whose connection refuses, closes, corrupts a frame or
-      blows the deadline is {b lost}: its unit is requeued with
-      exponential backoff (0.2s doubling) and handed to another live
-      worker, up to [retries] re-dispatches before the unit settles as
+      blows a deadline is {b lost}: its units are requeued with
+      exponential backoff (0.2s doubling) and handed to other live
+      workers, up to [retries] re-dispatches before a unit settles as
       [Failed];
-    - a {!Wire.Fail} reply over a healthy connection is a deterministic
-      per-unit failure and is {e not} retried — matching the [Local]
+    - once the queue is drained, an idle slot {b steals} the oldest
+      in-flight unit from another worker (after a quarter of the timeout)
+      by speculatively duplicating it; the first result to land settles
+      the unit, every other copy is withdrawn, and late duplicates are
+      ignored — execution is deterministic, so which copy wins cannot
+      change the bytes;
+    - a per-unit {!Wire.Fail} over a healthy connection is a
+      deterministic failure and is {e not} retried — matching the [Local]
       backend's crash-containment semantics;
     - when no workers are reachable (at start or mid-run), the remaining
       units {b fall back} to the local fork backend, so a sweep always
       completes;
     - every step emits a typed event ([Worker_up], [Worker_lost],
       [Dispatch_sent], [Dispatch_done], [Dispatch_retry],
-      [Dispatch_fallback]) on [bus], so a cluster run is traceable
-      end to end with the ordinary [--trace] machinery.
+      [Dispatch_fallback], [Dispatch_inflight], [Ckpt_push], [Ckpt_hit],
+      [Steal]) on [bus], so a cluster run is traceable end to end with
+      the ordinary [--trace] machinery.
 
     Results return in input order and are bit-identical to the [Local]
     backend's: workers execute the same [Work.exec], and the JSON text
@@ -48,15 +64,19 @@ val spec_of_string :
 val backend :
   ?bus:Darco_obs.Bus.t ->
   ?fallback_jobs:int ->
+  ?store:Darco_sampling.Store.t ->
   spec ->
   Darco_sampling.Sweep.Backend.t
 
 val remote :
   ?bus:Darco_obs.Bus.t ->
   ?fallback_jobs:int ->
+  ?store:Darco_sampling.Store.t ->
   ?timeout:float ->
   ?retries:int ->
   addr list ->
   Darco_sampling.Sweep.Backend.t
 (** The distributed backend described above.  [fallback_jobs] (default 4)
-    bounds the local fork pool used when no workers are reachable. *)
+    bounds the local fork pool used when no workers are reachable;
+    [store] resolves digest-addressed units — both the [Need] requests
+    coming back from workers and the local fallback path. *)

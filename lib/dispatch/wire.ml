@@ -1,21 +1,24 @@
 module B = Darco_sampling.Buf
+module Store = Darco_sampling.Store
 
 exception Timeout
 exception Closed
 
-let protocol_version = 1
+let protocol_version = 2
 
-(* A work unit embeds a whole memory image; generous, but bounded so a
-   corrupted length field cannot make us allocate the address space. *)
+(* A checkpoint push carries a whole memory image; generous, but bounded so
+   a corrupted length field cannot make us allocate the address space. *)
 let max_frame = 1 lsl 28
 
 type msg =
-  | Hello of int
+  | Hello of { version : int; slots : int }
   | Ping
   | Pong
-  | Work of string
-  | Result of string
-  | Fail of string
+  | Work of { id : int; unit_ : string }
+  | Result of { id : int; text : string }
+  | Fail of { id : int; reason : string }
+  | Need of { digest : string }
+  | Ckpt of { digest : string; bytes : string }
 
 let tag_of = function
   | Hello _ -> "HELO"
@@ -24,14 +27,30 @@ let tag_of = function
   | Work _ -> "WORK"
   | Result _ -> "RSLT"
   | Fail _ -> "FAIL"
+  | Need _ -> "NEED"
+  | Ckpt _ -> "CKPT"
 
 let payload_of = function
-  | Hello v ->
+  | Hello { version; slots } ->
     let w = B.writer () in
-    B.int w v;
+    B.int w version;
+    B.int w slots;
     B.contents w
   | Ping | Pong -> ""
-  | Work s | Result s | Fail s -> s
+  | Work { id; unit_ = s } | Result { id; text = s } | Fail { id; reason = s } ->
+    let w = B.writer () in
+    B.int w id;
+    B.str w s;
+    B.contents w
+  | Need { digest } ->
+    let w = B.writer () in
+    B.str w digest;
+    B.contents w
+  | Ckpt { digest; bytes } ->
+    let w = B.writer () in
+    B.str w digest;
+    B.str w bytes;
+    B.contents w
 
 let encode msg =
   let payload = payload_of msg in
@@ -46,7 +65,29 @@ let is_closed_error = function
   | Unix.ECONNRESET | Unix.EPIPE | Unix.ECONNABORTED | Unix.ESHUTDOWN -> true
   | _ -> false
 
-let send fd msg =
+(* Park until [fd] is ready for the wanted direction.  Without a deadline
+   this waits indefinitely (EINTR restarts the wait); with one, running out
+   of budget raises {!Timeout}. *)
+let wait_fd ?deadline ~write fd =
+  let rec go () =
+    let remaining =
+      match deadline with
+      | None -> -1.0
+      | Some t ->
+        let r = t -. Unix.gettimeofday () in
+        if r <= 0.0 then raise Timeout;
+        r
+    in
+    let reads = if write then [] else [ fd ] in
+    let writes = if write then [ fd ] else [] in
+    match Unix.select reads writes [] remaining with
+    | [], [], _ -> if deadline = None then go () else raise Timeout
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let send ?deadline fd msg =
   let s = encode msg in
   let n = String.length s in
   let rec go off =
@@ -54,6 +95,9 @@ let send fd msg =
       match Unix.write_substring fd s off (n - off) with
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_fd ?deadline ~write:true fd;
+        go off
       | exception Unix.Unix_error (e, _, _) when is_closed_error e -> raise Closed
   in
   go 0
@@ -63,19 +107,14 @@ let read_exact ?deadline fd n =
   let rec go off =
     if off = n then Bytes.unsafe_to_string buf
     else begin
-      (match deadline with
-      | None -> ()
-      | Some t ->
-        let remaining = t -. Unix.gettimeofday () in
-        if remaining <= 0.0 then raise Timeout;
-        (match Unix.select [ fd ] [] [] remaining with
-        | [], _, _ -> raise Timeout
-        | _ -> ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()));
+      if deadline <> None then wait_fd ?deadline ~write:false fd;
       match Unix.read fd buf off (n - off) with
       | 0 -> raise Closed
       | k -> go (off + k)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        wait_fd ?deadline ~write:false fd;
+        go off
       | exception Unix.Unix_error (e, _, _) when is_closed_error e -> raise Closed
     end
   in
@@ -95,12 +134,45 @@ let recv ?deadline fd =
   match tag with
   | "HELO" ->
     let r = B.reader payload in
-    let v = B.read_int r in
+    let version = B.read_int r in
+    let slots = B.read_int r in
     B.expect_end r;
-    Hello v
+    Hello { version; slots }
   | "PING" -> if payload = "" then Ping else B.corrupt "PING carries a payload"
   | "PONG" -> if payload = "" then Pong else B.corrupt "PONG carries a payload"
-  | "WORK" -> Work payload
-  | "RSLT" -> Result payload
-  | "FAIL" -> Fail payload
+  | "WORK" ->
+    let r = B.reader payload in
+    let id = B.read_int r in
+    let unit_ = B.read_str r in
+    B.expect_end r;
+    Work { id; unit_ }
+  | "RSLT" ->
+    let r = B.reader payload in
+    let id = B.read_int r in
+    let text = B.read_str r in
+    B.expect_end r;
+    Result { id; text }
+  | "FAIL" ->
+    let r = B.reader payload in
+    let id = B.read_int r in
+    let reason = B.read_str r in
+    B.expect_end r;
+    Fail { id; reason }
+  | "NEED" ->
+    let r = B.reader payload in
+    let digest = B.read_str r in
+    B.expect_end r;
+    if not (Store.is_digest digest) then
+      B.corrupt (Printf.sprintf "NEED carries malformed digest %S" digest);
+    Need { digest }
+  | "CKPT" ->
+    let r = B.reader payload in
+    let digest = B.read_str r in
+    let bytes = B.read_str r in
+    B.expect_end r;
+    if not (Store.is_digest digest) then
+      B.corrupt (Printf.sprintf "CKPT carries malformed digest %S" digest);
+    if Store.digest bytes <> digest then
+      B.corrupt "CKPT bytes do not match their digest";
+    Ckpt { digest; bytes }
   | other -> B.corrupt (Printf.sprintf "unknown frame tag %S" other)

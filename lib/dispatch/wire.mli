@@ -7,12 +7,25 @@
     as a clean {!Darco_sampling.Buf.Corrupt}, never a crash or a silently
     wrong sample.
 
-    The conversation is deliberately tiny.  The dispatcher opens a
-    connection per worker and handshakes with [Hello protocol_version]
-    (the worker echoes it); thereafter each work unit is one [Work]
-    request answered by exactly one [Result] (JSON text) or [Fail]
-    (human-readable reason).  [Ping]/[Pong] checks liveness between
-    units. *)
+    Protocol version 2.  The dispatcher opens a connection per worker and
+    handshakes with [Hello]; the worker's [Hello] reply advertises how many
+    units it can run concurrently ([slots], its [-j] value).  Work units
+    are {b multiplexed}: each [Work] frame carries a dispatcher-chosen [id]
+    and the worker may hold several in flight, answering each with one
+    [Result] or [Fail] carrying the same [id] ([id = -1] marks a
+    connection-level [Fail] that is about no particular unit).
+
+    Version-2 work units reference their checkpoint by digest instead of
+    embedding it; a worker missing the checkpoint asks once with [Need] and
+    the dispatcher answers with one [Ckpt] carrying the bytes, which the
+    worker caches for the rest of the sweep.  [recv] verifies a [Ckpt]
+    frame's bytes against its claimed digest, so a wrong or tampered
+    checkpoint is rejected at the wire, before it can reach the store.
+
+    [send]/[recv] are safe on non-blocking sockets: partial reads and
+    writes and [EAGAIN]/[EWOULDBLOCK] park in [select] (bounded by
+    [deadline] when given) and resume, so a multiplexing peer never busy
+    loops or tears a frame. *)
 
 exception Timeout
 (** A [deadline] passed mid-frame. *)
@@ -27,19 +40,33 @@ val max_frame : int
     rejected as corrupt before any allocation. *)
 
 type msg =
-  | Hello of int      (** protocol version handshake, echoed by the worker *)
+  | Hello of { version : int; slots : int }
+      (** handshake; the worker's reply advertises its concurrency in
+          [slots] (the dispatcher sends [slots = 0]) *)
   | Ping
   | Pong
-  | Work of string    (** an encoded {!Darco_sampling.Work.t} *)
-  | Result of string  (** the unit's JSON result text *)
-  | Fail of string    (** the unit failed on the worker; reason *)
+  | Work of { id : int; unit_ : string }
+      (** an encoded {!Darco_sampling.Work.t}, tagged with the
+          dispatcher's unit id *)
+  | Result of { id : int; text : string }  (** the unit's JSON result text *)
+  | Fail of { id : int; reason : string }
+      (** unit [id] failed on the worker; [id = -1] means the connection
+          itself is being failed (protocol error, version mismatch) *)
+  | Need of { digest : string }
+      (** worker-to-dispatcher: ship me this checkpoint (sent at most once
+          per digest per connection) *)
+  | Ckpt of { digest : string; bytes : string }
+      (** dispatcher-to-worker: the checkpoint content for [digest] *)
 
-val send : Unix.file_descr -> msg -> unit
-(** Write one frame, handling short writes and [EINTR].
-    Raises {!Closed} if the peer is gone. *)
+val send : ?deadline:float -> Unix.file_descr -> msg -> unit
+(** Write one frame, handling short writes, [EINTR] and — on non-blocking
+    sockets — [EAGAIN] (parks in [select] until writable).  Raises
+    {!Closed} if the peer is gone, {!Timeout} if [deadline] passes while
+    blocked. *)
 
 val recv : ?deadline:float -> Unix.file_descr -> msg
-(** Read one frame.  [deadline] is an absolute [Unix.gettimeofday] time
-    applied to every blocking step; raises {!Timeout} when it passes,
-    {!Closed} on EOF, {!Darco_sampling.Buf.Corrupt} on a malformed
-    frame. *)
+(** Read one frame, handling partial reads and [EAGAIN] the same way.
+    [deadline] is an absolute [Unix.gettimeofday] time applied to every
+    blocking step; raises {!Timeout} when it passes, {!Closed} on EOF,
+    {!Darco_sampling.Buf.Corrupt} on a malformed frame (including a [Ckpt]
+    whose bytes do not hash to its claimed digest). *)

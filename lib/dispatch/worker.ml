@@ -1,5 +1,6 @@
 module B = Darco_sampling.Buf
 module Work = Darco_sampling.Work
+module Store = Darco_sampling.Store
 module Jsonx = Darco_obs.Jsonx
 
 let log quiet fmt =
@@ -18,58 +19,192 @@ let resolve host =
     | exception Not_found ->
       invalid_arg (Printf.sprintf "cannot resolve host %S" host))
 
-(* One connection: answer frames until the peer goes away.  A malformed
-   frame means the byte stream can no longer be trusted, so after a [Fail]
-   courtesy reply the connection is dropped — the daemon itself lives on. *)
-let serve_connection ~quiet ~exec fd =
-  let rec loop () =
-    match Wire.recv fd with
-    | Wire.Hello v when v = Wire.protocol_version ->
-      Wire.send fd (Wire.Hello Wire.protocol_version);
-      loop ()
-    | Wire.Hello v ->
+let write_whole path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+type child = { c_id : int; c_path : string }
+
+(* One connection: a select/waitpid loop multiplexing incoming frames with
+   up to [jobs] forked unit executions.  Units whose checkpoint is missing
+   from the store park until the dispatcher ships it ([Need] is sent once
+   per digest, no matter how many units wait on it).  A malformed frame
+   means the byte stream can no longer be trusted, so after a [Fail]
+   courtesy reply the connection is dropped — the daemon itself lives on.
+   A crashing unit (uncaught exception, fatal signal) fails only itself:
+   it runs in its own child process, exactly like the local backend. *)
+let serve_connection ~quiet ~exec ~jobs ~store fd =
+  let runq = Queue.create () in
+  let parked : (string, (int * Work.t) Queue.t) Hashtbl.t = Hashtbl.create 4 in
+  let running : (int, child) Hashtbl.t = Hashtbl.create jobs in
+  let closed = ref false in
+  let send msg = try Wire.send fd msg with Wire.Closed -> closed := true in
+  let spawn (id, work) =
+    let path = Filename.temp_file "darco_worker" ".json" in
+    (* flush before forking so buffered output is not emitted twice *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      let code =
+        try
+          write_whole path (Jsonx.to_string (exec work));
+          0
+        with e ->
+          (try write_whole path (Printexc.to_string e) with _ -> ());
+          3
+      in
+      Unix._exit code
+    | pid -> Hashtbl.replace running pid { c_id = id; c_path = path }
+  in
+  let reap_ready () =
+    let continue = ref true in
+    while !continue && Hashtbl.length running > 0 do
+      match Unix.waitpid [ Unix.WNOHANG ] (-1) with
+      | 0, _ -> continue := false
+      | pid, status -> (
+        match Hashtbl.find_opt running pid with
+        | None -> () (* not ours; nothing to report *)
+        | Some c ->
+          Hashtbl.remove running pid;
+          let msg =
+            match status with
+            | Unix.WEXITED 0 -> (
+              match read_whole c.c_path with
+              | text -> Wire.Result { id = c.c_id; text }
+              | exception Sys_error m ->
+                Wire.Fail { id = c.c_id; reason = "result unreadable: " ^ m })
+            | Unix.WEXITED 3 ->
+              let reason =
+                try read_whole c.c_path with Sys_error _ -> "unit failed"
+              in
+              Wire.Fail { id = c.c_id; reason }
+            | Unix.WEXITED n ->
+              Wire.Fail
+                { id = c.c_id; reason = Printf.sprintf "unit exited with code %d" n }
+            | Unix.WSIGNALED s ->
+              Wire.Fail
+                { id = c.c_id; reason = Printf.sprintf "unit killed by signal %d" s }
+            | Unix.WSTOPPED s ->
+              Wire.Fail
+                { id = c.c_id; reason = Printf.sprintf "unit stopped by signal %d" s }
+          in
+          (try Sys.remove c.c_path with Sys_error _ -> ());
+          send msg)
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  let enqueue id work =
+    match Work.digest work with
+    | Some d when not (Store.mem store d) ->
+      let q =
+        match Hashtbl.find_opt parked d with
+        | Some q -> q
+        | None ->
+          let q = Queue.create () in
+          Hashtbl.replace parked d q;
+          log quiet "missing checkpoint %s; requesting it" d;
+          send (Wire.Need { digest = d });
+          q
+      in
+      Queue.push (id, work) q
+    | _ -> Queue.push (id, work) runq
+  in
+  let handle = function
+    | Wire.Hello { version = v; slots = _ } when v = Wire.protocol_version ->
+      send (Wire.Hello { version = Wire.protocol_version; slots = jobs })
+    | Wire.Hello { version = v; _ } ->
       log quiet "rejecting protocol version %d (speaking %d)" v
         Wire.protocol_version;
-      Wire.send fd
+      send
         (Wire.Fail
-           (Printf.sprintf "protocol version mismatch: worker speaks %d, got %d"
-              Wire.protocol_version v))
-    | Wire.Ping ->
-      Wire.send fd Wire.Pong;
-      loop ()
-    | Wire.Work encoded ->
-      (match Work.of_string encoded with
+           {
+             id = -1;
+             reason =
+               Printf.sprintf
+                 "protocol version mismatch: worker speaks %d, got %d"
+                 Wire.protocol_version v;
+           });
+      closed := true
+    | Wire.Ping -> send Wire.Pong
+    | Wire.Work { id; unit_ } -> (
+      match Work.of_string unit_ with
       | work ->
-        log quiet "executing %s (offset %d, window %d, warmup %d)" work.label
+        log quiet "unit %d: %s (offset %d, window %d, warmup %d)" id work.label
           work.offset work.window work.warmup;
-        (match exec work with
-        | json -> Wire.send fd (Wire.Result (Jsonx.to_string json))
-        | exception e ->
-          log quiet "unit %s failed: %s" work.label (Printexc.to_string e);
-          Wire.send fd (Wire.Fail (Printexc.to_string e)))
-      | exception B.Corrupt msg ->
-        log quiet "rejecting malformed work unit: %s" msg;
-        Wire.send fd (Wire.Fail ("malformed work unit: " ^ msg)));
-      loop ()
-    | Wire.Pong | Wire.Result _ | Wire.Fail _ ->
-      Wire.send fd (Wire.Fail "unexpected message; closing connection")
-    | exception Wire.Closed -> ()
-    | exception B.Corrupt msg ->
-      log quiet "malformed frame (%s); dropping connection" msg;
-      (try Wire.send fd (Wire.Fail ("malformed frame: " ^ msg))
-       with Wire.Closed -> ())
+        enqueue id work
+      | exception B.Corrupt m ->
+        log quiet "rejecting malformed work unit: %s" m;
+        send (Wire.Fail { id; reason = "malformed work unit: " ^ m }))
+    | Wire.Ckpt { digest; bytes } -> (
+      ignore (Store.add store bytes);
+      log quiet "checkpoint %s cached (%d bytes)" digest (String.length bytes);
+      match Hashtbl.find_opt parked digest with
+      | None -> ()
+      | Some q ->
+        Hashtbl.remove parked digest;
+        Queue.transfer q runq)
+    | Wire.Pong | Wire.Result _ | Wire.Fail _ | Wire.Need _ ->
+      send (Wire.Fail { id = -1; reason = "unexpected message; closing connection" });
+      closed := true
   in
-  (try loop () with Wire.Closed -> ());
+  while not !closed do
+    while (not (Queue.is_empty runq)) && Hashtbl.length running < jobs do
+      spawn (Queue.pop runq)
+    done;
+    (* poll for child completions while any run; otherwise block on frames *)
+    let timeout = if Hashtbl.length running > 0 then 0.05 else -1.0 in
+    let readable =
+      match Unix.select [ fd ] [] [] timeout with
+      | r, _, _ -> r <> []
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if readable then begin
+      match Wire.recv fd with
+      | msg -> handle msg
+      | exception Wire.Closed -> closed := true
+      | exception B.Corrupt m ->
+        log quiet "malformed frame (%s); dropping connection" m;
+        (try Wire.send fd (Wire.Fail { id = -1; reason = "malformed frame: " ^ m })
+         with Wire.Closed -> ());
+        closed := true
+    end;
+    reap_ready ()
+  done;
+  (* the dispatcher is gone: in-flight units are orphans, reclaim them *)
+  Hashtbl.iter
+    (fun pid _ -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+    running;
+  Hashtbl.iter
+    (fun pid c ->
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      try Sys.remove c.c_path with Sys_error _ -> ())
+    running;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let serve ?(quiet = false) ?(exec = Work.exec) ?ready ~host ~port () =
+let serve ?(quiet = false) ?exec ?ready ?(jobs = 1) ?store_dir ~host ~port () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let jobs = max 1 jobs in
+  let store = Store.create ?dir:store_dir () in
+  let exec =
+    match exec with Some f -> f | None -> fun w -> Work.exec ~store w
+  in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (resolve host, port));
   Unix.listen sock 16;
   Option.iter (fun f -> f (Unix.getsockname sock)) ready;
-  log quiet "listening on %s:%d (protocol v%d)" host port Wire.protocol_version;
+  log quiet "listening on %s:%d (protocol v%d, %d slot%s)" host port
+    Wire.protocol_version jobs
+    (if jobs = 1 then "" else "s");
   let rec accept_loop () =
     match Unix.accept sock with
     | fd, peer ->
@@ -78,7 +213,7 @@ let serve ?(quiet = false) ?(exec = Work.exec) ?ready ~host ~port () =
         | Unix.ADDR_INET (a, p) ->
           Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX p -> p);
-      serve_connection ~quiet ~exec fd;
+      serve_connection ~quiet ~exec ~jobs ~store fd;
       accept_loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
   in

@@ -1,11 +1,26 @@
 (** The sample-sweep worker daemon ([darco worker --listen HOST:PORT]).
 
-    Accepts dispatcher connections and serves them sequentially: for each
-    {!Wire.Work} frame it decodes the {!Darco_sampling.Work.t}, executes
-    it, and answers with one {!Wire.Result} (JSON) or {!Wire.Fail}.  A
-    unit that raises fails only itself; a malformed frame gets a [Fail]
-    reply and drops that connection (the stream can no longer be trusted)
-    while the daemon keeps accepting.  Never returns normally. *)
+    Accepts dispatcher connections and serves each with a select/waitpid
+    loop that keeps up to [jobs] work units executing concurrently, every
+    unit in its own forked child — so a crashing unit (uncaught exception,
+    fatal signal, OOM kill) fails only itself, exactly like the local
+    backend.  Each {!Wire.Work} frame decodes to a
+    {!Darco_sampling.Work.t} and is eventually answered by one
+    {!Wire.Result} (JSON) or {!Wire.Fail} carrying the same unit id;
+    replies may arrive out of order.
+
+    Version-2 units reference their checkpoint by digest.  The daemon
+    keeps a {!Darco_sampling.Store} (optionally spilled to [store_dir]):
+    a unit whose digest is missing parks while a single {!Wire.Need} asks
+    the dispatcher for the bytes, and the {!Wire.Ckpt} answer releases
+    every unit waiting on that digest — one transfer per checkpoint per
+    daemon, no matter how many windows share it, including across sweeps
+    when [store_dir] persists.
+
+    A malformed frame gets a connection-level [Fail] reply and drops that
+    connection (the stream can no longer be trusted) while the daemon
+    keeps accepting; children of a dropped connection are killed and
+    reaped.  Never returns normally. *)
 
 val resolve : string -> Unix.inet_addr
 (** Dotted-quad or hostname to address.
@@ -15,6 +30,8 @@ val serve :
   ?quiet:bool ->
   ?exec:(Darco_sampling.Work.t -> Darco_obs.Jsonx.t) ->
   ?ready:(Unix.sockaddr -> unit) ->
+  ?jobs:int ->
+  ?store_dir:string ->
   host:string ->
   port:int ->
   unit ->
@@ -22,5 +39,8 @@ val serve :
 (** [serve ~host ~port ()] binds (SO_REUSEADDR), listens and serves
     forever.  [ready] is called with the bound address once listening
     (tests use [port:0] and read the kernel-assigned port here); [exec]
-    overrides unit execution (default {!Darco_sampling.Work.exec});
-    [quiet] silences the per-connection log lines. *)
+    overrides unit execution (default [Work.exec] against the daemon's
+    checkpoint store; runs in the forked child); [jobs] (default 1) is
+    the concurrency advertised to the dispatcher in the [Hello] reply;
+    [store_dir] spills received checkpoints to disk so they survive
+    daemon restarts; [quiet] silences the log lines. *)

@@ -5,7 +5,8 @@ let apply (s : Stats.t) ~at:_ (ev : Event.t) =
   | Slice_start | Divergence _ | Halt -> ()
   (* dispatch infrastructure events carry no simulated-machine counters *)
   | Worker_up _ | Worker_lost _ | Dispatch_sent _ | Dispatch_done _
-  | Dispatch_retry _ | Dispatch_fallback _ -> ()
+  | Dispatch_retry _ | Dispatch_fallback _ | Ckpt_push _ | Ckpt_hit _
+  | Steal _ | Dispatch_inflight _ -> ()
   | Slice_end { overheads; _ } ->
     List.iter (fun (cat, n) -> Stats.charge s cat n) overheads
   | Interp_block { insns; cost; _ } ->

@@ -43,6 +43,10 @@ type t =
   | Dispatch_done of { unit_label : string; worker : string; ok : bool }
   | Dispatch_retry of { unit_label : string; attempt : int; delay : float }
   | Dispatch_fallback of { reason : string }
+  | Ckpt_push of { worker : string; digest : string; bytes : int }
+  | Ckpt_hit of { worker : string; digest : string }
+  | Steal of { unit_label : string; from_worker : string; to_worker : string }
+  | Dispatch_inflight of { worker : string; in_flight : int }
 
 let rollback_name = function Rb_assert -> "assert" | Rb_alias -> "alias"
 let deopt_name = function De_noassert -> "noassert" | De_nomem -> "nomem"
@@ -86,6 +90,10 @@ let name = function
   | Dispatch_done _ -> "dispatch_done"
   | Dispatch_retry _ -> "dispatch_retry"
   | Dispatch_fallback _ -> "dispatch_fallback"
+  | Ckpt_push _ -> "ckpt_push"
+  | Ckpt_hit _ -> "ckpt_hit"
+  | Steal _ -> "steal"
+  | Dispatch_inflight _ -> "dispatch_inflight"
 
 let fields ev : (string * Jsonx.t) list =
   match ev with
@@ -164,6 +172,22 @@ let fields ev : (string * Jsonx.t) list =
       ("delay", Jsonx.Float delay);
     ]
   | Dispatch_fallback { reason } -> [ ("reason", Jsonx.String reason) ]
+  | Ckpt_push { worker; digest; bytes } ->
+    [
+      ("worker", Jsonx.String worker);
+      ("digest", Jsonx.String digest);
+      ("bytes", Jsonx.Int bytes);
+    ]
+  | Ckpt_hit { worker; digest } ->
+    [ ("worker", Jsonx.String worker); ("digest", Jsonx.String digest) ]
+  | Steal { unit_label; from_worker; to_worker } ->
+    [
+      ("unit", Jsonx.String unit_label);
+      ("from", Jsonx.String from_worker);
+      ("to", Jsonx.String to_worker);
+    ]
+  | Dispatch_inflight { worker; in_flight } ->
+    [ ("worker", Jsonx.String worker); ("in_flight", Jsonx.Int in_flight) ]
 
 let to_json ~at ev =
   Jsonx.Obj (("at", Jsonx.Int at) :: ("ev", Jsonx.String (name ev)) :: fields ev)

@@ -68,6 +68,17 @@ type t =
       (** the unit's worker died mid-flight; requeued after [delay] seconds *)
   | Dispatch_fallback of { reason : string }
       (** no live workers; remaining units run on the local fork backend *)
+  | Ckpt_push of { worker : string; digest : string; bytes : int }
+      (** the worker asked for checkpoint [digest] ([NEED]) and the
+          dispatcher shipped it ([CKPT], [bytes] snapshot bytes) *)
+  | Ckpt_hit of { worker : string; digest : string }
+      (** a unit needing [digest] was handed to a worker already holding
+          it — the snapshot bytes were {e not} re-transferred *)
+  | Steal of { unit_label : string; from_worker : string; to_worker : string }
+      (** an idle worker speculatively duplicated a unit still in flight
+          on a slower worker; the first result wins *)
+  | Dispatch_inflight of { worker : string; in_flight : int }
+      (** gauge: units currently in flight on [worker] (after a change) *)
 
 val name : t -> string
 (** Stable machine-readable event name (the ["ev"] field of the trace). *)

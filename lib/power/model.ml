@@ -73,6 +73,35 @@ let perf_per_watt (e : Darco_timing.Pipeline.events) r =
   if r.total_joules = 0.0 then 0.0
   else float_of_int e.e_insns /. 1e6 /. r.seconds /. r.avg_watts
 
+type stat = { s_mean : float; s_stddev : float; s_ci95 : float }
+
+type summary = {
+  n : int;
+  energy_j : stat;
+  watts : stat;
+  epi : stat;
+}
+
+let stat_of xs =
+  let module S = Darco_util.Stats_math in
+  { s_mean = S.mean xs; s_stddev = S.sample_stddev xs; s_ci95 = S.ci95_halfwidth xs }
+
+let summarize reports =
+  {
+    n = List.length reports;
+    energy_j = stat_of (List.map (fun r -> r.total_joules) reports);
+    watts = stat_of (List.map (fun r -> r.avg_watts) reports);
+    epi = stat_of (List.map (fun r -> r.epi_nj) reports);
+  }
+
+let pp_stat ppf s =
+  Format.fprintf ppf "%.4g ± %.2g (σ %.2g)" s.s_mean s.s_ci95 s.s_stddev
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>power over %d windows:@ energy %a J@ avg power %a W@ EPI %a nJ@]"
+    s.n pp_stat s.energy_j pp_stat s.watts pp_stat s.epi
+
 let pp_report ppf r =
   Format.fprintf ppf
     "@[<v>energy: %.3e J dynamic + %.3e J leakage = %.3e J@ \

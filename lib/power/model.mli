@@ -40,3 +40,22 @@ val perf_per_watt : Darco_timing.Pipeline.events -> report -> float
 (** MIPS per watt for the measured run. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+(** A point estimate with its dispersion — mean, Bessel-corrected standard
+    deviation and normal-approximation 95% CI half-width, the same error-bar
+    treatment the sampling layer applies to IPC. *)
+type stat = { s_mean : float; s_stddev : float; s_ci95 : float }
+
+type summary = {
+  n : int;            (** number of reports aggregated *)
+  energy_j : stat;    (** total energy per window, joules *)
+  watts : stat;       (** average power per window *)
+  epi : stat;         (** energy per instruction, nanojoules *)
+}
+
+val summarize : report list -> summary
+(** Aggregate per-window power reports into mean/stddev/95%-CI statistics.
+    All [stat] fields are 0 on lists shorter than 2, matching
+    [Darco_util.Stats_math]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -57,6 +57,7 @@ type window_result = {
   w_instructions : int;
   w_cycles : int;
   w_ipc : float;
+  w_power : Darco_power.Model.report;
 }
 
 let detailed_window ?(cfg = Darco.Config.default)
@@ -73,10 +74,10 @@ let detailed_window ?(cfg = Darco.Config.default)
   Pipeline.attach pipe bus;
   let ctl = controller_at ~cfg ~bus checkpoints ~start in
   ignore (Darco.Controller.run ~max_insns:offset ctl);
-  let before_i = Pipeline.instructions pipe and before_c = Pipeline.cycles pipe in
+  let before = Pipeline.events_copy (Pipeline.events pipe) in
   ignore (Darco.Controller.run ~max_insns:(offset + window) ctl);
-  let di = Pipeline.instructions pipe - before_i in
-  let dc = Pipeline.cycles pipe - before_c in
+  let delta = Pipeline.events_diff (Pipeline.events pipe) before in
+  let di = delta.Pipeline.e_insns and dc = delta.Pipeline.e_cycles in
   {
     w_offset = offset;
     w_window = window;
@@ -85,6 +86,7 @@ let detailed_window ?(cfg = Darco.Config.default)
     w_instructions = di;
     w_cycles = dc;
     w_ipc = (if dc = 0 then 0.0 else float_of_int di /. float_of_int dc);
+    w_power = Darco_power.Model.evaluate delta;
   }
 
 let window_json r =
@@ -97,4 +99,7 @@ let window_json r =
       ("instructions", Jsonx.Int r.w_instructions);
       ("cycles", Jsonx.Int r.w_cycles);
       ("ipc", Jsonx.Float r.w_ipc);
+      ("energy_j", Jsonx.Float r.w_power.Darco_power.Model.total_joules);
+      ("avg_watts", Jsonx.Float r.w_power.Darco_power.Model.avg_watts);
+      ("epi_nj", Jsonx.Float r.w_power.Darco_power.Model.epi_nj);
     ]

@@ -48,6 +48,10 @@ type window_result = {
   w_instructions : int;    (** host instructions retired in the window *)
   w_cycles : int;          (** cycles spent in the window *)
   w_ipc : float;
+  w_power : Darco_power.Model.report;
+      (** the power model evaluated over the window's pipeline activity
+          alone (warm-up excluded), so sweeps can aggregate energy/power
+          with the same stddev/CI treatment as IPC *)
 }
 
 val detailed_window :
@@ -64,3 +68,5 @@ val detailed_window :
     measure IPC over [window] guest instructions. *)
 
 val window_json : window_result -> Darco_obs.Jsonx.t
+(** Flat JSON of the result, including the power fields ([energy_j],
+    [avg_watts], [epi_nj]). *)

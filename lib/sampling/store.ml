@@ -1,0 +1,76 @@
+(* A checkpoint is identified by the digest of its encoded (DSNP) bytes,
+   so equal snapshots share one entry no matter how many windows start from
+   them.  The store is an in-memory table with an optional on-disk spill
+   directory (one file per digest); disk reads are re-verified against the
+   digest, so a tampered or bit-rotted cache entry is refused, never
+   restored. *)
+
+let digest bytes = Digest.to_hex (Digest.string bytes)
+
+let is_digest s =
+  String.length s = 32
+  && String.for_all
+       (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
+       s
+
+type t = {
+  table : (string, string) Hashtbl.t;
+  dir : string option;
+}
+
+let create ?dir () =
+  Option.iter
+    (fun d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755)
+    dir;
+  { table = Hashtbl.create 16; dir }
+
+let path_of dir d = Filename.concat dir (d ^ ".dsnp")
+
+let write_whole path s =
+  (* write-then-rename so a crashed writer never leaves a short file that
+     would fail digest verification on every later read *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s);
+  Sys.rename tmp path
+
+let read_whole path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let add t bytes =
+  let d = digest bytes in
+  if not (Hashtbl.mem t.table d) then begin
+    Hashtbl.replace t.table d bytes;
+    Option.iter
+      (fun dir ->
+        let path = path_of dir d in
+        if not (Sys.file_exists path) then write_whole path bytes)
+      t.dir
+  end;
+  d
+
+let find t d =
+  match Hashtbl.find_opt t.table d with
+  | Some _ as hit -> hit
+  | None -> (
+    match t.dir with
+    | None -> None
+    | Some dir -> (
+      let path = path_of dir d in
+      match read_whole path with
+      | exception Sys_error _ -> None
+      | bytes ->
+        if digest bytes <> d then
+          Buf.corrupt
+            (Printf.sprintf "checkpoint cache entry %s does not match its digest"
+               d);
+        Hashtbl.replace t.table d bytes;
+        Some bytes))
+
+let mem t d = find t d <> None
+let count t = Hashtbl.length t.table

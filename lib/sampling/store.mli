@@ -1,0 +1,38 @@
+(** A content-addressed checkpoint store.
+
+    Work units (version 2) no longer embed their starting snapshot; they
+    carry the {e digest} of its encoded bytes and every executing party —
+    the local fork pool, the dispatcher, a worker daemon — resolves the
+    digest through a store.  A sweep of W windows sharing one checkpoint
+    therefore holds (and ships) the snapshot bytes once, not W times.
+
+    The store itself is format-agnostic: it maps [digest bytes] to
+    [bytes].  An optional directory persists entries across daemon
+    restarts ([darco worker --store DIR]); entries read back from disk are
+    re-verified against their digest and refused ({!Buf.Corrupt}) on
+    mismatch, inheriting the snapshot container's corruption discipline. *)
+
+type t
+
+val digest : string -> string
+(** Content address of a byte string: 32 lowercase hex characters
+    (MD5 via [Digest]).  Stable across processes and machines. *)
+
+val is_digest : string -> bool
+(** Shape check used by frame decoders: 32 chars, [0-9a-f]. *)
+
+val create : ?dir:string -> unit -> t
+(** An empty store.  With [dir], entries are also written to (and looked
+    up in) [dir/<digest>.dsnp]; the directory is created if missing. *)
+
+val add : t -> string -> string
+(** [add t bytes] stores [bytes] under its digest and returns the digest.
+    Idempotent; re-adding existing content costs one hash. *)
+
+val find : t -> string -> string option
+(** Look the digest up in memory, then on disk.  Raises {!Buf.Corrupt} if
+    a disk entry's content does not hash back to its name. *)
+
+val mem : t -> string -> bool
+val count : t -> int
+(** Distinct checkpoints currently resident in memory. *)

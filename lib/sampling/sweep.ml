@@ -81,13 +81,18 @@ module Backend = struct
     dispatch : Work.t list -> result list;
   }
 
-  let local ?(jobs = 4) () =
+  let of_exec ?(jobs = 4) ~name exec =
     {
-      name = Printf.sprintf "local:%d" (max 1 jobs);
+      name;
       dispatch =
         (fun works ->
-          pool_map ~jobs ~label:(fun (w : Work.t) -> w.Work.label) Work.exec works);
+          pool_map ~jobs ~label:(fun (w : Work.t) -> w.Work.label) exec works);
     }
+
+  let local ?store ?(jobs = 4) () =
+    of_exec ~jobs
+      ~name:(Printf.sprintf "local:%d" (max 1 jobs))
+      (Work.exec ?store)
 end
 
 let run (b : Backend.t) works = b.dispatch works

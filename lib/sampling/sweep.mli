@@ -23,10 +23,17 @@ module Backend : sig
     dispatch : Work.t list -> result list;
   }
 
-  val local : ?jobs:int -> unit -> t
+  val of_exec :
+    ?jobs:int -> name:string -> (Work.t -> Darco_obs.Jsonx.t) -> t
+  (** A fork-pool backend running an arbitrary unit-execution function —
+      the building block behind {!local}, exposed so tests can substitute
+      instrumented executors without re-implementing the pool. *)
+
+  val local : ?store:Store.t -> ?jobs:int -> unit -> t
   (** Fork-per-unit execution on this machine, at most [jobs] (default 4)
-      concurrent workers.  Each unit runs [Work.exec] in a child process;
-      no state the child mutates is visible to the parent. *)
+      concurrent workers.  Each unit runs [Work.exec ?store] in a child
+      process; no state the child mutates is visible to the parent.
+      [store] resolves version-2 (digest-addressed) units. *)
 end
 
 val run : Backend.t -> Work.t list -> result list

@@ -1,35 +1,72 @@
 module B = Buf
 module Jsonx = Darco_obs.Jsonx
 
+type ckpt =
+  | Inline of string
+  | Stored of string
+
 type t = {
   label : string;
-  snapshot : string;
+  ckpt : ckpt;
   offset : int;
   window : int;
   warmup : int;
 }
 
 let magic = "DWRK"
-let version = 1
+let version = 2
+
+let check_params ~window ~warmup who =
+  if window <= 0 then invalid_arg (who ^ ": window <= 0");
+  if warmup < 0 then invalid_arg (who ^ ": warmup < 0")
+
+let pick_checkpoint ~checkpoints ~offset ~warmup =
+  let start = max 0 (offset - warmup) in
+  Driver.nearest checkpoints start
 
 let of_window ~checkpoints ~label ~offset ~window ~warmup =
-  if window <= 0 then invalid_arg "Work.of_window: window <= 0";
-  if warmup < 0 then invalid_arg "Work.of_window: warmup < 0";
-  let start = max 0 (offset - warmup) in
-  let ck = Driver.nearest checkpoints start in
-  { label; snapshot = Snapshot.to_string ck.Driver.snapshot; offset; window; warmup }
+  check_params ~window ~warmup "Work.of_window";
+  let ck = pick_checkpoint ~checkpoints ~offset ~warmup in
+  {
+    label;
+    ckpt = Inline (Snapshot.to_string ck.Driver.snapshot);
+    offset;
+    window;
+    warmup;
+  }
 
+let of_window_stored ~store ~checkpoints ~label ~offset ~window ~warmup =
+  check_params ~window ~warmup "Work.of_window_stored";
+  let ck = pick_checkpoint ~checkpoints ~offset ~warmup in
+  let d = Store.add store (Snapshot.to_string ck.Driver.snapshot) in
+  { label; ckpt = Stored d; offset; window; warmup }
+
+let digest t = match t.ckpt with Inline _ -> None | Stored d -> Some d
+
+(* The payload layout is shared between the two versions: label and window
+   parameters, then either the embedded snapshot bytes (version 1 — the
+   exact layout the original writer produced) or the checkpoint digest
+   (version 2).  Per the compatibility policy, the version-1 arm is frozen:
+   it is only ever joined by new arms, never edited. *)
 let to_string t =
   let p = B.writer () in
   B.str p t.label;
   B.int p t.offset;
   B.int p t.window;
   B.int p t.warmup;
-  B.str p t.snapshot;
+  let v =
+    match t.ckpt with
+    | Inline snapshot ->
+      B.str p snapshot;
+      1
+    | Stored d ->
+      B.str p d;
+      version
+  in
   let payload = B.contents p in
   let w = B.writer () in
   B.tag4 w magic;
-  B.u8 w version;
+  B.u8 w v;
   B.int w (String.length payload);
   B.int w (B.crc32 payload);
   B.raw w payload;
@@ -38,9 +75,9 @@ let to_string t =
 let of_string s =
   let r = B.reader s in
   if B.read_tag4 r <> magic then B.corrupt "bad work-unit magic";
-  (match B.read_u8 r with
-  | v when v = version -> ()
-  | v -> B.corrupt (Printf.sprintf "unsupported work-unit version %d" v));
+  let v = B.read_u8 r in
+  if v <> 1 && v <> version then
+    B.corrupt (Printf.sprintf "unsupported work-unit version %d" v);
   let len = B.read_int r in
   let crc = B.read_int r in
   let payload = B.read_raw r len in
@@ -51,14 +88,37 @@ let of_string s =
   let offset = B.read_int r in
   let window = B.read_int r in
   let warmup = B.read_int r in
-  let snapshot = B.read_str r in
+  let ckpt =
+    if v = 1 then Inline (B.read_str r)
+    else begin
+      let d = B.read_str r in
+      if not (Store.is_digest d) then
+        B.corrupt (Printf.sprintf "work unit carries malformed digest %S" d);
+      Stored d
+    end
+  in
   B.expect_end r;
   if window <= 0 then B.corrupt "work unit has non-positive window";
   if warmup < 0 then B.corrupt "work unit has negative warmup";
-  { label; snapshot; offset; window; warmup }
+  { label; ckpt; offset; window; warmup }
 
-let exec t =
-  let snap = Snapshot.of_string t.snapshot in
+let snapshot_bytes ?store t =
+  match t.ckpt with
+  | Inline bytes -> bytes
+  | Stored d -> (
+    let found = Option.map (fun s -> Store.find s d) store in
+    match found with
+    | Some (Some bytes) -> bytes
+    | Some None ->
+      failwith (Printf.sprintf "checkpoint %s not in the store" d)
+    | None ->
+      failwith
+        (Printf.sprintf
+           "work unit %s references checkpoint %s but no store is available"
+           t.label d))
+
+let exec ?store t =
+  let snap = Snapshot.of_string (snapshot_bytes ?store t) in
   let checkpoints = [ { Driver.at = Snapshot.retired snap; snapshot = snap } ] in
   Driver.window_json
     (Driver.detailed_window ~warmup:t.warmup ~checkpoints ~offset:t.offset

@@ -303,6 +303,42 @@ let events t =
     e_regfile_writes = t.rf_writes;
   }
 
+let copy_cache_stats (s : Cache.stats) = { s with Cache.accesses = s.accesses }
+
+let events_copy e =
+  {
+    e with
+    e_il1 = copy_cache_stats e.e_il1;
+    e_dl1 = copy_cache_stats e.e_dl1;
+    e_l2 = copy_cache_stats e.e_l2;
+  }
+
+let diff_cache_stats (a : Cache.stats) (b : Cache.stats) =
+  {
+    Cache.accesses = a.accesses - b.accesses;
+    misses = a.misses - b.misses;
+    writebacks = a.writebacks - b.writebacks;
+    prefetch_fills = a.prefetch_fills - b.prefetch_fills;
+  }
+
+let events_diff after before =
+  {
+    e_cycles = after.e_cycles - before.e_cycles;
+    e_insns = after.e_insns - before.e_insns;
+    e_int_ops = after.e_int_ops - before.e_int_ops;
+    e_mul_ops = after.e_mul_ops - before.e_mul_ops;
+    e_fp_ops = after.e_fp_ops - before.e_fp_ops;
+    e_mem_reads = after.e_mem_reads - before.e_mem_reads;
+    e_mem_writes = after.e_mem_writes - before.e_mem_writes;
+    e_branches = after.e_branches - before.e_branches;
+    e_il1 = diff_cache_stats after.e_il1 before.e_il1;
+    e_dl1 = diff_cache_stats after.e_dl1 before.e_dl1;
+    e_l2 = diff_cache_stats after.e_l2 before.e_l2;
+    e_btb = after.e_btb - before.e_btb;
+    e_regfile_reads = after.e_regfile_reads - before.e_regfile_reads;
+    e_regfile_writes = after.e_regfile_writes - before.e_regfile_writes;
+  }
+
 let pp_summary ppf s =
   Format.fprintf ppf
     "@[<v>insns %d, cycles %d, IPC %.3f@ branch accuracy %.2f%% (%d mispredicts)@ \

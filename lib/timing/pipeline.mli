@@ -55,6 +55,15 @@ val summary : t -> summary
 val events : t -> events
 val pp_summary : Format.formatter -> summary -> unit
 
+val events_copy : events -> events
+(** Deep copy (the cache-stats records inside {!events} alias the live,
+    mutating counters) — take one before a measurement interval. *)
+
+val events_diff : events -> events -> events
+(** [events_diff after before]: the activity of the interval between two
+    snapshots, field by field.  Feed the result to the power model to cost
+    a measurement window rather than a whole run. *)
+
 (** Complete microarchitectural state of a pipeline, as plain data.  Used by
     the snapshot codec to carry warmed caches, TLBs, predictor and prefetcher
     state across a checkpoint/restore boundary. *)

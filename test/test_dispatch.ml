@@ -1,11 +1,14 @@
 (* The distributed sweep, tested against real processes: worker daemons
    forked onto ephemeral loopback ports, a real dispatcher, and failures
    injected where a cluster actually produces them — a worker dying with a
-   unit in flight, a worker that never existed, a corrupted byte stream. *)
+   unit in flight, a worker that never existed, a corrupted byte stream, a
+   checkpoint push whose bytes do not match their digest. *)
 
 module Sweep = Darco_sampling.Sweep
 module Work = Darco_sampling.Work
+module Store = Darco_sampling.Store
 module Driver = Darco_sampling.Driver
+module B = Darco_sampling.Buf
 module Wire = Darco_dispatch.Wire
 module Worker = Darco_dispatch.Worker
 module Event = Darco_obs.Event
@@ -16,13 +19,13 @@ let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 (* Fork a worker daemon on an ephemeral port; the child reports the
    kernel-assigned port through a pipe once it is actually listening, so
    there is no race between spawn and first connect. *)
-let spawn_worker ?exec () =
+let spawn_worker ?exec ?jobs () =
   let r, w = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
     Unix.close r;
     (try
-       Worker.serve ~quiet:true ?exec
+       Worker.serve ~quiet:true ?exec ?jobs
          ~ready:(fun sa ->
            let port = match sa with Unix.ADDR_INET (_, p) -> p | _ -> 0 in
            let line = Bytes.of_string (string_of_int port ^ "\n") in
@@ -46,16 +49,17 @@ let reap pid =
 (* A small real sweep: functional checkpoints over a physics workload,
    four short detailed windows.  Shared across tests (the checkpointing
    pass is the expensive part). *)
-let works =
+let checkpoints =
   lazy
     (let program = (Darco_workloads.Registry.find "continuous").build ~scale:1 () in
-     let checkpoints =
-       Driver.functional_checkpoints ~seed:7 ~interval:10_000 ~horizon:40_000
-         program
-     in
-     List.map
+     Driver.functional_checkpoints ~seed:7 ~interval:10_000 ~horizon:40_000
+       program)
+
+let works =
+  lazy
+    (List.map
        (fun off ->
-         Work.of_window ~checkpoints
+         Work.of_window ~checkpoints:(Lazy.force checkpoints)
            ~label:(Printf.sprintf "continuous@%d" off)
            ~offset:off ~window:2_000 ~warmup:1_000)
        [ 8_000; 16_000; 24_000; 32_000 ])
@@ -78,6 +82,7 @@ let collecting_bus () =
   (bus, events)
 
 let saw events p = List.exists p !events
+let count events p = List.length (List.filter p !events)
 
 (* --- 1. loopback end-to-end: remote results bit-identical to Local --- *)
 let test_loopback_e2e () =
@@ -96,16 +101,95 @@ let test_loopback_e2e () =
       Alcotest.(check bool) "both workers connected" true
         (saw events (function Event.Worker_up _ -> true | _ -> false));
       Alcotest.(check bool) "every unit acknowledged" true
-        (List.length
-           (List.filter (function Event.Dispatch_done _ -> true | _ -> false)
-              !events)
+        (count events (function Event.Dispatch_done _ -> true | _ -> false)
         = List.length (Lazy.force works)))
 
-(* --- 2. a worker dies with a unit in flight: the unit is reassigned and
+(* --- 2. digest-addressed units: four windows off one checkpoint ship the
+   snapshot bytes to each worker at most once, and repeat assignments are
+   observed as cache hits --- *)
+let test_ckpt_shipped_once () =
+  let store = Store.create () in
+  (* offsets whose warm-up starts all land inside [10_000, 20_000): one
+     shared checkpoint, hence one digest for the whole sweep *)
+  let stored =
+    List.map
+      (fun off ->
+        Work.of_window_stored ~store ~checkpoints:(Lazy.force checkpoints)
+          ~label:(Printf.sprintf "continuous@%d" off)
+          ~offset:off ~window:2_000 ~warmup:1_000)
+      [ 12_000; 14_000; 16_000; 18_000 ]
+  in
+  Alcotest.(check int) "one checkpoint in the store" 1 (Store.count store);
+  let local =
+    List.map render (Sweep.run (Sweep.Backend.local ~store ~jobs:2 ()) stored)
+  in
+  let p1, a1 = spawn_worker ~jobs:2 () in
+  let p2, a2 = spawn_worker ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () -> reap p1; reap p2)
+    (fun () ->
+      let bus, events = collecting_bus () in
+      let remote =
+        Sweep.run (Darco_dispatch.remote ~bus ~store [ a1; a2 ]) stored
+      in
+      Alcotest.(check (list string))
+        "digest-addressed remote sweep bit-identical to local" local
+        (List.map render remote);
+      (* each (worker, digest) pair was pushed at most once *)
+      let pushes = Hashtbl.create 4 in
+      List.iter
+        (function
+          | Event.Ckpt_push { worker; digest; _ } ->
+            let k = (worker, digest) in
+            Hashtbl.replace pushes k (1 + Option.value ~default:0 (Hashtbl.find_opt pushes k))
+          | _ -> ())
+        !events;
+      Alcotest.(check bool) "at least one checkpoint push" true
+        (Hashtbl.length pushes >= 1);
+      Hashtbl.iter
+        (fun (worker, digest) n ->
+          if n > 1 then
+            Alcotest.failf "checkpoint %s pushed %d times to %s" digest n worker)
+        pushes;
+      (* 4 units, 3 slots, 1 digest: some worker reused its cached copy *)
+      Alcotest.(check bool) "at least one checkpoint cache hit" true
+        (saw events (function Event.Ckpt_hit _ -> true | _ -> false)))
+
+(* --- 3. work stealing: a unit stuck on a slow worker is speculatively
+   duplicated onto an idle one, and the result is still byte-identical --- *)
+let test_steal_from_slow_worker () =
+  let slow_exec w =
+    Unix.sleepf 5.0;
+    Work.exec w
+  in
+  let pslow, aslow = spawn_worker ~exec:slow_exec () in
+  let pfast, afast = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap pslow; reap pfast)
+    (fun () ->
+      let bus, events = collecting_bus () in
+      let remote =
+        Sweep.run
+          (Darco_dispatch.remote ~bus ~timeout:8.0 [ aslow; afast ])
+          (Lazy.force works)
+      in
+      Alcotest.(check (list string))
+        "sweep completes with identical results despite the slow worker"
+        (Lazy.force expected) (List.map render remote);
+      Alcotest.(check bool) "the stuck unit was stolen" true
+        (saw events (function Event.Steal _ -> true | _ -> false)))
+
+(* --- 4. a worker dies with units in flight: the units are reassigned and
    the sweep still completes with the right answer --- *)
 let test_worker_died_mid_unit () =
-  (* this daemon handshakes and accepts a unit, then dies without replying *)
-  let pbad, abad = spawn_worker ~exec:(fun _ -> Unix._exit 0) () in
+  (* this daemon handshakes and accepts a unit, then its unit child kills
+     the daemon itself — the connection drops with the unit in flight *)
+  let suicide _ =
+    Unix.kill (Unix.getppid ()) Sys.sigkill;
+    Unix.sleepf 10.0;
+    Alcotest.fail "unreachable"
+  in
+  let pbad, abad = spawn_worker ~exec:suicide () in
   let pgood, agood = spawn_worker () in
   Fun.protect
     ~finally:(fun () -> reap pbad; reap pgood)
@@ -124,7 +208,7 @@ let test_worker_died_mid_unit () =
       Alcotest.(check bool) "the orphaned unit was retried" true
         (saw events (function Event.Dispatch_retry _ -> true | _ -> false)))
 
-(* --- 3. no reachable worker: graceful degradation to the local fork
+(* --- 5. no reachable worker: graceful degradation to the local fork
    backend, same results --- *)
 let test_unreachable_falls_back () =
   (* an ephemeral port with provably nobody behind it *)
@@ -147,7 +231,7 @@ let test_unreachable_falls_back () =
   Alcotest.(check bool) "fallback was announced" true
     (saw events (function Event.Dispatch_fallback _ -> true | _ -> false))
 
-(* --- 4. protocol robustness: malformed frames are rejected cleanly and
+(* --- 6. protocol robustness: malformed frames are rejected cleanly and
    the daemon keeps serving --- *)
 let le64 n = String.init 8 (fun i -> Char.chr ((n lsr (8 * i)) land 0xff))
 
@@ -157,10 +241,11 @@ let write_all fd s =
 let connect (a : Darco_dispatch.addr) =
   let fd = Unix.socket PF_INET SOCK_STREAM 0 in
   Unix.connect fd (ADDR_INET (Worker.resolve a.host, a.port));
-  Wire.send fd (Wire.Hello Wire.protocol_version);
+  Wire.send fd (Wire.Hello { version = Wire.protocol_version; slots = 0 });
   (match Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) fd with
-  | Wire.Hello v ->
-    Alcotest.(check int) "hello echoed" Wire.protocol_version v
+  | Wire.Hello { version; slots } ->
+    Alcotest.(check int) "hello echoed" Wire.protocol_version version;
+    Alcotest.(check bool) "worker advertises at least one slot" true (slots >= 1)
   | _ -> Alcotest.fail "expected the hello echo");
   fd
 
@@ -174,7 +259,8 @@ let test_malformed_frame_rejected () =
       let fd = connect addr in
       write_all fd ("WORK" ^ le64 4 ^ le64 0 ^ "junk");
       (match Wire.recv ~deadline:(deadline ()) fd with
-      | Wire.Fail reason ->
+      | Wire.Fail { id; reason } ->
+        Alcotest.(check int) "connection-level failure" (-1) id;
         Alcotest.(check bool) "reason is non-empty" true (String.length reason > 0)
       | _ -> Alcotest.fail "expected a Fail reply to a corrupt frame");
       (* the stream is no longer trusted: the daemon drops this connection *)
@@ -185,9 +271,9 @@ let test_malformed_frame_rejected () =
       (* a well-framed message that is not a valid work unit fails only the
          request: the same connection keeps working *)
       let fd = connect addr in
-      Wire.send fd (Wire.Work "this is not a DWRK unit");
+      Wire.send fd (Wire.Work { id = 7; unit_ = "this is not a DWRK unit" });
       (match Wire.recv ~deadline:(deadline ()) fd with
-      | Wire.Fail _ -> ()
+      | Wire.Fail { id; _ } -> Alcotest.(check int) "failure names the unit" 7 id
       | _ -> Alcotest.fail "expected a Fail reply to a bogus unit");
       Wire.send fd Wire.Ping;
       (match Wire.recv ~deadline:(deadline ()) fd with
@@ -196,14 +282,89 @@ let test_malformed_frame_rejected () =
       (* and the daemon still executes real work afterwards *)
       (match Lazy.force works with
       | w :: _ ->
-        Wire.send fd (Wire.Work (Work.to_string w));
+        Wire.send fd (Wire.Work { id = 9; unit_ = Work.to_string w });
         (match Wire.recv ~deadline:(deadline ()) fd with
-        | Wire.Result json ->
+        | Wire.Result { id; text } ->
+          Alcotest.(check int) "result names the unit" 9 id;
           Alcotest.(check bool) "result parses as JSON" true
-            (match J.parse json with _ -> true | exception _ -> false)
+            (match J.parse text with _ -> true | exception _ -> false)
         | _ -> Alcotest.fail "expected a Result for a genuine unit")
       | [] -> Alcotest.fail "no work units");
       Unix.close fd)
+
+(* --- 7. a CKPT frame whose bytes do not hash to the claimed digest is
+   rejected at the wire and kills only that connection --- *)
+let test_mismatched_ckpt_rejected () =
+  let pid, addr = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap pid)
+    (fun () ->
+      let deadline () = Unix.gettimeofday () +. 10.0 in
+      let fd = connect addr in
+      (* [Wire.send] does not validate outgoing frames, so a lying push is
+         expressible — and must be refused by the receiver *)
+      Wire.send fd
+        (Wire.Ckpt { digest = String.make 32 'a'; bytes = "not that content" });
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Fail { id; reason } ->
+        Alcotest.(check int) "connection-level failure" (-1) id;
+        Alcotest.(check bool) "reason mentions the digest check" true
+          (String.length reason > 0)
+      | _ -> Alcotest.fail "expected a Fail reply to a lying CKPT frame");
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | exception Wire.Closed -> ()
+      | _ -> Alcotest.fail "expected the connection to be dropped");
+      Unix.close fd;
+      (* the daemon survives and serves fresh connections *)
+      let fd = connect addr in
+      Wire.send fd Wire.Ping;
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Pong -> ()
+      | _ -> Alcotest.fail "expected Pong on a fresh connection");
+      Unix.close fd)
+
+(* --- 8. the codec survives non-blocking sockets: frames dribbling in one
+   byte at a time, and a frame larger than the socket buffer going out ---
+   both paths park in select on EAGAIN instead of tearing the frame *)
+let test_partial_io () =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  Unix.set_nonblock a;
+  (* shrink the buffers so a large frame cannot possibly fit in one write *)
+  (try Unix.setsockopt_int a Unix.SO_SNDBUF 4096 with Unix.Unix_error _ -> ());
+  let big = 1 lsl 20 in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close a;
+    (try
+       (* dribble a PING frame so the parent's reads come up short *)
+       let frame = "PING" ^ le64 0 ^ le64 (B.crc32 "") in
+       String.iteri
+         (fun i c ->
+           if i mod 3 = 0 then Unix.sleepf 0.01;
+           ignore (Unix.write_substring b (String.make 1 c) 0 1))
+         frame;
+       (* then drain the parent's oversized CKPT and acknowledge it *)
+       match Wire.recv ~deadline:(Unix.gettimeofday () +. 30.0) b with
+       | Wire.Ckpt { bytes; _ } when String.length bytes = big ->
+         Wire.send b Wire.Pong
+       | _ -> ()
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close b;
+    Fun.protect
+      ~finally:(fun () -> reap pid)
+      (fun () ->
+        (match Wire.recv ~deadline:(Unix.gettimeofday () +. 30.0) a with
+        | Wire.Ping -> ()
+        | _ -> Alcotest.fail "expected the dribbled Ping to reassemble");
+        let bytes = String.init big (fun i -> Char.chr (i land 0xff)) in
+        Wire.send a (Wire.Ckpt { digest = Store.digest bytes; bytes });
+        match Wire.recv ~deadline:(Unix.gettimeofday () +. 30.0) a with
+        | Wire.Pong -> ()
+        | _ -> Alcotest.fail "expected the peer to acknowledge the big frame")
 
 (* --- spec parsing (the CLI's --backend flag) --- *)
 let test_spec_parsing () =
@@ -237,10 +398,18 @@ let () =
           Alcotest.test_case "spec parsing" `Quick test_spec_parsing;
           Alcotest.test_case "malformed frames rejected" `Quick
             test_malformed_frame_rejected;
+          Alcotest.test_case "mismatched CKPT rejected" `Quick
+            test_mismatched_ckpt_rejected;
+          Alcotest.test_case "partial reads and writes reassemble" `Quick
+            test_partial_io;
         ] );
       ( "cluster",
         [
           Alcotest.test_case "loopback end-to-end" `Quick test_loopback_e2e;
+          Alcotest.test_case "checkpoint shipped at most once" `Quick
+            test_ckpt_shipped_once;
+          Alcotest.test_case "slow worker is stolen from" `Quick
+            test_steal_from_slow_worker;
           Alcotest.test_case "worker dies mid-unit" `Quick
             test_worker_died_mid_unit;
           Alcotest.test_case "unreachable worker falls back" `Quick

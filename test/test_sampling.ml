@@ -181,24 +181,34 @@ let test_corrupted_snapshot () =
   let resumed = Snapshot.restore (Snapshot.of_string good) in
   expect_done "good bytes resume" (Controller.run resumed)
 
-(* A crashing worker loses only its own sample.  This deliberately goes
-   through the deprecated [Sweep.map] shim: it is the only entry point that
-   accepts a closure, which we need to inject the crash — and the shim
-   shares its worker pool with [Backend.local], so the containment property
-   is tested for both. *)
+(* Dummy units for exercising the sweep machinery with injected behaviour:
+   the closure passed to [Backend.of_exec] keys off the label, so no real
+   simulation happens. *)
+let dummy_works labels =
+  List.map
+    (fun label -> { Work.label; ckpt = Work.Inline ""; offset = 0; window = 1; warmup = 0 })
+    labels
+
+let crashy_exec (w : Work.t) =
+  let module J = Darco_obs.Jsonx in
+  match int_of_string w.label with
+  | 1 -> failwith "boom"
+  | 2 ->
+    (* die without the courtesy of an exception *)
+    Unix.kill (Unix.getpid ()) Sys.sigkill;
+    assert false
+  | i -> J.Obj [ ("v", J.Int i) ]
+
+(* A crashing worker loses only its own sample.  Runs through the
+   backend-agnostic [Sweep.run] front door with an instrumented executor
+   ([Backend.of_exec]), which shares its fork pool with [Backend.local] —
+   so the containment property is tested for the real path. *)
 let test_sweep_contains_crashes () =
   let module J = Darco_obs.Jsonx in
   let results =
-    (Sweep.map [@alert "-deprecated"]) ~jobs:2 ~label:string_of_int
-      (fun i ->
-        if i = 1 then failwith "boom"
-        else if i = 2 then begin
-          (* die without the courtesy of an exception *)
-          Unix.kill (Unix.getpid ()) Sys.sigkill;
-          assert false
-        end
-        else J.Obj [ ("v", J.Int i) ])
-      [ 0; 1; 2; 3 ]
+    Sweep.run
+      (Sweep.Backend.of_exec ~jobs:2 ~name:"crashy" crashy_exec)
+      (dummy_works [ "0"; "1"; "2"; "3" ])
   in
   Alcotest.(check int) "all samples reported" 4 (List.length results);
   let nth n = (List.nth results n).Sweep.outcome in
@@ -224,6 +234,87 @@ let test_sweep_contains_crashes () =
   match nth 3 with
   | Sweep.Ok _ -> ()
   | Sweep.Failed r -> Alcotest.failf "sample 3 failed: %s" r
+
+(* The deprecated [Sweep.map] shim is kept for out-of-tree callers; pin
+   that it still behaves identically to the [Backend.of_exec] pool it
+   wraps — same outcomes, same order, crash containment included. *)
+let test_sweep_map_shim_identical () =
+  let render (r : Sweep.result) =
+    r.Sweep.label ^ " => "
+    ^ (match r.Sweep.outcome with
+      | Sweep.Ok j -> Darco_obs.Jsonx.to_string j
+      | Sweep.Failed e -> "FAILED " ^ e)
+  in
+  let labels = [ "0"; "1"; "2"; "3" ] in
+  let via_backend =
+    Sweep.run
+      (Sweep.Backend.of_exec ~jobs:2 ~name:"shim-check" crashy_exec)
+      (dummy_works labels)
+  in
+  let via_shim =
+    (Sweep.map [@alert "-deprecated"]) ~jobs:2
+      ~label:(fun (w : Work.t) -> w.Work.label)
+      crashy_exec (dummy_works labels)
+  in
+  Alcotest.(check (list string))
+    "shim results identical to Backend.of_exec"
+    (List.map render via_backend) (List.map render via_shim)
+
+(* --- the content-addressed checkpoint store --- *)
+
+let test_store_basics () =
+  (* the address function is a contract (workers on other machines hash
+     the same bytes): pin a known value *)
+  Alcotest.(check string) "digest pinned"
+    "5d41402abc4b2a76b9719d911017c592" (Store.digest "hello");
+  Alcotest.(check bool) "valid digest shape" true
+    (Store.is_digest (Store.digest ""));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %S" s) false (Store.is_digest s))
+    [ ""; "xyz"; String.make 31 'a'; String.make 33 'a'; String.make 32 'A' ];
+  let store = Store.create () in
+  Alcotest.(check int) "empty" 0 (Store.count store);
+  let d1 = Store.add store "first checkpoint" in
+  let d1' = Store.add store "first checkpoint" in
+  Alcotest.(check string) "idempotent add" d1 d1';
+  Alcotest.(check int) "one distinct entry" 1 (Store.count store);
+  let d2 = Store.add store "second checkpoint" in
+  Alcotest.(check bool) "distinct content, distinct digest" true (d1 <> d2);
+  Alcotest.(check (option string)) "find returns the bytes"
+    (Some "first checkpoint") (Store.find store d1);
+  Alcotest.(check (option string)) "unknown digest misses" None
+    (Store.find store (Store.digest "never added"));
+  Alcotest.(check bool) "mem" true (Store.mem store d2)
+
+let test_store_disk_spill () =
+  let dir = Filename.temp_file "darco_store" "" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let store = Store.create ~dir () in
+      let d = Store.add store "spilled checkpoint" in
+      (* a second store over the same directory sees the entry cold *)
+      let fresh = Store.create ~dir () in
+      Alcotest.(check int) "fresh store starts empty in memory" 0 (Store.count fresh);
+      Alcotest.(check (option string)) "disk entry found"
+        (Some "spilled checkpoint") (Store.find fresh d);
+      Alcotest.(check int) "found entry now resident" 1 (Store.count fresh);
+      (* tampered disk bytes are refused, never returned *)
+      let d2 = Store.digest "phantom content" in
+      let path = Filename.concat dir (d2 ^ ".dsnp") in
+      let oc = open_out_bin path in
+      output_string oc "not the phantom content";
+      close_out oc;
+      let cold = Store.create ~dir () in
+      match Store.find cold d2 with
+      | _ -> Alcotest.fail "accepted a tampered cache entry"
+      | exception Buf.Corrupt _ -> ())
 
 let test_manifest () =
   let program = build "continuous" in
@@ -271,6 +362,58 @@ let test_golden_corpus () =
   Alcotest.(check (option int)) "resumed exit code" (Some 1)
     (Controller.exit_code ctl)
 
+(* Work-frame golden fixtures: both DWRK versions committed as pinned
+   bytes.  Version 1 (inline snapshot) is the frozen original format —
+   it must decode, re-encode bit-identically, and still {e execute}; the
+   current writer must keep emitting it for inline units.  Version 2
+   (digest-addressed) is pinned the same way against future drift. *)
+let test_golden_work_v1 () =
+  let module J = Darco_obs.Jsonx in
+  let bytes = read_file (Filename.concat "fixtures" "mcf_40k_work_v1.dwrk") in
+  let w = Work.of_string bytes in
+  Alcotest.(check string) "label" "429.mcf@41000" w.Work.label;
+  Alcotest.(check int) "offset" 41_000 w.Work.offset;
+  Alcotest.(check int) "window" 2_000 w.Work.window;
+  Alcotest.(check int) "warmup" 1_000 w.Work.warmup;
+  (match w.Work.ckpt with
+  | Work.Inline snap ->
+    Alcotest.(check string) "inline snapshot is the v1 snapshot fixture"
+      (read_file (Filename.concat "fixtures" "mcf_40k_functional_v1.dsnp"))
+      snap
+  | Work.Stored _ -> Alcotest.fail "v1 frame decoded as digest unit");
+  Alcotest.(check (option string)) "no digest" None (Work.digest w);
+  (* the writer still emits version-1 bytes for inline units *)
+  Alcotest.(check string) "re-encodes bit-identically" bytes (Work.to_string w);
+  (* and the decoded unit still runs end to end *)
+  match Work.exec w with
+  | json ->
+    Alcotest.(check bool) "result has an ipc field" true
+      (match J.member "ipc" json with Some (J.Float _) -> true | _ -> false)
+  | exception e ->
+    Alcotest.failf "v1 work fixture no longer executes: %s" (Printexc.to_string e)
+
+let test_golden_work_v2 () =
+  let bytes = read_file (Filename.concat "fixtures" "mcf_40k_work_v2.dwrk") in
+  let w = Work.of_string bytes in
+  Alcotest.(check string) "label" "429.mcf@41000" w.Work.label;
+  Alcotest.(check int) "offset" 41_000 w.Work.offset;
+  Alcotest.(check int) "window" 2_000 w.Work.window;
+  Alcotest.(check int) "warmup" 1_000 w.Work.warmup;
+  let snap_bytes =
+    read_file (Filename.concat "fixtures" "mcf_40k_functional_v1.dsnp")
+  in
+  Alcotest.(check (option string)) "digest addresses the snapshot fixture"
+    (Some (Store.digest snap_bytes))
+    (Work.digest w);
+  Alcotest.(check string) "re-encodes bit-identically" bytes (Work.to_string w);
+  (* resolving through a store executes identically to the inline form *)
+  let store = Store.create () in
+  ignore (Store.add store snap_bytes);
+  let inline = Work.of_string (read_file (Filename.concat "fixtures" "mcf_40k_work_v1.dwrk")) in
+  Alcotest.(check string) "digest unit result identical to inline unit"
+    (Darco_obs.Jsonx.to_string (Work.exec inline))
+    (Darco_obs.Jsonx.to_string (Work.exec ~store w))
+
 let () =
   Alcotest.run "sampling"
     [
@@ -289,12 +432,23 @@ let () =
         [ Alcotest.test_case "matches create_at" `Quick test_driver_matches_create_at ]
       );
       ( "sweep",
-        [ Alcotest.test_case "crash containment" `Quick test_sweep_contains_crashes ]
-      );
+        [
+          Alcotest.test_case "crash containment" `Quick test_sweep_contains_crashes;
+          Alcotest.test_case "deprecated map shim identical" `Quick
+            test_sweep_map_shim_identical;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "content addressing" `Quick test_store_basics;
+          Alcotest.test_case "disk spill and verification" `Quick
+            test_store_disk_spill;
+        ] );
       ( "format",
         [
           Alcotest.test_case "corruption detected" `Quick test_corrupted_snapshot;
           Alcotest.test_case "manifest" `Quick test_manifest;
           Alcotest.test_case "golden corpus decodes" `Quick test_golden_corpus;
+          Alcotest.test_case "golden work frame v1" `Quick test_golden_work_v1;
+          Alcotest.test_case "golden work frame v2" `Quick test_golden_work_v2;
         ] );
     ]
