@@ -306,9 +306,22 @@ let bechamel_speed () =
            ignore (Darco.Controller.run ~max_insns:insns ctl);
            Darco.Controller.stats ctl))
   in
+  (* the profiler's cost relative to "functional": what one bus sink adds
+     to the no-sink fast path (which stays sink-free and unchanged) *)
+  let mk_profiled name =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let bus = Darco_obs.Bus.create () in
+           ignore (Darco_obs.Prof.attach bus);
+           let ctl =
+             Darco.Controller.create ~bus ~seed:42 (Lazy.force speed_workload)
+           in
+           ignore (Darco.Controller.run ~max_insns:insns ctl);
+           Darco.Controller.stats ctl))
+  in
   let test =
     Test.make_grouped ~name:"darco-speed"
-      [ mk "functional" false; mk "with-timing" true ]
+      [ mk "functional" false; mk "with-timing" true; mk_profiled "with-profiler" ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
@@ -331,7 +344,7 @@ let bechamel_speed () =
       let ns = ns_per_run name in
       Printf.printf "  %-12s %8.1f ms/run -> %.2f guest MIPS\n" name (ns /. 1e6)
         (float_of_int insns /. (ns /. 1e9) /. 1e6))
-    [ "functional"; "with-timing" ]
+    [ "functional"; "with-timing"; "with-profiler" ]
 
 let speed () =
   print_endline "=== Section VI-A: DARCO speed ===";
@@ -384,6 +397,32 @@ let warmup () =
                   report.samples) );
          ]);
   print_endline "  (paper: ~65x simulation-cost reduction at 0.75% average error)\n"
+
+(* --- hot regions: the bus-fed profiler over a real workload --- *)
+
+let profile_summary : Darco_obs.Jsonx.t option ref = ref None
+
+let profile () =
+  print_endline "=== Hot regions: bus-fed profiler (429.mcf) ===";
+  let e = Registry.find "429.mcf" in
+  let bus = Darco_obs.Bus.create () in
+  let prof = Darco_obs.Prof.attach bus in
+  let ctl = Darco.Controller.create ~bus ~seed:42 (e.build ()) in
+  (match Darco.Controller.run ~max_insns:400_000 ctl with
+  | `Done | `Limit -> ()
+  | `Diverged d ->
+    Printf.printf "!! 429.mcf diverged at %d under profiling\n" d.at_retired;
+    exit 1);
+  let stats = Darco.Controller.stats ctl in
+  (* the headline property: attribution is exact, not approximate *)
+  (match Darco_obs.Prof.reconciles prof stats with
+  | Ok () -> ()
+  | Error m ->
+    Printf.printf "!! profiler does not reconcile with Stats.t: %s\n" m;
+    exit 1);
+  Format.printf "%a@." (Darco_obs.Prof.pp_table ~n:10) prof;
+  profile_summary := Some (Darco_obs.Prof.to_json ~n:10 prof);
+  print_endline "  (attribution reconciles exactly with the run's Stats.t)\n"
 
 (* --- ablations: the design choices DESIGN.md calls out --- *)
 
@@ -476,6 +515,7 @@ let all () =
   fig7 ();
   speed ();
   warmup ();
+  profile ();
   ablation_features ();
   ablation_thresholds ()
 
@@ -506,6 +546,8 @@ let write_results path =
         ("runs", Jsonx.List (List.rev_map entry !recorded));
         ( "sampling",
           match !sampling_summary with Some j -> j | None -> Jsonx.Null );
+        ( "hot_regions",
+          match !profile_summary with Some j -> j | None -> Jsonx.Null );
       ]
   in
   let oc = open_out path in
@@ -525,6 +567,7 @@ let () =
         | "fig7" -> fig7 ()
         | "speed" -> speed ()
         | "warmup" -> warmup ()
+        | "profile" -> profile ()
         | "ablation" ->
           ablation_features ();
           ablation_thresholds ()

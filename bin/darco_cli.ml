@@ -116,18 +116,38 @@ let config_term =
 (* Run the controller with the trace sink closed (and the stats snapshot
    written) even when the run diverges or raises — otherwise buffered trail
    events are lost exactly when they matter most. *)
-let timed_run ?max_insns ~trace_oc ~stats_json ctl =
+let timed_run ?max_insns ?(hists = []) ~trace_oc ~stats_json ctl =
   let t0 = Unix.gettimeofday () in
   let result =
     Fun.protect
       ~finally:(fun () ->
         Option.iter close_out_noerr trace_oc;
         Option.iter
-          (fun path -> Darco_obs.Metrics.write_file path (Darco.Controller.stats ctl))
+          (fun path ->
+            Darco_obs.Metrics.write_file ~hists path (Darco.Controller.stats ctl))
           stats_json)
       (fun () -> Darco.Controller.run ?max_insns ctl)
   in
   (result, Unix.gettimeofday () -. t0)
+
+(* Attach (and always close) the optional trace sink around [f]: anything
+   between attachment and the run proper — snapshot restore, controller
+   creation, checkpoint generation — can raise, and the channel must not
+   leak when it does. *)
+let with_trace bus trace f =
+  let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) trace in
+  Fun.protect
+    ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
+    (fun () -> f trace_oc)
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Darco_obs.Jsonx.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path
 
 let report_outcome ~dt ctl result =
   (match result with
@@ -148,7 +168,8 @@ let attach_timing bus =
   p
 
 let run_cmd =
-  let run bench scale timing validate max_insns (sim : Flag.sim) cfg =
+  let run bench scale timing validate max_insns (sim : Flag.sim) profile
+      profile_json flight flight_out cfg =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     Printf.printf "== %s (%s), %d static bytes ==\n%!" entry.name
@@ -157,30 +178,68 @@ let run_cmd =
     (* Sinks attach before the controller exists so initialization events
        land in the trace too. *)
     let bus = Darco_obs.Bus.create () in
-    let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
+    with_trace bus sim.trace @@ fun trace_oc ->
+    let prof =
+      if profile > 0 || profile_json <> None then Some (Darco_obs.Prof.attach bus)
+      else None
+    in
+    let recorder =
+      if flight > 0 then
+        Some (Darco_obs.Recorder.attach bus ~capacity:flight ~path:flight_out)
+      else None
+    in
     let ctl =
       Darco.Controller.create ~cfg ~bus ?input:sim.input ~seed:sim.seed program
     in
     ctl.validate_at_checkpoints <- validate;
     let pipe = if timing then Some (attach_timing bus) else None in
+    let lat_hist = Option.map Darco_timing.Pipeline.observe_latencies pipe in
+    let hists =
+      match lat_hist with
+      | None -> []
+      | Some h -> [ ("load_latency_cycles", h) ]
+    in
     let result, dt =
-      timed_run ~max_insns ~trace_oc ~stats_json:sim.stats_json ctl
+      match timed_run ~max_insns ~hists ~trace_oc ~stats_json:sim.stats_json ctl with
+      | r -> r
+      | exception e ->
+        (* the ring holds exactly the trail that led here *)
+        Option.iter Darco_obs.Recorder.dump recorder;
+        raise e
     in
     report_outcome ~dt ctl result;
     let st = Darco.Controller.stats ctl in
     Printf.printf "guest speed: %.2f MIPS (functional%s)\n"
       (float_of_int (Darco.Stats.guest_total st) /. dt /. 1e6)
       (if timing then " + timing" else "");
-    match pipe with
+    (match pipe with
     | None -> ()
     | Some p ->
       Format.printf "--- timing ---@.%a@." Darco_timing.Pipeline.pp_summary
         (Darco_timing.Pipeline.summary p);
+      Option.iter
+        (fun h -> Format.printf "load latency: %a@." Darco_obs.Hist.pp h)
+        lat_hist;
       let ev = Darco_timing.Pipeline.events p in
       let rep = Darco_power.Model.evaluate ev in
       Format.printf "--- power ---@.%a@.perf/W: %.1f MIPS/W@."
         Darco_power.Model.pp_report rep
-        (Darco_power.Model.perf_per_watt ev rep)
+        (Darco_power.Model.perf_per_watt ev rep));
+    (match prof with
+    | None -> ()
+    | Some p ->
+      (match Darco_obs.Prof.reconciles p st with
+      | Ok () -> ()
+      | Error e -> Printf.eprintf "WARNING: profiler does not reconcile: %s\n" e);
+      if profile > 0 then
+        Format.printf "--- hot regions ---@.%a@."
+          (Darco_obs.Prof.pp_table ~n:profile)
+          p;
+      Option.iter (fun path -> write_json path (Darco_obs.Prof.to_json p)) profile_json);
+    match recorder with
+    | Some r when Darco_obs.Recorder.dumped r ->
+      Printf.printf "flight recorder dumped to %s\n" flight_out
+    | _ -> ()
   in
   Cmd.v (Cmd.info "run" ~doc:"Run one workload through the co-designed pipeline")
     Term.(
@@ -189,7 +248,28 @@ let run_cmd =
           value & flag
           & info [ "validate-checkpoints" ]
               ~doc:"Validate architectural state at every execution slice")
-      $ Flag.max_insns $ Flag.sim $ config_term)
+      $ Flag.max_insns $ Flag.sim
+      $ Arg.(
+          value & opt int 0
+          & info [ "profile" ] ~docv:"N"
+              ~doc:"Print the N hottest guest regions (host cost attribution)")
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "profile-json" ] ~docv:"FILE"
+              ~doc:"Write the full hot-region profile as JSON to $(docv)")
+      $ Arg.(
+          value & opt int 0
+          & info [ "flight-recorder" ] ~docv:"N"
+              ~doc:
+                "Keep the last N events in memory; dump them as JSONL on a \
+                 divergence or crash")
+      $ Arg.(
+          value
+          & opt string "darco-flight.jsonl"
+          & info [ "flight-recorder-out" ] ~docv:"FILE"
+              ~doc:"Where --flight-recorder dumps its ring")
+      $ config_term)
 
 let suite_cmd =
   let run scale seed =
@@ -334,7 +414,7 @@ let checkpoint_cmd =
       end
       else begin
         let bus = Darco_obs.Bus.create () in
-        let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
+        with_trace bus sim.trace @@ fun trace_oc ->
         let pipe = if timing then Some (attach_timing bus) else None in
         let ctl =
           Darco.Controller.create ~cfg ~bus ?input:sim.input ~seed:sim.seed program
@@ -380,7 +460,7 @@ let resume_cmd =
         | Snapshot.Full -> "full")
         (Snapshot.retired snap);
       let bus = Darco_obs.Bus.create () in
-      let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
+      with_trace bus sim.trace @@ fun trace_oc ->
       let pipe =
         match Snapshot.restore_pipeline snap with
         | Some p ->
@@ -411,7 +491,7 @@ let resume_cmd =
 let sample_cmd =
   let run bench scale (sim : Flag.sim) interval offsets nsamples horizon window
       warmup jobs backend_str dispatch_timeout dispatch_retries store_dir
-      json_out verify max_error =
+      json_out chrome_out verify max_error =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     let offsets =
@@ -439,9 +519,40 @@ let sample_cmd =
         Printf.eprintf "%s\n" e;
         exit 2
     in
-    (* the dispatch lifecycle is observable through the ordinary trace sink *)
+    (* the dispatch lifecycle is observable through the ordinary trace sink,
+       and the span timeline through the Chrome collector *)
     let bus = Darco_obs.Bus.create () in
-    let trace_oc = Option.map (Darco_obs.Trace.attach_file bus) sim.trace in
+    with_trace bus sim.trace @@ fun _trace_oc ->
+    let chrome =
+      Option.map (fun _ -> Darco_obs.Chrome.attach bus) chrome_out
+    in
+    (* sweep-shape distributions, fed straight off the bus *)
+    let h_frame = Darco_obs.Hist.create () in
+    let h_ckpt = Darco_obs.Hist.create () in
+    let h_retry = Darco_obs.Hist.create () in
+    let h_detail = Darco_obs.Hist.create () in
+    (* detail time is the duration of each "running" span — measured where
+       the window actually ran (worker-side stamps replay on this bus), so
+       it works identically for the local and remote backends *)
+    let running = Hashtbl.create 16 in
+    Darco_obs.Bus.attach bus ~name:"sweep-hists" (fun ~at:_ ev ->
+        match ev with
+        | Darco_obs.Event.Dispatch_sent { bytes; _ } ->
+          Darco_obs.Hist.add h_frame bytes
+        | Darco_obs.Event.Ckpt_push { bytes; _ } -> Darco_obs.Hist.add h_ckpt bytes
+        | Darco_obs.Event.Dispatch_retry { delay; _ } ->
+          Darco_obs.Hist.add h_retry (int_of_float (delay *. 1000.))
+        | Darco_obs.Event.Span_begin { span = "running"; corr; host; wall_us; _ }
+          ->
+          Hashtbl.replace running (host, corr) wall_us
+        | Darco_obs.Event.Span_end { span = "running"; corr; host; wall_us; _ }
+          -> (
+          match Hashtbl.find_opt running (host, corr) with
+          | Some t0 ->
+            Hashtbl.remove running (host, corr);
+            Darco_obs.Hist.add h_detail (wall_us - t0)
+          | None -> ())
+        | _ -> ());
     let store = Darco_sampling.Store.create ?dir:store_dir () in
     let backend = Darco_dispatch.backend ~bus ~fallback_jobs:jobs ~store spec in
     Printf.printf
@@ -467,11 +578,17 @@ let sample_cmd =
     Printf.printf "%d distinct checkpoints referenced by %d windows\n%!"
       (Darco_sampling.Store.count store)
       (List.length works);
-    let results =
-      Fun.protect
-        ~finally:(fun () -> Option.iter close_out_noerr trace_oc)
-        (fun () -> Sweep.run backend works)
-    in
+    (* write the trace even when the sweep dies — a partial timeline of a
+       failed sweep is the most useful trace of all *)
+    Fun.protect
+      ~finally:(fun () ->
+        match (chrome, chrome_out) with
+        | Some c, Some path ->
+          Darco_obs.Chrome.write_file c path;
+          Printf.printf "wrote %s\n" path
+        | _ -> ())
+    @@ fun () ->
+    let results = Sweep.run backend works in
     (* optional verification: the same windows under uninterrupted detailed
        simulation (the authoritative answer sampling approximates) *)
     let full_ipcs =
@@ -583,6 +700,20 @@ let sample_cmd =
     Option.iter
       (fun e -> Printf.printf "average sampling error: %.2f%%\n" (100. *. e))
       avg_error;
+    let hists =
+      List.filter
+        (fun (_, h) -> Darco_obs.Hist.count h > 0)
+        [
+          ("detail_us", h_detail);
+          ("frame_bytes", h_frame);
+          ("ckpt_push_bytes", h_ckpt);
+          ("retry_delay_ms", h_retry);
+        ]
+    in
+    List.iter
+      (fun (name, h) ->
+        Format.printf "%-16s %a@." name Darco_obs.Hist.pp h)
+      hists;
     let failed =
       List.exists
         (fun (r : Sweep.result) ->
@@ -610,16 +741,16 @@ let sample_cmd =
                ("energy_j_ci95", Darco_obs.Jsonx.Float energy_ci95);
                ("samples", Darco_obs.Jsonx.List sample_rows);
              ]
+            (* no histograms here: this document is the sweep's scientific
+               result and must be byte-identical whichever backend ran it
+               (CI cmp-checks local vs remote); wall-clock distributions are
+               printed above and live on the observability side *)
             @
             match avg_error with
             | None -> []
             | Some e -> [ ("avg_error", Darco_obs.Jsonx.Float e) ])
         in
-        let oc = open_out path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc (Darco_obs.Jsonx.to_string doc));
-        Printf.printf "wrote %s\n" path)
+        write_json path doc)
       json_out;
     if failed then exit 1;
     match (avg_error, max_error) with
@@ -649,6 +780,7 @@ let sample_cmd =
       $ Arg.(value & opt int 2 & info [ "dispatch-retries" ] ~docv:"N" ~doc:"Remote backend: re-dispatches per unit after a worker is lost")
       $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill the sweep's content-addressed checkpoint store to $(docv)")
       $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the sweep results as JSON to $(docv)")
+      $ Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc:"Write the sweep's cross-machine span timeline as a Chrome trace-event JSON file (loadable in Perfetto)")
       $ Arg.(value & flag & info [ "verify" ] ~doc:"Also run full detailed simulation and report per-sample IPC error")
       $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction"))
 
@@ -681,6 +813,27 @@ let worker_cmd =
       $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Work units to keep executing concurrently (advertised to the dispatcher)")
       $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill received checkpoints to $(docv) so they survive daemon restarts"))
 
+let validate_trace_cmd =
+  let run file =
+    match Darco_obs.Chrome.validate_file file with
+    | Ok () -> Printf.printf "%s: valid trace-event JSON\n" file
+    | Error e ->
+      Printf.eprintf "%s: INVALID: %s\n" file e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Validate a Chrome trace-event JSON file (as written by sample \
+          --chrome-trace): well-formed, required fields present, every span \
+          begin matched by its end in nesting order")
+    Term.(
+      const run
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"TRACE.json" ~doc:"Trace file to check"))
+
 let speed_cmd =
   let run bench scale insns seed =
     let entry = Darco_workloads.Registry.find bench in
@@ -699,4 +852,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; suite_cmd; checkpoint_cmd; resume_cmd; sample_cmd;
-            worker_cmd; disasm_cmd; trace_cmd; regions_cmd; debug_cmd; speed_cmd ]))
+            worker_cmd; validate_trace_cmd; disasm_cmd; trace_cmd; regions_cmd;
+            debug_cmd; speed_cmd ]))

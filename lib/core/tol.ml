@@ -176,7 +176,7 @@ let handle_speculation_failure t kind (region : Code.region) =
 
 (* --- the dispatch loop -------------------------------------------------- *)
 
-let account t (res : Emulator.result) =
+let account t ~pc (res : Emulator.result) =
   if t.stats.guest_sbm = 0 && res.guest_super > 0 then Stats.note_sbm_start t.stats;
   t.stats.guest_bbm <- t.stats.guest_bbm + res.guest_bb;
   t.stats.guest_sbm <- t.stats.guest_sbm + res.guest_super;
@@ -188,6 +188,7 @@ let account t (res : Emulator.result) =
     emit t
       (Event.Region_exec
          {
+           pc;
            guest_bb = res.guest_bb;
            guest_sb = res.guest_super;
            host_bb = res.host_bb;
@@ -265,7 +266,7 @@ let run_slice t =
         ?on_retire:(Bus.retire_hook t.bus)
         region
     in
-    account t res;
+    account t ~pc:region.entry_pc res;
     Machine.copy_guest_out t.machine t.cpu;
     match res.stop with
     | Stop_exit e -> begin

@@ -5,6 +5,8 @@ module Store = Darco_sampling.Store
 module Jsonx = Darco_obs.Jsonx
 module Bus = Darco_obs.Bus
 module Event = Darco_obs.Event
+module Clock = Darco_obs.Clock
+module Span = Darco_obs.Span
 
 type addr = { host : string; port : int }
 
@@ -68,6 +70,10 @@ type inflight = { if_attempt : int; if_deadline : float; if_sent_at : float }
 
 type worker_state = {
   w_addr : string;
+  (* position in the caller's worker list; used to derive a stable
+     correlation id for per-worker spans (checkpoint pushes) that cannot
+     collide with unit indices *)
+  w_ix : int;
   mutable w_fd : Unix.file_descr option;
   w_slots : int;
   (* unit index -> its in-flight record; up to [w_slots] entries *)
@@ -77,7 +83,18 @@ type worker_state = {
   w_seen : (string, unit) Hashtbl.t;
 }
 
-let emit bus ev = Option.iter (fun b -> Bus.emit b ~at:0 ev) bus
+(* Dispatch-lifecycle events are stamped with the strictly monotonic
+   wall-clock microsecond tick — there is no retired-instruction clock
+   across machines, and a wall stamp keeps a merged JSONL trace in
+   real-time order. *)
+let emit bus ev = Option.iter (fun b -> Bus.emit b ~at:(Clock.ticks ()) ev) bus
+
+(* Span halves ride the same bus; skip the allocation when nobody listens
+   (the bus-active contract of the core applies here too). *)
+let span bus sp =
+  Option.iter (fun b -> if Bus.active b then Span.emit b sp) bus
+
+let dispatcher_host = "dispatcher"
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -85,7 +102,7 @@ let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
    handshake bounded by the same budget.  The socket stays non-blocking:
    the wire layer parks in select on EAGAIN, so multiplexed traffic never
    stalls the whole dispatcher on one slow peer. *)
-let connect_worker ~bus ~timeout (a : addr) =
+let connect_worker ~bus ~timeout ~ix (a : addr) =
   let name = addr_to_string a in
   let fail fd reason =
     Option.iter close_quietly fd;
@@ -121,6 +138,7 @@ let connect_worker ~bus ~timeout (a : addr) =
         Some
           {
             w_addr = name;
+            w_ix = ix;
             w_fd = Some fd;
             w_slots = max 1 slots;
             w_inflight = Hashtbl.create 8;
@@ -143,8 +161,31 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
   let outcomes = Array.make n (Sweep.Failed "not dispatched") in
   let finished = Array.make n false in
   let done_count = ref 0 in
-  let ws = List.filter_map (connect_worker ~bus ~timeout) workers in
+  let ws =
+    List.filter_map
+      (fun (ix, a) -> connect_worker ~bus ~timeout ~ix a)
+      (List.mapi (fun ix a -> (ix, a)) workers)
+  in
   let live () = List.filter (fun w -> w.w_fd <> None) ws in
+  (* Per-unit span state: which dispatcher-side span is currently open for
+     unit [i].  "queued" covers arrival-to-dispatch (and backoff waits),
+     "inflight" covers dispatch-to-settle on the primary holder; stolen
+     duplicates do not reopen spans (the [Steal] instant marks them). *)
+  let open_span = Array.make n `None in
+  let close_span i ~ok =
+    (match open_span.(i) with
+    | `None -> ()
+    | `Queued ->
+      span bus (Span.end_ ~ok ~span:"queued" ~corr:i ~host:dispatcher_host ())
+    | `Inflight ->
+      span bus (Span.end_ ~ok ~span:"inflight" ~corr:i ~host:dispatcher_host ()));
+    open_span.(i) <- `None
+  in
+  let open_queued i ~detail =
+    span bus (Span.begin_ ~detail ~span:"queued" ~corr:i ~host:dispatcher_host ());
+    open_span.(i) <- `Queued
+  in
+  Array.iteri (fun i (u : Work.t) -> open_queued i ~detail:u.Work.label) units;
   (* how many live workers currently hold unit [i] (can exceed 1 after a
      steal speculatively duplicated it) *)
   let copies i =
@@ -158,6 +199,7 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
   in
   let settle i outcome =
     if not finished.(i) then begin
+      close_span i ~ok:(match outcome with Sweep.Ok _ -> true | _ -> false);
       outcomes.(i) <- outcome;
       finished.(i) <- true;
       incr done_count;
@@ -184,6 +226,8 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
       let delay = backoff_base *. (2.0 ** float_of_int attempt) in
       emit bus
         (Event.Dispatch_retry { unit_label = label; attempt = attempt + 1; delay });
+      close_span i ~ok:false;
+      open_queued i ~detail:label;
       pending := !pending @ [ (i, attempt + 1, Unix.gettimeofday () +. delay) ]
     end
   in
@@ -206,15 +250,30 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
     let fd = Option.get w.w_fd in
     let u = units.(i) in
     let now = Unix.gettimeofday () in
+    let enc = Work.to_string u in
     emit bus
-      (Event.Dispatch_sent { unit_label = u.Work.label; worker = w.w_addr; attempt });
+      (Event.Dispatch_sent
+         {
+           unit_label = u.Work.label;
+           worker = w.w_addr;
+           attempt;
+           bytes = String.length enc;
+         });
+    if not stolen then begin
+      close_span i ~ok:true;
+      span bus
+        (Span.begin_
+           ~detail:(Printf.sprintf "%s attempt %d" w.w_addr attempt)
+           ~span:"inflight" ~corr:i ~host:dispatcher_host ());
+      open_span.(i) <- `Inflight
+    end;
     (match Work.digest u with
     | None -> ()
     | Some d ->
       if Hashtbl.mem w.w_seen d then
         emit bus (Event.Ckpt_hit { worker = w.w_addr; digest = d })
       else Hashtbl.replace w.w_seen d ());
-    match Wire.send fd (Wire.Work { id = i; unit_ = Work.to_string u }) with
+    match Wire.send fd (Wire.Work { id = i; unit_ = enc }) with
     | () ->
       Hashtbl.replace w.w_inflight i
         { if_attempt = attempt; if_deadline = now +. timeout; if_sent_at = now };
@@ -223,13 +282,26 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
       lose_worker w "send failed";
       if not stolen then requeue (i, attempt) "send failed"
   in
+  (* Worker span logs ride back inside [Result] frames; replay them on the
+     bus with their original stamps so the merged trace carries both
+     machines' timelines.  A malformed log is a telemetry defect, never a
+     reason to reject the (CRC-verified, parseable) result itself. *)
+  let replay_spans encoded =
+    match bus with
+    | Some b when Bus.active b -> (
+      match Span.decode_list encoded with
+      | sps -> List.iter (fun sp -> Span.emit b sp) sps
+      | exception Jsonx.Parse_error _ -> ())
+    | _ -> ()
+  in
   let handle_msg w = function
-    | Wire.Result { id; text } ->
+    | Wire.Result { id; text; spans = spanlog } ->
       (* a result for a unit no longer in flight here is a late duplicate
          of something already settled (or withdrawn); drop it *)
       if Hashtbl.mem w.w_inflight id then begin
         match Jsonx.parse text with
         | json ->
+          replay_spans spanlog;
           emit bus
             (Event.Dispatch_done
                { unit_label = units.(id).Work.label; worker = w.w_addr; ok = true });
@@ -257,13 +329,22 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
       | Some s -> (
         match Store.find s digest with
         | Some bytes -> (
+          (* one span per push, on a per-worker correlation track well away
+             from unit indices *)
+          let corr = 1_000_000 + w.w_ix in
+          span bus
+            (Span.begin_ ~detail:digest ~span:"ckpt_push" ~corr
+               ~host:dispatcher_host ());
           match Wire.send (Option.get w.w_fd) (Wire.Ckpt { digest; bytes }) with
           | () ->
+            span bus (Span.end_ ~span:"ckpt_push" ~corr ~host:dispatcher_host ());
             Hashtbl.replace w.w_seen digest ();
             emit bus
               (Event.Ckpt_push
                  { worker = w.w_addr; digest; bytes = String.length bytes })
           | exception (Wire.Closed | Wire.Timeout | Unix.Unix_error _) ->
+            span bus
+              (Span.end_ ~ok:false ~span:"ckpt_push" ~corr ~host:dispatcher_host ());
             lose_worker w "send failed")
         | None ->
           lose_worker w (Printf.sprintf "worker requested unknown checkpoint %s" digest)
@@ -291,10 +372,13 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
         (fun (i, _, _) -> if finished.(i) then None else Some i)
         !pending
     in
+    (* close the dispatcher-side spans before handing over: the local
+       backend opens its own "running" spans for these units *)
+    List.iter (fun i -> close_span i ~ok:true) todo;
     pending := [];
     let results =
       Sweep.run
-        (Sweep.Backend.local ?store ~jobs:fallback_jobs ())
+        (Sweep.Backend.local ?bus ?store ~jobs:fallback_jobs ())
         (List.map (fun i -> units.(i)) todo)
     in
     List.iter2 (fun i (r : Sweep.result) -> settle i r.outcome) todo results
@@ -437,6 +521,6 @@ let remote ?bus ?fallback_jobs ?store ?(timeout = 60.0) ?(retries = 2) workers :
 
 let backend ?bus ?fallback_jobs ?store spec : Sweep.Backend.t =
   match spec with
-  | Local { jobs } -> Sweep.Backend.local ?store ~jobs ()
+  | Local { jobs } -> Sweep.Backend.local ?bus ?store ~jobs ()
   | Remote { workers; timeout; retries } ->
     remote ?bus ?fallback_jobs ?store ~timeout ~retries workers

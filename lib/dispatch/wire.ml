@@ -4,7 +4,7 @@ module Store = Darco_sampling.Store
 exception Timeout
 exception Closed
 
-let protocol_version = 2
+let protocol_version = 3
 
 (* A checkpoint push carries a whole memory image; generous, but bounded so
    a corrupted length field cannot make us allocate the address space. *)
@@ -15,7 +15,7 @@ type msg =
   | Ping
   | Pong
   | Work of { id : int; unit_ : string }
-  | Result of { id : int; text : string }
+  | Result of { id : int; text : string; spans : string }
   | Fail of { id : int; reason : string }
   | Need of { digest : string }
   | Ckpt of { digest : string; bytes : string }
@@ -37,10 +37,16 @@ let payload_of = function
     B.int w slots;
     B.contents w
   | Ping | Pong -> ""
-  | Work { id; unit_ = s } | Result { id; text = s } | Fail { id; reason = s } ->
+  | Work { id; unit_ = s } | Fail { id; reason = s } ->
     let w = B.writer () in
     B.int w id;
     B.str w s;
+    B.contents w
+  | Result { id; text; spans } ->
+    let w = B.writer () in
+    B.int w id;
+    B.str w text;
+    B.str w spans;
     B.contents w
   | Need { digest } ->
     let w = B.writer () in
@@ -150,8 +156,9 @@ let recv ?deadline fd =
     let r = B.reader payload in
     let id = B.read_int r in
     let text = B.read_str r in
+    let spans = B.read_str r in
     B.expect_end r;
-    Result { id; text }
+    Result { id; text; spans }
   | "FAIL" ->
     let r = B.reader payload in
     let id = B.read_int r in

@@ -7,7 +7,7 @@
     as a clean {!Darco_sampling.Buf.Corrupt}, never a crash or a silently
     wrong sample.
 
-    Protocol version 2.  The dispatcher opens a connection per worker and
+    Protocol version 3.  The dispatcher opens a connection per worker and
     handshakes with [Hello]; the worker's [Hello] reply advertises how many
     units it can run concurrently ([slots], its [-j] value).  Work units
     are {b multiplexed}: each [Work] frame carries a dispatcher-chosen [id]
@@ -18,7 +18,11 @@
     Version-2 work units reference their checkpoint by digest instead of
     embedding it; a worker missing the checkpoint asks once with [Need] and
     the dispatcher answers with one [Ckpt] carrying the bytes, which the
-    worker caches for the rest of the sweep.  [recv] verifies a [Ckpt]
+    worker caches for the rest of the sweep.  Version 3 adds a span log
+    to every [Result]: the worker's {!Darco_obs.Span} records for the
+    unit ({!Darco_obs.Span.encode_list}; may be empty), which the
+    dispatcher merges into its own bus so one trace carries the
+    cross-machine timeline.  [recv] verifies a [Ckpt]
     frame's bytes against its claimed digest, so a wrong or tampered
     checkpoint is rejected at the wire, before it can reach the store.
 
@@ -48,7 +52,9 @@ type msg =
   | Work of { id : int; unit_ : string }
       (** an encoded {!Darco_sampling.Work.t}, tagged with the
           dispatcher's unit id *)
-  | Result of { id : int; text : string }  (** the unit's JSON result text *)
+  | Result of { id : int; text : string; spans : string }
+      (** the unit's JSON result text, plus the worker's encoded span log
+          for the unit ({!Darco_obs.Span.encode_list}; possibly empty) *)
   | Fail of { id : int; reason : string }
       (** unit [id] failed on the worker; [id = -1] means the connection
           itself is being failed (protocol error, version mismatch) *)

@@ -2,6 +2,7 @@ module B = Darco_sampling.Buf
 module Work = Darco_sampling.Work
 module Store = Darco_sampling.Store
 module Jsonx = Darco_obs.Jsonx
+module Span = Darco_obs.Span
 
 let log quiet fmt =
   Printf.ksprintf
@@ -40,13 +41,30 @@ type child = { c_id : int; c_path : string }
    courtesy reply the connection is dropped — the daemon itself lives on.
    A crashing unit (uncaught exception, fatal signal) fails only itself:
    it runs in its own child process, exactly like the local backend. *)
-let serve_connection ~quiet ~exec ~jobs ~store fd =
+let serve_connection ~quiet ~ident ~exec ~jobs ~store fd =
   let runq = Queue.create () in
   let parked : (string, (int * Work.t) Queue.t) Hashtbl.t = Hashtbl.create 4 in
   let running : (int, child) Hashtbl.t = Hashtbl.create jobs in
   let closed = ref false in
   let send msg = try Wire.send fd msg with Wire.Closed -> closed := true in
+  (* Per-unit span log (newest first): "queued" covers enqueue-to-fork —
+     including any park waiting for a checkpoint push — and "running"
+     covers the forked child's lifetime.  The log ships back inside the
+     unit's [Result] frame so the dispatcher can merge this machine's
+     timeline into its own trace. *)
+  let spanlog : (int, Span.t list) Hashtbl.t = Hashtbl.create jobs in
+  let log_span id sp =
+    Hashtbl.replace spanlog id
+      (sp :: Option.value ~default:[] (Hashtbl.find_opt spanlog id))
+  in
+  let take_spans id =
+    let sps = Option.value ~default:[] (Hashtbl.find_opt spanlog id) in
+    Hashtbl.remove spanlog id;
+    Span.encode_list (List.rev sps)
+  in
   let spawn (id, work) =
+    log_span id (Span.end_ ~span:"queued" ~corr:id ~host:ident ());
+    log_span id (Span.begin_ ~span:"running" ~corr:id ~host:ident ());
     let path = Filename.temp_file "darco_worker" ".json" in
     (* flush before forking so buffered output is not emitted twice *)
     flush stdout;
@@ -78,7 +96,7 @@ let serve_connection ~quiet ~exec ~jobs ~store fd =
             match status with
             | Unix.WEXITED 0 -> (
               match read_whole c.c_path with
-              | text -> Wire.Result { id = c.c_id; text }
+              | text -> Wire.Result { id = c.c_id; text; spans = "" }
               | exception Sys_error m ->
                 Wire.Fail { id = c.c_id; reason = "result unreadable: " ^ m })
             | Unix.WEXITED 3 ->
@@ -97,12 +115,26 @@ let serve_connection ~quiet ~exec ~jobs ~store fd =
                 { id = c.c_id; reason = Printf.sprintf "unit stopped by signal %d" s }
           in
           (try Sys.remove c.c_path with Sys_error _ -> ());
+          let ok = match msg with Wire.Result _ -> true | _ -> false in
+          log_span c.c_id
+            (Span.end_ ~ok ~span:"running" ~corr:c.c_id ~host:ident ());
+          let msg =
+            match msg with
+            | Wire.Result { id; text; _ } ->
+              Wire.Result { id; text; spans = take_spans id }
+            | m ->
+              (* [Fail] frames carry no span log; drop the unit's record *)
+              Hashtbl.remove spanlog c.c_id;
+              m
+          in
           send msg)
       | exception Unix.Unix_error (Unix.ECHILD, _, _) -> continue := false
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done
   in
-  let enqueue id work =
+  let enqueue id (work : Work.t) =
+    log_span id
+      (Span.begin_ ~detail:work.Work.label ~span:"queued" ~corr:id ~host:ident ());
     match Work.digest work with
     | Some d when not (Store.mem store d) ->
       let q =
@@ -202,6 +234,13 @@ let serve ?(quiet = false) ?exec ?ready ?(jobs = 1) ?store_dir ~host ~port () =
   Unix.bind sock (Unix.ADDR_INET (resolve host, port));
   Unix.listen sock 16;
   Option.iter (fun f -> f (Unix.getsockname sock)) ready;
+  (* span host identity: the bound address with the kernel-assigned port
+     (the caller may have passed port 0) *)
+  let ident =
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, p) -> Printf.sprintf "worker:%s:%d" host p
+    | _ -> Printf.sprintf "worker:%s:%d" host port
+  in
   log quiet "listening on %s:%d (protocol v%d, %d slot%s)" host port
     Wire.protocol_version jobs
     (if jobs = 1 then "" else "s");
@@ -213,7 +252,7 @@ let serve ?(quiet = false) ?exec ?ready ?(jobs = 1) ?store_dir ~host ~port () =
         | Unix.ADDR_INET (a, p) ->
           Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX p -> p);
-      serve_connection ~quiet ~exec ~jobs ~store fd;
+      serve_connection ~quiet ~ident ~exec ~jobs ~store fd;
       accept_loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
   in

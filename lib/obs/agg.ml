@@ -6,7 +6,7 @@ let apply (s : Stats.t) ~at:_ (ev : Event.t) =
   (* dispatch infrastructure events carry no simulated-machine counters *)
   | Worker_up _ | Worker_lost _ | Dispatch_sent _ | Dispatch_done _
   | Dispatch_retry _ | Dispatch_fallback _ | Ckpt_push _ | Ckpt_hit _
-  | Steal _ | Dispatch_inflight _ -> ()
+  | Steal _ | Dispatch_inflight _ | Span_begin _ | Span_end _ -> ()
   | Slice_end { overheads; _ } ->
     List.iter (fun (cat, n) -> Stats.charge s cat n) overheads
   | Interp_block { insns; cost; _ } ->
@@ -22,7 +22,8 @@ let apply (s : Stats.t) ~at:_ (ev : Event.t) =
     s.sb_translations <- s.sb_translations + 1;
     if unrolled then s.unrolled_superblocks <- s.unrolled_superblocks + 1;
     Stats.charge s Ov_sb_translate cost
-  | Region_exec { guest_bb; guest_sb; host_bb; host_sb; chains_followed; wasted_host }
+  | Region_exec
+      { guest_bb; guest_sb; host_bb; host_sb; chains_followed; wasted_host; _ }
     ->
     (* mirror Tol.account: the startup mark is taken before this region's
        retirement is added *)

@@ -1,0 +1,17 @@
+let wall_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+
+let last = ref 0
+
+let ticks () =
+  let t = wall_us () in
+  let v = if t <= !last then !last + 1 else t in
+  last := v;
+  v
+
+type stamp = { s_wall_us : int; s_seq : int }
+
+let seq = ref 0
+
+let stamp () =
+  incr seq;
+  { s_wall_us = wall_us (); s_seq = !seq }

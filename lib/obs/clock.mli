@@ -1,0 +1,26 @@
+(** The wall-clock/sequence time base of the telemetry layer.
+
+    Core simulation events keep the retired-guest-instruction clock; the
+    distributed-dispatch lifecycle and span tracing need a notion of time
+    that is meaningful {e across} machines.  Two devices provide it:
+
+    - {!ticks}: a strictly monotonic wall-clock in microseconds, used as
+      the [~at] stamp of dispatch-lifecycle events so a merged JSONL
+      trace sorts into real-time order even when two events land in the
+      same microsecond;
+    - {!stamp}: a (wall-µs, per-process sequence) pair carried inside
+      span events, so ties within one process still order deterministically
+      while cross-machine comparison falls back to the wall clock. *)
+
+val wall_us : unit -> int
+(** [Unix.gettimeofday] in integer microseconds. *)
+
+val ticks : unit -> int
+(** {!wall_us}, bumped to [last + 1] on a tie or clock step backwards —
+    strictly monotonic within the process. *)
+
+type stamp = { s_wall_us : int; s_seq : int }
+
+val stamp : unit -> stamp
+(** The current wall clock plus this process's next sequence number
+    (the sequence strictly increases per call). *)

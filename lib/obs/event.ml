@@ -19,6 +19,7 @@ type t =
       unrolled : bool;
     }
   | Region_exec of {
+      pc : int;
       guest_bb : int;
       guest_sb : int;
       host_bb : int;
@@ -39,7 +40,12 @@ type t =
   | Halt
   | Worker_up of { worker : string }
   | Worker_lost of { worker : string; reason : string }
-  | Dispatch_sent of { unit_label : string; worker : string; attempt : int }
+  | Dispatch_sent of {
+      unit_label : string;
+      worker : string;
+      attempt : int;
+      bytes : int;
+    }
   | Dispatch_done of { unit_label : string; worker : string; ok : bool }
   | Dispatch_retry of { unit_label : string; attempt : int; delay : float }
   | Dispatch_fallback of { reason : string }
@@ -47,6 +53,22 @@ type t =
   | Ckpt_hit of { worker : string; digest : string }
   | Steal of { unit_label : string; from_worker : string; to_worker : string }
   | Dispatch_inflight of { worker : string; in_flight : int }
+  | Span_begin of {
+      span : string;
+      corr : int;
+      host : string;
+      wall_us : int;
+      seq : int;
+      detail : string;
+    }
+  | Span_end of {
+      span : string;
+      corr : int;
+      host : string;
+      wall_us : int;
+      seq : int;
+      ok : bool;
+    }
 
 let rollback_name = function Rb_assert -> "assert" | Rb_alias -> "alias"
 let deopt_name = function De_noassert -> "noassert" | De_nomem -> "nomem"
@@ -94,6 +116,8 @@ let name = function
   | Ckpt_hit _ -> "ckpt_hit"
   | Steal _ -> "steal"
   | Dispatch_inflight _ -> "dispatch_inflight"
+  | Span_begin _ -> "span_begin"
+  | Span_end _ -> "span_end"
 
 let fields ev : (string * Jsonx.t) list =
   match ev with
@@ -127,9 +151,11 @@ let fields ev : (string * Jsonx.t) list =
       ("cost", Jsonx.Int cost);
       ("unrolled", Jsonx.Bool unrolled);
     ]
-  | Region_exec { guest_bb; guest_sb; host_bb; host_sb; chains_followed; wasted_host }
+  | Region_exec
+      { pc; guest_bb; guest_sb; host_bb; host_sb; chains_followed; wasted_host }
     ->
     [
+      ("pc", Jsonx.Int pc);
       ("guest_bb", Jsonx.Int guest_bb);
       ("guest_sb", Jsonx.Int guest_sb);
       ("host_bb", Jsonx.Int host_bb);
@@ -153,11 +179,12 @@ let fields ev : (string * Jsonx.t) list =
   | Worker_up { worker } -> [ ("worker", Jsonx.String worker) ]
   | Worker_lost { worker; reason } ->
     [ ("worker", Jsonx.String worker); ("reason", Jsonx.String reason) ]
-  | Dispatch_sent { unit_label; worker; attempt } ->
+  | Dispatch_sent { unit_label; worker; attempt; bytes } ->
     [
       ("unit", Jsonx.String unit_label);
       ("worker", Jsonx.String worker);
       ("attempt", Jsonx.Int attempt);
+      ("bytes", Jsonx.Int bytes);
     ]
   | Dispatch_done { unit_label; worker; ok } ->
     [
@@ -188,6 +215,24 @@ let fields ev : (string * Jsonx.t) list =
     ]
   | Dispatch_inflight { worker; in_flight } ->
     [ ("worker", Jsonx.String worker); ("in_flight", Jsonx.Int in_flight) ]
+  | Span_begin { span; corr; host; wall_us; seq; detail } ->
+    [
+      ("span", Jsonx.String span);
+      ("corr", Jsonx.Int corr);
+      ("host", Jsonx.String host);
+      ("wall_us", Jsonx.Int wall_us);
+      ("seq", Jsonx.Int seq);
+      ("detail", Jsonx.String detail);
+    ]
+  | Span_end { span; corr; host; wall_us; seq; ok } ->
+    [
+      ("span", Jsonx.String span);
+      ("corr", Jsonx.Int corr);
+      ("host", Jsonx.String host);
+      ("wall_us", Jsonx.Int wall_us);
+      ("seq", Jsonx.Int seq);
+      ("ok", Jsonx.Bool ok);
+    ]
 
 let to_json ~at ev =
   Jsonx.Obj (("at", Jsonx.Int at) :: ("ev", Jsonx.String (name ev)) :: fields ev)

@@ -1,9 +1,12 @@
 (** The typed simulation-lifecycle event vocabulary.
 
-    Every event carries, at emission time, the retired-guest-instruction
-    clock as its timestamp (the [~at] argument of {!Bus.emit}).  The
-    taxonomy is complete with respect to {!Stats.t}: replaying a run's
-    event stream through {!Agg} reproduces every counter exactly. *)
+    Core simulation events carry, at emission time, the
+    retired-guest-instruction clock as their timestamp (the [~at]
+    argument of {!Bus.emit}); dispatch-lifecycle and span events carry
+    the strictly monotonic wall-clock microsecond stamp of {!Clock}
+    instead (see below).  The taxonomy is complete with respect to
+    {!Stats.t}: replaying a run's event stream through {!Agg} reproduces
+    every counter exactly. *)
 
 type rollback_kind = Rb_assert | Rb_alias
 type deopt_kind = De_noassert | De_nomem
@@ -34,13 +37,16 @@ type t =
       unrolled : bool;
     }
   | Region_exec of {
+      pc : int;
       guest_bb : int;
       guest_sb : int;
       host_bb : int;
       host_sb : int;
       chains_followed : int;
       wasted_host : int;
-    }  (** one host-emulator run: retirement counts by mode *)
+    }
+      (** one host-emulator run entered at the translation of guest [pc]:
+          retirement counts by mode *)
   | Chain_made of { pc : int }  (** exit patched to the translation of [pc] *)
   | Ibtc_miss of { pc : int }
   | Ibtc_fill of { pc : int }
@@ -55,13 +61,20 @@ type t =
   | Divergence of { details : string list }
   | Halt
   (** Distributed-dispatch lifecycle ([Darco_dispatch]).  These events
-      describe the sweep infrastructure, not the simulated machine; they
-      are emitted with [at = 0] (there is no meaningful retired-instruction
-      clock across machines) and touch no {!Stats.t} counter. *)
+      describe the sweep infrastructure, not the simulated machine; there
+      is no meaningful retired-instruction clock across machines, so they
+      are emitted with [at = Clock.ticks ()] — strictly monotonic
+      wall-clock microseconds, preserving real-time order in a merged
+      JSONL trace — and touch no {!Stats.t} counter. *)
   | Worker_up of { worker : string }  (** handshake with [worker] succeeded *)
   | Worker_lost of { worker : string; reason : string }
       (** connection refused/closed/timed out; the worker gets no more units *)
-  | Dispatch_sent of { unit_label : string; worker : string; attempt : int }
+  | Dispatch_sent of {
+      unit_label : string;
+      worker : string;
+      attempt : int;
+      bytes : int;
+    }  (** [bytes] is the size of the encoded work-unit frame payload *)
   | Dispatch_done of { unit_label : string; worker : string; ok : bool }
       (** a worker answered: a result ([ok]) or a per-unit failure *)
   | Dispatch_retry of { unit_label : string; attempt : int; delay : float }
@@ -79,6 +92,27 @@ type t =
           on a slower worker; the first result wins *)
   | Dispatch_inflight of { worker : string; in_flight : int }
       (** gauge: units currently in flight on [worker] (after a change) *)
+  | Span_begin of {
+      span : string;
+      corr : int;
+      host : string;
+      wall_us : int;
+      seq : int;
+      detail : string;
+    }
+      (** a named interval opened on [host]: [corr] correlates the
+          matching {!Span_end} (and is the Chrome-trace thread id);
+          [wall_us]/[seq] are the {!Clock.stamp} taken where the span
+          actually happened, preserved verbatim when a worker's span log
+          is re-emitted by the dispatcher.  See {!Span}. *)
+  | Span_end of {
+      span : string;
+      corr : int;
+      host : string;
+      wall_us : int;
+      seq : int;
+      ok : bool;
+    }
 
 val name : t -> string
 (** Stable machine-readable event name (the ["ev"] field of the trace). *)

@@ -1,0 +1,95 @@
+(* 63 buckets cover every non-negative OCaml int: bucket 0 is v <= 0 and
+   bucket i >= 1 is 2^(i-1) <= v < 2^i (upper bound 2^i - 1 inclusive). *)
+let buckets = 63
+
+type t = {
+  counts : int array;
+  mutable count : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make buckets 0; count = 0; sum = 0; min_v = 0; max_v = 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let i = ref 0 and v = ref v in
+    while !v > 0 do
+      v := !v lsr 1;
+      incr i
+    done;
+    min !i (buckets - 1)
+  end
+
+(* inclusive upper bound of bucket [i] *)
+let upper i = if i = 0 then 0 else (1 lsl i) - 1
+
+let add t v =
+  if t.count = 0 then begin
+    t.min_v <- v;
+    t.max_v <- v
+  end
+  else begin
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end;
+  t.count <- t.count + 1;
+  t.sum <- t.sum + v;
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1
+
+let count t = t.count
+let sum t = t.sum
+let min_value t = t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+let percentile t p =
+  if t.count = 0 then 0
+  else begin
+    let rank =
+      max 1 (int_of_float (ceil (p *. float_of_int t.count)))
+    in
+    let rank = min rank t.count in
+    let acc = ref 0 and found = ref 0 in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + t.counts.(i);
+         if !acc >= rank then begin
+           found := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    (* the estimate never exceeds the observed maximum *)
+    min (upper !found) t.max_v
+  end
+
+let to_json t =
+  let bs = ref [] in
+  for i = buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      bs :=
+        Jsonx.Obj [ ("le", Jsonx.Int (upper i)); ("n", Jsonx.Int t.counts.(i)) ]
+        :: !bs
+  done;
+  Jsonx.Obj
+    [
+      ("count", Jsonx.Int t.count);
+      ("sum", Jsonx.Int t.sum);
+      ("min", Jsonx.Int t.min_v);
+      ("max", Jsonx.Int t.max_v);
+      ("mean", Jsonx.Float (mean t));
+      ("p50", Jsonx.Int (percentile t 0.50));
+      ("p90", Jsonx.Int (percentile t 0.90));
+      ("p99", Jsonx.Int (percentile t 0.99));
+      ("buckets", Jsonx.List !bs);
+    ]
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d min=%d mean=%.1f max=%d p50<=%d p90<=%d p99<=%d"
+    t.count t.min_v (mean t) t.max_v (percentile t 0.50) (percentile t 0.90)
+    (percentile t 0.99)

@@ -1,0 +1,37 @@
+(** Log-bucketed histograms for the telemetry layer.
+
+    Values land in power-of-two buckets (bucket [i] holds [v] with
+    [2^(i-1) <= v < 2^i], bucket 0 holds [v <= 0]), so a histogram over
+    any non-negative quantity — microseconds, bytes, cycles — costs one
+    64-slot int array and an [O(log v)] add, with no configuration.
+    Percentiles are estimated as the inclusive upper bound of the bucket
+    containing the requested rank (exact min/max/mean/sum are tracked
+    separately). *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+(** 0 when empty. *)
+
+val max_value : t -> int
+(** 0 when empty. *)
+
+val mean : t -> float
+(** 0.0 when empty. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] for [p] in [0, 1]: the upper bound of the bucket
+    holding the value of rank [ceil (p * count)]; 0 when empty. *)
+
+val to_json : t -> Jsonx.t
+(** [{"count", "sum", "min", "max", "mean", "p50", "p90", "p99",
+    "buckets": [{"le": <inclusive upper bound>, "n": <count>} ...]}],
+    non-empty buckets only. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line: count, min/mean/max and the p50/p90/p99 estimates. *)

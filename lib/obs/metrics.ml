@@ -1,7 +1,11 @@
-let to_json (s : Stats.t) : Jsonx.t =
+let hists_json hists =
+  Jsonx.Obj (List.map (fun (name, h) -> (name, Hist.to_json h)) hists)
+
+let to_json ?(hists = []) (s : Stats.t) : Jsonx.t =
   let im, bbm, sbm = Stats.mode_fractions s in
   Jsonx.Obj
-    [
+    ((if hists = [] then [] else [ ("hists", hists_json hists) ])
+    @ [
       ( "guest",
         Jsonx.Obj
           [
@@ -64,12 +68,14 @@ let to_json (s : Stats.t) : Jsonx.t =
           ] );
       ( "startup_insns",
         match s.startup_insns with None -> Jsonx.Null | Some n -> Jsonx.Int n );
-    ]
+    ])
 
-let to_string s = Jsonx.to_string (to_json s)
+let to_string ?hists s = Jsonx.to_string (to_json ?hists s)
 
-let write_file path s =
+let write_file ?hists path s =
   let oc = open_out path in
-  output_string oc (to_string s);
-  output_char oc '\n';
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ?hists s);
+      output_char oc '\n')

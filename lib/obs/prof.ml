@@ -1,0 +1,189 @@
+type region = {
+  r_pc : int;
+  mutable r_guest : int;
+  mutable r_host : int;
+  mutable r_wasted : int;
+  mutable r_overhead : int;
+  mutable r_execs : int;
+  mutable r_translations : int;
+  mutable r_rollbacks : int;
+  mutable r_deopts : int;
+}
+
+type t = { by_pc : (int, region) Hashtbl.t; una : region }
+
+let fresh pc =
+  {
+    r_pc = pc;
+    r_guest = 0;
+    r_host = 0;
+    r_wasted = 0;
+    r_overhead = 0;
+    r_execs = 0;
+    r_translations = 0;
+    r_rollbacks = 0;
+    r_deopts = 0;
+  }
+
+let create () = { by_pc = Hashtbl.create 256; una = fresh (-1) }
+
+let region t pc =
+  match Hashtbl.find_opt t.by_pc pc with
+  | Some r -> r
+  | None ->
+    let r = fresh pc in
+    Hashtbl.add t.by_pc pc r;
+    r
+
+let apply t ~at:_ (ev : Event.t) =
+  match ev with
+  | Event.Init { cost } -> t.una.r_overhead <- t.una.r_overhead + cost
+  | Event.Clock_sync { retired } -> t.una.r_guest <- t.una.r_guest + retired
+  | Event.Slice_end { overheads; _ } ->
+    List.iter (fun (_, n) -> t.una.r_overhead <- t.una.r_overhead + n) overheads
+  | Event.Interp_block { pc; insns; cost } ->
+    let r = region t pc in
+    r.r_guest <- r.r_guest + insns;
+    r.r_overhead <- r.r_overhead + cost
+  | Event.Interp_step { pc; cost } ->
+    let r = region t pc in
+    r.r_guest <- r.r_guest + 1;
+    r.r_overhead <- r.r_overhead + cost
+  | Event.Bb_translated { pc; cost; _ } | Event.Sb_translated { pc; cost; _ } ->
+    let r = region t pc in
+    r.r_translations <- r.r_translations + 1;
+    r.r_overhead <- r.r_overhead + cost
+  | Event.Region_exec { pc; guest_bb; guest_sb; host_bb; host_sb; wasted_host; _ }
+    ->
+    let r = region t pc in
+    r.r_guest <- r.r_guest + guest_bb + guest_sb;
+    r.r_host <- r.r_host + host_bb + host_sb;
+    r.r_wasted <- r.r_wasted + wasted_host;
+    r.r_execs <- r.r_execs + 1
+  | Event.Rollback { pc; _ } ->
+    let r = region t pc in
+    r.r_rollbacks <- r.r_rollbacks + 1
+  | Event.Deopt_rebuild { pc; _ } ->
+    let r = region t pc in
+    r.r_deopts <- r.r_deopts + 1
+  | Event.Syscall { eip; cost } ->
+    let r = region t eip in
+    r.r_guest <- r.r_guest + 1;
+    r.r_overhead <- r.r_overhead + cost
+  | Event.Slice_start | Event.Chain_made _ | Event.Ibtc_miss _
+  | Event.Ibtc_fill _ | Event.Cache_flush _ | Event.Page_install _
+  | Event.Validation _ | Event.Divergence _ | Event.Halt | Event.Worker_up _
+  | Event.Worker_lost _ | Event.Dispatch_sent _ | Event.Dispatch_done _
+  | Event.Dispatch_retry _ | Event.Dispatch_fallback _ | Event.Ckpt_push _
+  | Event.Ckpt_hit _ | Event.Steal _ | Event.Dispatch_inflight _
+  | Event.Span_begin _ | Event.Span_end _ ->
+    ()
+
+let attach bus =
+  let t = create () in
+  Bus.attach bus ~name:"profiler" (apply t);
+  t
+
+let regions t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.by_pc [ t.una ]
+
+let heat r = r.r_host + r.r_overhead
+
+let top t ~n =
+  let rs =
+    List.sort
+      (fun a b ->
+        match compare (heat b) (heat a) with 0 -> compare a.r_pc b.r_pc | c -> c)
+      (regions t)
+  in
+  List.filteri (fun i _ -> i < n) rs
+
+let totals t =
+  List.fold_left
+    (fun (g, h, w, o, rb, de, tr) r ->
+      ( g + r.r_guest,
+        h + r.r_host,
+        w + r.r_wasted,
+        o + r.r_overhead,
+        rb + r.r_rollbacks,
+        de + r.r_deopts,
+        tr + r.r_translations ))
+    (0, 0, 0, 0, 0, 0, 0) (regions t)
+
+let reconciles t (s : Stats.t) =
+  let g, h, w, o, rb, de, tr = totals t in
+  let check name got want =
+    if got = want then Ok ()
+    else
+      Error
+        (Printf.sprintf "%s: profiler attributes %d, stats hold %d" name got
+           want)
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  check "guest instructions" g (Stats.guest_total s) >>= fun () ->
+  check "host app instructions" h (Stats.host_app_total s) >>= fun () ->
+  check "wasted host" w s.Stats.wasted_host >>= fun () ->
+  check "overhead cycles" o (Stats.total_overhead s) >>= fun () ->
+  check "rollbacks" rb (s.Stats.assert_rollbacks + s.Stats.alias_rollbacks)
+  >>= fun () ->
+  check "deopt rebuilds" de
+    (s.Stats.sb_rebuilds_noassert + s.Stats.sb_rebuilds_nomem)
+  >>= fun () ->
+  check "translations" tr (s.Stats.bb_translations + s.Stats.sb_translations)
+
+let pc_label r = if r.r_pc < 0 then "(unattributed)" else Printf.sprintf "0x%06x" r.r_pc
+
+let pp_table ?(n = 10) fmt t =
+  let header =
+    [ "region"; "guest"; "host"; "wasted"; "overhead"; "execs"; "xlate"; "rb"; "deopt" ]
+  in
+  let rows =
+    List.map
+      (fun r ->
+        [
+          pc_label r;
+          string_of_int r.r_guest;
+          string_of_int r.r_host;
+          string_of_int r.r_wasted;
+          string_of_int r.r_overhead;
+          string_of_int r.r_execs;
+          string_of_int r.r_translations;
+          string_of_int r.r_rollbacks;
+          string_of_int r.r_deopts;
+        ])
+      (top t ~n)
+  in
+  Format.pp_print_string fmt (Darco_util.Table.render ~header rows)
+
+let region_json r =
+  Jsonx.Obj
+    [
+      ("pc", Jsonx.Int r.r_pc);
+      ("guest", Jsonx.Int r.r_guest);
+      ("host", Jsonx.Int r.r_host);
+      ("wasted", Jsonx.Int r.r_wasted);
+      ("overhead", Jsonx.Int r.r_overhead);
+      ("execs", Jsonx.Int r.r_execs);
+      ("translations", Jsonx.Int r.r_translations);
+      ("rollbacks", Jsonx.Int r.r_rollbacks);
+      ("deopts", Jsonx.Int r.r_deopts);
+    ]
+
+let to_json ?n t =
+  let n = match n with Some n -> n | None -> 1 + Hashtbl.length t.by_pc in
+  let g, h, w, o, rb, de, tr = totals t in
+  Jsonx.Obj
+    [
+      ("regions", Jsonx.List (List.map region_json (top t ~n)));
+      ( "totals",
+        Jsonx.Obj
+          [
+            ("guest", Jsonx.Int g);
+            ("host", Jsonx.Int h);
+            ("wasted", Jsonx.Int w);
+            ("overhead", Jsonx.Int o);
+            ("rollbacks", Jsonx.Int rb);
+            ("deopts", Jsonx.Int de);
+            ("translations", Jsonx.Int tr);
+          ] );
+    ]

@@ -1,0 +1,59 @@
+(** The hot-region profiler: a bus-fed aggregator attributing the run's
+    cost to guest PCs / translated regions.
+
+    Every event that moves a {!Stats.t} counter carries (or implies) a
+    guest PC; the profiler buckets by it:
+
+    - retired guest instructions: [Interp_block]/[Interp_step] at the
+      interpreted PC, [Region_exec] at the region's entry PC, [Syscall]
+      at its EIP;
+    - retired host application instructions and wasted (rolled-back)
+      host work: [Region_exec];
+    - TOL overhead cycles: interpretation and translation costs at their
+      PC; [Init], [Clock_sync] fast-forwards and the batched per-slice
+      dispatch overheads of [Slice_end] go to the {e unattributed} bucket
+      (they belong to the loop, not to any one region);
+    - rollback / deopt-rebuild counts and translation counts at their PC.
+
+    Attribution is {b exact}: summed over all regions plus the
+    unattributed bucket, every column reconciles with the corresponding
+    {!Stats.t} total ({!reconciles} checks this, and the test suite
+    enforces it per workload). *)
+
+type t
+
+(** One guest region's attributed totals. *)
+type region = {
+  r_pc : int;  (** region entry PC; [-1] for the unattributed bucket *)
+  mutable r_guest : int;  (** retired guest instructions *)
+  mutable r_host : int;  (** retired host application instructions *)
+  mutable r_wasted : int;  (** host work discarded by rollbacks *)
+  mutable r_overhead : int;  (** TOL overhead cycles *)
+  mutable r_execs : int;  (** host-emulator entries at this region *)
+  mutable r_translations : int;  (** BB + SB translations of this PC *)
+  mutable r_rollbacks : int;
+  mutable r_deopts : int;
+}
+
+val create : unit -> t
+val attach : Bus.t -> t
+val apply : t -> at:int -> Event.t -> unit
+(** Fold one event (what {!attach}'s sink does). *)
+
+val regions : t -> region list
+(** Every touched region, unordered, including the unattributed bucket. *)
+
+val top : t -> n:int -> region list
+(** The [n] hottest regions by [r_host + r_overhead] (host-side cost),
+    unattributed bucket included, hottest first. *)
+
+val reconciles : t -> Stats.t -> (unit, string) result
+(** [Ok ()] iff every attributed column sums exactly to the corresponding
+    {!Stats.t} total; [Error] names the first mismatching column. *)
+
+val pp_table : ?n:int -> Format.formatter -> t -> unit
+(** A top-N text table ([n] defaults to 10). *)
+
+val to_json : ?n:int -> t -> Jsonx.t
+(** [{"regions": [...], "totals": {...}}]; [n] bounds the region list
+    (default: all), hottest first. *)

@@ -1,0 +1,61 @@
+type t = {
+  cap : int;
+  path : string;
+  ats : int array;
+  evs : Event.t option array;
+  mutable next : int;  (* slot the next event lands in *)
+  mutable filled : int;  (* events currently held, <= cap *)
+  mutable dumped : bool;
+}
+
+let contents t =
+  let acc = ref [] in
+  for i = 0 to t.filled - 1 do
+    let slot = (t.next - 1 - i + (2 * t.cap)) mod t.cap in
+    match t.evs.(slot) with
+    | Some ev -> acc := (t.ats.(slot), ev) :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let dump t =
+  let oc = open_out t.path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      List.iter
+        (fun (at, ev) ->
+          output_string oc (Jsonx.to_string (Event.to_json ~at ev));
+          output_char oc '\n')
+        (contents t));
+  t.dumped <- true
+
+let push t ~at ev =
+  t.ats.(t.next) <- at;
+  t.evs.(t.next) <- Some ev;
+  t.next <- (t.next + 1) mod t.cap;
+  if t.filled < t.cap then t.filled <- t.filled + 1
+
+let record t ~at ev =
+  push t ~at ev;
+  match ev with
+  | Event.Divergence _ | Event.Dispatch_done { ok = false; _ } -> dump t
+  | _ -> ()
+
+let attach bus ~capacity ~path =
+  if capacity < 1 then invalid_arg "Recorder.attach: capacity < 1";
+  let t =
+    {
+      cap = capacity;
+      path;
+      ats = Array.make capacity 0;
+      evs = Array.make capacity None;
+      next = 0;
+      filled = 0;
+      dumped = false;
+    }
+  in
+  Bus.attach bus ~name:"flight-recorder" (record t);
+  t
+
+let dumped t = t.dumped

@@ -1,0 +1,31 @@
+(** The flight recorder: a fixed-size ring of the most recent events,
+    dumped as JSONL when something goes wrong.
+
+    Unlike {!Trace.attach_file}, which streams {e every} event to disk,
+    the recorder costs a bounded ring of memory and writes nothing at all
+    on a healthy run — the right default for long sweeps where only the
+    trail leading up to a failure matters.
+
+    Dump triggers (automatic, from the sink itself): a [Divergence]
+    event, and a failed work unit ([Dispatch_done] with [ok = false] —
+    a worker's [FAIL] reply).  {!dump} can be called manually, e.g. from
+    an uncaught-exception handler around a run.  Each dump rewrites
+    [path] with the ring's current contents, oldest event first, one
+    [Event.to_json] object per line; a later trigger overwrites an
+    earlier one, so the file always holds the trail of the most recent
+    incident. *)
+
+type t
+
+val attach : Bus.t -> capacity:int -> path:string -> t
+(** Keep the last [capacity] events; dump them to [path] on a trigger.
+    Raises [Invalid_argument] if [capacity < 1]. *)
+
+val contents : t -> (int * Event.t) list
+(** The ring right now, oldest first, each event with its [at] stamp. *)
+
+val dump : t -> unit
+(** Write the ring to the recorder's path now (also what triggers do). *)
+
+val dumped : t -> bool
+(** At least one dump has been written since attachment. *)

@@ -1,0 +1,120 @@
+type phase = B | E
+
+type t = {
+  span : string;
+  corr : int;
+  host : string;
+  phase : phase;
+  wall_us : int;
+  seq : int;
+  ok : bool;
+  detail : string;
+}
+
+let begin_ ?(detail = "") ~span ~corr ~host () =
+  let st = Clock.stamp () in
+  {
+    span;
+    corr;
+    host;
+    phase = B;
+    wall_us = st.Clock.s_wall_us;
+    seq = st.Clock.s_seq;
+    ok = true;
+    detail;
+  }
+
+let end_ ?(ok = true) ~span ~corr ~host () =
+  let st = Clock.stamp () in
+  {
+    span;
+    corr;
+    host;
+    phase = E;
+    wall_us = st.Clock.s_wall_us;
+    seq = st.Clock.s_seq;
+    ok;
+    detail = "";
+  }
+
+let to_event t =
+  match t.phase with
+  | B ->
+    Event.Span_begin
+      {
+        span = t.span;
+        corr = t.corr;
+        host = t.host;
+        wall_us = t.wall_us;
+        seq = t.seq;
+        detail = t.detail;
+      }
+  | E ->
+    Event.Span_end
+      {
+        span = t.span;
+        corr = t.corr;
+        host = t.host;
+        wall_us = t.wall_us;
+        seq = t.seq;
+        ok = t.ok;
+      }
+
+let of_event = function
+  | Event.Span_begin { span; corr; host; wall_us; seq; detail } ->
+    Some { span; corr; host; phase = B; wall_us; seq; ok = true; detail }
+  | Event.Span_end { span; corr; host; wall_us; seq; ok } ->
+    Some { span; corr; host; phase = E; wall_us; seq; ok; detail = "" }
+  | _ -> None
+
+let emit bus t = Bus.emit bus ~at:t.wall_us (to_event t)
+
+let to_json t = Event.to_json ~at:t.wall_us (to_event t)
+
+let bad msg = raise (Jsonx.Parse_error msg)
+
+let field name j =
+  match Jsonx.member name j with
+  | Some v -> v
+  | None -> bad (Printf.sprintf "span record lacks %S" name)
+
+let int_field name j =
+  match Jsonx.to_int (field name j) with
+  | Some n -> n
+  | None -> bad (Printf.sprintf "span field %S is not an int" name)
+
+let str_field name j =
+  match Jsonx.to_str (field name j) with
+  | Some s -> s
+  | None -> bad (Printf.sprintf "span field %S is not a string" name)
+
+let of_json j =
+  let base phase =
+    {
+      span = str_field "span" j;
+      corr = int_field "corr" j;
+      host = str_field "host" j;
+      phase;
+      wall_us = int_field "wall_us" j;
+      seq = int_field "seq" j;
+      ok = true;
+      detail = "";
+    }
+  in
+  match str_field "ev" j with
+  | "span_begin" -> { (base B) with detail = str_field "detail" j }
+  | "span_end" ->
+    let ok =
+      match field "ok" j with
+      | Jsonx.Bool b -> b
+      | _ -> bad "span field \"ok\" is not a bool"
+    in
+    { (base E) with ok }
+  | other -> bad (Printf.sprintf "not a span record: ev = %S" other)
+
+let encode_list ts = Jsonx.to_string (Jsonx.List (List.map to_json ts))
+
+let decode_list s =
+  match Jsonx.parse s with
+  | Jsonx.List js -> List.map of_json js
+  | _ -> bad "span log is not a list"

@@ -1,0 +1,50 @@
+(** Spans: named wall-clock intervals with correlation ids, the unit of
+    the cross-machine timeline.
+
+    A span is one half of a [B]/[E] pair: the dispatcher and the worker
+    daemons open and close spans around each stage of a work unit's life
+    (queued, inflight, running, ckpt_push), stamping each half with
+    {!Clock.stamp} where it happens.  Workers accumulate their spans per
+    unit and ship the log back inside the [RSLT] frame; the dispatcher
+    re-emits them on its bus {e with the original stamps}, so one trace
+    carries the merged timeline of every machine that touched the sweep.
+
+    [corr] correlates the two halves (and becomes the Chrome-trace thread
+    id); [host] names the machine-level track (the Chrome-trace process).
+    On a given [(host, corr)] pair spans must nest properly — the begin/
+    end pairs this library emits are sequential per unit, which trivially
+    satisfies that. *)
+
+type phase = B | E
+
+type t = {
+  span : string;  (** stage name: "queued", "inflight", "running", ... *)
+  corr : int;
+  host : string;
+  phase : phase;
+  wall_us : int;
+  seq : int;
+  ok : bool;  (** meaningful on [E] halves only; [true] on [B] *)
+  detail : string;  (** free-form annotation; meaningful on [B] halves *)
+}
+
+val begin_ : ?detail:string -> span:string -> corr:int -> host:string -> unit -> t
+(** A [B] half stamped now. *)
+
+val end_ : ?ok:bool -> span:string -> corr:int -> host:string -> unit -> t
+(** An [E] half stamped now ([ok] defaults to [true]). *)
+
+val to_event : t -> Event.t
+val of_event : Event.t -> t option
+(** [Some] exactly on [Span_begin]/[Span_end] events. *)
+
+val emit : Bus.t -> t -> unit
+(** Publish as its event with [~at = wall_us]. *)
+
+val encode_list : t list -> string
+(** Compact JSON text (a list of event objects) — the representation
+    shipped inside [RSLT] frames. *)
+
+val decode_list : string -> t list
+(** Inverse of {!encode_list}; raises {!Jsonx.Parse_error} on malformed
+    input (including structurally valid JSON that is not a span list). *)

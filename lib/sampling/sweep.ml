@@ -1,4 +1,6 @@
 module Jsonx = Darco_obs.Jsonx
+module Bus = Darco_obs.Bus
+module Span = Darco_obs.Span
 
 type outcome = Ok of Jsonx.t | Failed of string
 type result = { label : string; outcome : outcome }
@@ -40,12 +42,20 @@ let collect path status =
 
 (* The fork-per-item pool behind the [Local] backend (and the deprecated
    generic [map]). *)
-let pool_map ?(jobs = 4) ~label f items =
+let pool_map ?bus ?(jobs = 4) ~label f items =
   let jobs = max 1 jobs in
   let items = Array.of_list items in
   let n = Array.length items in
   let outcomes = Array.make n (Failed "not run") in
   let pending = Hashtbl.create jobs in (* pid -> (index, temp path) *)
+  (* one "running" span per item on the [local] track, correlated by item
+     index — the same shape a worker daemon ships back over the wire, so
+     local and remote sweeps produce the same timeline *)
+  let span sp =
+    match bus with
+    | Some b when Bus.active b -> Span.emit b sp
+    | _ -> ()
+  in
   let reap_one () =
     let pid, status = Unix.wait () in
     match Hashtbl.find_opt pending pid with
@@ -53,6 +63,8 @@ let pool_map ?(jobs = 4) ~label f items =
     | Some (idx, path) ->
       Hashtbl.remove pending pid;
       outcomes.(idx) <- collect path status;
+      (let ok = match outcomes.(idx) with Ok _ -> true | Failed _ -> false in
+       span (Span.end_ ~ok ~span:"running" ~corr:idx ~host:"local" ()));
       (try Sys.remove path with Sys_error _ -> ())
   in
   Array.iteri
@@ -61,6 +73,9 @@ let pool_map ?(jobs = 4) ~label f items =
         reap_one ()
       done;
       let path = Filename.temp_file "darco_sweep" ".json" in
+      span
+        (Span.begin_ ~detail:(label item) ~span:"running" ~corr:idx
+           ~host:"local" ());
       (* flush before forking so buffered output is not emitted twice *)
       flush stdout;
       flush stderr;
@@ -81,16 +96,16 @@ module Backend = struct
     dispatch : Work.t list -> result list;
   }
 
-  let of_exec ?(jobs = 4) ~name exec =
+  let of_exec ?bus ?(jobs = 4) ~name exec =
     {
       name;
       dispatch =
         (fun works ->
-          pool_map ~jobs ~label:(fun (w : Work.t) -> w.Work.label) exec works);
+          pool_map ?bus ~jobs ~label:(fun (w : Work.t) -> w.Work.label) exec works);
     }
 
-  let local ?store ?(jobs = 4) () =
-    of_exec ~jobs
+  let local ?bus ?store ?(jobs = 4) () =
+    of_exec ?bus ~jobs
       ~name:(Printf.sprintf "local:%d" (max 1 jobs))
       (Work.exec ?store)
 end

@@ -24,16 +24,21 @@ module Backend : sig
   }
 
   val of_exec :
+    ?bus:Darco_obs.Bus.t ->
     ?jobs:int -> name:string -> (Work.t -> Darco_obs.Jsonx.t) -> t
   (** A fork-pool backend running an arbitrary unit-execution function —
       the building block behind {!local}, exposed so tests can substitute
-      instrumented executors without re-implementing the pool. *)
+      instrumented executors without re-implementing the pool.  When [bus]
+      is given and active, the pool emits a ["running"]
+      {!Darco_obs.Span} pair per unit (host ["local"], correlated by unit
+      index) — the same timeline shape a remote worker ships back. *)
 
-  val local : ?store:Store.t -> ?jobs:int -> unit -> t
+  val local : ?bus:Darco_obs.Bus.t -> ?store:Store.t -> ?jobs:int -> unit -> t
   (** Fork-per-unit execution on this machine, at most [jobs] (default 4)
       concurrent workers.  Each unit runs [Work.exec ?store] in a child
       process; no state the child mutates is visible to the parent.
-      [store] resolves version-2 (digest-addressed) units. *)
+      [store] resolves version-2 (digest-addressed) units; [bus] as in
+      {!of_exec}. *)
 end
 
 val run : Backend.t -> Work.t list -> result list
@@ -41,6 +46,7 @@ val run : Backend.t -> Work.t list -> result list
     results in input order. *)
 
 val map :
+  ?bus:Darco_obs.Bus.t ->
   ?jobs:int -> label:('a -> string) -> ('a -> Darco_obs.Jsonx.t) -> 'a list -> result list
 [@@ocaml.deprecated
   "Sweep.map is the legacy fork-only entry point; build Work.t units and \

@@ -86,6 +86,10 @@ type t = {
   mutable branches : int;
   mutable rf_reads : int;
   mutable rf_writes : int;
+  (* optional load-latency distribution (total dTLB + dL1 chain per load);
+     [None] costs one pointer test per load and is never persisted — a
+     restored pipeline starts with observation off *)
+  mutable lat_hist : Darco_obs.Hist.t option;
 }
 
 let create (cfg : Tconfig.t) =
@@ -130,6 +134,7 @@ let create (cfg : Tconfig.t) =
     branches = 0;
     rf_reads = 0;
     rf_writes = 0;
+    lat_hist = None;
   }
 
 (* The vector class exists for the SIMD-extension configuration; the
@@ -230,6 +235,9 @@ let step t (ri : Emulator.retire_info) =
       let tlb_extra = Tlb.access t.dtlb addr in
       let lat = Cache.access t.dl1 addr ~is_write:false in
       Prefetch.observe t.pf ~pc:ri.host_pc ~addr;
+      (match t.lat_hist with
+      | None -> ()
+      | Some h -> Darco_obs.Hist.add h (tlb_extra + lat));
       tlb_extra + lat
     | Some (addr, `Store) ->
       t.mem_writes <- t.mem_writes + 1;
@@ -353,6 +361,14 @@ let pp_summary ppf s =
     s.prefetches
 
 let attach t bus = Darco_obs.Bus.on_retire bus (step t)
+
+let observe_latencies t =
+  match t.lat_hist with
+  | Some h -> h
+  | None ->
+    let h = Darco_obs.Hist.create () in
+    t.lat_hist <- Some h;
+    h
 
 (* --- snapshot support ---------------------------------------------------- *)
 

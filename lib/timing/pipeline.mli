@@ -49,6 +49,14 @@ val attach : t -> Darco_obs.Bus.t -> unit
 (** Subscribe {!step} to the bus's retired-instruction stream (attach
     before the run starts). *)
 
+val observe_latencies : t -> Darco_obs.Hist.t
+(** Install (or return the already-installed) load-latency histogram: from
+    this call on, every load's total memory latency (D-TLB walk plus data
+    cache chain, in cycles) is added to the returned histogram.  Off by
+    default — the un-observed path costs one pointer test per load.  The
+    histogram is not part of {!persisted}; a {!restore}d pipeline starts
+    with observation off. *)
+
 val cycles : t -> int
 val instructions : t -> int
 val summary : t -> summary

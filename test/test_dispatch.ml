@@ -104,6 +104,72 @@ let test_loopback_e2e () =
         (count events (function Event.Dispatch_done _ -> true | _ -> false)
         = List.length (Lazy.force works)))
 
+(* --- 1b. observability of the same sweep: lifecycle events carry
+   wall-clock stamps, worker span logs ship back inside RSLT frames and
+   replay on the dispatcher bus, and the merged timeline renders to a
+   Chrome trace-event document that passes the validator CI enforces --- *)
+let test_sweep_observability () =
+  let p1, a1 = spawn_worker () in
+  let p2, a2 = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap p1; reap p2)
+    (fun () ->
+      let bus, events = collecting_bus () in
+      let stamps = ref [] in
+      Darco_obs.Bus.attach bus ~name:"stamps" (fun ~at ev ->
+          match ev with
+          | Event.Worker_up _ | Event.Dispatch_sent _ | Event.Dispatch_done _
+            ->
+            stamps := at :: !stamps
+          | _ -> ());
+      let chrome = Darco_obs.Chrome.attach bus in
+      let remote =
+        Sweep.run (Darco_dispatch.remote ~bus [ a1; a2 ]) (Lazy.force works)
+      in
+      Alcotest.(check (list string))
+        "observed sweep still bit-identical to local" (Lazy.force expected)
+        (List.map render remote);
+      (* the dispatch-event stamping fix: lifecycle events used to be
+         emitted at:0; they must carry real wall-clock microseconds *)
+      Alcotest.(check bool) "lifecycle events observed" true (!stamps <> []);
+      Alcotest.(check bool) "lifecycle events stamped with wall-clock time"
+        true
+        (List.for_all (fun at -> at > 0) !stamps);
+      (* spans from both sides of the wire are on the one bus *)
+      let span_hosts =
+        List.filter_map
+          (fun ev ->
+            Option.map
+              (fun s -> s.Darco_obs.Span.host)
+              (Darco_obs.Span.of_event ev))
+          !events
+      in
+      Alcotest.(check bool) "dispatcher-side spans present" true
+        (List.mem "dispatcher" span_hosts);
+      Alcotest.(check bool) "worker spans merged into the timeline" true
+        (List.exists
+           (fun h -> String.length h >= 7 && String.sub h 0 7 = "worker:")
+           span_hosts);
+      (* every unit ran somewhere: a worker-side "running" begin per unit *)
+      Alcotest.(check bool) "a running span per unit" true
+        (count events (function
+           | Event.Span_begin { span = "running"; host; _ } ->
+             String.length host >= 7 && String.sub host 0 7 = "worker:"
+           | _ -> false)
+        >= List.length (Lazy.force works));
+      (* and the merged timeline is a valid Chrome trace-event document *)
+      (match Darco_obs.Chrome.validate (Darco_obs.Chrome.to_json chrome) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "chrome trace invalid: %s" e);
+      let tmp = Filename.temp_file "darco_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+        (fun () ->
+          Darco_obs.Chrome.write_file chrome tmp;
+          match Darco_obs.Chrome.validate_file tmp with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "written trace invalid: %s" e))
+
 (* --- 2. digest-addressed units: four windows off one checkpoint ship the
    snapshot bytes to each worker at most once, and repeat assignments are
    observed as cache hits --- *)
@@ -284,7 +350,7 @@ let test_malformed_frame_rejected () =
       | w :: _ ->
         Wire.send fd (Wire.Work { id = 9; unit_ = Work.to_string w });
         (match Wire.recv ~deadline:(deadline ()) fd with
-        | Wire.Result { id; text } ->
+        | Wire.Result { id; text; spans = _ } ->
           Alcotest.(check int) "result names the unit" 9 id;
           Alcotest.(check bool) "result parses as JSON" true
             (match J.parse text with _ -> true | exception _ -> false)
@@ -406,6 +472,8 @@ let () =
       ( "cluster",
         [
           Alcotest.test_case "loopback end-to-end" `Quick test_loopback_e2e;
+          Alcotest.test_case "sweep observability: stamps, spans, chrome"
+            `Quick test_sweep_observability;
           Alcotest.test_case "checkpoint shipped at most once" `Quick
             test_ckpt_shipped_once;
           Alcotest.test_case "slow worker is stolen from" `Quick

@@ -206,6 +206,391 @@ let test_metrics_json () =
   Alcotest.(check int) "overhead total" (Stats.total_overhead s)
     (get_int "total" (section "overhead"))
 
+(* --- the event schema, exhaustively ------------------------------------- *)
+
+(* Total match, no wildcard: adding a constructor fails compilation here
+   until a sample below covers it, so the JSONL/trace schema cannot grow
+   an untested case. *)
+let constructor_index : Event.t -> int = function
+  | Event.Init _ -> 0
+  | Event.Clock_sync _ -> 1
+  | Event.Slice_start -> 2
+  | Event.Slice_end _ -> 3
+  | Event.Interp_block _ -> 4
+  | Event.Interp_step _ -> 5
+  | Event.Bb_translated _ -> 6
+  | Event.Sb_translated _ -> 7
+  | Event.Region_exec _ -> 8
+  | Event.Chain_made _ -> 9
+  | Event.Ibtc_miss _ -> 10
+  | Event.Ibtc_fill _ -> 11
+  | Event.Rollback _ -> 12
+  | Event.Deopt_rebuild _ -> 13
+  | Event.Cache_flush _ -> 14
+  | Event.Page_install _ -> 15
+  | Event.Syscall _ -> 16
+  | Event.Validation _ -> 17
+  | Event.Divergence _ -> 18
+  | Event.Halt -> 19
+  | Event.Worker_up _ -> 20
+  | Event.Worker_lost _ -> 21
+  | Event.Dispatch_sent _ -> 22
+  | Event.Dispatch_done _ -> 23
+  | Event.Dispatch_retry _ -> 24
+  | Event.Dispatch_fallback _ -> 25
+  | Event.Ckpt_push _ -> 26
+  | Event.Ckpt_hit _ -> 27
+  | Event.Steal _ -> 28
+  | Event.Dispatch_inflight _ -> 29
+  | Event.Span_begin _ -> 30
+  | Event.Span_end _ -> 31
+
+let n_constructors = 32
+
+(* One sample per constructor: (event, stable name, exact JSON at at=5).
+   These strings are the on-disk trace format — changing one is a schema
+   break and must be deliberate. *)
+let event_samples =
+  [
+    (Event.Init { cost = 3 }, "init", {|{"at":5,"ev":"init","cost":3}|});
+    ( Event.Clock_sync { retired = 7 },
+      "clock_sync",
+      {|{"at":5,"ev":"clock_sync","retired":7}|} );
+    (Event.Slice_start, "slice_start", {|{"at":5,"ev":"slice_start"}|});
+    ( Event.Slice_end
+        {
+          stop = Event.St_syscall;
+          overheads = [ (Stats.Ov_interp, 2); (Stats.Ov_other, 1) ];
+        },
+      "slice_end",
+      {|{"at":5,"ev":"slice_end","stop":"syscall","overheads":{"interpreter":2,"other":1}}|}
+    );
+    ( Event.Interp_block { pc = 16; insns = 4; cost = 9 },
+      "interp_block",
+      {|{"at":5,"ev":"interp_block","pc":16,"insns":4,"cost":9}|} );
+    ( Event.Interp_step { pc = 16; cost = 2 },
+      "interp_step",
+      {|{"at":5,"ev":"interp_step","pc":16,"cost":2}|} );
+    ( Event.Bb_translated { pc = 16; guest_len = 3; host_len = 6; cost = 40 },
+      "bb_translated",
+      {|{"at":5,"ev":"bb_translated","pc":16,"guest_len":3,"host_len":6,"cost":40}|}
+    );
+    ( Event.Sb_translated
+        { pc = 16; guest_len = 3; host_len = 6; cost = 40; unrolled = true },
+      "sb_translated",
+      {|{"at":5,"ev":"sb_translated","pc":16,"guest_len":3,"host_len":6,"cost":40,"unrolled":true}|}
+    );
+    ( Event.Region_exec
+        {
+          pc = 16;
+          guest_bb = 1;
+          guest_sb = 2;
+          host_bb = 3;
+          host_sb = 4;
+          chains_followed = 5;
+          wasted_host = 6;
+        },
+      "region_exec",
+      {|{"at":5,"ev":"region_exec","pc":16,"guest_bb":1,"guest_sb":2,"host_bb":3,"host_sb":4,"chains_followed":5,"wasted_host":6}|}
+    );
+    ( Event.Chain_made { pc = 16 },
+      "chain_made",
+      {|{"at":5,"ev":"chain_made","pc":16}|} );
+    (Event.Ibtc_miss { pc = 16 }, "ibtc_miss", {|{"at":5,"ev":"ibtc_miss","pc":16}|});
+    (Event.Ibtc_fill { pc = 16 }, "ibtc_fill", {|{"at":5,"ev":"ibtc_fill","pc":16}|});
+    ( Event.Rollback { kind = Event.Rb_assert; pc = 16 },
+      "rollback",
+      {|{"at":5,"ev":"rollback","kind":"assert","pc":16}|} );
+    ( Event.Deopt_rebuild { kind = Event.De_nomem; pc = 16 },
+      "deopt_rebuild",
+      {|{"at":5,"ev":"deopt_rebuild","kind":"nomem","pc":16}|} );
+    ( Event.Cache_flush { regions = 2; host_insns = 90 },
+      "cache_flush",
+      {|{"at":5,"ev":"cache_flush","regions":2,"host_insns":90}|} );
+    ( Event.Page_install { index = 3 },
+      "page_install",
+      {|{"at":5,"ev":"page_install","page":3}|} );
+    ( Event.Syscall { eip = 16; cost = 75 },
+      "syscall",
+      {|{"at":5,"ev":"syscall","eip":16,"cost":75}|} );
+    ( Event.Validation { kind = Event.V_halt },
+      "validation",
+      {|{"at":5,"ev":"validation","kind":"halt"}|} );
+    ( Event.Divergence { details = [ "a"; "b" ] },
+      "divergence",
+      {|{"at":5,"ev":"divergence","details":["a","b"]}|} );
+    (Event.Halt, "halt", {|{"at":5,"ev":"halt"}|});
+    ( Event.Worker_up { worker = "w:1" },
+      "worker_up",
+      {|{"at":5,"ev":"worker_up","worker":"w:1"}|} );
+    ( Event.Worker_lost { worker = "w:1"; reason = "gone" },
+      "worker_lost",
+      {|{"at":5,"ev":"worker_lost","worker":"w:1","reason":"gone"}|} );
+    ( Event.Dispatch_sent
+        { unit_label = "u"; worker = "w:1"; attempt = 1; bytes = 128 },
+      "dispatch_sent",
+      {|{"at":5,"ev":"dispatch_sent","unit":"u","worker":"w:1","attempt":1,"bytes":128}|}
+    );
+    ( Event.Dispatch_done { unit_label = "u"; worker = "w:1"; ok = true },
+      "dispatch_done",
+      {|{"at":5,"ev":"dispatch_done","unit":"u","worker":"w:1","ok":true}|} );
+    ( Event.Dispatch_retry { unit_label = "u"; attempt = 2; delay = 0.5 },
+      "dispatch_retry",
+      {|{"at":5,"ev":"dispatch_retry","unit":"u","attempt":2,"delay":0.5}|} );
+    ( Event.Dispatch_fallback { reason = "r" },
+      "dispatch_fallback",
+      {|{"at":5,"ev":"dispatch_fallback","reason":"r"}|} );
+    ( Event.Ckpt_push { worker = "w:1"; digest = "abcd"; bytes = 9 },
+      "ckpt_push",
+      {|{"at":5,"ev":"ckpt_push","worker":"w:1","digest":"abcd","bytes":9}|} );
+    ( Event.Ckpt_hit { worker = "w:1"; digest = "abcd" },
+      "ckpt_hit",
+      {|{"at":5,"ev":"ckpt_hit","worker":"w:1","digest":"abcd"}|} );
+    ( Event.Steal { unit_label = "u"; from_worker = "a"; to_worker = "b" },
+      "steal",
+      {|{"at":5,"ev":"steal","unit":"u","from":"a","to":"b"}|} );
+    ( Event.Dispatch_inflight { worker = "w:1"; in_flight = 2 },
+      "dispatch_inflight",
+      {|{"at":5,"ev":"dispatch_inflight","worker":"w:1","in_flight":2}|} );
+    ( Event.Span_begin
+        {
+          span = "queued";
+          corr = 3;
+          host = "dispatcher";
+          wall_us = 99;
+          seq = 4;
+          detail = "d";
+        },
+      "span_begin",
+      {|{"at":5,"ev":"span_begin","span":"queued","corr":3,"host":"dispatcher","wall_us":99,"seq":4,"detail":"d"}|}
+    );
+    ( Event.Span_end
+        {
+          span = "queued";
+          corr = 3;
+          host = "dispatcher";
+          wall_us = 99;
+          seq = 4;
+          ok = false;
+        },
+      "span_end",
+      {|{"at":5,"ev":"span_end","span":"queued","corr":3,"host":"dispatcher","wall_us":99,"seq":4,"ok":false}|}
+    );
+  ]
+
+let test_event_schema () =
+  List.iter
+    (fun (ev, expect_name, expect_json) ->
+      Alcotest.(check string) ("name of " ^ expect_name) expect_name (Event.name ev);
+      Alcotest.(check string)
+        ("json of " ^ expect_name)
+        expect_json
+        (Jsonx.to_string (Event.to_json ~at:5 ev)))
+    event_samples;
+  (* the sample list covers every constructor exactly once *)
+  let covered =
+    List.sort_uniq compare
+      (List.map (fun (ev, _, _) -> constructor_index ev) event_samples)
+  in
+  Alcotest.(check (list int))
+    "all constructors sampled"
+    (List.init n_constructors Fun.id)
+    covered
+
+(* --- clocks -------------------------------------------------------------- *)
+
+let test_clock_monotonic () =
+  let prev = ref (Clock.ticks ()) in
+  for _ = 1 to 10_000 do
+    let t = Clock.ticks () in
+    if t <= !prev then
+      Alcotest.failf "ticks went %d -> %d (must be strictly increasing)" !prev t;
+    prev := t
+  done
+
+let test_clock_stamp () =
+  let a = Clock.stamp () in
+  let b = Clock.stamp () in
+  Alcotest.(check bool) "seq strictly increases" true (b.Clock.s_seq > a.Clock.s_seq);
+  Alcotest.(check bool) "wall stamp is set" true (a.Clock.s_wall_us > 0)
+
+(* --- histograms ---------------------------------------------------------- *)
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  Alcotest.(check int) "count" 0 (Hist.count h);
+  Alcotest.(check int) "p50" 0 (Hist.percentile h 0.5);
+  Alcotest.(check int) "min" 0 (Hist.min_value h);
+  Alcotest.(check int) "max" 0 (Hist.max_value h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Hist.mean h)
+
+let test_hist_percentiles () =
+  let h = Hist.create () in
+  for v = 1 to 100 do
+    Hist.add h v
+  done;
+  Alcotest.(check int) "count" 100 (Hist.count h);
+  Alcotest.(check int) "sum" 5050 (Hist.sum h);
+  Alcotest.(check int) "min" 1 (Hist.min_value h);
+  Alcotest.(check int) "max" 100 (Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 50.5 (Hist.mean h);
+  (* rank 50 lands in bucket [32,63] -> estimate is its upper bound *)
+  Alcotest.(check int) "p50 bucket bound" 63 (Hist.percentile h 0.5);
+  (* rank 99 lands in [64,127], capped at the exact max *)
+  Alcotest.(check int) "p99 capped at max" 100 (Hist.percentile h 0.99)
+
+let test_hist_json () =
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 0; 1; 2; 3; 1024 ];
+  let j = Hist.to_json h in
+  Alcotest.(check int) "count" 5 (get_int "count" j);
+  Alcotest.(check int) "sum" 1030 (get_int "sum" j);
+  match Jsonx.member "buckets" j with
+  | Some (Jsonx.List bs) ->
+    Alcotest.(check bool) "non-empty buckets only" true
+      (List.for_all (fun b -> get_int "n" b > 0) bs);
+    (* cumulative bucket counts cover every added value *)
+    Alcotest.(check int) "bucket counts total" 5
+      (List.fold_left (fun acc b -> acc + get_int "n" b) 0 bs)
+  | _ -> Alcotest.fail "missing buckets list"
+
+(* --- spans --------------------------------------------------------------- *)
+
+let test_span_roundtrip () =
+  let sps =
+    [
+      Span.begin_ ~detail:"unit 0" ~span:"queued" ~corr:0 ~host:"worker:h:1" ();
+      Span.end_ ~ok:false ~span:"queued" ~corr:0 ~host:"worker:h:1" ();
+      Span.begin_ ~span:"running" ~corr:7 ~host:"local" ();
+    ]
+  in
+  Alcotest.(check bool) "encode/decode roundtrip" true
+    (Span.decode_list (Span.encode_list sps) = sps);
+  List.iter
+    (fun sp ->
+      match Span.of_event (Span.to_event sp) with
+      | Some sp' when sp' = sp -> ()
+      | _ -> Alcotest.failf "event roundtrip lost span %S" sp.Span.span)
+    sps;
+  Alcotest.(check bool) "non-span event maps to None" true
+    (Span.of_event Event.Halt = None);
+  List.iter
+    (fun bad ->
+      match Span.decode_list bad with
+      | exception Jsonx.Parse_error _ -> ()
+      | _ -> Alcotest.failf "expected Parse_error on %S" bad)
+    [ "nonsense"; "[1,2]"; {|{"ev":"span_begin"}|} ]
+
+(* --- hot-region profiler: exact reconciliation with Stats.t -------------- *)
+
+let test_prof_reconciles name () =
+  let prof = ref None in
+  let ctl, _ = run_with_bus ~attach:(fun bus -> prof := Some (Prof.attach bus)) name in
+  let p = Option.get !prof in
+  (match Prof.reconciles p (Controller.stats ctl) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "profiler drift on %s: %s" name e);
+  let top = Prof.top p ~n:5 in
+  Alcotest.(check bool) "top bounded" true (List.length top <= 5);
+  let heats = List.map (fun r -> r.Prof.r_host + r.Prof.r_overhead) top in
+  Alcotest.(check bool) "top is hottest-first" true
+    (List.sort (fun a b -> compare b a) heats = heats);
+  (* rendering must not raise and must mention the hottest region *)
+  let table = Format.asprintf "%a" (Prof.pp_table ~n:5) p in
+  Alcotest.(check bool) "table non-empty" true (String.length table > 0)
+
+(* --- flight recorder ----------------------------------------------------- *)
+
+let test_recorder_ring () =
+  let path = Filename.temp_file "darco_flight" ".jsonl" in
+  let bus = Bus.create () in
+  let r = Recorder.attach bus ~capacity:3 ~path in
+  for i = 1 to 5 do
+    Bus.emit bus ~at:i (Event.Chain_made { pc = i })
+  done;
+  Alcotest.(check bool) "no dump on a healthy run" false (Recorder.dumped r);
+  (match Recorder.contents r with
+  | [ (3, _); (4, _); (5, _) ] -> ()
+  | c -> Alcotest.failf "ring should hold the last 3 events, has %d" (List.length c));
+  Bus.emit bus ~at:6 (Event.Divergence { details = [ "boom" ] });
+  Alcotest.(check bool) "divergence triggers a dump" true (Recorder.dumped r);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "dump holds the full ring" 3 (List.length lines);
+  List.iter (fun l -> ignore (Jsonx.parse l)) lines;
+  Alcotest.(check string) "last line is the divergence" "divergence"
+    (get_str "ev" (Jsonx.parse (List.nth lines 2)));
+  Alcotest.(check int) "oldest first" 4 (get_int "at" (Jsonx.parse (List.hd lines)))
+
+let test_recorder_capacity () =
+  let bus = Bus.create () in
+  match Recorder.attach bus ~capacity:0 ~path:"/dev/null" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must be rejected"
+
+(* --- Chrome trace export ------------------------------------------------- *)
+
+let test_chrome_valid () =
+  let c = Chrome.create () in
+  let feed sp = Chrome.record c ~at:sp.Span.wall_us (Span.to_event sp) in
+  feed (Span.begin_ ~detail:"u0" ~span:"queued" ~corr:0 ~host:"dispatcher" ());
+  feed (Span.begin_ ~span:"running" ~corr:0 ~host:"worker:h:1" ());
+  feed (Span.end_ ~span:"running" ~corr:0 ~host:"worker:h:1" ());
+  feed (Span.end_ ~span:"queued" ~corr:0 ~host:"dispatcher" ());
+  Chrome.record c ~at:123 (Event.Worker_up { worker = "h:1" });
+  (match Chrome.validate (Chrome.to_json c) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "collector output invalid: %s" e);
+  let path = Filename.temp_file "darco_chrome" ".json" in
+  Chrome.write_file c path;
+  (match Chrome.validate_file path with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "written file invalid: %s" e);
+  Sys.remove path
+
+let test_chrome_rejects_unclosed () =
+  let c = Chrome.create () in
+  Chrome.record c ~at:1
+    (Span.to_event (Span.begin_ ~span:"queued" ~corr:0 ~host:"dispatcher" ()));
+  (match Chrome.validate (Chrome.to_json c) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "unclosed B span must not validate");
+  List.iter
+    (fun bad ->
+      match Chrome.validate (Jsonx.parse bad) with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "must reject %s" bad)
+    [
+      {|{"no_trace_events":1}|};
+      {|{"traceEvents":[{"ph":"B"}]}|};
+      {|{"traceEvents":[{"name":"x","ph":"B","ts":1,"pid":1,"tid":1},{"name":"y","ph":"E","ts":2,"pid":1,"tid":1}]}|};
+    ]
+
+(* --- metrics hists section ----------------------------------------------- *)
+
+let test_metrics_hists () =
+  let h = Hist.create () in
+  Hist.add h 5;
+  let s = Stats.create () in
+  let j = Jsonx.parse (Metrics.to_string ~hists:[ ("lat", h) ] s) in
+  (match Jsonx.member "hists" j with
+  | Some hs -> (
+    match Jsonx.member "lat" hs with
+    | Some lat -> Alcotest.(check int) "hist count" 1 (get_int "count" lat)
+    | None -> Alcotest.fail "missing hists.lat")
+  | None -> Alcotest.fail "missing hists section");
+  (* absent when no hists are given: historical snapshots stay byte-stable *)
+  Alcotest.(check bool) "no hists key by default" true
+    (Jsonx.member "hists" (Jsonx.parse (Metrics.to_string s)) = None)
+
 let () =
   Alcotest.run "obs"
     [
@@ -228,5 +613,40 @@ let () =
           Alcotest.test_case "trace JSONL parses back" `Quick test_trace_jsonl;
           Alcotest.test_case "no-sink run identical" `Quick test_no_sink_identical;
           Alcotest.test_case "metrics snapshot" `Quick test_metrics_json;
+          Alcotest.test_case "metrics hists section" `Quick test_metrics_hists;
+        ] );
+      ( "events",
+        [ Alcotest.test_case "every constructor: name + JSON schema" `Quick
+            test_event_schema ] );
+      ( "clock",
+        [
+          Alcotest.test_case "ticks strictly monotonic" `Quick test_clock_monotonic;
+          Alcotest.test_case "stamps sequence" `Quick test_clock_stamp;
+        ] );
+      ( "hist",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "json" `Quick test_hist_json;
+        ] );
+      ( "spans",
+        [ Alcotest.test_case "roundtrip + malformed input" `Quick test_span_roundtrip ]
+      );
+      ( "profiler",
+        List.map
+          (fun w ->
+            Alcotest.test_case ("reconciles with Stats.t: " ^ w) `Quick
+              (test_prof_reconciles w))
+          workloads );
+      ( "recorder",
+        [
+          Alcotest.test_case "ring + dump on divergence" `Quick test_recorder_ring;
+          Alcotest.test_case "rejects zero capacity" `Quick test_recorder_capacity;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "valid timeline validates" `Quick test_chrome_valid;
+          Alcotest.test_case "rejects malformed timelines" `Quick
+            test_chrome_rejects_unclosed;
         ] );
     ]
