@@ -424,6 +424,182 @@ let profile () =
   profile_summary := Some (Darco_obs.Prof.to_json ~n:10 prof);
   print_endline "  (attribution reconciles exactly with the run's Stats.t)\n"
 
+(* --- multicore runtime: fork pool vs domain pool on one shared image --- *)
+
+module Sampling = Darco_sampling
+
+let parallel_summary : Darco_obs.Jsonx.t option ref = ref None
+
+(* Canonical rendering of a sweep's results: what the CI cmp gate
+   compares across backends, reproduced here so the bench can assert the
+   fork and domain pools agree byte for byte before timing them. *)
+let render_results (results : Sampling.Sweep.result list) =
+  let open Darco_obs in
+  Jsonx.to_string
+    (Jsonx.List
+       (List.map
+          (fun (r : Sampling.Sweep.result) ->
+            Jsonx.Obj
+              [
+                ("label", Jsonx.String r.label);
+                ( "outcome",
+                  match r.outcome with
+                  | Sampling.Sweep.Ok j -> j
+                  | Sampling.Sweep.Failed m -> Jsonx.String ("FAILED: " ^ m) );
+              ])
+          results))
+
+(* Phase order is load-bearing: once a process has created ANY domain the
+   OCaml 5 runtime refuses Unix.fork forever, so everything fork-based
+   (the fork-pool Bechamel run, the fork-pool RSS child) must finish
+   before the first domain spawns (the RSS sampler, the domain pool). *)
+let parallel () =
+  print_endline
+    "=== Multicore runtime: fork pool vs domain pool (462.libquantum) ===";
+  let e = Registry.find "462.libquantum" in
+  let program = e.build ~scale:5 () in
+  let store = Sampling.Store.create () in
+  let window = 10_000 and warmup = 5_000 and jobs = 4 in
+  let offsets = List.init 8 (fun i -> 50_000 + (i * 15_000)) in
+  let horizon = List.fold_left (fun acc o -> max acc (o + window)) 0 offsets in
+  (* interval past the horizon: every window resolves to the checkpoint
+     at instruction 0, i.e. ONE image shared by all eight units *)
+  let checkpoints =
+    Sampling.Driver.functional_checkpoints ~seed:42 ~interval:(horizon + 1)
+      ~horizon program
+  in
+  let works =
+    List.map
+      (fun off ->
+        Sampling.Work.of_window_stored ~store ~checkpoints
+          ~label:(Printf.sprintf "%s@%d" e.name off)
+          ~offset:off ~window ~warmup)
+      offsets
+  in
+  Printf.printf "%d windows sharing %d checkpoint image(s), %d jobs\n%!"
+    (List.length works) (Sampling.Store.count store) jobs;
+  let bech name backend =
+    let open Bechamel in
+    let open Toolkit in
+    let test =
+      Test.make_grouped ~name:"parallel"
+        [
+          Test.make ~name
+            (Staged.stage (fun () -> Sampling.Sweep.run backend works));
+        ]
+    in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:8 ~quota:(Time.second 3.0) ~stabilize:false () in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.merge ols instances
+        (List.map (fun i -> Analyze.all ols i raw) instances)
+    in
+    let tbl = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+    match Analyze.OLS.estimates (Hashtbl.find tbl ("parallel/" ^ name)) with
+    | Some [ est ] -> est
+    | Some _ | None -> nan
+  in
+  (* wall + peak tree RSS of one sweep on [backend], measured from
+     outside: the sweep runs in a forked child whose process tree (the
+     child plus any workers it forks) this process samples.  The same
+     yardstick for both backends — each child starts from the same
+     parent image, and PSS divides pages the child still shares with us. *)
+  let measure name backend =
+    let path = Filename.temp_file "darco_parbench" ".out" in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      let t0 = Unix.gettimeofday () in
+      let results = Sampling.Sweep.run backend works in
+      let wall = Unix.gettimeofday () -. t0 in
+      let oc = open_out_bin path in
+      output_string oc (Printf.sprintf "%.6f\n" wall);
+      output_string oc (render_results results);
+      close_out oc;
+      Unix._exit 0
+    | pid ->
+      let peak = ref 0 in
+      let rec wait () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ ->
+          (match Darco_util.Rss.tree_rss_kb pid with
+          | Some kb when kb > !peak -> peak := kb
+          | _ -> ());
+          Unix.sleepf 0.01;
+          wait ()
+        | _, Unix.WEXITED 0 -> ()
+        | _, status ->
+          Printf.printf "!! %s measurement child failed (%s)\n" name
+            (match status with
+            | Unix.WEXITED n -> Printf.sprintf "exit %d" n
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s);
+          exit 1
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait ();
+      let ic = open_in_bin path in
+      let wall = float_of_string (input_line ic) in
+      let rendered =
+        really_input_string ic (in_channel_length ic - pos_in ic)
+      in
+      close_in ic;
+      Sys.remove path;
+      (wall, (if !peak = 0 then None else Some !peak), rendered)
+  in
+  (* 1. fork pool under Bechamel (must run while fork is still legal) *)
+  let fork_ns = bech "fork" (Sampling.Sweep.Backend.local ~store ~jobs ()) in
+  (* 2. one measured sweep per backend; the domains child spawns its
+     domains in the child only, so this process can still fork *)
+  let fork_wall, fork_peak, fork_rendered =
+    measure "fork" (Sampling.Sweep.Backend.local ~store ~jobs ())
+  in
+  let domains_wall, domains_peak, domains_rendered =
+    measure "domains" (Sampling.Sweep.Backend.domains ~store ~jobs ())
+  in
+  (* 3. domain pool under Bechamel — the process's first domains, and
+     the point past which Unix.fork is gone for good *)
+  let domains_ns = bech "domains" (Sampling.Sweep.Backend.domains ~store ~jobs ()) in
+  let identical = String.equal fork_rendered domains_rendered in
+  if not identical then begin
+    Printf.printf
+      "!! fork and domains backends disagree on the sweep's result JSON\n";
+    exit 1
+  end;
+  let pp_kb = function None -> "n/a" | Some kb -> Printf.sprintf "%d kB" kb in
+  Printf.printf "  %-8s %8.2f ms/sweep (OLS)  wall %.2fs  peak tree RSS %s\n"
+    "fork" (fork_ns /. 1e6) fork_wall (pp_kb fork_peak);
+  Printf.printf "  %-8s %8.2f ms/sweep (OLS)  wall %.2fs  peak tree RSS %s\n"
+    "domains" (domains_ns /. 1e6) domains_wall (pp_kb domains_peak);
+  print_endline "  (result JSON byte-identical across both pools)\n";
+  let open Darco_obs in
+  let side ns wall peak =
+    Jsonx.Obj
+      [
+        ("ns_per_sweep", Jsonx.Float ns);
+        ("wall_s", Jsonx.Float wall);
+        ( "peak_rss_kb",
+          match peak with None -> Jsonx.Null | Some kb -> Jsonx.Int kb );
+      ]
+  in
+  parallel_summary :=
+    Some
+      (Jsonx.Obj
+         [
+           ("benchmark", Jsonx.String "462.libquantum");
+           ("units", Jsonx.Int (List.length works));
+           ("jobs", Jsonx.Int jobs);
+           ("shared_images", Jsonx.Int (Sampling.Store.count store));
+           ("identical_json", Jsonx.Bool identical);
+           ("fork", side fork_ns fork_wall fork_peak);
+           ("domains", side domains_ns domains_wall domains_peak);
+         ])
+
 (* --- ablations: the design choices DESIGN.md calls out --- *)
 
 let ablation_features () =
@@ -517,7 +693,10 @@ let all () =
   warmup ();
   profile ();
   ablation_features ();
-  ablation_thresholds ()
+  ablation_thresholds ();
+  (* last: the first Domain.spawn forbids Unix.fork for the rest of the
+     process, and earlier sections must stay free to fork *)
+  parallel ()
 
 (* Machine-readable companion to the ASCII figures: one entry per run,
    including the full metrics snapshot and any divergence detail. *)
@@ -548,6 +727,8 @@ let write_results path =
           match !sampling_summary with Some j -> j | None -> Jsonx.Null );
         ( "hot_regions",
           match !profile_summary with Some j -> j | None -> Jsonx.Null );
+        ( "parallel",
+          match !parallel_summary with Some j -> j | None -> Jsonx.Null );
       ]
   in
   let oc = open_out path in
@@ -571,6 +752,7 @@ let () =
         | "ablation" ->
           ablation_features ();
           ablation_thresholds ()
+        | "parallel" -> parallel ()
         | other -> Printf.printf "unknown target %s\n" other)
       args
   | [] -> ());

@@ -765,7 +765,8 @@ let sample_cmd =
        ~doc:
          "Sampled simulation: functional fast-forward with periodic \
           checkpoints, then detailed measurement windows swept across an \
-          execution backend — forked local workers or remote worker daemons")
+          execution backend — forked local workers, a shared-memory domain \
+          pool, or remote worker daemons")
     Term.(
       const run $ Flag.bench $ Flag.scale $ Flag.sim
       $ Arg.(value & opt int 50_000 & info [ "interval" ] ~doc:"Guest instructions between functional checkpoints")
@@ -774,8 +775,8 @@ let sample_cmd =
       $ Arg.(value & opt int 400_000 & info [ "horizon" ] ~doc:"Span of guest execution to sample (when --offsets is absent)")
       $ Arg.(value & opt int 25_000 & info [ "window" ] ~doc:"Detailed measurement window length")
       $ Arg.(value & opt int 30_000 & info [ "warmup" ] ~doc:"Detailed warm-up before each window")
-      $ Arg.(value & opt int 4 & info [ "jobs" ] ~doc:"Worker processes (local backend / remote fallback)")
-      $ Arg.(value & opt string "local" & info [ "backend" ] ~docv:"SPEC" ~doc:"Execution backend: local, local:JOBS, or remote:HOST:PORT[,HOST:PORT...]")
+      $ Arg.(value & opt int 4 & info [ "jobs" ] ~doc:"Worker processes or domains (local/domains backends, remote fallback)")
+      $ Arg.(value & opt string "local" & info [ "backend" ] ~docv:"SPEC" ~doc:"Execution backend: local, local:JOBS (fork per unit), domains, domains:JOBS (shared-memory domain pool), or remote:HOST:PORT[,HOST:PORT...]")
       $ Arg.(value & opt float 60.0 & info [ "dispatch-timeout" ] ~docv:"SECONDS" ~doc:"Remote backend: per-work-unit deadline")
       $ Arg.(value & opt int 2 & info [ "dispatch-retries" ] ~docv:"N" ~doc:"Remote backend: re-dispatches per unit after a worker is lost")
       $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill the sweep's content-addressed checkpoint store to $(docv)")
@@ -785,7 +786,7 @@ let sample_cmd =
       $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction"))
 
 let worker_cmd =
-  let run listen quiet jobs store_dir =
+  let run listen quiet isolate jobs store_dir =
     if jobs < 1 then begin
       Printf.eprintf "--jobs must be at least 1\n";
       exit 2
@@ -795,14 +796,16 @@ let worker_cmd =
       Printf.eprintf "%s\n" e;
       exit 2
     | Ok { Darco_dispatch.host; port } ->
-      Darco_dispatch.Worker.serve ~quiet ~jobs ?store_dir ~host ~port ()
+      Darco_dispatch.Worker.serve ~quiet ~isolate ~jobs ?store_dir ~host ~port
+        ()
   in
   Cmd.v
     (Cmd.info "worker"
        ~doc:
          "Run a sample-sweep worker daemon: accept work units (snapshot + \
           window parameters) over the dispatch TCP protocol, execute them \
-          concurrently in forked children, and stream back per-sample JSON \
+          concurrently on a shared-memory domain pool (or in forked \
+          children with $(b,--isolate)), and stream back per-sample JSON \
           results.  Digest-addressed units resolve through the daemon's \
           checkpoint store; each missing checkpoint is fetched from the \
           dispatcher once")
@@ -810,6 +813,7 @@ let worker_cmd =
       const run
       $ Arg.(required & opt (some string) None & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Bind and serve on $(docv)")
       $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-connection log lines")
+      $ Arg.(value & flag & info [ "isolate" ] ~doc:"Run each unit in a forked child instead of on the domain pool: a segfaulting or OOM-killed unit then loses only itself, at the price of per-unit fork overhead and copy-on-write page duplication")
       $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Work units to keep executing concurrently (advertised to the dispatcher)")
       $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill received checkpoints to $(docv) so they survive daemon restarts"))
 

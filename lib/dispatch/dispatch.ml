@@ -24,6 +24,7 @@ let addr_of_string s =
 
 type spec =
   | Local of { jobs : int }
+  | Domains of { jobs : int }
   | Remote of { workers : addr list; timeout : float; retries : int }
 
 let spec_of_string ?(jobs = 4) ?(timeout = 60.0) ?(retries = 2) s =
@@ -36,6 +37,12 @@ let spec_of_string ?(jobs = 4) ?(timeout = 60.0) ?(retries = 2) s =
     match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
     | Some j when j >= 1 -> Ok (Local { jobs = j })
     | _ -> Error (Printf.sprintf "bad backend %S: expected local:JOBS" s)
+  end
+  else if s = "domains" then Ok (Domains { jobs })
+  else if prefix "domains:" then begin
+    match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+    | Some j when j >= 1 -> Ok (Domains { jobs = j })
+    | _ -> Error (Printf.sprintf "bad backend %S: expected domains:JOBS" s)
   end
   else if prefix "remote:" then begin
     let rest = String.sub s 7 (String.length s - 7) in
@@ -52,7 +59,8 @@ let spec_of_string ?(jobs = 4) ?(timeout = 60.0) ?(retries = 2) s =
   else
     Error
       (Printf.sprintf
-         "bad backend %S: expected local:JOBS or remote:HOST:PORT[,HOST:PORT...]"
+         "bad backend %S: expected local:JOBS, domains:JOBS or \
+          remote:HOST:PORT[,HOST:PORT...]"
          s)
 
 (* --- the dispatcher ----------------------------------------------------- *)
@@ -68,6 +76,18 @@ let steal_fraction = 0.25
 
 type inflight = { if_attempt : int; if_deadline : float; if_sent_at : float }
 
+(* One queued outbound frame: its exact wire bytes, how much has reached
+   the kernel, and what to do once the last byte is written (or the
+   connection dies first — [ob_done false]).  Frames flush opportunistically
+   at enqueue and then whenever select reports the socket writable, so a
+   multi-megabyte checkpoint push drains in the background while results
+   keep being handled. *)
+type obent = {
+  ob_bytes : string;
+  mutable ob_off : int;
+  ob_done : bool -> unit;
+}
+
 type worker_state = {
   w_addr : string;
   (* position in the caller's worker list; used to derive a stable
@@ -81,6 +101,9 @@ type worker_state = {
   (* checkpoint digests this worker has been assigned or pushed — any
      later unit sharing one rides the worker's cached copy *)
   w_seen : (string, unit) Hashtbl.t;
+  (* outbound frames not yet fully written; every post-handshake frame
+     goes through here so two frames can never interleave *)
+  w_outbox : obent Queue.t;
 }
 
 (* Dispatch-lifecycle events are stamped with the strictly monotonic
@@ -143,6 +166,7 @@ let connect_worker ~bus ~timeout ~ix (a : addr) =
             w_slots = max 1 slots;
             w_inflight = Hashtbl.create 8;
             w_seen = Hashtbl.create 4;
+            w_outbox = Queue.create ();
           }
       | Wire.Hello { version = v; _ } ->
         fail (Some fd)
@@ -197,6 +221,38 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
       (Event.Dispatch_inflight
          { worker = w.w_addr; in_flight = Hashtbl.length w.w_inflight })
   in
+  (* Write as much queued output as the socket will take without blocking.
+     Returns false when the connection proved dead (the caller loses the
+     worker; never called on a healthy empty queue in that state). *)
+  let flush_outbox w =
+    match w.w_fd with
+    | None -> true
+    | Some fd ->
+      let ok = ref true and progress = ref true in
+      while !ok && !progress && not (Queue.is_empty w.w_outbox) do
+        let e = Queue.peek w.w_outbox in
+        let len = String.length e.ob_bytes in
+        match Unix.write_substring fd e.ob_bytes e.ob_off (len - e.ob_off) with
+        | k ->
+          e.ob_off <- e.ob_off + k;
+          if e.ob_off = len then begin
+            ignore (Queue.pop w.w_outbox);
+            e.ob_done true
+          end
+          else progress := false
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+          progress := false
+        | exception Unix.Unix_error _ -> ok := false
+      done;
+      !ok
+  in
+  let enqueue_frame w msg ~done_ =
+    Queue.push
+      { ob_bytes = Wire.encode msg; ob_off = 0; ob_done = done_ }
+      w.w_outbox
+  in
   let settle i outcome =
     if not finished.(i) then begin
       close_span i ~ok:(match outcome with Sweep.Ok _ -> true | _ -> false);
@@ -235,6 +291,9 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
     emit bus (Event.Worker_lost { worker = w.w_addr; reason });
     Option.iter close_quietly w.w_fd;
     w.w_fd <- None;
+    (* frames still queued will never arrive; let their completions fail *)
+    Queue.iter (fun e -> e.ob_done false) w.w_outbox;
+    Queue.clear w.w_outbox;
     let inflight = Hashtbl.fold (fun i inf acc -> (i, inf) :: acc) w.w_inflight [] in
     Hashtbl.reset w.w_inflight;
     (* a unit duplicated onto another live worker is still in flight there;
@@ -244,10 +303,13 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
         if (not finished.(i)) && copies i = 0 then requeue (i, inf.if_attempt) reason)
       inflight
   in
-  (* Assign unit [i] to [w].  [stolen] marks a speculative duplicate: on a
-     send failure it must not be requeued (the victim still holds it). *)
+  (* opportunistic flush; a hard write error costs the whole worker *)
+  let kick w = if not (flush_outbox w) then lose_worker w "send failed" in
+  (* Assign unit [i] to [w].  The frame goes through the outbox; the unit
+     is in flight from the moment it is queued (its deadline covers a
+     wedged socket), and a write failure loses the worker, whose table —
+     stolen copies and all — requeues correctly. *)
   let send_unit w ~stolen i attempt =
-    let fd = Option.get w.w_fd in
     let u = units.(i) in
     let now = Unix.gettimeofday () in
     let enc = Work.to_string u in
@@ -273,14 +335,11 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
       if Hashtbl.mem w.w_seen d then
         emit bus (Event.Ckpt_hit { worker = w.w_addr; digest = d })
       else Hashtbl.replace w.w_seen d ());
-    match Wire.send fd (Wire.Work { id = i; unit_ = enc }) with
-    | () ->
-      Hashtbl.replace w.w_inflight i
-        { if_attempt = attempt; if_deadline = now +. timeout; if_sent_at = now };
-      gauge w
-    | exception (Wire.Closed | Wire.Timeout | Unix.Unix_error _) ->
-      lose_worker w "send failed";
-      if not stolen then requeue (i, attempt) "send failed"
+    enqueue_frame w (Wire.Work { id = i; unit_ = enc }) ~done_:(fun _ -> ());
+    Hashtbl.replace w.w_inflight i
+      { if_attempt = attempt; if_deadline = now +. timeout; if_sent_at = now };
+    gauge w;
+    kick w
   in
   (* Worker span logs ride back inside [Result] frames; replay them on the
      bus with their original stamps so the merged trace carries both
@@ -328,24 +387,26 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
         lose_worker w "worker requested a checkpoint but the dispatcher has no store"
       | Some s -> (
         match Store.find s digest with
-        | Some bytes -> (
+        | Some bytes ->
           (* one span per push, on a per-worker correlation track well away
-             from unit indices *)
+             from unit indices; the span closes when the last byte drains,
+             so its width is the real transfer time overlapped with
+             everything else the loop did meanwhile *)
           let corr = 1_000_000 + w.w_ix in
           span bus
             (Span.begin_ ~detail:digest ~span:"ckpt_push" ~corr
                ~host:dispatcher_host ());
-          match Wire.send (Option.get w.w_fd) (Wire.Ckpt { digest; bytes }) with
-          | () ->
-            span bus (Span.end_ ~span:"ckpt_push" ~corr ~host:dispatcher_host ());
-            Hashtbl.replace w.w_seen digest ();
-            emit bus
-              (Event.Ckpt_push
-                 { worker = w.w_addr; digest; bytes = String.length bytes })
-          | exception (Wire.Closed | Wire.Timeout | Unix.Unix_error _) ->
-            span bus
-              (Span.end_ ~ok:false ~span:"ckpt_push" ~corr ~host:dispatcher_host ());
-            lose_worker w "send failed")
+          Hashtbl.replace w.w_seen digest ();
+          enqueue_frame w
+            (Wire.Ckpt { digest; bytes })
+            ~done_:(fun ok ->
+              span bus
+                (Span.end_ ~ok ~span:"ckpt_push" ~corr ~host:dispatcher_host ());
+              if ok then
+                emit bus
+                  (Event.Ckpt_push
+                     { worker = w.w_addr; digest; bytes = String.length bytes }));
+          kick w
         | None ->
           lose_worker w (Printf.sprintf "worker requested unknown checkpoint %s" digest)
         | exception B.Corrupt m -> lose_worker w ("checkpoint store: " ^ m)))
@@ -474,11 +535,23 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
             next_wake !pending
         in
         let fds = List.filter_map (fun w -> w.w_fd) lv in
-        let ready =
-          match Unix.select fds [] [] (max 0.01 (next_wake -. now)) with
-          | r, _, _ -> r
-          | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+        (* watch for writability only where output is actually queued *)
+        let wfds =
+          List.filter_map
+            (fun w -> if Queue.is_empty w.w_outbox then None else w.w_fd)
+            lv
         in
+        let ready, writable =
+          match Unix.select fds wfds [] (max 0.01 (next_wake -. now)) with
+          | r, wr, _ -> (r, wr)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ([], [])
+        in
+        List.iter
+          (fun w ->
+            match w.w_fd with
+            | Some fd when List.memq fd writable -> kick w
+            | _ -> ())
+          lv;
         List.iter
           (fun w ->
             match w.w_fd with
@@ -504,7 +577,14 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
           ws
       end
     done;
-    List.iter (fun w -> Option.iter close_quietly w.w_fd) ws
+    List.iter
+      (fun w ->
+        (* the sweep settled with output still queued (e.g. a push for a
+           unit that was stolen and finished elsewhere): close its spans *)
+        Queue.iter (fun e -> e.ob_done false) w.w_outbox;
+        Queue.clear w.w_outbox;
+        Option.iter close_quietly w.w_fd)
+      ws
   end;
   List.mapi
     (fun i (u : Work.t) -> { Sweep.label = u.Work.label; outcome = outcomes.(i) })
@@ -522,5 +602,6 @@ let remote ?bus ?fallback_jobs ?store ?(timeout = 60.0) ?(retries = 2) workers :
 let backend ?bus ?fallback_jobs ?store spec : Sweep.Backend.t =
   match spec with
   | Local { jobs } -> Sweep.Backend.local ?bus ?store ~jobs ()
+  | Domains { jobs } -> Sweep.Backend.domains ?bus ?store ~jobs ()
   | Remote { workers; timeout; retries } ->
     remote ?bus ?fallback_jobs ?store ~timeout ~retries workers

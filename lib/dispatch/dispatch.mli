@@ -12,7 +12,10 @@
       a worker missing one asks once ({!Wire.Need}) and the dispatcher
       serves it from its content-addressed [store] ({!Wire.Ckpt}), so a
       sweep of many windows sharing a checkpoint ships the snapshot to
-      each worker at most once;
+      each worker at most once.  Outbound frames drain through a
+      {b per-worker outbox} of non-blocking writes, so a multi-megabyte
+      checkpoint push to one worker {e overlaps} with result handling and
+      dispatch to every other worker instead of stalling the loop;
     - every in-flight unit carries an absolute {b deadline} ([timeout]
       seconds from dispatch);
     - a worker whose connection refuses, closes, corrupts a frame or
@@ -52,14 +55,18 @@ val addr_of_string : string -> (addr, string) result
     parses to, resolved to an executable {!Darco_sampling.Sweep.Backend.t}
     by {!backend}. *)
 type spec =
-  | Local of { jobs : int }
+  | Local of { jobs : int }  (** fork-per-unit on this machine *)
+  | Domains of { jobs : int }
+      (** a shared-memory OCaml domain pool on this machine
+          ({!Darco_sampling.Sweep.Backend.domains}) *)
   | Remote of { workers : addr list; timeout : float; retries : int }
 
 val spec_of_string :
   ?jobs:int -> ?timeout:float -> ?retries:int -> string -> (spec, string) result
-(** Parse [local], [local:JOBS] or [remote:HOST:PORT[,HOST:PORT...]].
-    [jobs] (default 4) fills in [local]'s job count; [timeout] (default
-    60s) and [retries] (default 2) parameterize the remote spec. *)
+(** Parse [local], [local:JOBS], [domains], [domains:JOBS] or
+    [remote:HOST:PORT[,HOST:PORT...]].  [jobs] (default 4) fills in
+    [local]'s and [domains]'s job count; [timeout] (default 60s) and
+    [retries] (default 2) parameterize the remote spec. *)
 
 val backend :
   ?bus:Darco_obs.Bus.t ->

@@ -64,6 +64,12 @@ type msg =
   | Ckpt of { digest : string; bytes : string }
       (** dispatcher-to-worker: the checkpoint content for [digest] *)
 
+val encode : msg -> string
+(** The frame's exact wire bytes.  For callers that keep their own write
+    queue (the dispatcher's per-worker outbox): write the string with
+    ordinary non-blocking [write]s, resuming at the recorded offset —
+    never interleave bytes of two frames on one socket. *)
+
 val send : ?deadline:float -> Unix.file_descr -> msg -> unit
 (** Write one frame, handling short writes, [EINTR] and — on non-blocking
     sockets — [EAGAIN] (parks in [select] until writable).  Raises

@@ -1,8 +1,16 @@
 module B = Darco_sampling.Buf
 module Work = Darco_sampling.Work
 module Store = Darco_sampling.Store
+module Dpool = Darco_sampling.Dpool
 module Jsonx = Darco_obs.Jsonx
 module Span = Darco_obs.Span
+
+(* How units execute: on a shared pool of OCaml domains (the default —
+   one store image serves every slot, completions arrive via the pool's
+   wake fd), or each in a forked child ([--isolate] — a segfaulting or
+   OOM-killed unit loses only itself).  The pool outlives connections;
+   fork state is per-connection. *)
+type engine = Fork | Pool of Jsonx.t Dpool.t
 
 let log quiet fmt =
   Printf.ksprintf
@@ -41,7 +49,7 @@ type child = { c_id : int; c_path : string }
    courtesy reply the connection is dropped — the daemon itself lives on.
    A crashing unit (uncaught exception, fatal signal) fails only itself:
    it runs in its own child process, exactly like the local backend. *)
-let serve_connection ~quiet ~ident ~exec ~jobs ~store fd =
+let serve_connection ~quiet ~ident ~engine ~exec ~jobs ~store fd =
   let runq = Queue.create () in
   let parked : (string, (int * Work.t) Queue.t) Hashtbl.t = Hashtbl.create 4 in
   let running : (int, child) Hashtbl.t = Hashtbl.create jobs in
@@ -65,24 +73,60 @@ let serve_connection ~quiet ~ident ~exec ~jobs ~store fd =
   let spawn (id, work) =
     log_span id (Span.end_ ~span:"queued" ~corr:id ~host:ident ());
     log_span id (Span.begin_ ~span:"running" ~corr:id ~host:ident ());
-    let path = Filename.temp_file "darco_worker" ".json" in
-    (* flush before forking so buffered output is not emitted twice *)
-    flush stdout;
-    flush stderr;
-    match Unix.fork () with
-    | 0 ->
-      let code =
-        try
-          write_whole path (Jsonx.to_string (exec work));
-          0
-        with e ->
-          (try write_whole path (Printexc.to_string e) with _ -> ());
-          3
-      in
-      Unix._exit code
-    | pid -> Hashtbl.replace running pid { c_id = id; c_path = path }
+    match engine with
+    | Pool pool -> Dpool.submit pool ~tag:id (fun () -> exec work)
+    | Fork -> (
+      let path = Filename.temp_file "darco_worker" ".json" in
+      (* flush before forking so buffered output is not emitted twice *)
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+        let code =
+          try
+            write_whole path (Jsonx.to_string (exec work));
+            0
+          with e ->
+            (try write_whole path (Printexc.to_string e) with _ -> ());
+            3
+        in
+        Unix._exit code
+      | pid -> Hashtbl.replace running pid { c_id = id; c_path = path })
   in
-  let reap_ready () =
+  let busy () =
+    match engine with
+    | Pool pool -> Dpool.pending pool
+    | Fork -> Hashtbl.length running
+  in
+  let finish id msg =
+    let ok = match msg with Wire.Result _ -> true | _ -> false in
+    log_span id (Span.end_ ~ok ~span:"running" ~corr:id ~host:ident ());
+    let msg =
+      match msg with
+      | Wire.Result { id; text; _ } ->
+        Wire.Result { id; text; spans = take_spans id }
+      | m ->
+        (* [Fail] frames carry no span log; drop the unit's record *)
+        Hashtbl.remove spanlog id;
+        m
+    in
+    send msg
+  in
+  let reap_pool pool =
+    let rec drain () =
+      match Dpool.try_next pool with
+      | None -> ()
+      | Some (id, res) ->
+        (match res with
+        | Stdlib.Ok json ->
+          finish id (Wire.Result { id; text = Jsonx.to_string json; spans = "" })
+        | Stdlib.Error e ->
+          finish id (Wire.Fail { id; reason = Printexc.to_string e }));
+        drain ()
+    in
+    drain ()
+  in
+  let reap_forks () =
     let continue = ref true in
     while !continue && Hashtbl.length running > 0 do
       match Unix.waitpid [ Unix.WNOHANG ] (-1) with
@@ -115,22 +159,13 @@ let serve_connection ~quiet ~ident ~exec ~jobs ~store fd =
                 { id = c.c_id; reason = Printf.sprintf "unit stopped by signal %d" s }
           in
           (try Sys.remove c.c_path with Sys_error _ -> ());
-          let ok = match msg with Wire.Result _ -> true | _ -> false in
-          log_span c.c_id
-            (Span.end_ ~ok ~span:"running" ~corr:c.c_id ~host:ident ());
-          let msg =
-            match msg with
-            | Wire.Result { id; text; _ } ->
-              Wire.Result { id; text; spans = take_spans id }
-            | m ->
-              (* [Fail] frames carry no span log; drop the unit's record *)
-              Hashtbl.remove spanlog c.c_id;
-              m
-          in
-          send msg)
+          finish c.c_id msg)
       | exception Unix.Unix_error (Unix.ECHILD, _, _) -> continue := false
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     done
+  in
+  let reap_ready () =
+    match engine with Pool pool -> reap_pool pool | Fork -> reap_forks ()
   in
   let enqueue id (work : Work.t) =
     log_span id
@@ -189,14 +224,19 @@ let serve_connection ~quiet ~ident ~exec ~jobs ~store fd =
       closed := true
   in
   while not !closed do
-    while (not (Queue.is_empty runq)) && Hashtbl.length running < jobs do
+    while (not (Queue.is_empty runq)) && busy () < jobs do
       spawn (Queue.pop runq)
     done;
-    (* poll for child completions while any run; otherwise block on frames *)
-    let timeout = if Hashtbl.length running > 0 then 0.05 else -1.0 in
+    (* the domain pool wakes us through its pipe, so its select blocks
+       indefinitely; forked children have no fd, so poll while any run *)
+    let extra_fds, timeout =
+      match engine with
+      | Pool pool -> ([ Dpool.wake_fd pool ], -1.0)
+      | Fork -> ([], if Hashtbl.length running > 0 then 0.05 else -1.0)
+    in
     let readable =
-      match Unix.select [ fd ] [] [] timeout with
-      | r, _, _ -> r <> []
+      match Unix.select (fd :: extra_fds) [] [] timeout with
+      | r, _, _ -> List.mem fd r
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
     in
     if readable then begin
@@ -212,23 +252,36 @@ let serve_connection ~quiet ~ident ~exec ~jobs ~store fd =
     reap_ready ()
   done;
   (* the dispatcher is gone: in-flight units are orphans, reclaim them *)
-  Hashtbl.iter
-    (fun pid _ -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
-    running;
-  Hashtbl.iter
-    (fun pid c ->
-      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
-      try Sys.remove c.c_path with Sys_error _ -> ())
-    running;
+  (match engine with
+  | Fork ->
+    Hashtbl.iter
+      (fun pid _ -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+      running;
+    Hashtbl.iter
+      (fun pid c ->
+        (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+        try Sys.remove c.c_path with Sys_error _ -> ())
+      running
+  | Pool pool ->
+    (* domains cannot be killed: let in-flight units run out and discard
+       their results, so the pool is clean for the next connection *)
+    while Dpool.pending pool > 0 do
+      ignore (Dpool.await pool)
+    done);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
-let serve ?(quiet = false) ?exec ?ready ?(jobs = 1) ?store_dir ~host ~port () =
+let serve ?(quiet = false) ?(isolate = false) ?exec ?ready ?(jobs = 1)
+    ?store_dir ~host ~port () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let jobs = max 1 jobs in
-  let store = Store.create ?dir:store_dir () in
+  (* forked children never touch the image after exec starts, so give the
+     isolating engine the off-heap tier: one physical copy feeds them all *)
+  let tier = if isolate then Store.Shared else Store.Heap in
+  let store = Store.create ?dir:store_dir ~tier () in
   let exec =
     match exec with Some f -> f | None -> fun w -> Work.exec ~store w
   in
+  let engine = if isolate then Fork else Pool (Dpool.create ~jobs ()) in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
   Unix.bind sock (Unix.ADDR_INET (resolve host, port));
@@ -241,9 +294,15 @@ let serve ?(quiet = false) ?exec ?ready ?(jobs = 1) ?store_dir ~host ~port () =
     | Unix.ADDR_INET (_, p) -> Printf.sprintf "worker:%s:%d" host p
     | _ -> Printf.sprintf "worker:%s:%d" host port
   in
-  log quiet "listening on %s:%d (protocol v%d, %d slot%s)" host port
+  log quiet "listening on %s:%d (protocol v%d, %d %s slot%s%s)" host port
     Wire.protocol_version jobs
-    (if jobs = 1 then "" else "s");
+    (if isolate then "forked" else "domain")
+    (if jobs = 1 then "" else "s")
+    (match engine with
+    | Pool p when Dpool.size p < jobs ->
+      Printf.sprintf ", %d domain%s" (Dpool.size p)
+        (if Dpool.size p = 1 then "" else "s")
+    | Pool _ | Fork -> "");
   let rec accept_loop () =
     match Unix.accept sock with
     | fd, peer ->
@@ -252,7 +311,7 @@ let serve ?(quiet = false) ?exec ?ready ?(jobs = 1) ?store_dir ~host ~port () =
         | Unix.ADDR_INET (a, p) ->
           Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
         | Unix.ADDR_UNIX p -> p);
-      serve_connection ~quiet ~ident ~exec ~jobs ~store fd;
+      serve_connection ~quiet ~ident ~engine ~exec ~jobs ~store fd;
       accept_loop ()
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
   in

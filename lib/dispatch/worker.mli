@@ -1,10 +1,15 @@
 (** The sample-sweep worker daemon ([darco worker --listen HOST:PORT]).
 
-    Accepts dispatcher connections and serves each with a select/waitpid
-    loop that keeps up to [jobs] work units executing concurrently, every
-    unit in its own forked child — so a crashing unit (uncaught exception,
-    fatal signal, OOM kill) fails only itself, exactly like the local
-    backend.  Each {!Wire.Work} frame decodes to a
+    Accepts dispatcher connections and serves each with a select loop
+    that keeps up to [jobs] work units executing concurrently.  By
+    default units run on a pool of OCaml domains sharing the daemon's
+    checkpoint store — one resident image serves every slot, and an
+    exception in a unit fails only that unit.  With [isolate] each unit
+    instead runs in its own forked child reading a {!Store.Shared}
+    (off-heap, copy-on-write-clean) image, so even a segfaulting or
+    OOM-killed unit loses only itself — pay the fork for untrusted or
+    crashy workloads, keep the domains for throughput.  Each
+    {!Wire.Work} frame decodes to a
     {!Darco_sampling.Work.t} and is eventually answered by one
     {!Wire.Result} (JSON) or {!Wire.Fail} carrying the same unit id;
     replies may arrive out of order.
@@ -28,6 +33,7 @@ val resolve : string -> Unix.inet_addr
 
 val serve :
   ?quiet:bool ->
+  ?isolate:bool ->
   ?exec:(Darco_sampling.Work.t -> Darco_obs.Jsonx.t) ->
   ?ready:(Unix.sockaddr -> unit) ->
   ?jobs:int ->
@@ -40,7 +46,10 @@ val serve :
     forever.  [ready] is called with the bound address once listening
     (tests use [port:0] and read the kernel-assigned port here); [exec]
     overrides unit execution (default [Work.exec] against the daemon's
-    checkpoint store; runs in the forked child); [jobs] (default 1) is
-    the concurrency advertised to the dispatcher in the [Hello] reply;
-    [store_dir] spills received checkpoints to disk so they survive
-    daemon restarts; [quiet] silences the log lines. *)
+    checkpoint store; with [isolate] it runs in the forked child,
+    otherwise on a worker domain — so it must be domain-safe); [jobs]
+    (default 1) is the concurrency advertised to the dispatcher in the
+    [Hello] reply and the size of the domain pool; [isolate] (default
+    false) trades the shared-memory domain pool for fork-per-unit crash
+    containment; [store_dir] spills received checkpoints to disk so they
+    survive daemon restarts; [quiet] silences the log lines. *)

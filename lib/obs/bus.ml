@@ -5,13 +5,24 @@ type t = {
   mutable sinks : sink array;
   mutable retire_subs : retire list;
   mutable retire_hook : retire option;
+  (* guards sink/subscription registration only: emission reads one
+     immutable array snapshot and stays lock-free, so the unobserved hot
+     path is exactly as cheap as before domains existed *)
+  lock : Mutex.t;
 }
 
-let create () = { sinks = [||]; retire_subs = []; retire_hook = None }
+let create () =
+  { sinks = [||]; retire_subs = []; retire_hook = None; lock = Mutex.create () }
 
 let active t = Array.length t.sinks > 0
 
-let attach t ~name handle = t.sinks <- Array.append t.sinks [| { name; handle } |]
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let attach t ~name handle =
+  locked t (fun () ->
+      t.sinks <- Array.append t.sinks [| { name; handle } |])
 
 let emit t ~at ev =
   let sinks = t.sinks in
@@ -20,12 +31,13 @@ let emit t ~at ev =
   done
 
 let on_retire t f =
-  t.retire_subs <- t.retire_subs @ [ f ];
-  t.retire_hook <-
-    (match t.retire_subs with
-    | [] -> None
-    | [ f ] -> Some f
-    | fs -> Some (fun ri -> List.iter (fun g -> g ri) fs))
+  locked t (fun () ->
+      t.retire_subs <- t.retire_subs @ [ f ];
+      t.retire_hook <-
+        (match t.retire_subs with
+        | [] -> None
+        | [ f ] -> Some f
+        | fs -> Some (fun ri -> List.iter (fun g -> g ri) fs)))
 
 let retire_hook t = t.retire_hook
 let sink_names t = Array.to_list (Array.map (fun s -> s.name) t.sinks)

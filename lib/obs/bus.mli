@@ -5,7 +5,18 @@
     event construction behind {!active} so an unobserved run allocates
     nothing.  Sinks must be attached before the run starts (before
     [Controller.create] to capture initialization events); attaching
-    mid-run is not supported. *)
+    mid-run is not supported.
+
+    {b Domain story.}  Registration ({!attach}, {!on_retire}) is
+    mutex-guarded; emission is lock-free — it reads one immutable snapshot
+    of the sink array, so {!active}/{!emit} cost exactly what they did
+    before OCaml 5 domains entered the runtime.  Sink {e handlers} are
+    called on whichever domain emits.  The single-domain simulator keeps
+    its plain mutable sinks ([Agg], [Prof], trace writers); a multi-domain
+    producer must either serialize its own emission (what the [domains]
+    sweep backend does, one mutex around its span events) or give each
+    domain a private accumulator and {!Stats.merge}/{!Prof.merge} the
+    results afterwards. *)
 
 type sink = { name : string; handle : at:int -> Event.t -> unit }
 

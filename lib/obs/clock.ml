@@ -1,17 +1,19 @@
 let wall_us () = int_of_float (Unix.gettimeofday () *. 1e6)
 
-let last = ref 0
+(* The monotonic floor is shared by every domain: ticks handed out
+   concurrently must still be unique and increasing, so the bump is a
+   compare-and-set loop — each successful install is owned by exactly one
+   caller, and a raced install simply retries against the newer floor. *)
+let last = Atomic.make 0
 
-let ticks () =
+let rec ticks () =
   let t = wall_us () in
-  let v = if t <= !last then !last + 1 else t in
-  last := v;
-  v
+  let prev = Atomic.get last in
+  let v = if t <= prev then prev + 1 else t in
+  if Atomic.compare_and_set last prev v then v else ticks ()
 
 type stamp = { s_wall_us : int; s_seq : int }
 
-let seq = ref 0
+let seq = Atomic.make 0
 
-let stamp () =
-  incr seq;
-  { s_wall_us = wall_us (); s_seq = !seq }
+let stamp () = { s_wall_us = wall_us (); s_seq = 1 + Atomic.fetch_and_add seq 1 }

@@ -10,17 +10,23 @@
       same microsecond;
     - {!stamp}: a (wall-µs, per-process sequence) pair carried inside
       span events, so ties within one process still order deterministically
-      while cross-machine comparison falls back to the wall clock. *)
+      while cross-machine comparison falls back to the wall clock.
+
+    Both are {b domain-safe}: the monotonic floor and the sequence counter
+    are [Atomic.t]s, so ticks and stamps handed out by concurrently
+    running domains are still unique and ordered process-wide. *)
 
 val wall_us : unit -> int
 (** [Unix.gettimeofday] in integer microseconds. *)
 
 val ticks : unit -> int
-(** {!wall_us}, bumped to [last + 1] on a tie or clock step backwards —
-    strictly monotonic within the process. *)
+(** {!wall_us}, bumped past the last handed-out tick on a tie or clock
+    step backwards — strictly monotonic and collision-free across every
+    domain of the process (compare-and-set on the shared floor). *)
 
 type stamp = { s_wall_us : int; s_seq : int }
 
 val stamp : unit -> stamp
 (** The current wall clock plus this process's next sequence number
-    (the sequence strictly increases per call). *)
+    (the sequence strictly increases per call, atomically across
+    domains). *)

@@ -79,6 +79,20 @@ let apply t ~at:_ (ev : Event.t) =
   | Event.Span_begin _ | Event.Span_end _ ->
     ()
 
+let merge_region dst src =
+  dst.r_guest <- dst.r_guest + src.r_guest;
+  dst.r_host <- dst.r_host + src.r_host;
+  dst.r_wasted <- dst.r_wasted + src.r_wasted;
+  dst.r_overhead <- dst.r_overhead + src.r_overhead;
+  dst.r_execs <- dst.r_execs + src.r_execs;
+  dst.r_translations <- dst.r_translations + src.r_translations;
+  dst.r_rollbacks <- dst.r_rollbacks + src.r_rollbacks;
+  dst.r_deopts <- dst.r_deopts + src.r_deopts
+
+let merge ~into src =
+  Hashtbl.iter (fun pc r -> merge_region (region into pc) r) src.by_pc;
+  merge_region into.una src.una
+
 let attach bus =
   let t = create () in
   Bus.attach bus ~name:"profiler" (apply t);

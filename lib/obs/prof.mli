@@ -40,6 +40,14 @@ val attach : Bus.t -> t
 val apply : t -> at:int -> Event.t -> unit
 (** Fold one event (what {!attach}'s sink does). *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds every region of [src] (and its unattributed
+    bucket) into [into], summing each column — the combine half of the
+    per-domain accumulate/merge pattern (see {!Stats.merge}).  After
+    merging each domain's private profiler into one aggregate,
+    {!reconciles} against the equally-merged {!Stats.t} still holds.
+    [src] is left untouched. *)
+
 val regions : t -> region list
 (** Every touched region, unordered, including the unattributed bucket. *)
 

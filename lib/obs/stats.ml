@@ -115,6 +115,35 @@ let overhead_fraction t =
   let total = float_of_int (host_total t) in
   if total = 0.0 then 0.0 else float_of_int (total_overhead t) /. total
 
+let merge ~into:a b =
+  a.guest_im <- a.guest_im + b.guest_im;
+  a.guest_bbm <- a.guest_bbm + b.guest_bbm;
+  a.guest_sbm <- a.guest_sbm + b.guest_sbm;
+  a.host_app_bbm <- a.host_app_bbm + b.host_app_bbm;
+  a.host_app_sbm <- a.host_app_sbm + b.host_app_sbm;
+  Array.iteri (fun i n -> a.overhead.(i) <- a.overhead.(i) + n) b.overhead;
+  a.bb_translations <- a.bb_translations + b.bb_translations;
+  a.sb_translations <- a.sb_translations + b.sb_translations;
+  a.sb_rebuilds_noassert <- a.sb_rebuilds_noassert + b.sb_rebuilds_noassert;
+  a.sb_rebuilds_nomem <- a.sb_rebuilds_nomem + b.sb_rebuilds_nomem;
+  a.assert_rollbacks <- a.assert_rollbacks + b.assert_rollbacks;
+  a.alias_rollbacks <- a.alias_rollbacks + b.alias_rollbacks;
+  a.page_requests <- a.page_requests + b.page_requests;
+  a.syscalls <- a.syscalls + b.syscalls;
+  a.chains_made <- a.chains_made + b.chains_made;
+  a.chains_followed <- a.chains_followed + b.chains_followed;
+  a.ibtc_fills <- a.ibtc_fills + b.ibtc_fills;
+  a.ibtc_misses <- a.ibtc_misses + b.ibtc_misses;
+  a.code_cache_flushes <- a.code_cache_flushes + b.code_cache_flushes;
+  a.wasted_host <- a.wasted_host + b.wasted_host;
+  a.validations <- a.validations + b.validations;
+  (* startup is a "first time anywhere" mark: the earliest wins *)
+  a.startup_insns <-
+    (match (a.startup_insns, b.startup_insns) with
+    | None, s | s, None -> s
+    | Some x, Some y -> Some (min x y));
+  a.unrolled_superblocks <- a.unrolled_superblocks + b.unrolled_superblocks
+
 let equal a b =
   a.guest_im = b.guest_im && a.guest_bbm = b.guest_bbm && a.guest_sbm = b.guest_sbm
   && a.host_app_bbm = b.host_app_bbm

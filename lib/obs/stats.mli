@@ -79,6 +79,15 @@ val emulation_cost_sbm : t -> float
 val overhead_fraction : t -> float
 (** TOL share of the host dynamic stream (Figure 6). *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every counter of [src] into [into] — the
+    combine half of the per-domain accumulate/merge pattern: give each
+    domain a private [t], fold its events there without synchronization,
+    then merge the private instances into one aggregate afterwards.
+    Commutative and associative in [src] for every additive counter;
+    [startup_insns] (a "first time anywhere" mark) takes the earliest of
+    the two.  [src] is left untouched. *)
+
 val equal : t -> t -> bool
 (** Field-by-field equality of every counter. *)
 

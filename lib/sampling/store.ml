@@ -3,7 +3,22 @@
    them.  The store is an in-memory table with an optional on-disk spill
    directory (one file per digest); disk reads are re-verified against the
    digest, so a tampered or bit-rotted cache entry is refused, never
-   restored. *)
+   restored.
+
+   Two residency tiers:
+   - Heap: entries are ordinary strings.  Cheapest lookups; fine for a
+     single-domain process and for the domains pool, where every domain
+     reads the same string by reference.
+   - Shared: entries live in Bigarrays outside the OCaml heap.  The GC
+     neither moves nor marks them, so after a fork the image's pages stay
+     copy-on-write-clean in every child no matter how hard the child's GC
+     works — N forked units really do read ONE physical copy.  Cold reads
+     from the spill directory are mmap'd, so separate worker processes on
+     one machine share the page cache mapping too.
+
+   All table operations are serialized by a per-store mutex, so any mix of
+   domains may put/get concurrently.  Disk I/O happens outside the lock;
+   a duplicate cold read loses nothing but the redundant read. *)
 
 let digest bytes = Digest.to_hex (Digest.string bytes)
 
@@ -13,16 +28,49 @@ let is_digest s =
        (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false)
        s
 
+type tier = Heap | Shared
+
+type bigstring =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type image = In_heap of string | Off_heap of bigstring
+
 type t = {
-  table : (string, string) Hashtbl.t;
+  table : (string, image) Hashtbl.t;
   dir : string option;
+  tier : tier;
+  lock : Mutex.t;
 }
 
-let create ?dir () =
+let create ?dir ?(tier = Heap) () =
   Option.iter
     (fun d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755)
     dir;
-  { table = Hashtbl.create 16; dir }
+  { table = Hashtbl.create 16; dir; tier; lock = Mutex.create () }
+
+let tier t = t.tier
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let of_bigstring (ba : bigstring) =
+  String.init (Bigarray.Array1.dim ba) (fun i -> ba.{i})
+
+let to_bigstring s : bigstring =
+  let n = String.length s in
+  let ba = Bigarray.(Array1.create char c_layout n) in
+  for i = 0 to n - 1 do
+    ba.{i} <- s.[i]
+  done;
+  ba
+
+let string_of_image = function
+  | In_heap s -> s
+  | Off_heap ba -> of_bigstring ba
+
+let image_of_string tier s =
+  match tier with Heap -> In_heap s | Shared -> Off_heap (to_bigstring s)
 
 let path_of dir d = Filename.concat dir (d ^ ".dsnp")
 
@@ -42,35 +90,66 @@ let read_whole path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Map the spill file read-only.  The mapping is shared machine-wide
+   through the page cache: ten worker processes cold-reading the same
+   digest fault in one set of physical pages. *)
+let map_whole path : bigstring =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Bigarray.array1_of_genarray
+        (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| -1 |]))
+
 let add t bytes =
   let d = digest bytes in
-  if not (Hashtbl.mem t.table d) then begin
-    Hashtbl.replace t.table d bytes;
+  let fresh =
+    locked t (fun () ->
+        if Hashtbl.mem t.table d then false
+        else begin
+          Hashtbl.replace t.table d (image_of_string t.tier bytes);
+          true
+        end)
+  in
+  if fresh then
     Option.iter
       (fun dir ->
         let path = path_of dir d in
         if not (Sys.file_exists path) then write_whole path bytes)
-      t.dir
-  end;
+      t.dir;
   d
 
 let find t d =
-  match Hashtbl.find_opt t.table d with
-  | Some _ as hit -> hit
+  match locked t (fun () -> Hashtbl.find_opt t.table d) with
+  | Some img -> Some (string_of_image img)
   | None -> (
     match t.dir with
     | None -> None
     | Some dir -> (
       let path = path_of dir d in
-      match read_whole path with
-      | exception Sys_error _ -> None
-      | bytes ->
+      let cold =
+        match t.tier with
+        | Shared -> (
+          match map_whole path with
+          | exception Unix.Unix_error _ -> None
+          | ba -> Some (Off_heap ba))
+        | Heap -> (
+          match read_whole path with
+          | exception Sys_error _ -> None
+          | bytes -> Some (In_heap bytes))
+      in
+      match cold with
+      | None -> None
+      | Some img ->
+        let bytes = string_of_image img in
         if digest bytes <> d then
           Buf.corrupt
             (Printf.sprintf "checkpoint cache entry %s does not match its digest"
                d);
-        Hashtbl.replace t.table d bytes;
+        (* a concurrent cold read of the same digest may have raced us
+           here; either image has the right content, last write wins *)
+        locked t (fun () -> Hashtbl.replace t.table d img);
         Some bytes))
 
 let mem t d = find t d <> None
-let count t = Hashtbl.length t.table
+let count t = locked t (fun () -> Hashtbl.length t.table)

@@ -10,9 +10,24 @@
     [bytes].  An optional directory persists entries across daemon
     restarts ([darco worker --store DIR]); entries read back from disk are
     re-verified against their digest and refused ({!Buf.Corrupt}) on
-    mismatch, inheriting the snapshot container's corruption discipline. *)
+    mismatch, inheriting the snapshot container's corruption discipline.
+
+    Every operation is domain-safe: the table is guarded by a per-store
+    mutex (I/O happens outside it), so a domain pool may put/get/spill
+    concurrently.  The {!tier} chooses where resident images live:
+
+    - {!Heap} (default): ordinary strings; all readers in one process
+      share each image by reference.
+    - {!Shared}: images live in Bigarrays off the OCaml heap.  The GC
+      never marks or moves them, so forked children keep the image's
+      pages copy-on-write-clean — an N-way fork sweep reads one physical
+      copy — and cold reads mmap the spill file, sharing pages across
+      worker processes on the machine. *)
 
 type t
+
+(** Residency of in-memory images; see the module preamble. *)
+type tier = Heap | Shared
 
 val digest : string -> string
 (** Content address of a byte string: 32 lowercase hex characters
@@ -21,9 +36,12 @@ val digest : string -> string
 val is_digest : string -> bool
 (** Shape check used by frame decoders: 32 chars, [0-9a-f]. *)
 
-val create : ?dir:string -> unit -> t
+val create : ?dir:string -> ?tier:tier -> unit -> t
 (** An empty store.  With [dir], entries are also written to (and looked
-    up in) [dir/<digest>.dsnp]; the directory is created if missing. *)
+    up in) [dir/<digest>.dsnp]; the directory is created if missing.
+    [tier] defaults to {!Heap}. *)
+
+val tier : t -> tier
 
 val add : t -> string -> string
 (** [add t bytes] stores [bytes] under its digest and returns the digest.

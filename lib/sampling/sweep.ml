@@ -56,8 +56,15 @@ let pool_map ?bus ?(jobs = 4) ~label f items =
     | Some b when Bus.active b -> Span.emit b sp
     | _ -> ()
   in
+  (* wait(2) is interruptible: a SIGCHLD-adjacent signal landing between
+     forks surfaced as EINTR and tore the whole sweep down. Retry; only
+     an actual reap (or a real error) may end the call. *)
+  let rec wait_nointr () =
+    try Unix.wait ()
+    with Unix.Unix_error (EINTR, _, _) -> wait_nointr ()
+  in
   let reap_one () =
-    let pid, status = Unix.wait () in
+    let pid, status = wait_nointr () in
     match Hashtbl.find_opt pending pid with
     | None -> () (* not ours; nothing to record *)
     | Some (idx, path) ->
@@ -90,6 +97,52 @@ let pool_map ?bus ?(jobs = 4) ~label f items =
     (fun idx item -> { label = label item; outcome = outcomes.(idx) })
     (Array.to_list items)
 
+(* The domain-pool twin of [pool_map]: same span timeline (begin on
+   submit, end on completion, host "local", corr = unit index), same
+   at-most-[jobs]-in-flight pacing, same failure rendering — so a sweep
+   produces byte-identical JSON whichever pool ran it.  All bus emission
+   happens on the calling domain; worker domains only run [f]. *)
+let domains_map ?bus ?(jobs = 4) ~label f items =
+  let jobs = max 1 jobs in
+  let items = Array.of_list items in
+  let n = Array.length items in
+  let outcomes = Array.make n (Failed "not run") in
+  let span sp =
+    match bus with
+    | Some b when Bus.active b -> Span.emit b sp
+    | _ -> ()
+  in
+  let pool = Dpool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () ->
+      let next = ref 0 in
+      let submit_one () =
+        let idx = !next in
+        incr next;
+        let item = items.(idx) in
+        span
+          (Span.begin_ ~detail:(label item) ~span:"running" ~corr:idx
+             ~host:"local" ());
+        Dpool.submit pool ~tag:idx (fun () -> f item)
+      in
+      while !next < n && Dpool.pending pool < jobs do
+        submit_one ()
+      done;
+      while Dpool.pending pool > 0 do
+        let idx, res = Dpool.await pool in
+        outcomes.(idx) <-
+          (match res with
+          | Stdlib.Ok json -> Ok json
+          | Stdlib.Error e -> Failed ("worker failed: " ^ Printexc.to_string e));
+        (let ok = match outcomes.(idx) with Ok _ -> true | Failed _ -> false in
+         span (Span.end_ ~ok ~span:"running" ~corr:idx ~host:"local" ()));
+        if !next < n then submit_one ()
+      done);
+  List.mapi
+    (fun idx item -> { label = label item; outcome = outcomes.(idx) })
+    (Array.to_list items)
+
 module Backend = struct
   type nonrec t = {
     name : string;
@@ -108,6 +161,17 @@ module Backend = struct
     of_exec ?bus ~jobs
       ~name:(Printf.sprintf "local:%d" (max 1 jobs))
       (Work.exec ?store)
+
+  let domains ?bus ?store ?(jobs = 4) () =
+    let jobs = max 1 jobs in
+    {
+      name = Printf.sprintf "domains:%d" jobs;
+      dispatch =
+        (fun works ->
+          domains_map ?bus ~jobs
+            ~label:(fun (w : Work.t) -> w.Work.label)
+            (Work.exec ?store) works);
+    }
 end
 
 let run (b : Backend.t) works = b.dispatch works

@@ -4,9 +4,12 @@
     per unit, in input order.  {e How} the units execute is the backend's
     business: {!Backend.local} forks one worker process per unit on this
     machine (a crashing worker — uncaught exception, fatal signal, OOM
-    kill — loses only its own sample); [Darco_dispatch.remote] ships units
-    to worker daemons over TCP.  Drivers are written once against
-    {!run} and pick a backend at the edge. *)
+    kill — loses only its own sample); {!Backend.domains} runs units on a
+    pool of OCaml domains sharing the parent's memory — one checkpoint
+    image serves every unit, no fork, no serialization; [Darco_dispatch]
+    ships units to worker daemons over TCP.  Drivers are written once
+    against {!run} and pick a backend at the edge.  All three produce
+    byte-identical result JSON for the same units. *)
 
 type outcome =
   | Ok of Darco_obs.Jsonx.t
@@ -39,6 +42,18 @@ module Backend : sig
       process; no state the child mutates is visible to the parent.
       [store] resolves version-2 (digest-addressed) units; [bus] as in
       {!of_exec}. *)
+
+  val domains : ?bus:Darco_obs.Bus.t -> ?store:Store.t -> ?jobs:int -> unit -> t
+  (** Shared-memory execution on a pool of [jobs] (default 4) OCaml
+      domains.  Units sharing a digest-addressed checkpoint read the
+      {e same} store entry — no per-unit copy, no fork — so an N-way
+      sweep's footprint is one image plus per-unit working state.  An
+      exception in a unit is contained as its [Failed] outcome, rendered
+      exactly as the fork pool renders a child exception; a unit that
+      {e segfaults or exhausts memory takes the process down}, so prefer
+      {!local} (fork isolation) for untrusted or crashy workloads.  Span
+      timeline and result JSON are byte-identical to {!local}'s.  [bus]
+      sinks run only on the calling domain. *)
 end
 
 val run : Backend.t -> Work.t list -> result list

@@ -1,0 +1,42 @@
+(** Resident-set measurement from [/proc] — how much physical memory a
+    run (and the worker processes it forks) actually holds.
+
+    Sizes are in kilobytes, as the kernel reports them.  Every reader
+    returns [None] where [/proc] is absent or unreadable (non-Linux,
+    hardened mounts), so callers degrade to "not measured" rather than
+    failing the run.
+
+    The per-process readers prefer {b PSS} (proportional set size, from
+    [smaps_rollup]) over VmRSS when summing a process {e tree}: PSS
+    divides each shared physical page among its mappers, so N forked
+    children copy-on-write-sharing one checkpoint image count the image
+    once — exactly the sharing the {!Darco_sampling.Store.Shared} tier
+    and the domains backends exist to create.  Plain VmRSS would charge
+    the image N times and overstate the fork backend's footprint. *)
+
+val self_pid : unit -> int
+
+val rss_kb : int -> int option
+(** The process's current resident set: PSS when [smaps_rollup] is
+    readable, VmRSS otherwise. *)
+
+val peak_kb : int -> int option
+(** The process's high-water resident mark ([VmHWM]); not
+    sharing-adjusted (the kernel keeps no PSS high-water mark). *)
+
+val descendants : int -> int list
+(** Live descendant pids of [pid] (children, grandchildren, ...), by
+    scanning [/proc] for [PPid] chains.  Racy by nature: processes may
+    appear or die mid-scan; callers sample repeatedly. *)
+
+val tree_rss_kb : int -> int option
+(** Current resident total of [pid] plus all its live descendants
+    (PSS-preferred, see above).  [None] only when nothing was readable. *)
+
+val sample_during : ?interval_s:float -> (unit -> 'a) -> 'a * int option
+(** [sample_during f] runs [f ()] while a background domain polls
+    {!tree_rss_kb} on this process every [interval_s] (default 0.02)
+    seconds, and returns [f]'s result with the peak total observed.
+    The first sample is taken before [f] starts and one more after it
+    finishes, so short-lived allocations between polls still bound the
+    result from both ends. *)

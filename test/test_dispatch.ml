@@ -19,13 +19,13 @@ let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
 (* Fork a worker daemon on an ephemeral port; the child reports the
    kernel-assigned port through a pipe once it is actually listening, so
    there is no race between spawn and first connect. *)
-let spawn_worker ?exec ?jobs () =
+let spawn_worker ?exec ?jobs ?isolate () =
   let r, w = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
     Unix.close r;
     (try
-       Worker.serve ~quiet:true ?exec ?jobs
+       Worker.serve ~quiet:true ?exec ?jobs ?isolate
          ~ready:(fun sa ->
            let port = match sa with Unix.ADDR_INET (_, p) -> p | _ -> 0 in
            let line = Bytes.of_string (string_of_int port ^ "\n") in
@@ -103,6 +103,22 @@ let test_loopback_e2e () =
       Alcotest.(check bool) "every unit acknowledged" true
         (count events (function Event.Dispatch_done _ -> true | _ -> false)
         = List.length (Lazy.force works)))
+
+(* --- 1a. the same loopback against --isolate workers: the fork engine
+   is no longer the daemon's default, so pin that its results stay
+   byte-identical to Local (and hence to the domain-pool engine) --- *)
+let test_loopback_isolate () =
+  let p1, a1 = spawn_worker ~isolate:true () in
+  let p2, a2 = spawn_worker ~isolate:true ~jobs:2 () in
+  Fun.protect
+    ~finally:(fun () -> reap p1; reap p2)
+    (fun () ->
+      let remote =
+        Sweep.run (Darco_dispatch.remote [ a1; a2 ]) (Lazy.force works)
+      in
+      Alcotest.(check (list string))
+        "isolated workers bit-identical to local" (Lazy.force expected)
+        (List.map render remote))
 
 (* --- 1b. observability of the same sweep: lifecycle events carry
    wall-clock stamps, worker span logs ship back inside RSLT frames and
@@ -248,10 +264,12 @@ let test_steal_from_slow_worker () =
 (* --- 4. a worker dies with units in flight: the units are reassigned and
    the sweep still completes with the right answer --- *)
 let test_worker_died_mid_unit () =
-  (* this daemon handshakes and accepts a unit, then its unit child kills
-     the daemon itself — the connection drops with the unit in flight *)
+  (* this daemon handshakes and accepts a unit, then the unit kills the
+     daemon — the connection drops with the unit in flight.  The unit
+     runs on a domain of the daemon process (the default engine), so
+     getpid () IS the daemon *)
   let suicide _ =
-    Unix.kill (Unix.getppid ()) Sys.sigkill;
+    Unix.kill (Unix.getpid ()) Sys.sigkill;
     Unix.sleepf 10.0;
     Alcotest.fail "unreachable"
   in
@@ -441,6 +459,14 @@ let test_spec_parsing () =
   (match ok (Darco_dispatch.spec_of_string "local:9") with
   | Darco_dispatch.Local { jobs } -> Alcotest.(check int) "explicit jobs" 9 jobs
   | _ -> Alcotest.fail "expected Local");
+  (match ok (Darco_dispatch.spec_of_string ~jobs:3 "domains") with
+  | Darco_dispatch.Domains { jobs } ->
+    Alcotest.(check int) "default domain jobs" 3 jobs
+  | _ -> Alcotest.fail "expected Domains");
+  (match ok (Darco_dispatch.spec_of_string "domains:6") with
+  | Darco_dispatch.Domains { jobs } ->
+    Alcotest.(check int) "explicit domain jobs" 6 jobs
+  | _ -> Alcotest.fail "expected Domains");
   (match ok (Darco_dispatch.spec_of_string ~timeout:5.0 ~retries:1 "remote:a:1,b:2") with
   | Darco_dispatch.Remote { workers; timeout; retries } ->
     Alcotest.(check (list string)) "workers"
@@ -454,7 +480,17 @@ let test_spec_parsing () =
     | Ok _ -> Alcotest.failf "accepted bad spec %S" s
     | Error _ -> ()
   in
-  List.iter bad [ ""; "local:zero"; "remote:"; "remote:host"; "remote:host:0"; "ftp:x" ]
+  List.iter bad
+    [
+      "";
+      "local:zero";
+      "domains:zero";
+      "domains:0";
+      "remote:";
+      "remote:host";
+      "remote:host:0";
+      "ftp:x";
+    ]
 
 let () =
   Alcotest.run "dispatch"
@@ -472,6 +508,8 @@ let () =
       ( "cluster",
         [
           Alcotest.test_case "loopback end-to-end" `Quick test_loopback_e2e;
+          Alcotest.test_case "loopback via --isolate workers" `Quick
+            test_loopback_isolate;
           Alcotest.test_case "sweep observability: stamps, spans, chrome"
             `Quick test_sweep_observability;
           Alcotest.test_case "checkpoint shipped at most once" `Quick

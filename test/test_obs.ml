@@ -591,6 +591,135 @@ let test_metrics_hists () =
   Alcotest.(check bool) "no hists key by default" true
     (Jsonx.member "hists" (Jsonx.parse (Metrics.to_string s)) = None)
 
+(* --- per-domain accumulate / merge --------------------------------------- *)
+
+(* A stream with every counter-moving constructor except SBM retirement
+   (startup marking depends on how much of the stream each instance saw,
+   so [startup_insns] gets its own case below). *)
+let merge_stream =
+  let open Event in
+  [
+    Init { cost = 40 };
+    Interp_block { pc = 0x400; insns = 12; cost = 30 };
+    Bb_translated { pc = 0x400; guest_len = 12; host_len = 20; cost = 25 };
+    Region_exec
+      {
+        pc = 0x400;
+        guest_bb = 12;
+        guest_sb = 0;
+        host_bb = 18;
+        host_sb = 0;
+        chains_followed = 1;
+        wasted_host = 2;
+      };
+    Interp_step { pc = 0x404; cost = 3 };
+    Sb_translated
+      { pc = 0x404; guest_len = 30; host_len = 44; cost = 60; unrolled = true };
+    Chain_made { pc = 0x404 };
+    Ibtc_miss { pc = 0x408 };
+    Ibtc_fill { pc = 0x408 };
+    Rollback { kind = Rb_assert; pc = 0x404 };
+    Rollback { kind = Rb_alias; pc = 0x400 };
+    Deopt_rebuild { kind = De_noassert; pc = 0x404 };
+    Deopt_rebuild { kind = De_nomem; pc = 0x400 };
+    Cache_flush { regions = 2; host_insns = 64 };
+    Page_install { index = 3 };
+    Syscall { eip = 0x40c; cost = 9 };
+    Validation { kind = V_syscall };
+    Clock_sync { retired = 100 };
+    Slice_end
+      { stop = St_halt; overheads = [ (Stats.Ov_chaining, 4); (Stats.Ov_other, 2) ] };
+    Halt;
+  ]
+
+(* Splitting a stream across private instances and merging them must be
+   indistinguishable from one instance having seen everything — the
+   contract that lets each worker domain accumulate without locks. *)
+let test_stats_merge_splits () =
+  let whole = Stats.create () in
+  List.iteri (fun i ev -> Agg.apply whole ~at:i ev) merge_stream;
+  let a = Stats.create () and b = Stats.create () in
+  List.iteri
+    (fun i ev -> Agg.apply (if i mod 2 = 0 then a else b) ~at:i ev)
+    merge_stream;
+  Stats.merge ~into:a b;
+  if not (Stats.equal whole a) then
+    Alcotest.failf "merged halves drift from the whole stream:\n%s\nvs\n%s"
+      (render whole) (render a);
+  (* merging an empty instance is the identity *)
+  Stats.merge ~into:a (Stats.create ());
+  Alcotest.(check bool) "identity" true (Stats.equal whole a)
+
+let test_stats_merge_startup () =
+  let mark n =
+    let s = Stats.create () in
+    s.Stats.guest_im <- n;
+    Stats.note_sbm_start s;
+    s
+  in
+  let a = mark 500 and b = mark 300 in
+  Stats.merge ~into:a b;
+  Alcotest.(check (option int)) "earliest mark wins" (Some 300) a.Stats.startup_insns;
+  let c = Stats.create () in
+  Stats.merge ~into:c (mark 700);
+  Alcotest.(check (option int)) "present beats absent" (Some 700) c.Stats.startup_insns;
+  let d = mark 200 in
+  Stats.merge ~into:d (Stats.create ());
+  Alcotest.(check (option int)) "absent keeps present" (Some 200) d.Stats.startup_insns
+
+let test_prof_merge_splits () =
+  let feed p evs = List.iteri (fun i ev -> Prof.apply p ~at:i ev) evs in
+  let whole = Prof.create () in
+  feed whole merge_stream;
+  let a = Prof.create () and b = Prof.create () in
+  List.iteri
+    (fun i ev -> Prof.apply (if i mod 2 = 0 then a else b) ~at:i ev)
+    merge_stream;
+  Prof.merge ~into:a b;
+  Alcotest.(check string) "merged profile identical to whole-stream profile"
+    (Jsonx.to_string (Prof.to_json whole))
+    (Jsonx.to_string (Prof.to_json a));
+  (* and it still reconciles against the equally-merged stats *)
+  let sa = Stats.create () and sb = Stats.create () in
+  List.iteri
+    (fun i ev -> Agg.apply (if i mod 2 = 0 then sa else sb) ~at:i ev)
+    merge_stream;
+  Stats.merge ~into:sa sb;
+  match Prof.reconciles a sa with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "merged profiler drifts from merged stats: %s" e
+
+(* --- cross-domain clock --------------------------------------------------- *)
+
+(* Must stay the suite's LAST test: once a domain has been spawned this
+   process can never Unix.fork again (OCaml 5 runtime restriction), so no
+   fork-based test may run after it. *)
+let test_clock_multicore () =
+  let per = 2_000 and ndom = 4 in
+  let doms =
+    List.init ndom (fun _ ->
+        Domain.spawn (fun () -> List.init per (fun _ -> Clock.ticks ())))
+  in
+  let per_domain = List.map Domain.join doms in
+  let all = List.concat per_domain in
+  Alcotest.(check int) "all handed out" (ndom * per) (List.length all);
+  let tbl = Hashtbl.create (ndom * per) in
+  List.iter
+    (fun t ->
+      if Hashtbl.mem tbl t then Alcotest.failf "tick %d handed out twice" t;
+      Hashtbl.add tbl t ())
+    all;
+  List.iter
+    (fun ts ->
+      ignore
+        (List.fold_left
+           (fun prev t ->
+             if t <= prev then
+               Alcotest.failf "ticks went %d -> %d within one domain" prev t;
+             t)
+           min_int ts))
+    per_domain
+
 let () =
   Alcotest.run "obs"
     [
@@ -649,4 +778,17 @@ let () =
           Alcotest.test_case "rejects malformed timelines" `Quick
             test_chrome_rejects_unclosed;
         ] );
+      ( "merge",
+        [
+          Alcotest.test_case "stats: split stream = whole stream" `Quick
+            test_stats_merge_splits;
+          Alcotest.test_case "stats: startup mark" `Quick test_stats_merge_startup;
+          Alcotest.test_case "prof: split stream = whole stream" `Quick
+            test_prof_merge_splits;
+        ] );
+      (* keep last: spawns domains, which forbids fork for the rest of
+         the process *)
+      ( "multicore",
+        [ Alcotest.test_case "ticks unique across domains" `Quick test_clock_multicore ]
+      );
     ]

@@ -414,6 +414,143 @@ let test_golden_work_v2 () =
     (Darco_obs.Jsonx.to_string (Work.exec inline))
     (Darco_obs.Jsonx.to_string (Work.exec ~store w))
 
+(* --- the multicore runtime ------------------------------------------------ *)
+
+(* Everything below spawns domains.  The OCaml 5 runtime forbids
+   [Unix.fork] once any domain has ever been created in the process, so
+   these suites are registered LAST: every fork-based test above (the
+   sweep pool tests) has finished before the first domain exists. *)
+
+let render_result (r : Sweep.result) =
+  r.Sweep.label ^ " => "
+  ^ (match r.Sweep.outcome with
+    | Sweep.Ok j -> Darco_obs.Jsonx.to_string j
+    | Sweep.Failed e -> "FAILED " ^ e)
+
+(* The acceptance contract of the domains backend: a real sweep renders
+   byte-identically whichever pool ran it.  Fork runs first — after the
+   domains sweep this process can never fork again. *)
+let test_domains_identical_to_fork () =
+  let program = build "462.libquantum" in
+  let store = Store.create () in
+  let window = 1_500 and warmup = 500 in
+  let offsets = [ 1_000; 4_000; 7_000; 10_000 ] in
+  let checkpoints =
+    Driver.functional_checkpoints ~seed:11 ~interval:3_000 ~horizon:12_000
+      program
+  in
+  let works =
+    List.map
+      (fun offset ->
+        Work.of_window_stored ~store ~checkpoints
+          ~label:(Printf.sprintf "u@%d" offset)
+          ~offset ~window ~warmup)
+      offsets
+  in
+  let via_fork = Sweep.run (Sweep.Backend.local ~store ~jobs:3 ()) works in
+  let via_domains = Sweep.run (Sweep.Backend.domains ~store ~jobs:3 ()) works in
+  Alcotest.(check (list string))
+    "fork and domains render identically"
+    (List.map render_result via_fork)
+    (List.map render_result via_domains)
+
+(* A unit raising on a worker domain is contained as its own [Failed]
+   outcome — and rendered exactly as the fork pool renders the same
+   failure (a v2 unit whose digest is in nobody's store). *)
+let test_domains_contains_failures () =
+  let phantom = Store.digest "never stored anywhere" in
+  let works =
+    [
+      {
+        Work.label = "orphan";
+        ckpt = Work.Stored phantom;
+        offset = 0;
+        window = 1;
+        warmup = 0;
+      };
+    ]
+  in
+  let empty () = Store.create () in
+  let via_domains =
+    Sweep.run (Sweep.Backend.domains ~store:(empty ()) ~jobs:2 ()) works
+  in
+  match (List.hd via_domains).Sweep.outcome with
+  | Sweep.Ok _ -> Alcotest.fail "missing digest produced a result"
+  | Sweep.Failed reason ->
+    Alcotest.(check bool) "reason mentions the failure" true
+      (String.length reason > String.length "worker failed: ")
+
+(* Many domains hammering one store: adds (duplicate and distinct),
+   immediate readbacks and the spill directory must all stay coherent
+   under concurrency. *)
+let test_store_concurrent () =
+  let dir = Filename.temp_file "darco_store_mt" "" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let store = Store.create ~dir ~tier:Store.Shared () in
+      let ndom = 4 and per = 25 and shared_contents = 5 in
+      let doms =
+        List.init ndom (fun d ->
+            Domain.spawn (fun () ->
+                List.init per (fun i ->
+                    (* every domain re-adds the same shared blobs AND its
+                       own private ones, interleaved *)
+                    let shared = Printf.sprintf "shared-%d" (i mod shared_contents) in
+                    let own = Printf.sprintf "own-%d-%d" d i in
+                    let ds = Store.add store shared in
+                    let dn = Store.add store own in
+                    let got_s = Store.find store ds = Some shared in
+                    let got_n = Store.find store dn = Some own in
+                    (ds, dn, got_s && got_n))))
+      in
+      let outcomes = List.concat_map Domain.join doms in
+      List.iter
+        (fun (_, _, ok) ->
+          Alcotest.(check bool) "every readback saw its own bytes" true ok)
+        outcomes;
+      let distinct = shared_contents + (ndom * per) in
+      Alcotest.(check int) "adds deduplicated across domains" distinct
+        (Store.count store);
+      (* every digest resolves after the dust settles *)
+      List.iter
+        (fun (ds, dn, _) ->
+          Alcotest.(check bool) "shared digest resolves" true
+            (Store.find store ds <> None);
+          Alcotest.(check bool) "own digest resolves" true
+            (Store.find store dn <> None))
+        outcomes;
+      (* a fresh Shared-tier store over the same directory cold-reads the
+         spilled entries (mmap path) and re-verifies them *)
+      let fresh = Store.create ~dir ~tier:Store.Shared () in
+      Alcotest.(check int) "fresh store starts empty" 0 (Store.count fresh);
+      let d0 = Store.digest "shared-0" in
+      Alcotest.(check (option string)) "cold mmap read"
+        (Some "shared-0") (Store.find fresh d0);
+      (* concurrent cold reads of one spilled entry from several domains *)
+      let cold = Store.create ~dir ~tier:Store.Shared () in
+      let readers =
+        List.init ndom (fun _ ->
+            Domain.spawn (fun () -> Store.find cold d0 = Some "shared-0"))
+      in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool) "concurrent cold read" true (Domain.join d))
+        readers;
+      (* tampered spill bytes are refused on the mmap path too *)
+      let dp = Store.digest "phantom" in
+      let oc = open_out_bin (Filename.concat dir (dp ^ ".dsnp")) in
+      output_string oc "not the phantom";
+      close_out oc;
+      match Store.find (Store.create ~dir ~tier:Store.Shared ()) dp with
+      | _ -> Alcotest.fail "accepted a tampered cache entry"
+      | exception Buf.Corrupt _ -> ())
+
 let () =
   Alcotest.run "sampling"
     [
@@ -450,5 +587,16 @@ let () =
           Alcotest.test_case "golden corpus decodes" `Quick test_golden_corpus;
           Alcotest.test_case "golden work frame v1" `Quick test_golden_work_v1;
           Alcotest.test_case "golden work frame v2" `Quick test_golden_work_v2;
+        ] );
+      (* keep last: these spawn domains, which forbids fork for the rest
+         of the process (the sweep suite above forks) *)
+      ( "multicore",
+        [
+          Alcotest.test_case "domains backend identical to fork" `Quick
+            test_domains_identical_to_fork;
+          Alcotest.test_case "domains backend contains failures" `Quick
+            test_domains_contains_failures;
+          Alcotest.test_case "store under concurrent domains" `Quick
+            test_store_concurrent;
         ] );
     ]
