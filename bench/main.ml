@@ -684,6 +684,96 @@ let ablation_thresholds () =
   print_endline (Table.render ~header rows);
   print_newline ()
 
+(* --- the campaign service's artifact library: per-operation costs --- *)
+
+let library_summary : Darco_obs.Jsonx.t option ref = ref None
+
+let library () =
+  print_endline "=== Artifact library: window store and lookup costs ===";
+  let module Library = Darco_serve.Library in
+  let dir = Filename.temp_file "darco_libbench" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let lib = Library.create ~dir () in
+  (* a representative window result: the JSON one detailed window emits *)
+  let json =
+    "{\"offset\":130000,\"window\":25000,\"warmup\":30000,\"insns\":25000,"
+    ^ "\"cycles\":16123,\"ipc\":1.5507230000000001,\"watts\":0.91,"
+    ^ "\"epi_nj\":0.58699999999999997}"
+  in
+  let key i =
+    {
+      Library.bench = "462.libquantum";
+      cfg = Sampling.Store.digest "bench config";
+      snap = Sampling.Store.digest (Printf.sprintf "snapshot %d" (i mod 4));
+      offset = 50_000 + (i * 1_000);
+      window = 10_000;
+      warmup = 5_000;
+    }
+  in
+  let seeded = 64 in
+  for i = 0 to seeded - 1 do
+    Library.put_window lib (key i) json
+  done;
+  let bench_ns name f =
+    let open Bechamel in
+    let open Toolkit in
+    let test =
+      Test.make_grouped ~name:"library" [ Test.make ~name (Staged.stage f) ]
+    in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:8 ~quota:(Time.second 1.0) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.merge ols instances
+        (List.map (fun i -> Analyze.all ols i raw) instances)
+    in
+    let tbl = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+    match Analyze.OLS.estimates (Hashtbl.find tbl ("library/" ^ name)) with
+    | Some [ est ] -> est
+    | Some _ | None -> nan
+  in
+  let n = ref seeded in
+  let store_ns =
+    bench_ns "store" (fun () ->
+        Library.put_window lib (key !n) json;
+        incr n)
+  in
+  let warm_ns = bench_ns "warm lookup" (fun () -> Library.find_window lib (key 0)) in
+  (* a cold lookup pays the open + CRC + digest re-verification a fresh
+     server process pays on its first hit after a restart *)
+  let cold_ns =
+    bench_ns "cold lookup" (fun () ->
+        Library.find_window (Library.create ~dir ()) (key 0))
+  in
+  Printf.printf "  %-12s %10.2f us/op\n" "store" (store_ns /. 1e3);
+  Printf.printf "  %-12s %10.2f us/op\n" "warm lookup" (warm_ns /. 1e3);
+  Printf.printf "  %-12s %10.2f us/op (verified read)\n\n" "cold lookup"
+    (cold_ns /. 1e3);
+  let open Darco_obs in
+  library_summary :=
+    Some
+      (Jsonx.Obj
+         [
+           ("window_bytes", Jsonx.Int (String.length json));
+           ("store_ns", Jsonx.Float store_ns);
+           ("warm_lookup_ns", Jsonx.Float warm_ns);
+           ("cold_lookup_ns", Jsonx.Float cold_ns);
+         ])
+
 let all () =
   fig4 ();
   fig5 ();
@@ -694,6 +784,7 @@ let all () =
   profile ();
   ablation_features ();
   ablation_thresholds ();
+  library ();
   (* last: the first Domain.spawn forbids Unix.fork for the rest of the
      process, and earlier sections must stay free to fork *)
   parallel ()
@@ -729,6 +820,8 @@ let write_results path =
           match !profile_summary with Some j -> j | None -> Jsonx.Null );
         ( "parallel",
           match !parallel_summary with Some j -> j | None -> Jsonx.Null );
+        ( "artifact_library",
+          match !library_summary with Some j -> j | None -> Jsonx.Null );
       ]
   in
   let oc = open_out path in
@@ -752,6 +845,7 @@ let () =
         | "ablation" ->
           ablation_features ();
           ablation_thresholds ()
+        | "library" -> library ()
         | "parallel" -> parallel ()
         | other -> Printf.printf "unknown target %s\n" other)
       args

@@ -395,6 +395,7 @@ module Snapshot = Darco_sampling.Snapshot
 module Driver = Darco_sampling.Driver
 module Sweep = Darco_sampling.Sweep
 module Work = Darco_sampling.Work
+module Report = Darco_sampling.Report
 
 let json_num j =
   match j with
@@ -615,91 +616,45 @@ let sample_cmd =
           offsets
       end
     in
-    let errors = ref [] in
-    let ipcs = ref [] in
-    let powers = ref [] in
-    let sample_rows =
-      List.map2
-        (fun off (r : Sweep.result) ->
-          match r.outcome with
-          | Sweep.Failed reason ->
-            Printf.printf "%-28s FAILED: %s\n" r.label reason;
-            Darco_obs.Jsonx.Obj
-              [
-                ("label", Darco_obs.Jsonx.String r.label);
-                ("ok", Darco_obs.Jsonx.Bool false);
-                ("reason", Darco_obs.Jsonx.String reason);
-              ]
-          | Sweep.Ok json ->
-            let ipc =
-              Option.value ~default:0.0 (json_num (Darco_obs.Jsonx.member "ipc" json))
-            in
-            ipcs := ipc :: !ipcs;
-            (match
-               ( json_num (Darco_obs.Jsonx.member "energy_j" json),
-                 json_num (Darco_obs.Jsonx.member "avg_watts" json),
-                 json_num (Darco_obs.Jsonx.member "epi_nj" json) )
-             with
-            | Some e, Some w, Some epi -> powers := (e, w, epi) :: !powers
-            | _ -> ());
-            let extra =
-              match List.assoc_opt off full_ipcs with
-              | None ->
-                Printf.printf "%-28s IPC %.3f\n" r.label ipc;
-                []
-              | Some full ->
-                let err =
-                  Darco_util.Stats_math.relative_error ipc full
-                in
-                errors := err :: !errors;
-                Printf.printf "%-28s IPC %.3f vs %.3f full (error %.2f%%)\n"
-                  r.label ipc full (100. *. err);
-                [
-                  ("ipc_full", Darco_obs.Jsonx.Float full);
-                  ("error", Darco_obs.Jsonx.Float err);
-                ]
-            in
-            Darco_obs.Jsonx.Obj
-              ([
-                 ("label", Darco_obs.Jsonx.String r.label);
-                 ("ok", Darco_obs.Jsonx.Bool true);
-                 ("result", json);
-               ]
-              @ extra))
-        offsets results
+    (* per-row progress printing; the JSON document itself is assembled by
+       Report.sweep_json, shared verbatim with the campaign service so a
+       served sweep's DONE payload is byte-identical to this command's *)
+    List.iter2
+      (fun off (r : Sweep.result) ->
+        match r.outcome with
+        | Sweep.Failed reason -> Printf.printf "%-28s FAILED: %s\n" r.label reason
+        | Sweep.Ok json -> (
+          let ipc =
+            Option.value ~default:0.0 (json_num (Darco_obs.Jsonx.member "ipc" json))
+          in
+          match List.assoc_opt off full_ipcs with
+          | None -> Printf.printf "%-28s IPC %.3f\n" r.label ipc
+          | Some full ->
+            let err = Darco_util.Stats_math.relative_error ipc full in
+            Printf.printf "%-28s IPC %.3f vs %.3f full (error %.2f%%)\n" r.label
+              ipc full (100. *. err)))
+      offsets results;
+    let rep =
+      Report.sweep_json ~benchmark:entry.name ~seed:sim.seed ~interval ~window
+        ~warmup ~full_ipcs
+        (List.combine offsets results)
     in
     (* the sweep's point estimate, with its SMARTS-style sampling error *)
-    let ipcs = List.rev !ipcs in
-    let ipc_mean = Darco_util.Stats_math.mean ipcs in
-    let ipc_stddev = Darco_util.Stats_math.sample_stddev ipcs in
-    let ipc_ci95 = Darco_util.Stats_math.ci95_halfwidth ipcs in
-    if ipcs <> [] then
+    if rep.Report.n_ipc > 0 then
       Printf.printf "sweep IPC %.3f ± %.3f (95%% CI, stddev %.3f, n=%d)\n"
-        ipc_mean ipc_ci95 ipc_stddev (List.length ipcs);
+        rep.Report.ipc_mean rep.Report.ipc_ci95 rep.Report.ipc_stddev
+        rep.Report.n_ipc;
     (* the same error-bar treatment for the power model's outputs *)
-    let powers = List.rev !powers in
-    let pstat xs =
-      (Darco_util.Stats_math.mean xs, Darco_util.Stats_math.ci95_halfwidth xs)
-    in
-    let watts_mean, watts_ci95 =
-      pstat (List.map (fun (_, w, _) -> w) powers)
-    in
-    let epi_mean, epi_ci95 = pstat (List.map (fun (_, _, e) -> e) powers) in
-    let energy_mean, energy_ci95 =
-      pstat (List.map (fun (e, _, _) -> e) powers)
-    in
-    if powers <> [] then
+    if rep.Report.n_power > 0 then
       Printf.printf
         "sweep power %.4g ± %.2g W, EPI %.4g ± %.2g nJ, window energy %.4g ± \
          %.2g J (95%% CI, n=%d)\n"
-        watts_mean watts_ci95 epi_mean epi_ci95 energy_mean energy_ci95
-        (List.length powers);
-    let avg_error =
-      match !errors with [] -> None | es -> Some (Darco_util.Stats_math.mean es)
-    in
+        rep.Report.watts_mean rep.Report.watts_ci95 rep.Report.epi_nj_mean
+        rep.Report.epi_nj_ci95 rep.Report.energy_j_mean rep.Report.energy_j_ci95
+        rep.Report.n_power;
     Option.iter
       (fun e -> Printf.printf "average sampling error: %.2f%%\n" (100. *. e))
-      avg_error;
+      rep.Report.avg_error;
     let hists =
       List.filter
         (fun (_, h) -> Darco_obs.Hist.count h > 0)
@@ -714,46 +669,9 @@ let sample_cmd =
       (fun (name, h) ->
         Format.printf "%-16s %a@." name Darco_obs.Hist.pp h)
       hists;
-    let failed =
-      List.exists
-        (fun (r : Sweep.result) ->
-          match r.outcome with Sweep.Failed _ -> true | Sweep.Ok _ -> false)
-        results
-    in
-    Option.iter
-      (fun path ->
-        let doc =
-          Darco_obs.Jsonx.Obj
-            ([
-               ("benchmark", Darco_obs.Jsonx.String entry.name);
-               ("seed", Darco_obs.Jsonx.Int sim.seed);
-               ("interval", Darco_obs.Jsonx.Int interval);
-               ("window", Darco_obs.Jsonx.Int window);
-               ("warmup", Darco_obs.Jsonx.Int warmup);
-               ("ipc_mean", Darco_obs.Jsonx.Float ipc_mean);
-               ("ipc_stddev", Darco_obs.Jsonx.Float ipc_stddev);
-               ("ipc_ci95", Darco_obs.Jsonx.Float ipc_ci95);
-               ("watts_mean", Darco_obs.Jsonx.Float watts_mean);
-               ("watts_ci95", Darco_obs.Jsonx.Float watts_ci95);
-               ("epi_nj_mean", Darco_obs.Jsonx.Float epi_mean);
-               ("epi_nj_ci95", Darco_obs.Jsonx.Float epi_ci95);
-               ("energy_j_mean", Darco_obs.Jsonx.Float energy_mean);
-               ("energy_j_ci95", Darco_obs.Jsonx.Float energy_ci95);
-               ("samples", Darco_obs.Jsonx.List sample_rows);
-             ]
-            (* no histograms here: this document is the sweep's scientific
-               result and must be byte-identical whichever backend ran it
-               (CI cmp-checks local vs remote); wall-clock distributions are
-               printed above and live on the observability side *)
-            @
-            match avg_error with
-            | None -> []
-            | Some e -> [ ("avg_error", Darco_obs.Jsonx.Float e) ])
-        in
-        write_json path doc)
-      json_out;
-    if failed then exit 1;
-    match (avg_error, max_error) with
+    Option.iter (fun path -> write_json path rep.Report.doc) json_out;
+    if rep.Report.failed then exit 1;
+    match (rep.Report.avg_error, max_error) with
     | Some e, Some bound when e > bound ->
       Printf.eprintf "average sampling error %.2f%% exceeds bound %.2f%%\n"
         (100. *. e) (100. *. bound);
@@ -817,6 +735,191 @@ let worker_cmd =
       $ Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Work units to keep executing concurrently (advertised to the dispatcher)")
       $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill received checkpoints to $(docv) so they survive daemon restarts"))
 
+(* --- the campaign service ---------------------------------------------- *)
+
+let parse_addr s =
+  match Darco_dispatch.addr_of_string s with
+  | Ok a -> a
+  | Error e ->
+    Printf.eprintf "%s\n" e;
+    exit 2
+
+let connect_flag =
+  Arg.(
+    value
+    & opt string "127.0.0.1:9300"
+    & info [ "connect" ] ~docv:"HOST:PORT" ~doc:"Campaign server address")
+
+(* The sweep-shape flags shared by submit and fetch: same names, defaults
+   and offset derivation as [sample], so a command line moves between the
+   local and served worlds by swapping the verb. *)
+let campaign_term =
+  let mk bench scale seed input interval offsets nsamples horizon window
+      warmup =
+    let offsets =
+      match offsets with
+      | Some s ->
+        List.map
+          (fun tok ->
+            match int_of_string_opt (String.trim tok) with
+            | Some v -> v
+            | None -> invalid_arg ("bad offset: " ^ tok))
+          (String.split_on_char ',' s)
+      | None -> List.init nsamples (fun i -> (i + 1) * horizon / (nsamples + 1))
+    in
+    Darco_serve.Campaign.normalize
+      {
+        Darco_serve.Campaign.bench;
+        scale;
+        seed;
+        input;
+        interval;
+        horizon;
+        offsets;
+        window;
+        warmup;
+      }
+  in
+  Term.(
+    const mk $ Flag.bench $ Flag.scale $ Flag.seed $ Flag.input
+    $ Arg.(value & opt int 50_000 & info [ "interval" ] ~doc:"Guest instructions between functional checkpoints")
+    $ Arg.(value & opt (some string) None & info [ "offsets" ] ~docv:"A,B,C" ~doc:"Explicit sample offsets (comma-separated)")
+    $ Arg.(value & opt int 4 & info [ "samples" ] ~doc:"Number of evenly spaced samples (when --offsets is absent)")
+    $ Arg.(value & opt int 400_000 & info [ "horizon" ] ~doc:"Span of guest execution to sample (when --offsets is absent)")
+    $ Arg.(value & opt int 25_000 & info [ "window" ] ~doc:"Detailed measurement window length")
+    $ Arg.(value & opt int 30_000 & info [ "warmup" ] ~doc:"Detailed warm-up before each window"))
+
+let serve_cmd =
+  let run listen library workers jobs credit dispatch_timeout dispatch_retries
+      budget max_submissions quiet trace =
+    let addr = parse_addr listen in
+    let workers =
+      match workers with
+      | None -> []
+      | Some s ->
+        List.map (fun p -> parse_addr (String.trim p)) (String.split_on_char ',' s)
+    in
+    let bus = Darco_obs.Bus.create () in
+    with_trace bus trace @@ fun _trace_oc ->
+    Darco_serve.Serve.serve ~bus ~quiet ~workers ~jobs ~credit
+      ~dispatch_timeout ~dispatch_retries ?max_bytes:budget ?max_submissions
+      ~library ~host:addr.Darco_dispatch.host ~port:addr.Darco_dispatch.port ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the persistent campaign service: accept sweep submissions \
+          from many clients over the dispatch TCP protocol, schedule them \
+          fairly onto the worker fleet (or local forks), and keep every \
+          checkpoint and window result in a crash-safe content-addressed \
+          artifact library — a resubmitted sweep dispatches nothing and \
+          returns byte-identical JSON")
+    Term.(
+      const run
+      $ Arg.(value & opt string "127.0.0.1:9300" & info [ "listen" ] ~docv:"HOST:PORT" ~doc:"Bind and serve on $(docv)")
+      $ Arg.(required & opt (some string) None & info [ "library" ] ~docv:"DIR" ~doc:"Artifact library directory (created if missing)")
+      $ Arg.(value & opt (some string) None & info [ "workers" ] ~docv:"HOST:PORT,..." ~doc:"Dispatch work units to these worker daemons (default: fork locally)")
+      $ Arg.(value & opt int 4 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Concurrent local fork workers (without --workers)")
+      $ Arg.(value & opt int 4 & info [ "credit" ] ~docv:"N" ~doc:"Fair-share allowance: work units each submission may occupy per scheduling round")
+      $ Arg.(value & opt float 60.0 & info [ "dispatch-timeout" ] ~docv:"SECONDS" ~doc:"Remote backend: per-work-unit deadline")
+      $ Arg.(value & opt int 2 & info [ "dispatch-retries" ] ~docv:"N" ~doc:"Remote backend: re-dispatches per unit after a worker is lost")
+      $ Arg.(value & opt (some int) None & info [ "library-budget" ] ~docv:"BYTES" ~doc:"LRU byte budget for the library's checkpoint store")
+      $ Arg.(value & opt (some int) None & info [ "max-submissions" ] ~docv:"N" ~doc:"Exit after completing $(docv) submissions (default: serve forever)")
+      $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-submission log lines")
+      $ Flag.trace)
+
+let submit_cmd =
+  let run connect spec timeout json_out quiet =
+    let addr = parse_addr connect in
+    let on_artifact ~key ~json =
+      if not quiet then
+        if json = "" then Printf.printf "%-36s FAILED\n%!" key
+        else Printf.printf "%-36s done (%d bytes)\n%!" key (String.length json)
+    in
+    match Darco_serve.Client.submit ~timeout ~on_artifact addr spec with
+    | Error e ->
+      Printf.eprintf "submit failed: %s\n" e;
+      exit 1
+    | Ok (stats, doc) ->
+      let { Darco_serve.Client.done_ = _; total; hits; dispatched } = stats in
+      Printf.printf "%d windows: %d hits, %d dispatched\n" total hits
+        dispatched;
+      (match json_out with
+      | None ->
+        print_string doc;
+        print_newline ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc doc;
+            output_char oc '\n');
+        Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit a sweep to a campaign server and wait for the result. \
+          The returned JSON document is byte-identical to what $(b,sample \
+          --json) writes for the same parameters — windows already in the \
+          server's artifact library are served without dispatching any \
+          work")
+    Term.(
+      const run $ connect_flag $ campaign_term
+      $ Arg.(value & opt float 3600.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Give up after $(docv)")
+      $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the sweep document to $(docv) (default: stdout)")
+      $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-window progress lines"))
+
+let status_cmd =
+  let run connect =
+    match Darco_serve.Client.status (parse_addr connect) with
+    | Error e ->
+      Printf.eprintf "status failed: %s\n" e;
+      exit 1
+    | Ok (state, { Darco_serve.Client.done_; total; hits; dispatched }) ->
+      Printf.printf
+        "%s: %d/%d submissions done, %d window hits, %d units dispatched\n"
+        state done_ total hits dispatched
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Query a campaign server's service-wide counters")
+    Term.(const run $ connect_flag)
+
+let fetch_cmd =
+  let run connect spec offset json_out =
+    match Darco_serve.Client.fetch (parse_addr connect) spec ~offset with
+    | Error e ->
+      Printf.eprintf "fetch failed: %s\n" e;
+      exit 1
+    | Ok None ->
+      Printf.eprintf "no artifact for offset %d in the server's library\n"
+        offset;
+      exit 1
+    | Ok (Some json) -> (
+      match json_out with
+      | None ->
+        print_string json;
+        print_newline ()
+      | Some path ->
+        let oc = open_out path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc json;
+            output_char oc '\n');
+        Printf.printf "wrote %s\n" path)
+  in
+  Cmd.v
+    (Cmd.info "fetch"
+       ~doc:
+         "Fetch one finished window of a campaign from a server's artifact \
+          library without submitting any work")
+    Term.(
+      const run $ connect_flag $ campaign_term
+      $ Arg.(required & opt (some int) None & info [ "offset" ] ~docv:"N" ~doc:"The window's start offset")
+      $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the window JSON to $(docv) (default: stdout)"))
+
 let validate_trace_cmd =
   let run file =
     match Darco_obs.Chrome.validate_file file with
@@ -856,5 +959,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; suite_cmd; checkpoint_cmd; resume_cmd; sample_cmd;
-            worker_cmd; validate_trace_cmd; disasm_cmd; trace_cmd; regions_cmd;
+            worker_cmd; serve_cmd; submit_cmd; status_cmd; fetch_cmd;
+            validate_trace_cmd; disasm_cmd; trace_cmd; regions_cmd;
             debug_cmd; speed_cmd ]))

@@ -104,6 +104,13 @@ type worker_state = {
   (* outbound frames not yet fully written; every post-handshake frame
      goes through here so two frames can never interleave *)
   w_outbox : obent Queue.t;
+  (* keepalive probing: wall time of the last frame received, when the
+     next PING may go out, and how many PINGs are outstanding without any
+     intervening traffic (any received frame counts as life, not just
+     PONG — a worker busy streaming results never gets probed) *)
+  mutable w_last_recv : float;
+  mutable w_next_ping : float;
+  mutable w_pings : int;
 }
 
 (* Dispatch-lifecycle events are stamped with the strictly monotonic
@@ -156,8 +163,12 @@ let connect_worker ~bus ~timeout ~ix (a : addr) =
           (Wire.Hello { version = Wire.protocol_version; slots = 0 });
         Wire.recv ~deadline fd
       with
-      | Wire.Hello { version = v; slots } when v = Wire.protocol_version ->
+      | Wire.Hello { version = v; slots }
+        when v >= Wire.min_version && v <= Wire.protocol_version ->
+        (* the worker already negotiated down to [min ours theirs]; any
+           version in the accepted range speaks the same worker protocol *)
         emit bus (Event.Worker_up { worker = name });
+        let now = Unix.gettimeofday () in
         Some
           {
             w_addr = name;
@@ -167,6 +178,9 @@ let connect_worker ~bus ~timeout ~ix (a : addr) =
             w_inflight = Hashtbl.create 8;
             w_seen = Hashtbl.create 4;
             w_outbox = Queue.create ();
+            w_last_recv = now;
+            w_next_ping = now;
+            w_pings = 0;
           }
       | Wire.Hello { version = v; _ } ->
         fail (Some fd)
@@ -178,7 +192,8 @@ let connect_worker ~bus ~timeout ~ix (a : addr) =
       | exception B.Corrupt m -> fail (Some fd) ("malformed handshake: " ^ m)
     end)
 
-let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works =
+let run_remote ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
+    ?(keepalive_misses = 3) ~workers ~timeout ~retries works =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let units = Array.of_list works in
   let n = Array.length units in
@@ -410,7 +425,9 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
         | None ->
           lose_worker w (Printf.sprintf "worker requested unknown checkpoint %s" digest)
         | exception B.Corrupt m -> lose_worker w ("checkpoint store: " ^ m)))
-    | Wire.Hello _ | Wire.Ping | Wire.Pong | Wire.Work _ | Wire.Ckpt _ ->
+    | Wire.Pong -> () (* keepalive reply; receipt already reset the probe state *)
+    | Wire.Hello _ | Wire.Ping | Wire.Work _ | Wire.Ckpt _ | Wire.Submit _
+    | Wire.Status _ | Wire.Artifact _ | Wire.Done _ ->
       lose_worker w "protocol violation"
   in
   let drain w fd =
@@ -421,10 +438,37 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
         (Unix.gettimeofday () +. timeout)
     in
     match Wire.recv ~deadline fd with
-    | msg -> handle_msg w msg
+    | msg ->
+      (* any complete frame proves the worker alive *)
+      w.w_last_recv <- Unix.gettimeofday ();
+      w.w_pings <- 0;
+      handle_msg w msg
     | exception Wire.Closed -> lose_worker w "connection closed"
     | exception Wire.Timeout -> lose_worker w "work unit timed out"
     | exception B.Corrupt m -> lose_worker w ("malformed frame: " ^ m)
+  in
+  (* Probe idle connections: a PING goes out once nothing has arrived for
+     [keepalive_idle] seconds, repeating at that interval; after
+     [keepalive_misses] unanswered probes the worker is declared dead and
+     its units reassigned — much sooner than the per-unit deadline when a
+     worker is SIGSTOPped or its host vanished. *)
+  let keepalive_check now =
+    List.iter
+      (fun w ->
+        if w.w_fd <> None && now -. w.w_last_recv >= keepalive_idle
+           && now >= w.w_next_ping
+        then begin
+          if w.w_pings >= keepalive_misses then
+            lose_worker w
+              (Printf.sprintf "missed %d keepalive pongs" w.w_pings)
+          else begin
+            w.w_pings <- w.w_pings + 1;
+            w.w_next_ping <- now +. keepalive_idle;
+            enqueue_frame w Wire.Ping ~done_:(fun _ -> ());
+            kick w
+          end
+        end)
+      ws
   in
   let fallback reason =
     emit bus (Event.Dispatch_fallback { reason });
@@ -574,7 +618,10 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
                   (Printf.sprintf "unit %s timed out" units.(i).Work.label)
               | None -> ()
             end)
-          ws
+          ws;
+        (* the select above wakes at least every 0.25s, which paces these
+           probes without a dedicated timer *)
+        keepalive_check (Unix.gettimeofday ())
       end
     done;
     List.iter
@@ -590,13 +637,15 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ~workers ~timeout ~retries works
     (fun i (u : Work.t) -> { Sweep.label = u.Work.label; outcome = outcomes.(i) })
     (Array.to_list units)
 
-let remote ?bus ?fallback_jobs ?store ?(timeout = 60.0) ?(retries = 2) workers :
-    Sweep.Backend.t =
+let remote ?bus ?fallback_jobs ?store ?keepalive_idle ?keepalive_misses
+    ?(timeout = 60.0) ?(retries = 2) workers : Sweep.Backend.t =
   {
     Sweep.Backend.name =
       Printf.sprintf "remote:%s"
         (String.concat "," (List.map addr_to_string workers));
-    dispatch = run_remote ?bus ?fallback_jobs ?store ~workers ~timeout ~retries;
+    dispatch =
+      run_remote ?bus ?fallback_jobs ?store ?keepalive_idle ?keepalive_misses
+        ~workers ~timeout ~retries;
   }
 
 let backend ?bus ?fallback_jobs ?store spec : Sweep.Backend.t =

@@ -32,6 +32,12 @@
     - a per-unit {!Wire.Fail} over a healthy connection is a
       deterministic failure and is {e not} retried — matching the [Local]
       backend's crash-containment semantics;
+    - idle connections are {b probed}: once nothing has arrived from a
+      worker for [keepalive_idle] seconds a {!Wire.Ping} goes out (and
+      again each interval), and after [keepalive_misses] unanswered
+      probes the worker is declared dead and its units reassigned —
+      catching a frozen (e.g. SIGSTOPped) or unreachable worker long
+      before the per-unit deadline would;
     - when no workers are reachable (at start or mid-run), the remaining
       units {b fall back} to the local fork backend, so a sweep always
       completes;
@@ -79,6 +85,8 @@ val remote :
   ?bus:Darco_obs.Bus.t ->
   ?fallback_jobs:int ->
   ?store:Darco_sampling.Store.t ->
+  ?keepalive_idle:float ->
+  ?keepalive_misses:int ->
   ?timeout:float ->
   ?retries:int ->
   addr list ->
@@ -86,4 +94,6 @@ val remote :
 (** The distributed backend described above.  [fallback_jobs] (default 4)
     bounds the local fork pool used when no workers are reachable;
     [store] resolves digest-addressed units — both the [Need] requests
-    coming back from workers and the local fallback path. *)
+    coming back from workers and the local fallback path.
+    [keepalive_idle] (default 5s) and [keepalive_misses] (default 3)
+    parameterize the idle-connection probing. *)

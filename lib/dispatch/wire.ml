@@ -4,7 +4,8 @@ module Store = Darco_sampling.Store
 exception Timeout
 exception Closed
 
-let protocol_version = 3
+let protocol_version = 4
+let min_version = 3
 
 (* A checkpoint push carries a whole memory image; generous, but bounded so
    a corrupted length field cannot make us allocate the address space. *)
@@ -19,6 +20,17 @@ type msg =
   | Fail of { id : int; reason : string }
   | Need of { digest : string }
   | Ckpt of { digest : string; bytes : string }
+  | Submit of { id : int; sweep : string }
+  | Status of {
+      id : int;
+      state : string;
+      done_ : int;
+      total : int;
+      hits : int;
+      dispatched : int;
+    }
+  | Artifact of { id : int; key : string; json : string }
+  | Done of { id : int; json : string }
 
 let tag_of = function
   | Hello _ -> "HELO"
@@ -29,6 +41,10 @@ let tag_of = function
   | Fail _ -> "FAIL"
   | Need _ -> "NEED"
   | Ckpt _ -> "CKPT"
+  | Submit _ -> "SUBM"
+  | Status _ -> "STAT"
+  | Artifact _ -> "ARTF"
+  | Done _ -> "DONE"
 
 let payload_of = function
   | Hello { version; slots } ->
@@ -56,6 +72,26 @@ let payload_of = function
     let w = B.writer () in
     B.str w digest;
     B.str w bytes;
+    B.contents w
+  | Submit { id; sweep = s } | Done { id; json = s } ->
+    let w = B.writer () in
+    B.int w id;
+    B.str w s;
+    B.contents w
+  | Status { id; state; done_; total; hits; dispatched } ->
+    let w = B.writer () in
+    B.int w id;
+    B.str w state;
+    B.int w done_;
+    B.int w total;
+    B.int w hits;
+    B.int w dispatched;
+    B.contents w
+  | Artifact { id; key; json } ->
+    let w = B.writer () in
+    B.int w id;
+    B.str w key;
+    B.str w json;
     B.contents w
 
 let encode msg =
@@ -182,4 +218,33 @@ let recv ?deadline fd =
     if Store.digest bytes <> digest then
       B.corrupt "CKPT bytes do not match their digest";
     Ckpt { digest; bytes }
+  | "SUBM" ->
+    let r = B.reader payload in
+    let id = B.read_int r in
+    let sweep = B.read_str r in
+    B.expect_end r;
+    Submit { id; sweep }
+  | "STAT" ->
+    let r = B.reader payload in
+    let id = B.read_int r in
+    let state = B.read_str r in
+    let done_ = B.read_int r in
+    let total = B.read_int r in
+    let hits = B.read_int r in
+    let dispatched = B.read_int r in
+    B.expect_end r;
+    Status { id; state; done_; total; hits; dispatched }
+  | "ARTF" ->
+    let r = B.reader payload in
+    let id = B.read_int r in
+    let key = B.read_str r in
+    let json = B.read_str r in
+    B.expect_end r;
+    Artifact { id; key; json }
+  | "DONE" ->
+    let r = B.reader payload in
+    let id = B.read_int r in
+    let json = B.read_str r in
+    B.expect_end r;
+    Done { id; json }
   | other -> B.corrupt (Printf.sprintf "unknown frame tag %S" other)

@@ -7,7 +7,7 @@
     as a clean {!Darco_sampling.Buf.Corrupt}, never a crash or a silently
     wrong sample.
 
-    Protocol version 3.  The dispatcher opens a connection per worker and
+    Protocol version 4.  The dispatcher opens a connection per worker and
     handshakes with [Hello]; the worker's [Hello] reply advertises how many
     units it can run concurrently ([slots], its [-j] value).  Work units
     are {b multiplexed}: each [Work] frame carries a dispatcher-chosen [id]
@@ -26,6 +26,15 @@
     frame's bytes against its claimed digest, so a wrong or tampered
     checkpoint is rejected at the wire, before it can reach the store.
 
+    Version 4 adds the campaign-service frames ([Submit]/[Status]/
+    [Artifact]/[Done]) spoken between sweep clients and a [darco serve]
+    daemon ({!Darco_serve}); the worker protocol is unchanged.  Versions
+    negotiate downward: a server answers a peer's [Hello {version}] with
+    [min version protocol_version] and speaks that, rejecting peers below
+    {!min_version} with a connection-level [Fail] — so a v3 client
+    against a v4 server (or the reverse) still completes the v3
+    conversation.
+
     [send]/[recv] are safe on non-blocking sockets: partial reads and
     writes and [EAGAIN]/[EWOULDBLOCK] park in [select] (bounded by
     [deadline] when given) and resume, so a multiplexing peer never busy
@@ -38,6 +47,10 @@ exception Closed
 (** Peer closed the connection (EOF, ECONNRESET, EPIPE). *)
 
 val protocol_version : int
+
+val min_version : int
+(** Oldest peer version still accepted by handshakes (see negotiation
+    above); peers advertising less are failed and disconnected. *)
 
 val max_frame : int
 (** Upper bound on accepted payload sizes; larger length fields are
@@ -63,6 +76,32 @@ type msg =
           per digest per connection) *)
   | Ckpt of { digest : string; bytes : string }
       (** dispatcher-to-worker: the checkpoint content for [digest] *)
+  | Submit of { id : int; sweep : string }
+      (** client-to-server (v4): run this encoded {!Darco_serve.Campaign}
+          sweep; [id] is a client-chosen submission handle echoed in every
+          reply about it *)
+  | Status of {
+      id : int;
+      state : string;
+      done_ : int;
+      total : int;
+      hits : int;
+      dispatched : int;
+    }
+      (** server-to-client (v4): progress of submission [id] ([done_] of
+          [total] windows, [hits] served without dispatching, [dispatched]
+          work units this submission put on the fleet).  A client sends
+          [Status {id = -1; _}] to ask for service-wide counters. *)
+  | Artifact of { id : int; key : string; json : string }
+      (** server-to-client (v4): one finished window artifact of
+          submission [id] ([json = ""] marks a failed window, or a fetch
+          miss).  A client sends [Artifact {id = offset; key = <encoded
+          campaign>; json = ""}] to fetch one window from the library
+          without submitting. *)
+  | Done of { id : int; json : string }
+      (** server-to-client (v4): submission [id] finished; [json] is the
+          complete sweep document, byte-identical to what [darco sample
+          --json] writes for the same parameters *)
 
 val encode : msg -> string
 (** The frame's exact wire bytes.  For callers that keep their own write

@@ -186,8 +186,11 @@ let serve_connection ~quiet ~ident ~engine ~exec ~jobs ~store fd =
     | _ -> Queue.push (id, work) runq
   in
   let handle = function
-    | Wire.Hello { version = v; slots = _ } when v = Wire.protocol_version ->
-      send (Wire.Hello { version = Wire.protocol_version; slots = jobs })
+    | Wire.Hello { version = v; slots = _ } when v >= Wire.min_version ->
+      (* negotiate downward: speak the older of the two versions (the
+         worker conversation is identical across the accepted range) *)
+      send
+        (Wire.Hello { version = min v Wire.protocol_version; slots = jobs })
     | Wire.Hello { version = v; _ } ->
       log quiet "rejecting protocol version %d (speaking %d)" v
         Wire.protocol_version;
@@ -219,7 +222,8 @@ let serve_connection ~quiet ~ident ~engine ~exec ~jobs ~store fd =
       | Some q ->
         Hashtbl.remove parked digest;
         Queue.transfer q runq)
-    | Wire.Pong | Wire.Result _ | Wire.Fail _ | Wire.Need _ ->
+    | Wire.Pong | Wire.Result _ | Wire.Fail _ | Wire.Need _ | Wire.Submit _
+    | Wire.Status _ | Wire.Artifact _ | Wire.Done _ ->
       send (Wire.Fail { id = -1; reason = "unexpected message; closing connection" });
       closed := true
   in

@@ -69,6 +69,11 @@ type t =
       seq : int;
       ok : bool;
     }
+  | Submit of { client : string; submission : int; benchmark : string; units : int }
+  | Admit of { submission : int; units : int; credit : int }
+  | Artifact_hit of { key : string }
+  | Artifact_store of { key : string; bytes : int }
+  | Store_evict of { digest : string; bytes : int }
 
 let rollback_name = function Rb_assert -> "assert" | Rb_alias -> "alias"
 let deopt_name = function De_noassert -> "noassert" | De_nomem -> "nomem"
@@ -118,6 +123,11 @@ let name = function
   | Dispatch_inflight _ -> "dispatch_inflight"
   | Span_begin _ -> "span_begin"
   | Span_end _ -> "span_end"
+  | Submit _ -> "submit"
+  | Admit _ -> "admit"
+  | Artifact_hit _ -> "artifact_hit"
+  | Artifact_store _ -> "artifact_store"
+  | Store_evict _ -> "store_evict"
 
 let fields ev : (string * Jsonx.t) list =
   match ev with
@@ -233,6 +243,24 @@ let fields ev : (string * Jsonx.t) list =
       ("seq", Jsonx.Int seq);
       ("ok", Jsonx.Bool ok);
     ]
+  | Submit { client; submission; benchmark; units } ->
+    [
+      ("client", Jsonx.String client);
+      ("submission", Jsonx.Int submission);
+      ("benchmark", Jsonx.String benchmark);
+      ("units", Jsonx.Int units);
+    ]
+  | Admit { submission; units; credit } ->
+    [
+      ("submission", Jsonx.Int submission);
+      ("units", Jsonx.Int units);
+      ("credit", Jsonx.Int credit);
+    ]
+  | Artifact_hit { key } -> [ ("key", Jsonx.String key) ]
+  | Artifact_store { key; bytes } ->
+    [ ("key", Jsonx.String key); ("bytes", Jsonx.Int bytes) ]
+  | Store_evict { digest; bytes } ->
+    [ ("digest", Jsonx.String digest); ("bytes", Jsonx.Int bytes) ]
 
 let to_json ~at ev =
   Jsonx.Obj (("at", Jsonx.Int at) :: ("ev", Jsonx.String (name ev)) :: fields ev)

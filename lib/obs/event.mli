@@ -113,6 +113,24 @@ type t =
       seq : int;
       ok : bool;
     }
+  (** Campaign-service lifecycle ([Darco_serve]) and store-eviction
+      events.  Like the dispatch events above they are wall-clock
+      stamped ([at = Clock.ticks ()]) and touch no {!Stats.t}
+      counter. *)
+  | Submit of { client : string; submission : int; benchmark : string; units : int }
+      (** a client submitted a sweep: [submission] is the server-assigned
+          sequence number, [units] the number of requested windows *)
+  | Admit of { submission : int; units : int; credit : int }
+      (** fair-share admission: [units] work units of [submission]
+          admitted into a dispatch round under a per-round [credit] cap *)
+  | Artifact_hit of { key : string }
+      (** a requested artifact (window result, or a ["ckpts:"]-prefixed
+          checkpoint set) was served from the library — no work dispatched *)
+  | Artifact_store of { key : string; bytes : int }
+      (** a freshly computed artifact was persisted into the library *)
+  | Store_evict of { digest : string; bytes : int }
+      (** the byte-budget LRU policy of {!Darco_sampling.Store} dropped a
+          spilled checkpoint ([bytes] on disk) to fit [max_bytes] *)
 
 val name : t -> string
 (** Stable machine-readable event name (the ["ev"] field of the trace). *)

@@ -36,12 +36,34 @@ val digest : string -> string
 val is_digest : string -> bool
 (** Shape check used by frame decoders: 32 chars, [0-9a-f]. *)
 
-val create : ?dir:string -> ?tier:tier -> unit -> t
+val create :
+  ?bus:Darco_obs.Bus.t -> ?dir:string -> ?tier:tier -> ?max_bytes:int -> unit -> t
 (** An empty store.  With [dir], entries are also written to (and looked
     up in) [dir/<digest>.dsnp]; the directory is created if missing.
-    [tier] defaults to {!Heap}. *)
+    [tier] defaults to {!Heap}.
+
+    [max_bytes] puts a byte budget on the spill directory (it has no
+    effect without [dir]): after every add, least-recently-used unpinned
+    entries are evicted — file and in-memory image both — until the
+    directory fits, each eviction emitting [Store_evict] on [bus].  The
+    entry just added is never the victim, and when only pinned entries
+    remain the store runs over budget rather than dropping them.  A
+    cold read of an evicted digest is a plain miss ([find] returns
+    [None]).  Pre-existing spill files are picked up (oldest mtime =
+    least recent) so the budget holds across restarts. *)
 
 val tier : t -> tier
+
+val pin : t -> string -> unit
+(** Exempt the digest from LRU eviction (e.g. while units referencing it
+    are in flight).  Pins nest: each [pin] needs one {!unpin}.  Pinning
+    a digest not yet in the store sticks — it protects the entry from
+    the moment it is added. *)
+
+val unpin : t -> string -> unit
+
+val spilled_bytes : t -> int
+(** Bytes currently accounted to the spill directory (0 without [dir]). *)
 
 val add : t -> string -> string
 (** [add t bytes] stores [bytes] under its digest and returns the digest.

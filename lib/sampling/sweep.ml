@@ -175,5 +175,3 @@ module Backend = struct
 end
 
 let run (b : Backend.t) works = b.dispatch works
-
-let map = pool_map

@@ -58,16 +58,9 @@ end
 
 val run : Backend.t -> Work.t list -> result list
 (** [run backend works] evaluates every unit via the backend and returns
-    results in input order. *)
+    results in input order.
 
-val map :
-  ?bus:Darco_obs.Bus.t ->
-  ?jobs:int -> label:('a -> string) -> ('a -> Darco_obs.Jsonx.t) -> 'a list -> result list
-[@@ocaml.deprecated
-  "Sweep.map is the legacy fork-only entry point; build Work.t units and \
-   use Sweep.run (Sweep.Backend.local ()) so callers stay backend-agnostic."]
-(** [map ~label f items] evaluates [f] on every item, at most [jobs]
-    (default 4) forked workers at a time, and returns results in input
-    order.  [f] runs in the child only.  Deprecated shim over the same
-    worker pool that backs {!Backend.local}; kept so pre-backend callers
-    keep compiling. *)
+    The deprecated [Sweep.map] shim (the pre-backend fork-only entry
+    point) was removed after two releases of deprecation; build
+    {!Work.t} units and use [run] with {!Backend.local}.  See DESIGN.md
+    §9 for the compatibility policy that governed the removal. *)

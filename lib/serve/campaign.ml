@@ -1,0 +1,86 @@
+module B = Darco_sampling.Buf
+module Store = Darco_sampling.Store
+
+type t = {
+  bench : string;
+  scale : int;
+  seed : int;
+  input : string option;
+  interval : int;
+  horizon : int;
+  offsets : int list;
+  window : int;
+  warmup : int;
+}
+
+let magic = "DCAM"
+let version = 1
+
+(* Mirrors the flag normalization in [darco sample]: offsets sorted and
+   deduplicated, horizon stretched so the last window fits under it. *)
+let normalize t =
+  let offsets = List.sort_uniq compare t.offsets in
+  let horizon =
+    List.fold_left (fun acc o -> max acc (o + t.window)) t.horizon offsets
+  in
+  { t with offsets; horizon }
+
+let to_string t =
+  let w = B.writer () in
+  B.tag4 w magic;
+  B.int w version;
+  B.str w t.bench;
+  B.int w t.scale;
+  B.int w t.seed;
+  B.option w B.str t.input;
+  B.int w t.interval;
+  B.int w t.horizon;
+  B.list w B.int t.offsets;
+  B.int w t.window;
+  B.int w t.warmup;
+  B.contents w
+
+let of_string s =
+  let r = B.reader s in
+  let tag = B.read_tag4 r in
+  if tag <> magic then B.corrupt (Printf.sprintf "campaign: bad magic %S" tag);
+  let v = B.read_int r in
+  if v <> version then
+    B.corrupt (Printf.sprintf "campaign: unsupported version %d" v);
+  let bench = B.read_str r in
+  let scale = B.read_int r in
+  let seed = B.read_int r in
+  let input = B.read_option r B.read_str in
+  let interval = B.read_int r in
+  let horizon = B.read_int r in
+  let offsets = B.read_list r B.read_int in
+  let window = B.read_int r in
+  let warmup = B.read_int r in
+  B.expect_end r;
+  if scale < 1 then B.corrupt "campaign: scale < 1";
+  if interval <= 0 then B.corrupt "campaign: interval <= 0";
+  if window <= 0 then B.corrupt "campaign: window <= 0";
+  if warmup < 0 then B.corrupt "campaign: warmup < 0";
+  { bench; scale; seed; input; interval; horizon; offsets; window; warmup }
+
+(* The digest inputs are rendered, not binary-encoded: a one-line canonical
+   string is greppable in a trace and trivially stable.  '|' cannot appear
+   in the numeric fields and the input is length-prefixed, so the rendering
+   is injective. *)
+let input_part = function
+  | None -> "-"
+  | Some s -> Printf.sprintf "%d:%s" (String.length s) s
+
+let config_digest t =
+  Store.digest
+    (Printf.sprintf "dcfg1|%s|%d|%d|%s|%d|%d" t.bench t.scale t.seed
+       (input_part t.input) t.window t.warmup)
+
+let ckpt_digest t =
+  Store.digest
+    (Printf.sprintf "dckp1|%s|%d|%d|%s|%d|%d" t.bench t.scale t.seed
+       (input_part t.input) t.interval t.horizon)
+
+let describe t =
+  Printf.sprintf "%s seed %d, %d windows of %d" t.bench t.seed
+    (List.length t.offsets) t.window

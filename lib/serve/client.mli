@@ -1,0 +1,43 @@
+(** Client side of the campaign service: what [darco submit], [darco
+    status] and [darco fetch] run.
+
+    Every call opens one connection, handshakes at protocol version 4
+    (failing cleanly against an older server), performs its conversation
+    and closes.  Errors — connection refused, version mismatch, server
+    [Fail] frames, timeouts — come back as [Error text], never as an
+    exception. *)
+
+type stats = { done_ : int; total : int; hits : int; dispatched : int }
+(** The counters of a [Status] frame: [done_] of [total] windows
+    settled, [hits] served without dispatching, [dispatched] put on the
+    worker fleet. *)
+
+val submit :
+  ?timeout:float ->
+  ?on_status:(stats -> unit) ->
+  ?on_artifact:(key:string -> json:string -> unit) ->
+  Darco_dispatch.addr ->
+  Campaign.t ->
+  (stats * string, string) result
+(** Submit the campaign and block until it finishes, returning the final
+    counters and the sweep's JSON document text — byte-identical to what
+    [darco sample --json] writes for the same parameters.  [on_status]
+    sees every progress frame, [on_artifact] every finished window
+    ([json = ""] marks a failed one).  [timeout] (default 3600s) bounds
+    the whole conversation. *)
+
+val status :
+  ?timeout:float -> Darco_dispatch.addr -> (string * stats, string) result
+(** Service-wide counters: the server's state string and, as {!stats},
+    completed/total submissions and cumulative hit/dispatch counts. *)
+
+val fetch :
+  ?timeout:float ->
+  Darco_dispatch.addr ->
+  Campaign.t ->
+  offset:int ->
+  (string option, string) result
+(** Look one window of the campaign up in the server's artifact library
+    without submitting anything: [Ok (Some json)] on a hit, [Ok None]
+    when the library has no such window (or no checkpoint set for the
+    campaign). *)

@@ -1,0 +1,576 @@
+module Bus = Darco_obs.Bus
+module Event = Darco_obs.Event
+module Clock = Darco_obs.Clock
+module Span = Darco_obs.Span
+module Jsonx = Darco_obs.Jsonx
+module B = Darco_sampling.Buf
+module Store = Darco_sampling.Store
+module Sweep = Darco_sampling.Sweep
+module Work = Darco_sampling.Work
+module Driver = Darco_sampling.Driver
+module Snapshot = Darco_sampling.Snapshot
+module Report = Darco_sampling.Report
+module Wire = Darco_dispatch.Wire
+module Registry = Darco_workloads.Registry
+
+let emit bus ev = Option.iter (fun b -> Bus.emit b ~at:(Clock.ticks ()) ev) bus
+
+let span bus sp =
+  match bus with Some b when Bus.active b -> Span.emit b sp | _ -> ()
+
+(* Correlation ids for per-submission spans sit above both unit indices
+   (sweep "running" spans) and the dispatcher's per-worker range. *)
+let span_corr_base = 2_000_000
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_peer : string;
+  c_ver : int;
+  mutable c_alive : bool;
+}
+
+type slot = Waiting | Settled of Sweep.outcome
+
+type submission = {
+  sb_seq : int;  (** server-side sequence number (events, spans, logs) *)
+  sb_id : int;  (** the client's submission handle, echoed in every frame *)
+  sb_client : client;
+  sb_spec : Campaign.t;  (** normalized, benchmark name resolved *)
+  sb_offsets : int array;
+  sb_works : Work.t array;
+  sb_keys : Library.key array;
+  sb_slots : slot array;
+  sb_todo : int Queue.t;  (** slot indices awaiting a dispatch round *)
+  mutable sb_done : int;
+  mutable sb_hits : int;
+  mutable sb_dispatched : int;
+}
+
+(* One work unit not yet settled, shared by every submission wanting its
+   window: the submission that created it dispatches; later arrivals
+   attach as waiters and dispatch nothing. *)
+type pend = {
+  p_key : Library.key;
+  p_work : Work.t;
+  mutable p_waiters : (submission * int) list;
+}
+
+let checkpoint_set_key bench ckd = Printf.sprintf "ckpts:%s/%s" bench ckd
+
+let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
+    ?(dispatch_timeout = 60.0) ?(dispatch_retries = 2) ?keepalive_idle
+    ?keepalive_misses ?max_bytes ?max_submissions ?ready ~library ~host ~port
+    () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let credit = max 1 credit in
+  let log fmt =
+    Printf.ksprintf
+      (fun s ->
+        if not quiet then begin
+          print_string s;
+          print_newline ();
+          flush stdout
+        end)
+      fmt
+  in
+  let lib = Library.create ?bus ?max_bytes ~dir:library () in
+  let store = Library.store lib in
+  let backend =
+    match workers with
+    | [] -> Sweep.Backend.local ?bus ~store ~jobs ()
+    | ws ->
+      Darco_dispatch.remote ?bus ~fallback_jobs:jobs ~store ?keepalive_idle
+        ?keepalive_misses ~timeout:dispatch_timeout ~retries:dispatch_retries
+        ws
+  in
+  (* --- service state --------------------------------------------------- *)
+  let clients = ref [] in
+  let subs = ref [] in (* active submissions, oldest first (fair share) *)
+  let pending : (string, pend) Hashtbl.t = Hashtbl.create 64 in
+  let next_seq = ref 0 in
+  let submitted = ref 0 in
+  let completed = ref 0 in
+  let hits_total = ref 0 in
+  let dispatched_total = ref 0 in
+  let send_to c msg =
+    if c.c_alive then
+      try Wire.send ~deadline:(Unix.gettimeofday () +. 30.0) c.c_fd msg
+      with Wire.Closed | Wire.Timeout | Unix.Unix_error _ -> c.c_alive <- false
+  in
+  let outcome_of_text text =
+    match Jsonx.parse text with
+    | json -> Sweep.Ok json
+    | exception Jsonx.Parse_error msg ->
+      Sweep.Failed ("library artifact unreadable: " ^ msg)
+  in
+  let finalize sub =
+    let spec = sub.sb_spec in
+    let results =
+      Array.to_list
+        (Array.mapi
+           (fun i s ->
+             let outcome =
+               match s with
+               | Settled o -> o
+               | Waiting -> Sweep.Failed "not run"
+             in
+             { Sweep.label = sub.sb_works.(i).Work.label; outcome })
+           sub.sb_slots)
+    in
+    let rep =
+      Report.sweep_json ~benchmark:spec.Campaign.bench
+        ~seed:spec.Campaign.seed ~interval:spec.Campaign.interval
+        ~window:spec.Campaign.window ~warmup:spec.Campaign.warmup
+        (List.combine (Array.to_list sub.sb_offsets) results)
+    in
+    send_to sub.sb_client
+      (Wire.Status
+         {
+           id = sub.sb_id;
+           state = "done";
+           done_ = sub.sb_done;
+           total = Array.length sub.sb_slots;
+           hits = sub.sb_hits;
+           dispatched = sub.sb_dispatched;
+         });
+    send_to sub.sb_client
+      (Wire.Done { id = sub.sb_id; json = Jsonx.to_string rep.Report.doc });
+    span bus
+      (Span.end_ ~ok:(not rep.Report.failed) ~span:"submission"
+         ~corr:(span_corr_base + sub.sb_seq) ~host:"serve" ());
+    incr completed;
+    subs := List.filter (fun s -> s != sub) !subs;
+    log "submission #%d (%s): %d windows, %d hits, %d dispatched" sub.sb_seq
+      (Campaign.describe spec) (Array.length sub.sb_slots) sub.sb_hits
+      sub.sb_dispatched
+  in
+  let settle_slot sub i outcome =
+    match sub.sb_slots.(i) with
+    | Settled _ -> ()
+    | Waiting ->
+      sub.sb_slots.(i) <- Settled outcome;
+      sub.sb_done <- sub.sb_done + 1;
+      if sub.sb_done = Array.length sub.sb_slots then finalize sub
+  in
+  (* The sweep's checkpoint set: restored from the library when a prior
+     campaign stored it (skipping the functional fast-forward entirely),
+     regenerated — and stored for the next campaign — otherwise. *)
+  let obtain_checkpoints (spec : Campaign.t) (entry : Registry.entry) ckd =
+    let bench = spec.Campaign.bench in
+    let fast_forward () =
+      let program = entry.Registry.build ~scale:spec.Campaign.scale () in
+      let cps =
+        Driver.functional_checkpoints ?input:spec.Campaign.input
+          ~seed:spec.Campaign.seed ~interval:spec.Campaign.interval
+          ~horizon:spec.Campaign.horizon program
+      in
+      let total = ref 0 in
+      let entries =
+        List.map
+          (fun (c : Driver.checkpoint) ->
+            let bytes = Snapshot.to_string c.Driver.snapshot in
+            total := !total + String.length bytes;
+            (c.Driver.at, Store.add store bytes))
+          cps
+      in
+      Library.put_checkpoints lib ~bench ~ckpt:ckd entries;
+      emit bus
+        (Event.Artifact_store
+           { key = checkpoint_set_key bench ckd; bytes = !total });
+      cps
+    in
+    match Library.find_checkpoints lib ~bench ~ckpt:ckd with
+    | Some pairs ->
+      emit bus (Event.Artifact_hit { key = checkpoint_set_key bench ckd });
+      log "restored %d checkpoints for %s from the library" (List.length pairs)
+        bench;
+      List.map
+        (fun (at, bytes) -> { Driver.at; snapshot = Snapshot.of_string bytes })
+        pairs
+    | None -> fast_forward ()
+    | exception B.Corrupt msg ->
+      log "checkpoint index for %s unreadable (%s); regenerating" bench msg;
+      fast_forward ()
+  in
+  let admit c id sweep_str =
+    match
+      let spec0 = Campaign.of_string sweep_str in
+      (spec0, Registry.find spec0.Campaign.bench)
+    with
+    | exception B.Corrupt msg ->
+      send_to c (Wire.Fail { id; reason = "bad campaign: " ^ msg })
+    | exception Not_found ->
+      send_to c (Wire.Fail { id; reason = "unknown benchmark" })
+    | spec0, entry ->
+      let spec =
+        Campaign.normalize { spec0 with Campaign.bench = entry.Registry.name }
+      in
+      if spec.Campaign.offsets = [] then
+        send_to c (Wire.Fail { id; reason = "campaign has no sample offsets" })
+      else begin
+        let seq = !next_seq in
+        incr next_seq;
+        incr submitted;
+        let offsets = Array.of_list spec.Campaign.offsets in
+        let n = Array.length offsets in
+        emit bus
+          (Event.Submit
+             {
+               client = c.c_peer;
+               submission = seq;
+               benchmark = spec.Campaign.bench;
+               units = n;
+             });
+        span bus
+          (Span.begin_ ~detail:(Campaign.describe spec) ~span:"submission"
+             ~corr:(span_corr_base + seq) ~host:"serve" ());
+        log "submission #%d from %s: %s" seq c.c_peer (Campaign.describe spec);
+        let cfg = Campaign.config_digest spec in
+        let ckd = Campaign.ckpt_digest spec in
+        let checkpoints = obtain_checkpoints spec entry ckd in
+        let works =
+          Array.map
+            (fun off ->
+              Work.of_window_stored ~store ~checkpoints
+                ~label:(Printf.sprintf "%s@%d" spec.Campaign.bench off)
+                ~offset:off ~window:spec.Campaign.window
+                ~warmup:spec.Campaign.warmup)
+            offsets
+        in
+        let keys =
+          Array.init n (fun i ->
+              {
+                Library.bench = spec.Campaign.bench;
+                cfg;
+                snap =
+                  (match Work.digest works.(i) with
+                  | Some d -> d
+                  | None -> assert false (* of_window_stored is always Stored *));
+                offset = offsets.(i);
+                window = spec.Campaign.window;
+                warmup = spec.Campaign.warmup;
+              })
+        in
+        let sub =
+          {
+            sb_seq = seq;
+            sb_id = id;
+            sb_client = c;
+            sb_spec = spec;
+            sb_offsets = offsets;
+            sb_works = works;
+            sb_keys = keys;
+            sb_slots = Array.make n Waiting;
+            sb_todo = Queue.create ();
+            sb_done = 0;
+            sb_hits = 0;
+            sb_dispatched = 0;
+          }
+        in
+        subs := !subs @ [ sub ];
+        (* classify every window first — the admission Status must carry
+           the full hit/dispatch split before any settlement can finish
+           the submission *)
+        let actions =
+          Array.init n (fun i ->
+              let k = keys.(i) in
+              match
+                try Library.find_window lib k with B.Corrupt _ -> None
+              with
+              | Some text -> `Hit text
+              | None -> (
+                let kid = Library.key_id k in
+                match Hashtbl.find_opt pending kid with
+                | Some p ->
+                  p.p_waiters <- (sub, i) :: p.p_waiters;
+                  `Join
+                | None ->
+                  Hashtbl.replace pending kid
+                    { p_key = k; p_work = works.(i); p_waiters = [ (sub, i) ] };
+                  Queue.push i sub.sb_todo;
+                  `New))
+        in
+        Array.iter
+          (function
+            | `Hit _ | `Join ->
+              sub.sb_hits <- sub.sb_hits + 1;
+              incr hits_total
+            | `New ->
+              sub.sb_dispatched <- sub.sb_dispatched + 1;
+              incr dispatched_total)
+          actions;
+        send_to c
+          (Wire.Status
+             {
+               id;
+               state = "running";
+               done_ = 0;
+               total = n;
+               hits = sub.sb_hits;
+               dispatched = sub.sb_dispatched;
+             });
+        Array.iteri
+          (fun i action ->
+            match action with
+            | `Hit text ->
+              emit bus (Event.Artifact_hit { key = Library.render keys.(i) });
+              send_to c
+                (Wire.Artifact
+                   { id; key = Library.render keys.(i); json = text });
+              settle_slot sub i (outcome_of_text text)
+            | `Join | `New -> ())
+          actions
+      end
+  in
+  let handle_status c id =
+    if id = -1 then
+      send_to c
+        (Wire.Status
+           {
+             id = -1;
+             state = "serving";
+             done_ = !completed;
+             total = !submitted;
+             hits = !hits_total;
+             dispatched = !dispatched_total;
+           })
+    else
+      match
+        List.find_opt (fun s -> s.sb_id = id && s.sb_client == c) !subs
+      with
+      | Some s ->
+        send_to c
+          (Wire.Status
+             {
+               id;
+               state = "running";
+               done_ = s.sb_done;
+               total = Array.length s.sb_slots;
+               hits = s.sb_hits;
+               dispatched = s.sb_dispatched;
+             })
+      | None ->
+        send_to c
+          (Wire.Status
+             { id; state = "unknown"; done_ = 0; total = 0; hits = 0;
+               dispatched = 0 })
+  in
+  (* A fetch resolves one window from the library without submitting: it
+     needs the campaign's checkpoint set (to know which snapshot the
+     window starts from) but never runs anything. *)
+  let handle_fetch c offset spec_str =
+    match
+      let spec0 = Campaign.of_string spec_str in
+      let entry = Registry.find spec0.Campaign.bench in
+      Campaign.normalize { spec0 with Campaign.bench = entry.Registry.name }
+    with
+    | exception B.Corrupt msg ->
+      send_to c (Wire.Fail { id = offset; reason = "bad campaign: " ^ msg })
+    | exception Not_found ->
+      send_to c (Wire.Fail { id = offset; reason = "unknown benchmark" })
+    | spec -> (
+      let miss key =
+        send_to c (Wire.Artifact { id = offset; key; json = "" })
+      in
+      let ckd = Campaign.ckpt_digest spec in
+      match
+        try Library.find_checkpoints lib ~bench:spec.Campaign.bench ~ckpt:ckd
+        with B.Corrupt _ -> None
+      with
+      | None -> miss ""
+      | Some pairs -> (
+        (* latest checkpoint at or before the warm-up start — the same
+           choice Work.of_window makes when building the unit *)
+        let target = max 0 (offset - spec.Campaign.warmup) in
+        match
+          List.fold_left
+            (fun acc (at, bytes) -> if at <= target then Some bytes else acc)
+            None pairs
+        with
+        | None -> miss ""
+        | Some bytes -> (
+          let k =
+            {
+              Library.bench = spec.Campaign.bench;
+              cfg = Campaign.config_digest spec;
+              snap = Store.digest bytes;
+              offset;
+              window = spec.Campaign.window;
+              warmup = spec.Campaign.warmup;
+            }
+          in
+          match try Library.find_window lib k with B.Corrupt _ -> None with
+          | Some text ->
+            emit bus (Event.Artifact_hit { key = Library.render k });
+            send_to c
+              (Wire.Artifact { id = offset; key = Library.render k; json = text })
+          | None -> miss (Library.render k))))
+  in
+  let handle_client c =
+    match Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) c.c_fd with
+    | exception (Wire.Closed | Wire.Timeout) -> c.c_alive <- false
+    | exception B.Corrupt _ -> c.c_alive <- false
+    | exception Unix.Unix_error _ -> c.c_alive <- false
+    | Wire.Submit { id; sweep } ->
+      if c.c_ver >= 4 then admit c id sweep
+      else
+        send_to c
+          (Wire.Fail
+             {
+               id;
+               reason =
+                 Printf.sprintf "submissions need protocol v4; negotiated v%d"
+                   c.c_ver;
+             })
+    | Wire.Status { id; _ } -> handle_status c id
+    | Wire.Artifact { id; key; json = _ } -> handle_fetch c id key
+    | Wire.Ping -> send_to c Wire.Pong
+    | Wire.Pong -> ()
+    | Wire.Hello _ | Wire.Work _ | Wire.Result _ | Wire.Fail _ | Wire.Need _
+    | Wire.Ckpt _ | Wire.Done _ ->
+      send_to c (Wire.Fail { id = -1; reason = "protocol violation" });
+      c.c_alive <- false
+  in
+  (* --- fair-share scheduling ------------------------------------------- *)
+  (* One round: up to [credit] units from every active submission, oldest
+     first, run through the backend as a single sweep.  Work lands in the
+     library before waiters are notified, so a crash between the two
+     loses nothing a resubmission could not recover. *)
+  let gather () =
+    let batch = ref [] in
+    List.iter
+      (fun sub ->
+        let took = ref 0 in
+        while !took < credit && not (Queue.is_empty sub.sb_todo) do
+          let i = Queue.pop sub.sb_todo in
+          match Hashtbl.find_opt pending (Library.key_id sub.sb_keys.(i)) with
+          | Some p ->
+            batch := (Library.key_id sub.sb_keys.(i), p) :: !batch;
+            incr took
+          | None -> ()
+        done;
+        if !took > 0 then
+          emit bus (Event.Admit { submission = sub.sb_seq; units = !took; credit }))
+      !subs;
+    List.rev !batch
+  in
+  let round () =
+    match gather () with
+    | [] -> ()
+    | batch ->
+      (* the round's checkpoints may not be evicted while units referencing
+         them are in flight *)
+      let digests =
+        List.sort_uniq compare
+          (List.filter_map (fun (_, p) -> Work.digest p.p_work) batch)
+      in
+      List.iter (Store.pin store) digests;
+      let results =
+        Fun.protect
+          ~finally:(fun () -> List.iter (Store.unpin store) digests)
+          (fun () -> Sweep.run backend (List.map (fun (_, p) -> p.p_work) batch))
+      in
+      List.iter2
+        (fun (kid, p) (r : Sweep.result) ->
+          Hashtbl.remove pending kid;
+          let text =
+            match r.Sweep.outcome with
+            | Sweep.Ok json ->
+              let s = Jsonx.to_string json in
+              Library.put_window lib p.p_key s;
+              emit bus
+                (Event.Artifact_store
+                   { key = Library.render p.p_key; bytes = String.length s });
+              s
+            | Sweep.Failed _ -> ""
+          in
+          List.iter
+            (fun (sub, i) ->
+              send_to sub.sb_client
+                (Wire.Artifact
+                   { id = sub.sb_id; key = Library.render p.p_key; json = text });
+              settle_slot sub i r.Sweep.outcome)
+            (List.rev p.p_waiters))
+        batch results
+  in
+  (* --- accept loop ----------------------------------------------------- *)
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock
+    (Unix.ADDR_INET (Darco_dispatch.Worker.resolve host, port));
+  Unix.listen lsock 16;
+  Option.iter (fun f -> f (Unix.getsockname lsock)) ready;
+  log "serving on %s:%d (library %s, backend %s)" host port library
+    backend.Sweep.Backend.name;
+  let accept_client () =
+    match Unix.accept lsock with
+    | exception Unix.Unix_error _ -> ()
+    | fd, peer_addr -> (
+      let peer =
+        match peer_addr with
+        | Unix.ADDR_INET (a, p) ->
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+        | Unix.ADDR_UNIX p -> p
+      in
+      match
+        Unix.set_nonblock fd;
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        match Wire.recv ~deadline fd with
+        | Wire.Hello { version; slots = _ } when version >= Wire.min_version
+          ->
+          let v = min version Wire.protocol_version in
+          Wire.send ~deadline fd (Wire.Hello { version = v; slots = 0 });
+          v
+        | Wire.Hello { version; _ } ->
+          Wire.send ~deadline fd
+            (Wire.Fail
+               {
+                 id = -1;
+                 reason =
+                   Printf.sprintf "protocol version %d too old (need >= %d)"
+                     version Wire.min_version;
+               });
+          raise Exit
+        | _ -> raise Exit
+      with
+      | exception _ -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | v ->
+        clients := { c_fd = fd; c_peer = peer; c_ver = v; c_alive = true }
+                   :: !clients;
+        log "client %s connected (protocol v%d)" peer v)
+  in
+  let continue () =
+    match max_submissions with Some m -> !completed < m | None -> true
+  in
+  let have_work () =
+    List.exists (fun s -> not (Queue.is_empty s.sb_todo)) !subs
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
+      List.iter
+        (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+        !clients)
+  @@ fun () ->
+  while continue () do
+    let cfds =
+      List.filter_map (fun c -> if c.c_alive then Some c.c_fd else None)
+        !clients
+    in
+    let rd, _, _ =
+      try Unix.select (lsock :: cfds) [] [] 0.25
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem lsock rd then accept_client ();
+    List.iter
+      (fun c -> if c.c_alive && List.mem c.c_fd rd then handle_client c)
+      !clients;
+    clients :=
+      List.filter
+        (fun c ->
+          if not c.c_alive then
+            (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
+          c.c_alive)
+        !clients;
+    if have_work () then round ()
+  done

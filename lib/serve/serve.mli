@@ -1,0 +1,56 @@
+(** The [darco serve] daemon: a persistent, multi-tenant campaign service.
+
+    One server accepts concurrent sweep submissions from many clients
+    over the CRC-framed wire protocol (version 4), schedules their work
+    onto the worker fleet through the ordinary dispatcher core — with
+    deadlines, retries and stealing intact — and persists every result
+    in a crash-safe artifact {!Library} keyed by content, so the service
+    gets faster the longer it runs:
+
+    - a {b resubmitted sweep} finds all of its windows in the library,
+      dispatches zero units and returns the byte-identical JSON document;
+    - a {b new sweep over a seen configuration} restores the library's
+      checkpoint set instead of re-running the functional fast-forward;
+    - {b concurrent submissions of overlapping work} share in-flight
+      units: the second submitter attaches as a waiter and dispatches
+      nothing.
+
+    Admission is {b fair-share}: each scheduling round takes up to
+    [credit] units from every active submission in round-robin order, so
+    a ten-thousand-window campaign cannot starve a three-window one.
+    Every decision is observable — [Submit], [Admit], [Artifact_hit] and
+    [Artifact_store] events on [bus], plus a ["submission"] span per
+    campaign on host ["serve"] — through the ordinary trace machinery.
+
+    A client that disconnects mid-sweep does not cancel its submission:
+    the work completes and lands in the library, where the resubmission
+    will find it. *)
+
+val serve :
+  ?bus:Darco_obs.Bus.t ->
+  ?quiet:bool ->
+  ?workers:Darco_dispatch.addr list ->
+  ?jobs:int ->
+  ?credit:int ->
+  ?dispatch_timeout:float ->
+  ?dispatch_retries:int ->
+  ?keepalive_idle:float ->
+  ?keepalive_misses:int ->
+  ?max_bytes:int ->
+  ?max_submissions:int ->
+  ?ready:(Unix.sockaddr -> unit) ->
+  library:string ->
+  host:string ->
+  port:int ->
+  unit ->
+  unit
+(** Run the service on [host:port] with its artifact library rooted at
+    [library].  With [workers] the sweep backend is the distributed
+    dispatcher (timeout/retries/keepalive as in {!Darco_dispatch.remote});
+    without, units fork locally with [jobs] (default 4) concurrent
+    children.  [credit] (default 4) is the per-submission units-per-round
+    fair-share allowance; [max_bytes] bounds the library's checkpoint
+    store (LRU eviction).  [ready] is called with the bound address once
+    the listener is up.  With [max_submissions] the server returns
+    normally after completing that many submissions — the clean-shutdown
+    path used by tests and CI; otherwise it serves forever. *)

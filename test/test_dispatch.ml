@@ -450,6 +450,163 @@ let test_partial_io () =
         | Wire.Pong -> ()
         | _ -> Alcotest.fail "expected the peer to acknowledge the big frame")
 
+(* --- 9. wire v4 golden fixtures: the campaign frames committed as pinned
+   bytes.  The encoder must still emit exactly these bytes and the decoder
+   must still accept them — the compatibility contract with every client
+   built against today's protocol --- *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Decode raw bytes exactly as a peer would: through a socket. *)
+let recv_bytes bytes =
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  ignore (Unix.write_substring b bytes 0 (String.length bytes));
+  Unix.close b;
+  Fun.protect
+    ~finally:(fun () -> Unix.close a)
+    (fun () -> Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) a)
+
+let v4_golden =
+  [
+    ( "wire_stat_v4.bin",
+      Wire.Status
+        { id = 7; state = "running"; done_ = 1; total = 4; hits = 1; dispatched = 3 } );
+    ( "wire_artf_v4.bin",
+      Wire.Artifact
+        { id = 7; key = "429.mcf@130000/0011aabb"; json = "{\"ipc\":1.5}" } );
+    ("wire_done_v4.bin", Wire.Done { id = 7; json = "{\"benchmark\":\"429.mcf\"}" });
+  ]
+
+let test_v4_golden_fixtures () =
+  List.iter
+    (fun (name, msg) ->
+      let golden = read_file (Filename.concat "fixtures" name) in
+      Alcotest.(check string)
+        (name ^ ": encoder still emits the committed bytes")
+        golden (Wire.encode msg);
+      Alcotest.(check bool)
+        (name ^ ": committed bytes still decode to the same message")
+        true
+        (recv_bytes golden = msg))
+    v4_golden
+
+let test_v4_malformed_rejected () =
+  let golden = read_file (Filename.concat "fixtures" "wire_stat_v4.bin") in
+  let corrupt bytes =
+    match recv_bytes bytes with
+    | _ -> Alcotest.fail "decoded a malformed v4 frame"
+    | exception B.Corrupt _ -> ()
+  in
+  (* one flipped bit in the CRC field *)
+  let b = Bytes.of_string golden in
+  Bytes.set b 12 (Char.chr (Char.code (Bytes.get b 12) lxor 0x01));
+  corrupt (Bytes.to_string b);
+  (* one flipped bit in the payload *)
+  let b = Bytes.of_string golden in
+  let last = Bytes.length b - 1 in
+  Bytes.set b last (Char.chr (Char.code (Bytes.get b last) lxor 0x80));
+  corrupt (Bytes.to_string b);
+  (* trailing garbage inside a correctly-checksummed payload: the frame
+     passes the CRC but the message decoder must refuse the leftovers *)
+  let payload = String.sub golden 20 (String.length golden - 20) ^ "!" in
+  corrupt
+    (String.sub golden 0 4
+    ^ le64 (String.length payload)
+    ^ le64 (B.crc32 payload)
+    ^ payload);
+  (* a frame cut off mid-payload is a clean Closed, not a wrong message *)
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  ignore (Unix.write_substring b golden 0 10);
+  Unix.close b;
+  Fun.protect
+    ~finally:(fun () -> Unix.close a)
+    (fun () ->
+      match Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) a with
+      | _ -> Alcotest.fail "decoded a truncated v4 frame"
+      | exception Wire.Closed -> ())
+
+(* --- 10. version negotiation: a v3 client against today's server keeps
+   working at v3; a v2 client is refused with a reason --- *)
+let test_version_negotiation () =
+  let pid, addr = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap pid)
+    (fun () ->
+      let deadline () = Unix.gettimeofday () +. 10.0 in
+      let dial () =
+        let fd = Unix.socket PF_INET SOCK_STREAM 0 in
+        Unix.connect fd (ADDR_INET (Worker.resolve addr.host, addr.port));
+        fd
+      in
+      (* a v3 peer: the server answers at the common version and serves *)
+      let fd = dial () in
+      Wire.send fd (Wire.Hello { version = 3; slots = 0 });
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Hello { version; _ } ->
+        Alcotest.(check int) "server downgrades to the peer's version" 3 version
+      | _ -> Alcotest.fail "expected a Hello reply to a v3 peer");
+      Wire.send fd Wire.Ping;
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Pong -> ()
+      | _ -> Alcotest.fail "expected the v3 connection to keep serving");
+      Unix.close fd;
+      (* a v2 peer: below the floor, refused outright *)
+      let fd = dial () in
+      Wire.send fd (Wire.Hello { version = 2; slots = 0 });
+      (match Wire.recv ~deadline:(deadline ()) fd with
+      | Wire.Fail { id; reason } ->
+        Alcotest.(check int) "connection-level refusal" (-1) id;
+        Alcotest.(check bool) "refusal carries a reason" true
+          (String.length reason > 0)
+      | _ -> Alcotest.fail "expected a v2 peer to be refused");
+      Unix.close fd)
+
+(* --- 11. keepalive: a worker that stops responding mid-sweep (SIGSTOP —
+   the socket stays open, so only missed pongs can expose it) is declared
+   dead after K missed probes and its units are reassigned --- *)
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_keepalive_detects_stopped_worker () =
+  let stopper w =
+    Unix.kill (Unix.getpid ()) Sys.sigstop;
+    Work.exec w
+  in
+  let pstuck, astuck = spawn_worker ~exec:stopper () in
+  let pgood, agood = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.kill pstuck Sys.sigcont with Unix.Unix_error _ -> ());
+      reap pstuck;
+      reap pgood)
+    (fun () ->
+      let bus, events = collecting_bus () in
+      let t0 = Unix.gettimeofday () in
+      (* the dispatch timeout is far away: only the keepalive can notice *)
+      let remote =
+        Sweep.run
+          (Darco_dispatch.remote ~bus ~keepalive_idle:0.5 ~keepalive_misses:2
+             ~timeout:120.0 ~retries:3 [ astuck; agood ])
+          (Lazy.force works)
+      in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check (list string))
+        "sweep completes with identical results past the stopped worker"
+        (Lazy.force expected) (List.map render remote);
+      Alcotest.(check bool) "keepalive noticed long before the unit timeout"
+        true (elapsed < 60.0);
+      Alcotest.(check bool) "the loss names the missed pongs" true
+        (List.exists
+           (function
+             | Event.Worker_lost { reason; _ } -> contains reason "keepalive"
+             | _ -> false)
+           !events))
+
 (* --- spec parsing (the CLI's --backend flag) --- *)
 let test_spec_parsing () =
   let ok = function Ok s -> s | Error e -> Alcotest.failf "parse failed: %s" e in
@@ -504,6 +661,12 @@ let () =
             test_mismatched_ckpt_rejected;
           Alcotest.test_case "partial reads and writes reassemble" `Quick
             test_partial_io;
+          Alcotest.test_case "v4 golden fixtures" `Quick
+            test_v4_golden_fixtures;
+          Alcotest.test_case "malformed v4 frames rejected" `Quick
+            test_v4_malformed_rejected;
+          Alcotest.test_case "version negotiation" `Quick
+            test_version_negotiation;
         ] );
       ( "cluster",
         [
@@ -518,6 +681,8 @@ let () =
             test_steal_from_slow_worker;
           Alcotest.test_case "worker dies mid-unit" `Quick
             test_worker_died_mid_unit;
+          Alcotest.test_case "keepalive exposes a stopped worker" `Quick
+            test_keepalive_detects_stopped_worker;
           Alcotest.test_case "unreachable worker falls back" `Quick
             test_unreachable_falls_back;
         ] );

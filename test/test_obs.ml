@@ -244,8 +244,13 @@ let constructor_index : Event.t -> int = function
   | Event.Dispatch_inflight _ -> 29
   | Event.Span_begin _ -> 30
   | Event.Span_end _ -> 31
+  | Event.Submit _ -> 32
+  | Event.Admit _ -> 33
+  | Event.Artifact_hit _ -> 34
+  | Event.Artifact_store _ -> 35
+  | Event.Store_evict _ -> 36
 
-let n_constructors = 32
+let n_constructors = 37
 
 (* One sample per constructor: (event, stable name, exact JSON at at=5).
    These strings are the on-disk trace format — changing one is a schema
@@ -376,6 +381,23 @@ let event_samples =
       "span_end",
       {|{"at":5,"ev":"span_end","span":"queued","corr":3,"host":"dispatcher","wall_us":99,"seq":4,"ok":false}|}
     );
+    ( Event.Submit
+        { client = "c:1"; submission = 2; benchmark = "429.mcf"; units = 3 },
+      "submit",
+      {|{"at":5,"ev":"submit","client":"c:1","submission":2,"benchmark":"429.mcf","units":3}|}
+    );
+    ( Event.Admit { submission = 2; units = 2; credit = 4 },
+      "admit",
+      {|{"at":5,"ev":"admit","submission":2,"units":2,"credit":4}|} );
+    ( Event.Artifact_hit { key = "k" },
+      "artifact_hit",
+      {|{"at":5,"ev":"artifact_hit","key":"k"}|} );
+    ( Event.Artifact_store { key = "k"; bytes = 64 },
+      "artifact_store",
+      {|{"at":5,"ev":"artifact_store","key":"k","bytes":64}|} );
+    ( Event.Store_evict { digest = "abcd"; bytes = 512 },
+      "store_evict",
+      {|{"at":5,"ev":"store_evict","digest":"abcd","bytes":512}|} );
   ]
 
 let test_event_schema () =

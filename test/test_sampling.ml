@@ -235,31 +235,6 @@ let test_sweep_contains_crashes () =
   | Sweep.Ok _ -> ()
   | Sweep.Failed r -> Alcotest.failf "sample 3 failed: %s" r
 
-(* The deprecated [Sweep.map] shim is kept for out-of-tree callers; pin
-   that it still behaves identically to the [Backend.of_exec] pool it
-   wraps — same outcomes, same order, crash containment included. *)
-let test_sweep_map_shim_identical () =
-  let render (r : Sweep.result) =
-    r.Sweep.label ^ " => "
-    ^ (match r.Sweep.outcome with
-      | Sweep.Ok j -> Darco_obs.Jsonx.to_string j
-      | Sweep.Failed e -> "FAILED " ^ e)
-  in
-  let labels = [ "0"; "1"; "2"; "3" ] in
-  let via_backend =
-    Sweep.run
-      (Sweep.Backend.of_exec ~jobs:2 ~name:"shim-check" crashy_exec)
-      (dummy_works labels)
-  in
-  let via_shim =
-    (Sweep.map [@alert "-deprecated"]) ~jobs:2
-      ~label:(fun (w : Work.t) -> w.Work.label)
-      crashy_exec (dummy_works labels)
-  in
-  Alcotest.(check (list string))
-    "shim results identical to Backend.of_exec"
-    (List.map render via_backend) (List.map render via_shim)
-
 (* --- the content-addressed checkpoint store --- *)
 
 let test_store_basics () =
@@ -315,6 +290,99 @@ let test_store_disk_spill () =
       match Store.find cold d2 with
       | _ -> Alcotest.fail "accepted a tampered cache entry"
       | exception Buf.Corrupt _ -> ())
+
+(* --- the spill directory's LRU byte budget --- *)
+
+let with_store_dir f =
+  let dir = Filename.temp_file "darco_store" "" in
+  Sys.remove dir;
+  let cleanup () =
+    if Sys.file_exists dir then begin
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let evict_bus () =
+  let evicted = ref [] in
+  let bus = Darco_obs.Bus.create () in
+  Darco_obs.Bus.attach bus ~name:"evictions" (fun ~at:_ ev ->
+      match ev with
+      | Darco_obs.Event.Store_evict { digest; bytes } ->
+        evicted := (digest, bytes) :: !evicted
+      | _ -> ());
+  (bus, evicted)
+
+let test_store_lru_eviction () =
+  with_store_dir @@ fun dir ->
+  let bus, evicted = evict_bus () in
+  let store = Store.create ~bus ~dir ~max_bytes:50 () in
+  let c1 = String.make 20 'a' and c2 = String.make 20 'b' in
+  let c3 = String.make 20 'c' in
+  let d1 = Store.add store c1 in
+  let d2 = Store.add store c2 in
+  Alcotest.(check int) "within budget, nothing evicted" 40
+    (Store.spilled_bytes store);
+  Alcotest.(check (list (pair string int))) "no evictions yet" [] !evicted;
+  (* touch d1 so d2 is the least recently used when the budget bursts *)
+  ignore (Store.find store d1);
+  let d3 = Store.add store c3 in
+  Alcotest.(check int) "evicted back under budget" 40
+    (Store.spilled_bytes store);
+  Alcotest.(check (list (pair string int))) "eviction on the bus"
+    [ (d2, 20) ] !evicted;
+  (* the evicted digest is gone warm and cold — a plain miss, not an error *)
+  Alcotest.(check (option string)) "warm read of evicted digest misses" None
+    (Store.find store d2);
+  let fresh = Store.create ~dir () in
+  Alcotest.(check (option string)) "cold read of evicted digest misses" None
+    (Store.find fresh d2);
+  Alcotest.(check (option string)) "recently used entry survived" (Some c1)
+    (Store.find fresh d1);
+  Alcotest.(check (option string)) "just-added entry never the victim"
+    (Some c3) (Store.find fresh d3)
+
+let test_store_pin_blocks_eviction () =
+  with_store_dir @@ fun dir ->
+  let bus, evicted = evict_bus () in
+  let store = Store.create ~bus ~dir ~max_bytes:50 () in
+  let c1 = String.make 20 'a' and c2 = String.make 20 'b' in
+  let c3 = String.make 20 'c' and c4 = String.make 20 'd' in
+  let d1 = Store.add store c1 in
+  let d2 = Store.add store c2 in
+  (* both in flight: the add must run the store over budget rather than
+     drop a pinned checkpoint under a live sweep *)
+  Store.pin store d1;
+  Store.pin store d2;
+  let d3 = Store.add store c3 in
+  Alcotest.(check int) "over budget with only pinned victims" 60
+    (Store.spilled_bytes store);
+  Alcotest.(check (list (pair string int))) "no eviction while pinned" []
+    !evicted;
+  Alcotest.(check (option string)) "pinned entry intact" (Some c2)
+    (Store.find store d2);
+  (* the sweep settles: releasing the pin makes the entry evictable again *)
+  Store.unpin store d1;
+  let d4 = Store.add store c4 in
+  Alcotest.(check bool) "budget enforced once unpinned" true
+    (Store.spilled_bytes store <= 50);
+  Alcotest.(check (option string)) "released entry was evicted" None
+    (Store.find store d1);
+  Alcotest.(check (option string)) "still-pinned entry survived" (Some c2)
+    (Store.find store d2);
+  Alcotest.(check bool) "evictions observed" true
+    (List.mem_assoc d1 !evicted);
+  (* pinning ahead of the add sticks: the entry is protected from the
+     moment it lands *)
+  let c5 = String.make 40 'e' in
+  Store.pin store (Store.digest c5);
+  let d5 = Store.add store c5 in
+  Alcotest.(check (option string)) "pre-pinned entry immune" (Some c5)
+    (Store.find store d5);
+  Alcotest.(check (option string)) "unpinned neighbour paid for it" None
+    (Store.find store d4);
+  ignore d3
 
 let test_manifest () =
   let program = build "continuous" in
@@ -571,14 +639,15 @@ let () =
       ( "sweep",
         [
           Alcotest.test_case "crash containment" `Quick test_sweep_contains_crashes;
-          Alcotest.test_case "deprecated map shim identical" `Quick
-            test_sweep_map_shim_identical;
         ] );
       ( "store",
         [
           Alcotest.test_case "content addressing" `Quick test_store_basics;
           Alcotest.test_case "disk spill and verification" `Quick
             test_store_disk_spill;
+          Alcotest.test_case "LRU byte budget" `Quick test_store_lru_eviction;
+          Alcotest.test_case "pins block eviction" `Quick
+            test_store_pin_blocks_eviction;
         ] );
       ( "format",
         [

@@ -1,0 +1,581 @@
+(* The campaign service, tested against real processes: the [serve] loop
+   runs in this process (so its bus is observable), real client processes
+   are forked against its ephemeral port, and the artifact library is
+   driven both through the service and directly — including the cold
+   restart and corruption paths the crash-safety story depends on. *)
+
+module Campaign = Darco_serve.Campaign
+module Library = Darco_serve.Library
+module Client = Darco_serve.Client
+module Serve = Darco_serve.Serve
+module Sweep = Darco_sampling.Sweep
+module Work = Darco_sampling.Work
+module Store = Darco_sampling.Store
+module Driver = Darco_sampling.Driver
+module Report = Darco_sampling.Report
+module B = Darco_sampling.Buf
+module Wire = Darco_dispatch.Wire
+module Worker = Darco_dispatch.Worker
+module Event = Darco_obs.Event
+module J = Darco_obs.Jsonx
+
+let () = Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+
+(* --- plumbing ---------------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "darco_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun n -> rm (Filename.concat path n)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let collecting_bus () =
+  let events = ref [] in
+  let bus = Darco_obs.Bus.create () in
+  Darco_obs.Bus.attach bus ~name:"collect" (fun ~at:_ ev -> events := ev :: !events);
+  (bus, events)
+
+let count events p = List.length (List.filter p !events)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Fork a client process that learns the server's kernel-assigned port
+   through a pipe (written by [serve]'s [ready] callback), runs [job]
+   against it, and exits.  Results come back through files — the child
+   must not touch Alcotest state. *)
+let fork_client (r, w) job =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close w;
+    let buf = Bytes.create 16 in
+    let n = Unix.read r buf 0 16 in
+    Unix.close r;
+    let port = int_of_string (String.trim (Bytes.sub_string buf 0 n)) in
+    (try job { Darco_dispatch.host = "127.0.0.1"; port } with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close r;
+    pid
+
+(* The [ready] callback: announce the bound port to every waiting child. *)
+let announce writers sa =
+  let port = match sa with Unix.ADDR_INET (_, p) -> p | _ -> 0 in
+  let line = Bytes.of_string (string_of_int port ^ "\n") in
+  List.iter
+    (fun w ->
+      ignore (Unix.write w line 0 (Bytes.length line));
+      Unix.close w)
+    writers
+
+(* Same worker-daemon spawner as test_dispatch: ephemeral port reported
+   through a pipe once the daemon is actually listening. *)
+let spawn_worker () =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+    Unix.close r;
+    (try
+       Worker.serve ~quiet:true
+         ~ready:(fun sa ->
+           let port = match sa with Unix.ADDR_INET (_, p) -> p | _ -> 0 in
+           let line = Bytes.of_string (string_of_int port ^ "\n") in
+           ignore (Unix.write w line 0 (Bytes.length line));
+           Unix.close w)
+         ~host:"127.0.0.1" ~port:0 ()
+     with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close w;
+    let buf = Bytes.create 16 in
+    let n = Unix.read r buf 0 16 in
+    Unix.close r;
+    let port = int_of_string (String.trim (Bytes.sub_string buf 0 n)) in
+    (pid, { Darco_dispatch.host = "127.0.0.1"; port })
+
+let reap pid =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] pid)
+
+let wait pid = ignore (Unix.waitpid [] pid)
+
+(* The shared campaign: same physics workload and geometry as the
+   dispatcher tests, so the windows are cheap and deterministic. *)
+let spec1 =
+  Campaign.normalize
+    {
+      Campaign.bench = "continuous";
+      scale = 1;
+      seed = 7;
+      input = None;
+      interval = 10_000;
+      horizon = 40_000;
+      offsets = [ 8_000; 16_000; 24_000 ];
+      window = 2_000;
+      warmup = 1_000;
+    }
+
+let spec2 = Campaign.normalize { spec1 with offsets = [ 12_000; 20_000 ] }
+
+(* What [darco sample --json] computes for [spec1] — the byte-identity
+   reference for everything the service returns. *)
+let expected_doc =
+  lazy
+    (let program =
+       (Darco_workloads.Registry.find "continuous").build ~scale:1 ()
+     in
+     let checkpoints =
+       Driver.functional_checkpoints ~seed:7 ~interval:10_000 ~horizon:40_000
+         program
+     in
+     let store = Store.create () in
+     let works =
+       List.map
+         (fun off ->
+           Work.of_window_stored ~store ~checkpoints
+             ~label:(Printf.sprintf "continuous@%d" off)
+             ~offset:off ~window:2_000 ~warmup:1_000)
+         spec1.Campaign.offsets
+     in
+     let results = Sweep.run (Sweep.Backend.local ~store ~jobs:2 ()) works in
+     let rep =
+       Report.sweep_json ~benchmark:"continuous" ~seed:7 ~interval:10_000
+         ~window:2_000 ~warmup:1_000
+         (List.combine spec1.Campaign.offsets results)
+     in
+     J.to_string rep.Report.doc)
+
+(* --- the campaign codec ------------------------------------------------ *)
+
+let test_campaign_codec () =
+  let full =
+    {
+      Campaign.bench = "429.mcf";
+      scale = 3;
+      seed = 99;
+      input = Some "line one\nline two\x00binary";
+      interval = 5_000;
+      horizon = 123_456;
+      offsets = [ 10_000; 20_000; 30_000 ];
+      window = 1_000;
+      warmup = 500;
+    }
+  in
+  Alcotest.(check bool) "roundtrip is the identity" true
+    (Campaign.of_string (Campaign.to_string full) = full);
+  Alcotest.(check bool) "roundtrip without input" true
+    (Campaign.of_string (Campaign.to_string spec1) = spec1);
+  (* normalization: the flag discipline of [darco sample] *)
+  let messy =
+    Campaign.normalize
+      { full with offsets = [ 30_000; 10_000; 10_000; 20_000 ]; horizon = 1 }
+  in
+  Alcotest.(check (list int)) "offsets sorted and deduplicated"
+    [ 10_000; 20_000; 30_000 ] messy.Campaign.offsets;
+  Alcotest.(check int) "horizon stretched over the last window" 31_000
+    messy.Campaign.horizon;
+  (* malformed specs are refused, never misread *)
+  let corrupt s =
+    match Campaign.of_string s with
+    | _ -> Alcotest.fail "accepted a malformed campaign"
+    | exception B.Corrupt _ -> ()
+  in
+  let enc = Campaign.to_string full in
+  corrupt "";
+  corrupt ("JUNK" ^ String.sub enc 4 (String.length enc - 4));
+  corrupt (String.sub enc 0 (String.length enc - 3));
+  corrupt (enc ^ "!");
+  corrupt (Campaign.to_string { full with scale = 0 });
+  corrupt (Campaign.to_string { full with interval = 0 });
+  corrupt (Campaign.to_string { full with window = 0 });
+  corrupt (Campaign.to_string { full with warmup = -1 })
+
+let test_campaign_digests () =
+  let a = spec1 in
+  (* the config digest pins a window's bytes: checkpointing parameters and
+     the offset list must not perturb it, or campaigns stop sharing *)
+  Alcotest.(check string) "config digest ignores interval/horizon/offsets"
+    (Campaign.config_digest a)
+    (Campaign.config_digest
+       { a with interval = 777; horizon = 999_999; offsets = [ 1 ] });
+  Alcotest.(check bool) "config digest sees the window length" true
+    (Campaign.config_digest { a with window = 3_000 }
+    <> Campaign.config_digest a);
+  Alcotest.(check bool) "config digest sees the seed" true
+    (Campaign.config_digest { a with seed = 8 } <> Campaign.config_digest a);
+  (* the checkpoint digest pins a fast-forward, nothing about windows *)
+  Alcotest.(check string) "ckpt digest ignores window/warmup/offsets"
+    (Campaign.ckpt_digest a)
+    (Campaign.ckpt_digest { a with window = 9; warmup = 0; offsets = [] });
+  Alcotest.(check bool) "ckpt digest sees the interval" true
+    (Campaign.ckpt_digest { a with interval = 5_000 } <> Campaign.ckpt_digest a);
+  (* the input rendering is injective: empty input is not absent input *)
+  Alcotest.(check bool) "empty input distinct from no input" true
+    (Campaign.config_digest { a with input = Some "" }
+    <> Campaign.config_digest a)
+
+(* --- the artifact library, driven directly ----------------------------- *)
+
+let a_key =
+  {
+    Library.bench = "continuous";
+    cfg = Store.digest "some config";
+    snap = Store.digest "some snapshot";
+    offset = 8_000;
+    window = 2_000;
+    warmup = 1_000;
+  }
+
+let test_library_windows () =
+  with_temp_dir @@ fun dir ->
+  let lib = Library.create ~dir () in
+  Alcotest.(check (option string)) "empty library misses" None
+    (Library.find_window lib a_key);
+  let json = "{\"offset\":8000,\"ipc\":1.25}" in
+  Library.put_window lib a_key json;
+  Library.put_window lib a_key json;
+  Alcotest.(check (option string)) "warm hit" (Some json)
+    (Library.find_window lib a_key);
+  (* a cold open re-reads and re-verifies the file *)
+  let cold = Library.create ~dir () in
+  Alcotest.(check (option string)) "cold hit, verified" (Some json)
+    (Library.find_window cold a_key);
+  Alcotest.(check (option string)) "a different offset is a different key"
+    None
+    (Library.find_window cold { a_key with offset = 16_000 })
+
+let test_library_corruption () =
+  with_temp_dir @@ fun dir ->
+  let lib = Library.create ~dir () in
+  let json = "{\"offset\":8000,\"ipc\":1.25}" in
+  Library.put_window lib a_key json;
+  let path = Filename.concat dir (Library.key_id a_key ^ ".dart") in
+  (* one flipped payload byte must surface as Corrupt on a cold read *)
+  let bytes = Bytes.of_string (read_file path) in
+  let last = Bytes.length bytes - 1 in
+  Bytes.set bytes last (Char.chr (Char.code (Bytes.get bytes last) lxor 0xff));
+  write_file path (Bytes.to_string bytes);
+  let cold = Library.create ~dir () in
+  (match Library.find_window cold a_key with
+  | _ -> Alcotest.fail "served a tampered window artifact"
+  | exception B.Corrupt _ -> ());
+  (* a valid artifact copied under the wrong name must also be refused:
+     the embedded key is checked against the key looked up *)
+  let lib2 = Library.create ~dir:(Filename.concat dir "two") () in
+  Library.put_window lib2 a_key json;
+  let wrong = { a_key with offset = 24_000 } in
+  write_file
+    (Filename.concat (Filename.concat dir "two") (Library.key_id wrong ^ ".dart"))
+    (read_file
+       (Filename.concat (Filename.concat dir "two") (Library.key_id a_key ^ ".dart")));
+  let cold2 = Library.create ~dir:(Filename.concat dir "two") () in
+  match Library.find_window cold2 wrong with
+  | _ -> Alcotest.fail "served a window artifact under the wrong key"
+  | exception B.Corrupt _ -> ()
+
+let test_library_checkpoints () =
+  with_temp_dir @@ fun dir ->
+  let lib = Library.create ~dir () in
+  let ck = Campaign.ckpt_digest spec1 in
+  Alcotest.(check bool) "empty library has no checkpoint set" true
+    (Library.find_checkpoints lib ~bench:"continuous" ~ckpt:ck = None);
+  let b0 = "snapshot zero bytes" and b1 = "snapshot one bytes!" in
+  let d0 = Store.add (Library.store lib) b0 in
+  let d1 = Store.add (Library.store lib) b1 in
+  Library.put_checkpoints lib ~bench:"continuous" ~ckpt:ck
+    [ (0, d0); (10_000, d1) ];
+  Alcotest.(check bool) "set restored in order, bytes verified" true
+    (Library.find_checkpoints lib ~bench:"continuous" ~ckpt:ck
+    = Some [ (0, b0); (10_000, b1) ]);
+  let cold = Library.create ~dir () in
+  Alcotest.(check bool) "cold restore identical" true
+    (Library.find_checkpoints cold ~bench:"continuous" ~ckpt:ck
+    = Some [ (0, b0); (10_000, b1) ]);
+  (* an evicted snapshot poisons the whole set: a partial restore would
+     silently change warm-up distances, so the set reports absent *)
+  Sys.remove (Filename.concat (Filename.concat dir "ckpt") (d1 ^ ".dsnp"));
+  let cold2 = Library.create ~dir () in
+  Alcotest.(check bool) "set with an evicted snapshot is absent" true
+    (Library.find_checkpoints cold2 ~bench:"continuous" ~ckpt:ck = None)
+
+(* --- the wire v4 SUBM frame, against its committed golden bytes -------- *)
+
+let fixture_spec =
+  {
+    Campaign.bench = "429.mcf";
+    scale = 1;
+    seed = 42;
+    input = None;
+    interval = 50_000;
+    horizon = 300_000;
+    offsets = [ 130_000; 150_000 ];
+    window = 25_000;
+    warmup = 30_000;
+  }
+
+let test_subm_golden () =
+  let golden = read_file "fixtures/wire_subm_v4.bin" in
+  let msg = Wire.Submit { id = 7; sweep = Campaign.to_string fixture_spec } in
+  Alcotest.(check string) "encoder still emits the committed bytes" golden
+    (Wire.encode msg);
+  (* and the committed bytes still decode to the same submission *)
+  let a, b = Unix.socketpair PF_UNIX SOCK_STREAM 0 in
+  ignore (Unix.write_substring b golden 0 (String.length golden));
+  Unix.close b;
+  Fun.protect ~finally:(fun () -> Unix.close a) @@ fun () ->
+  match Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) a with
+  | Wire.Submit { id; sweep } ->
+    Alcotest.(check int) "submission id" 7 id;
+    Alcotest.(check bool) "campaign decodes to the fixture spec" true
+      (Campaign.of_string sweep = fixture_spec)
+  | _ -> Alcotest.fail "golden SUBM frame decoded to something else"
+
+(* --- the service end to end: resubmission, restore, restart ------------ *)
+
+let parse_stats s = Scanf.sscanf s "%d %d %d %d" (fun a b c d -> (a, b, c, d))
+
+let seq_client dir addr =
+  let save name s = write_file (Filename.concat dir name) s in
+  let submit name spec =
+    match Client.submit addr spec with
+    | Ok (st, doc) ->
+      save (name ^ ".stats")
+        (Printf.sprintf "%d %d %d %d" st.Client.done_ st.Client.total
+           st.Client.hits st.Client.dispatched);
+      save (name ^ ".json") doc
+    | Error e -> save (name ^ ".err") e
+  in
+  submit "first" spec1;
+  submit "again" spec1;
+  (match Client.status addr with
+  | Ok (state, st) ->
+    save "status"
+      (Printf.sprintf "%s %d %d %d %d" state st.Client.done_ st.Client.total
+         st.Client.hits st.Client.dispatched)
+  | Error e -> save "status.err" e);
+  (match Client.fetch addr spec1 ~offset:8_000 with
+  | Ok (Some j) -> save "fetch" j
+  | Ok None -> save "fetch.err" "miss"
+  | Error e -> save "fetch.err" e);
+  (match Client.fetch addr spec1 ~offset:9_999 with
+  | Ok None -> save "fetch_miss" "miss"
+  | Ok (Some _) -> save "fetch_miss.err" "unexpected hit"
+  | Error e -> save "fetch_miss.err" e);
+  submit "sibling" spec2
+
+let must_read dir name =
+  let path = Filename.concat dir name in
+  if Sys.file_exists path then read_file path
+  else
+    Alcotest.failf "client never wrote %s%s" name
+      (let err = Filename.concat dir (Filename.remove_extension name ^ ".err") in
+       if Sys.file_exists err then ": " ^ read_file err else "")
+
+let test_serve_resubmit_and_restore () =
+  with_temp_dir @@ fun dir ->
+  let libdir = Filename.concat dir "lib" in
+  let pipe = Unix.pipe () in
+  let pid = fork_client pipe (seq_client dir) in
+  let bus, events = collecting_bus () in
+  Serve.serve ~bus ~quiet:true ~jobs:2 ~credit:2 ~max_submissions:3
+    ~ready:(announce [ snd pipe ])
+    ~library:libdir ~host:"127.0.0.1" ~port:0 ();
+  wait pid;
+  (* the first submission dispatched everything, the resubmission nothing *)
+  Alcotest.(check (list int)) "first run: 3 windows, all dispatched"
+    [ 3; 3; 0; 3 ]
+    (let a, b, c, d = parse_stats (must_read dir "first.stats") in
+     [ a; b; c; d ]);
+  Alcotest.(check (list int)) "resubmission: all hits, zero dispatched"
+    [ 3; 3; 3; 0 ]
+    (let a, b, c, d = parse_stats (must_read dir "again.stats") in
+     [ a; b; c; d ]);
+  (* byte-identical to each other AND to what [darco sample --json] says *)
+  let doc0 = must_read dir "first.json" in
+  Alcotest.(check string) "resubmitted document byte-identical" doc0
+    (must_read dir "again.json");
+  Alcotest.(check string) "document byte-identical to the local backend"
+    (Lazy.force expected_doc) doc0;
+  (* the sibling campaign has new windows but the same checkpoint set *)
+  Alcotest.(check (list int)) "sibling: new windows dispatched" [ 2; 2; 0; 2 ]
+    (let a, b, c, d = parse_stats (must_read dir "sibling.stats") in
+     [ a; b; c; d ]);
+  (* mid-stream service queries worked *)
+  (match String.split_on_char ' ' (must_read dir "status") with
+  | state :: done_ :: total :: _ ->
+    Alcotest.(check string) "service state" "serving" state;
+    Alcotest.(check string) "completed submissions" "2" done_;
+    Alcotest.(check string) "admitted submissions" "2" total
+  | _ -> Alcotest.fail "malformed status line");
+  Alcotest.(check bool) "fetch returned the stored window" true
+    (let j = must_read dir "fetch" in
+     let sub = "\"offset\":8000" in
+     let rec find i =
+       i + String.length sub <= String.length j
+       && (String.sub j i (String.length sub) = sub || find (i + 1))
+     in
+     find 0);
+  Alcotest.(check string) "fetch of an unknown window is a clean miss" "miss"
+    (must_read dir "fetch_miss");
+  (* the decisions were all on the bus *)
+  Alcotest.(check int) "three submissions observed" 3
+    (count events (function Event.Submit _ -> true | _ -> false));
+  Alcotest.(check int) "one checkpoint set stored" 1
+    (count events (function
+      | Event.Artifact_store { key; _ } -> has_prefix "ckpts:" key
+      | _ -> false));
+  Alcotest.(check bool) "the sibling restored checkpoints from the library"
+    true
+    (count events (function
+       | Event.Artifact_hit { key } -> has_prefix "ckpts:" key
+       | _ -> false)
+    >= 1);
+  Alcotest.(check bool) "three window hits for the resubmission" true
+    (count events (function
+       | Event.Artifact_hit { key } -> not (has_prefix "ckpts:" key)
+       | _ -> false)
+    >= 3);
+  Alcotest.(check int) "five window artifacts stored" 5
+    (count events (function
+      | Event.Artifact_store { key; _ } -> not (has_prefix "ckpts:" key)
+      | _ -> false));
+  (* fair share: every scheduling round honoured the credit *)
+  let admits =
+    List.filter_map
+      (function Event.Admit { units; credit; _ } -> Some (units, credit) | _ -> None)
+      !events
+  in
+  Alcotest.(check bool) "admission rounds observed" true (admits <> []);
+  List.iter
+    (fun (units, credit) ->
+      if units < 1 || units > credit then
+        Alcotest.failf "admission round took %d units against credit %d" units
+          credit)
+    admits;
+  Alcotest.(check int) "admitted units equal dispatched units" 5
+    (List.fold_left (fun acc (u, _) -> acc + u) 0 admits);
+  (* --- restart the service cold on the same library -------------------- *)
+  let pipe2 = Unix.pipe () in
+  let pid2 =
+    fork_client pipe2 (fun addr ->
+        match Client.submit addr spec1 with
+        | Ok (st, doc) ->
+          write_file
+            (Filename.concat dir "cold.stats")
+            (Printf.sprintf "%d %d %d %d" st.Client.done_ st.Client.total
+               st.Client.hits st.Client.dispatched);
+          write_file (Filename.concat dir "cold.json") doc
+        | Error e -> write_file (Filename.concat dir "cold.err") e)
+  in
+  Serve.serve ~quiet:true ~jobs:2 ~max_submissions:1
+    ~ready:(announce [ snd pipe2 ])
+    ~library:libdir ~host:"127.0.0.1" ~port:0 ();
+  wait pid2;
+  Alcotest.(check (list int)) "after restart: all hits, zero dispatched"
+    [ 3; 3; 3; 0 ]
+    (let a, b, c, d = parse_stats (must_read dir "cold.stats") in
+     [ a; b; c; d ]);
+  Alcotest.(check string) "after restart: document still byte-identical" doc0
+    (must_read dir "cold.json")
+
+(* --- two concurrent clients share in-flight work ----------------------- *)
+
+let test_serve_concurrent_sharing () =
+  with_temp_dir @@ fun dir ->
+  let libdir = Filename.concat dir "lib" in
+  let spec =
+    Campaign.normalize
+      { spec1 with offsets = [ 8_000; 16_000; 24_000; 32_000 ] }
+  in
+  let p1, a1 = spawn_worker () in
+  let p2, a2 = spawn_worker () in
+  Fun.protect
+    ~finally:(fun () -> reap p1; reap p2)
+    (fun () ->
+      let client name delay addr =
+        if delay > 0.0 then Unix.sleepf delay;
+        match Client.submit addr spec with
+        | Ok (st, doc) ->
+          write_file
+            (Filename.concat dir (name ^ ".stats"))
+            (Printf.sprintf "%d %d %d %d" st.Client.done_ st.Client.total
+               st.Client.hits st.Client.dispatched);
+          write_file (Filename.concat dir (name ^ ".json")) doc
+        | Error e -> write_file (Filename.concat dir (name ^ ".err")) e
+      in
+      let pipe1 = Unix.pipe () and pipe2 = Unix.pipe () in
+      let pid1 = fork_client pipe1 (client "one" 0.0) in
+      let pid2 = fork_client pipe2 (client "two" 0.75) in
+      let bus, events = collecting_bus () in
+      (* credit 1 keeps scheduling rounds short, so the second submission
+         is admitted while the first is still in flight *)
+      Serve.serve ~bus ~quiet:true ~workers:[ a1; a2 ] ~credit:1
+        ~max_submissions:2
+        ~ready:(announce [ snd pipe1; snd pipe2 ])
+        ~library:libdir ~host:"127.0.0.1" ~port:0 ();
+      wait pid1;
+      wait pid2;
+      let s1 = parse_stats (must_read dir "one.stats") in
+      let s2 = parse_stats (must_read dir "two.stats") in
+      let (_, _, h1, d1) = s1 and (_, _, h2, d2) = s2 in
+      (* every window ran exactly once, whoever got there first *)
+      Alcotest.(check int) "four units dispatched in total" 4 (d1 + d2);
+      Alcotest.(check int) "four windows served without dispatch" 4 (h1 + h2);
+      Alcotest.(check int) "the staggered client dispatched nothing" 0 d2;
+      Alcotest.(check string) "both clients got byte-identical documents"
+        (must_read dir "one.json") (must_read dir "two.json");
+      Alcotest.(check int) "both submissions observed" 2
+        (count events (function Event.Submit _ -> true | _ -> false));
+      Alcotest.(check bool) "the shared windows were observed as hits" true
+        (count events (function
+           | Event.Artifact_hit { key } -> not (has_prefix "ckpts:" key)
+           | _ -> false)
+        >= 4))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "codec roundtrip and rejection" `Quick
+            test_campaign_codec;
+          Alcotest.test_case "content digests" `Quick test_campaign_digests;
+          Alcotest.test_case "golden SUBM frame" `Quick test_subm_golden;
+        ] );
+      ( "library",
+        [
+          Alcotest.test_case "window artifacts" `Quick test_library_windows;
+          Alcotest.test_case "corruption refused" `Quick
+            test_library_corruption;
+          Alcotest.test_case "checkpoint sets" `Quick test_library_checkpoints;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "resubmit, restore, restart" `Quick
+            test_serve_resubmit_and_restore;
+          Alcotest.test_case "concurrent clients share work" `Quick
+            test_serve_concurrent_sharing;
+        ] );
+    ]
