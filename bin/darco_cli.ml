@@ -78,12 +78,32 @@ end
 
 let no_flag name doc = Arg.(value & flag & info [ name ] ~doc)
 
+let engine_conv =
+  let parse s =
+    match Darco.Exec.engine_of_string s with
+    | Some e -> Ok e
+    | None ->
+      Error (`Msg (Printf.sprintf "unknown engine %S (expected eval or threaded)" s))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (Darco.Exec.engine_name e))
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Darco.Config.default.engine
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Region execution engine: $(b,threaded) (direct-threaded closure \
+           chains, the default) or $(b,eval) (the reference walker).  Both \
+           are bit-identical; $(b,eval) is the deopt/diagnosis fallback.")
+
 let config_term =
   let combine no_asserts no_memspec no_sched no_opt no_chain no_ibtc no_unroll bb_thr
-      sb_thr =
+      sb_thr engine =
     let c = Darco.Config.default in
     {
       c with
+      engine;
       use_asserts = not no_asserts;
       use_mem_speculation = not no_memspec;
       opt_schedule = not no_sched;
@@ -109,7 +129,8 @@ let config_term =
     $ no_flag "no-ibtc" "Disable the indirect-branch translation cache"
     $ no_flag "no-unroll" "Disable loop unrolling"
     $ Arg.(value & opt int Darco.Config.default.bb_threshold & info [ "bb-threshold" ] ~doc:"IM->BBM promotion threshold")
-    $ Arg.(value & opt int Darco.Config.default.sb_threshold & info [ "sb-threshold" ] ~doc:"BBM->SBM promotion threshold"))
+    $ Arg.(value & opt int Darco.Config.default.sb_threshold & info [ "sb-threshold" ] ~doc:"BBM->SBM promotion threshold")
+    $ engine_arg)
 
 (* --- shared run/report plumbing ---------------------------------------- *)
 
@@ -492,7 +513,7 @@ let resume_cmd =
 let sample_cmd =
   let run bench scale (sim : Flag.sim) interval offsets nsamples horizon window
       warmup jobs backend_str dispatch_timeout dispatch_retries store_dir
-      json_out chrome_out verify max_error =
+      json_out chrome_out verify max_error engine =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     let offsets =
@@ -599,7 +620,7 @@ let sample_cmd =
         let vbus = Darco_obs.Bus.create () in
         let pipe = attach_timing vbus in
         (* fine slices, so window edges match the sampled measurement *)
-        let cfg = { Darco.Config.default with slice_fuel = 2_000 } in
+        let cfg = { Darco.Config.default with slice_fuel = 2_000; engine } in
         let ctl =
           Darco.Controller.create ~cfg ~bus:vbus ?input:sim.input ~seed:sim.seed
             program
@@ -701,7 +722,8 @@ let sample_cmd =
       $ Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the sweep results as JSON to $(docv)")
       $ Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc:"Write the sweep's cross-machine span timeline as a Chrome trace-event JSON file (loadable in Perfetto)")
       $ Arg.(value & flag & info [ "verify" ] ~doc:"Also run full detailed simulation and report per-sample IPC error")
-      $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction"))
+      $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction")
+      $ engine_arg)
 
 let worker_cmd =
   let run listen quiet isolate jobs store_dir =
@@ -942,16 +964,17 @@ let validate_trace_cmd =
           & info [] ~docv:"TRACE.json" ~doc:"Trace file to check"))
 
 let speed_cmd =
-  let run bench scale insns seed =
+  let run bench scale insns seed engine =
     let entry = Darco_workloads.Registry.find bench in
-    let s = Darco_studies.Speed.measure ~insns (entry.build ~scale ()) ~seed in
+    let cfg = { Darco.Config.default with engine } in
+    let s = Darco_studies.Speed.measure ~cfg ~insns (entry.build ~scale ()) ~seed in
     Format.printf "%a@." Darco_studies.Speed.pp s
   in
   Cmd.v (Cmd.info "speed" ~doc:"Measure emulation/simulation throughput")
     Term.(
       const run $ Flag.bench $ Flag.scale
       $ Arg.(value & opt int 300_000 & info [ "insns" ] ~doc:"Guest instructions")
-      $ Flag.seed)
+      $ Flag.seed $ engine_arg)
 
 let () =
   let info = Cmd.info "darco" ~doc:"DARCO co-designed processor simulation infrastructure" in

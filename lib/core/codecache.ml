@@ -12,6 +12,9 @@ type t = {
   bus : Bus.t;
   by_pc : (int, Code.region list) Hashtbl.t;
   by_base : (int, Code.region) Hashtbl.t;
+  (* region id -> direct-threaded closure chain; compiled on first
+     execution, dropped when the region dies *)
+  tcode : (int, Threaded.compiled) Hashtbl.t;
   mutable next_id : int;
   mutable next_base : int;
   mutable total_insns : int;
@@ -27,6 +30,7 @@ let create ?(bus = Bus.create ()) (cfg : Config.t) tolmem stats =
     bus;
     by_pc = Hashtbl.create 256;
     by_base = Hashtbl.create 256;
+    tcode = Hashtbl.create 256;
     next_id = 0;
     next_base = code_base;
     total_insns = 0;
@@ -45,6 +49,7 @@ let flush t =
   Hashtbl.iter (fun _ (r : Code.region) -> r.invalidated <- true) t.by_base;
   Hashtbl.reset t.by_pc;
   Hashtbl.reset t.by_base;
+  Hashtbl.reset t.tcode;
   t.total_insns <- 0;
   for i = 0 to t.ibtc_entries - 1 do
     ibtc_clear_entry t i
@@ -96,6 +101,14 @@ let find t ?(prefer_bb = false) pc =
 
 let resolve_base t base = Hashtbl.find_opt t.by_base base
 
+let compiled t (r : Code.region) =
+  match Hashtbl.find_opt t.tcode r.id with
+  | Some c -> c
+  | None ->
+    let c = Threaded.compile r in
+    Hashtbl.replace t.tcode r.id c;
+    c
+
 let chain t (e : Code.exit_info) (target : Code.region) =
   e.chain <- Some target;
   target.incoming <- e :: target.incoming;
@@ -119,6 +132,7 @@ let ibtc_fill t ~guest_pc (region : Code.region) =
 
 let invalidate t (r : Code.region) =
   r.invalidated <- true;
+  Hashtbl.remove t.tcode r.id;
   List.iter (fun (e : Code.exit_info) -> e.chain <- None) r.incoming;
   r.incoming <- [];
   (match Hashtbl.find_opt t.by_pc r.entry_pc with
@@ -178,6 +192,10 @@ let unpersist ?(bus = Bus.create ()) tolmem stats p =
       bus;
       by_pc = Hashtbl.create 256;
       by_base = Hashtbl.create 256;
+      (* Closure chains are process state, never snapshot state: a restored
+         region recompiles on first execution under whatever engine the
+         restoring process runs. *)
+      tcode = Hashtbl.create 256;
       next_id = p.p_next_id;
       next_base = p.p_next_base;
       total_insns = p.p_total_insns;

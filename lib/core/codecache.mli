@@ -25,6 +25,12 @@ val find : t -> ?prefer_bb:bool -> int -> Code.region option
 val resolve_base : t -> int -> Code.region option
 (** Region whose host base address is the given value (for [Jr]). *)
 
+val compiled : t -> Code.region -> Threaded.compiled
+(** The region's direct-threaded closure chain, compiled on first request
+    and memoized alongside the region; dropped on {!invalidate} and
+    {!flush}.  Chains are process state: they are rebuilt (not restored)
+    after {!unpersist}. *)
+
 val chain : t -> Code.exit_info -> Code.region -> unit
 val invalidate : t -> Code.region -> unit
 (** Unlinks every chain into the region and purges its IBTC entries. *)

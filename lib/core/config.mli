@@ -28,6 +28,16 @@ type costs = {
     speculation protection. *)
 type fault = No_fault | Opt_drop_store | Sched_break_dep
 
+(** How translated regions execute.  [Threaded] (the default) runs the
+    direct-threaded closure chains compiled by [Threaded]; [Eval] keeps the
+    reference walker ([Emulator.run] / the IR evaluator) — the path the
+    profiler and divergence checks use.  Both produce bit-identical
+    architectural state and bus event streams; the engine is a pure
+    execution-strategy choice and is deliberately {e not} part of the
+    snapshot wire format (a snapshot restores under whatever engine the
+    restoring process selects). *)
+type engine = Eval | Threaded
+
 type t = {
   (* promotion thresholds *)
   bb_threshold : int;      (** interpretations before a BB is translated *)
@@ -55,6 +65,7 @@ type t = {
   inject_fault : fault;
   slice_fuel : int;        (** guest insns per co-designed run slice *)
   code_cache_capacity : int;  (** host insns before a full flush *)
+  engine : engine;         (** execution engine for translated regions *)
   costs : costs;
 }
 

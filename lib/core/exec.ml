@@ -1,0 +1,33 @@
+open Darco_host
+
+type engine = Config.engine = Eval | Threaded
+
+type outcome = Threaded.outcome =
+  | Exited of Ir.exit_spec * int
+  | Assert_failed
+  | Alias_failed
+
+let engine_name = function Eval -> "eval" | Threaded -> "threaded"
+
+let engine_of_string = function
+  | "eval" -> Some Eval
+  | "threaded" -> Some Threaded
+  | _ -> None
+
+let run ?(engine = Config.default.engine) r cpu mem =
+  match engine with
+  | Threaded -> Threaded.run_ir r cpu mem
+  | Eval -> (
+    match Ir_eval.run r cpu mem with
+    | Ir_eval.Exited (spec, target) -> Exited (spec, target)
+    | Ir_eval.Assert_failed -> Assert_failed
+    | Ir_eval.Alias_failed -> Alias_failed)
+
+let run_region ~engine ~cache m ~resolve ~fuel ?on_retire region =
+  match (engine, on_retire) with
+  | Threaded, None ->
+    Threaded.run m ~resolve ~get:(Codecache.compiled cache) ~fuel region
+  | Eval, _ | Threaded, Some _ ->
+    (* The deopt back-edge: a retire hook (the timing pipeline) needs the
+       per-instruction stream only the walker produces. *)
+    Emulator.run m ~resolve ~fuel ?on_retire region

@@ -58,4 +58,4 @@ let step_one (bus : Bus.t) (cfg : Config.t) (stats : Stats.t) icache cpu mem =
   if Bus.active bus then
     Bus.emit bus
       ~at:(Stats.guest_total stats)
-      (Event.Interp_step { pc; cost = cfg.costs.interp_per_insn })
+      (Event.Interp_exec { pc; cost = cfg.costs.interp_per_insn })

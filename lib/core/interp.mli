@@ -3,7 +3,7 @@ open Darco_guest
 (** The TOL interpreter (IM): executes guest instructions one by one on the
     emulated state, guarantees forward progress, profiles basic-block
     repetition, and charges its own execution to the interpreter-overhead
-    category.  Publishes one [Interp_block] / [Interp_step] event per call
+    category.  Publishes one [Interp_block] / [Interp_exec] event per call
     on the observability bus (batched, so the per-instruction hot loop does
     not touch the bus). *)
 
@@ -24,4 +24,6 @@ val step_one :
   Darco_obs.Bus.t -> Config.t -> Stats.t -> Step.icache -> Cpu.t -> Memory.t -> unit
 (** Interpret exactly one instruction (the safety-net path for
     interpreter-only instructions reached from translated code).  The
-    instruction must not be a syscall/halt. *)
+    instruction must not be a syscall/halt.  Emits [Interp_exec] — the
+    interpreter-only analogue of [Region_exec] — so the dispatch is
+    visible to the profiler as an execution. *)

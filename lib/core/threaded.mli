@@ -1,0 +1,78 @@
+open Darco_guest
+open Darco_host
+
+(** Direct-threaded compilation of translated regions.
+
+    Both evaluators in the system walk instruction arrays with a per-step
+    constructor [match].  This module compiles a region once into a chain
+    of OCaml closures — one per instruction or fused pattern, each ending
+    in a tail call to its successor — so executing the region is a single
+    indirect-call stream with zero dispatch matching.  Operand decisions
+    (binop selection, comparison sense, FP operation, runtime-call weight)
+    are resolved at compile time and captured in the closure.
+
+    Two compilers live here (DESIGN.md §13):
+
+    {ul
+    {- The {e host-level} compiler over {!Darco_host.Code.region}, the form
+       [Tol] actually dispatches.  {!run} is bit-for-bit equivalent to
+       {!Darco_host.Emulator.run} without an [on_retire] hook: identical
+       counters, stop reasons and exception windows.  When a retire hook is
+       attached (the timing pipeline), execution deopts back to the walker
+       — see [Exec].}
+    {- The {e IR-level} compiler over {!Regionir.t}, mirroring the
+       reference evaluator ([Ir_eval.run]) including its gated store
+       buffer and alias-protection semantics.  This is what engine
+       equivalence is property-tested against.}} *)
+
+(** {1 Host-level engine} *)
+
+type ctx
+(** Per-execution state threaded through the closure chain. *)
+
+type compiled = private {
+  c_region : Code.region;
+  c_limit : int;
+      (** runaway step bound, [100 * code length + 10_000], matching the
+          walker's malformed-region assertion *)
+  c_entry : ctx -> unit;
+}
+(** A region compiled to a closure chain.  Compilation is pure with respect
+    to machine state; the chain may be cached and reused (the code cache
+    memoizes one per live region, dropped on invalidation/flush). *)
+
+val compile : Code.region -> compiled
+
+val run :
+  Machine.t ->
+  resolve:(int -> Code.region option) ->
+  get:(Code.region -> compiled) ->
+  ?fuel:int ->
+  Code.region ->
+  Emulator.result
+(** [run m ~resolve ~get region] executes the compiled chain for [region],
+    following chained exits and resolved indirect jumps through [get]
+    (typically the code cache's memoized {!compile}).  Produces exactly the
+    result {!Darco_host.Emulator.run} would: same stop, same counters, same
+    rollback-on-failure state effects.  [fuel] bounds [host_retired]
+    approximately, checked at region transfers. *)
+
+(** {1 IR-level engine} *)
+
+(** Identical to the reference evaluator's outcome; [Exec] re-exports this
+    as the canonical outcome type. *)
+type outcome =
+  | Exited of Ir.exit_spec * int  (** resolved guest target PC *)
+  | Assert_failed
+  | Alias_failed
+
+type ir_compiled
+
+val compile_ir : Regionir.t -> ir_compiled
+
+val run_compiled : ir_compiled -> Cpu.t -> Memory.t -> outcome
+(** Fresh vreg/store-buffer state per call; the compiled chain is
+    reusable. *)
+
+val run_ir : Regionir.t -> Cpu.t -> Memory.t -> outcome
+(** [compile_ir] + [run_compiled] in one step. *)

@@ -262,7 +262,8 @@ let run_slice t =
     Machine.copy_guest_in t.machine t.cpu;
     let fuel = (8 * (slice_end - retired t)) + 2_000 in
     let res =
-      Emulator.run t.machine ~resolve ~fuel
+      Exec.run_region ~engine:t.cfg.engine ~cache:t.codecache t.machine
+        ~resolve ~fuel
         ?on_retire:(Bus.retire_hook t.bus)
         region
     in

@@ -27,27 +27,58 @@ let write8 t addr v =
   let p = get_page t (page_index addr) in
   Bytes.unsafe_set p (addr land (page_size - 1)) (Char.unsafe_chr (v land 0xFF))
 
+(* Multi-byte accesses that stay within one page take a single page lookup;
+   page-crossing ones fall back to the byte loop so the fault order (lowest
+   byte's page first) is unchanged. *)
 let read (t : t) (w : Isa.width) addr =
   match w with
   | W8 -> read8 t addr
-  | W16 -> read8 t addr lor (read8 t (addr + 1) lsl 8)
+  | W16 ->
+    let off = addr land (page_size - 1) in
+    if off <= page_size - 2 then begin
+      let p = get_page t (page_index addr) in
+      Char.code (Bytes.unsafe_get p off)
+      lor (Char.code (Bytes.unsafe_get p (off + 1)) lsl 8)
+    end
+    else read8 t addr lor (read8 t (addr + 1) lsl 8)
   | W32 ->
-    read8 t addr
-    lor (read8 t (addr + 1) lsl 8)
-    lor (read8 t (addr + 2) lsl 16)
-    lor (read8 t (addr + 3) lsl 24)
+    let off = addr land (page_size - 1) in
+    if off <= page_size - 4 then begin
+      let p = get_page t (page_index addr) in
+      Int32.to_int (Bytes.get_int32_le p off) land 0xFFFFFFFF
+    end
+    else
+      read8 t addr
+      lor (read8 t (addr + 1) lsl 8)
+      lor (read8 t (addr + 2) lsl 16)
+      lor (read8 t (addr + 3) lsl 24)
 
 let write (t : t) (w : Isa.width) addr v =
   match w with
   | W8 -> write8 t addr v
   | W16 ->
-    write8 t addr v;
-    write8 t (addr + 1) (v lsr 8)
+    let off = addr land (page_size - 1) in
+    if off <= page_size - 2 then begin
+      let p = get_page t (page_index addr) in
+      Bytes.unsafe_set p off (Char.unsafe_chr (v land 0xFF));
+      Bytes.unsafe_set p (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+    end
+    else begin
+      write8 t addr v;
+      write8 t (addr + 1) (v lsr 8)
+    end
   | W32 ->
-    write8 t addr v;
-    write8 t (addr + 1) (v lsr 8);
-    write8 t (addr + 2) (v lsr 16);
-    write8 t (addr + 3) (v lsr 24)
+    let off = addr land (page_size - 1) in
+    if off <= page_size - 4 then begin
+      let p = get_page t (page_index addr) in
+      Bytes.set_int32_le p off (Int32.of_int v)
+    end
+    else begin
+      write8 t addr v;
+      write8 t (addr + 1) (v lsr 8);
+      write8 t (addr + 2) (v lsr 16);
+      write8 t (addr + 3) (v lsr 24)
+    end
 
 let read32 t addr = read t W32 addr
 let write32 t addr v = write t W32 addr v

@@ -17,7 +17,9 @@ let create mem =
     r = Array.make 64 0;
     f = Array.make 32 0.0;
     mem;
-    sbuf = Hashtbl.create 64;
+    (* Commits drain the buffer every region, so it stays small; a small
+       bucket array keeps the per-commit iteration and reset cheap. *)
+    sbuf = Hashtbl.create 16;
     aliases = [];
     ckpt_r = Array.make 64 0;
     ckpt_f = Array.make 32 0.0;
@@ -39,18 +41,22 @@ let rollback t =
   t.aliases <- []
 
 let commit t =
-  (* Probe first: a page fault must leave memory untouched. *)
-  let pages = Hashtbl.create 4 in
-  Hashtbl.iter
-    (fun addr _ ->
-      let p = Memory.page_index addr in
-      if not (Hashtbl.mem pages p) then begin
-        ignore (Memory.read8 t.mem addr);
-        Hashtbl.replace pages p ()
-      end)
-    t.sbuf;
-  Hashtbl.iter (fun addr v -> Memory.write8 t.mem addr v) t.sbuf;
-  Hashtbl.reset t.sbuf;
+  if Hashtbl.length t.sbuf <> 0 then begin
+    (* Probe first: a page fault must leave memory untouched.  Committed
+       stores span a handful of pages at most, so a small list beats a
+       hash table for the probe set. *)
+    let probed = ref [] in
+    Hashtbl.iter
+      (fun addr _ ->
+        let p = Memory.page_index addr in
+        if not (List.mem p !probed) then begin
+          ignore (Memory.read8 t.mem addr);
+          probed := p :: !probed
+        end)
+      t.sbuf;
+    Hashtbl.iter (fun addr v -> Memory.write8 t.mem addr v) t.sbuf;
+    Hashtbl.reset t.sbuf
+  end;
   t.aliases <- []
 
 let in_flight_stores t = Hashtbl.length t.sbuf
@@ -61,14 +67,18 @@ let load_byte t addr =
   | None -> Memory.read8 t.mem addr
 
 let raw_load t (w : Isa.width) addr =
-  match w with
-  | W8 -> load_byte t addr
-  | W16 -> load_byte t addr lor (load_byte t (addr + 1) lsl 8)
-  | W32 ->
-    load_byte t addr
-    lor (load_byte t (addr + 1) lsl 8)
-    lor (load_byte t (addr + 2) lsl 16)
-    lor (load_byte t (addr + 3) lsl 24)
+  (* With no stores in flight there is nothing to forward, so the load can
+     go straight to memory in one access. *)
+  if Hashtbl.length t.sbuf = 0 then Memory.read t.mem w addr
+  else
+    match w with
+    | W8 -> load_byte t addr
+    | W16 -> load_byte t addr lor (load_byte t (addr + 1) lsl 8)
+    | W32 ->
+      load_byte t addr
+      lor (load_byte t (addr + 1) lsl 8)
+      lor (load_byte t (addr + 2) lsl 16)
+      lor (load_byte t (addr + 3) lsl 24)
 
 let load t w ~signed addr =
   let v = raw_load t w addr in

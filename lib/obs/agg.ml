@@ -13,7 +13,7 @@ let apply (s : Stats.t) ~at:_ (ev : Event.t) =
   | Interp_block { insns; cost; _ } ->
     s.guest_im <- s.guest_im + insns;
     Stats.charge s Ov_interp cost
-  | Interp_step { cost; _ } ->
+  | Interp_step { cost; _ } | Interp_exec { cost; _ } ->
     s.guest_im <- s.guest_im + 1;
     Stats.charge s Ov_interp cost
   | Bb_translated { cost; _ } ->

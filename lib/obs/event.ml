@@ -10,6 +10,7 @@ type t =
   | Slice_end of { stop : stop_reason; overheads : (Stats.overhead * int) list }
   | Interp_block of { pc : int; insns : int; cost : int }
   | Interp_step of { pc : int; cost : int }
+  | Interp_exec of { pc : int; cost : int }
   | Bb_translated of { pc : int; guest_len : int; host_len : int; cost : int }
   | Sb_translated of {
       pc : int;
@@ -97,6 +98,7 @@ let name = function
   | Slice_end _ -> "slice_end"
   | Interp_block _ -> "interp_block"
   | Interp_step _ -> "interp_step"
+  | Interp_exec _ -> "interp_exec"
   | Bb_translated _ -> "bb_translated"
   | Sb_translated _ -> "sb_translated"
   | Region_exec _ -> "region_exec"
@@ -145,7 +147,8 @@ let fields ev : (string * Jsonx.t) list =
     ]
   | Interp_block { pc; insns; cost } ->
     [ ("pc", Jsonx.Int pc); ("insns", Jsonx.Int insns); ("cost", Jsonx.Int cost) ]
-  | Interp_step { pc; cost } -> [ ("pc", Jsonx.Int pc); ("cost", Jsonx.Int cost) ]
+  | Interp_step { pc; cost } | Interp_exec { pc; cost } ->
+    [ ("pc", Jsonx.Int pc); ("cost", Jsonx.Int cost) ]
   | Bb_translated { pc; guest_len; host_len; cost } ->
     [
       ("pc", Jsonx.Int pc);

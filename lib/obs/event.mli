@@ -27,7 +27,13 @@ type t =
   | Interp_block of { pc : int; insns : int; cost : int }
       (** one basic block interpreted in IM *)
   | Interp_step of { pc : int; cost : int }
-      (** single-instruction safety-net interpretation *)
+      (** single-instruction safety-net interpretation (legacy; kept so
+          recorded traces keep replaying — see {!Interp_exec}) *)
+  | Interp_exec of { pc : int; cost : int }
+      (** one dispatch through the [interpret_one] safety net (an
+          [Exit_interp] region exit): the interpreter-only analogue of
+          {!Region_exec}, so the profiler can count the dispatch as an
+          execution rather than losing it *)
   | Bb_translated of { pc : int; guest_len : int; host_len : int; cost : int }
   | Sb_translated of {
       pc : int;

@@ -49,6 +49,13 @@ let apply t ~at:_ (ev : Event.t) =
     let r = region t pc in
     r.r_guest <- r.r_guest + 1;
     r.r_overhead <- r.r_overhead + cost
+  | Event.Interp_exec { pc; cost } ->
+    (* the safety-net dispatch is an execution of the region's guest PC,
+       not just anonymous interpreter time *)
+    let r = region t pc in
+    r.r_guest <- r.r_guest + 1;
+    r.r_overhead <- r.r_overhead + cost;
+    r.r_execs <- r.r_execs + 1
   | Event.Bb_translated { pc; cost; _ } | Event.Sb_translated { pc; cost; _ } ->
     let r = region t pc in
     r.r_translations <- r.r_translations + 1;

@@ -224,6 +224,10 @@ let r_config r : Darco.Config.t =
     inject_fault;
     slice_fuel;
     code_cache_capacity;
+    (* Deliberately not on the wire (format stays v1): the engine is an
+       execution-strategy choice of the restoring process, not simulated
+       state — a snapshot taken under one engine resumes under another. *)
+    engine = Darco.Config.default.engine;
     costs;
   }
 

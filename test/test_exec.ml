@@ -1,0 +1,492 @@
+open Darco_guest
+open Darco
+module Rng = Darco_util.Rng
+module Code = Darco_host.Code
+module Stats = Darco_obs.Stats
+module Snapshot = Darco_sampling.Snapshot
+
+(* Engine equivalence: the Eval (walker) and Threaded (closure-chain)
+   engines behind Exec must be observably identical — same outcomes, same
+   counters, same architectural state — at both the IR level and the host
+   level, and a snapshot taken under one engine must restore and resume
+   under the other (the engine is process configuration, not machine
+   state). *)
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let copy_memory src =
+  let dst = Memory.create `Auto_zero in
+  List.iter
+    (fun idx -> Memory.install_page dst idx (Memory.get_page src idx))
+    (Memory.touched_pages src);
+  dst
+
+let random_state seed =
+  let rng = Rng.create (seed + 31) in
+  let cpu = Cpu.create () in
+  Array.iter
+    (fun r -> Cpu.set cpu r (Rng.int rng 0x10000))
+    [| Isa.EAX; ECX; EDX; ESI; EDI |];
+  Cpu.set cpu EBX Tgen.data_base;
+  Cpu.set cpu EBP (Tgen.data_base + 512);
+  Cpu.set cpu ESP Loader.stack_top;
+  cpu.flags <- Rng.int rng 16;
+  Array.iter (fun f -> Cpu.setf cpu f (Rng.float rng *. 16.0)) Isa.all_fregs;
+  let mem = Memory.create `Auto_zero in
+  for i = 0 to (Tgen.data_size / 4) - 1 do
+    Memory.write32 mem (Tgen.data_base + (4 * i)) (Rng.int rng 0x1000000)
+  done;
+  (cpu, mem)
+
+let mem_equal a b =
+  List.for_all
+    (fun idx -> Memory.equal_page a b idx)
+    (List.sort_uniq compare (Memory.touched_pages a @ Memory.touched_pages b))
+
+(* ------------------------------------------------------------------ *)
+(* IR level: Exec.run under both engines on random region IR          *)
+(* ------------------------------------------------------------------ *)
+
+(* A random well-formed region: v0 holds the data base, v5 a pinned
+   divisor, v1..v4 are scratch.  Forward-only branches, puts in bursts (to
+   land in the threaded compiler's fusion window), speculative loads and
+   asserts so all three outcomes occur, one exit of each flavour. *)
+let gen_region seed : Regionir.t =
+  let rng = Rng.create (0x5EED + seed) in
+  let dst () = 1 + Rng.int rng 4 in
+  let src () = Rng.int rng 6 in
+  let fr () = Rng.int rng 3 in
+  let disp () = Rng.int rng (Tgen.data_size - 16) in
+  let binop () =
+    Rng.choose rng
+      [|
+        Code.Add; Sub; Mul; Mulhu; Mulhs; And; Or; Xor; Shl; Shr; Sar; Slt;
+        Sltu; Seq; Sne;
+      |]
+  in
+  let cmp () = Rng.choose rng [| Code.Beq; Bne; Blt; Bge; Bltu; Bgeu |] in
+  let width () = Rng.choose rng [| Isa.W8; W16; W32 |] in
+  let flkind () =
+    Rng.choose rng
+      [|
+        Code.Fl_add; Fl_adc; Fl_sub; Fl_sbb; Fl_logic; Fl_shl; Fl_shr;
+        Fl_sar; Fl_rol; Fl_ror; Fl_inc; Fl_dec; Fl_neg; Fl_mulu; Fl_muls;
+      |]
+  in
+  let greg () = Rng.choose rng Tgen.clobber_regs in
+  let gfreg () = Rng.choose rng Isa.all_fregs in
+  let op () : Ir.t list =
+    match Rng.int rng 22 with
+    | 0 -> [ Ir.Ili (dst (), Rng.in_range rng (-4096) 65536) ]
+    | 1 -> [ Ir.Imov (dst (), src ()) ]
+    | 2 -> [ Ir.Ibin (binop (), dst (), src (), src ()) ]
+    | 3 -> [ Ir.Ibini (binop (), dst (), src (), Rng.in_range rng (-64) 4096) ]
+    | 4 -> [ Ir.Iload (width (), Rng.bool rng, dst (), 0, disp ()) ]
+    | 5 -> [ Ir.Isload (width (), Rng.bool rng, dst (), 0, disp ()) ]
+    | 6 -> [ Ir.Istore (width (), src (), 0, disp ()) ]
+    | 7 -> [ Ir.Ifli (fr (), (Rng.float rng *. 64.0) -. 32.0) ]
+    | 8 -> [ Ir.Ifmov (fr (), fr ()) ]
+    | 9 ->
+      [
+        Ir.Ifbin
+          (Rng.choose rng [| Code.Fadd; Fsub; Fmul; Fdiv |], fr (), fr (), fr ());
+      ]
+    | 10 -> [ Ir.Ifun (Rng.choose rng [| Code.Fsqrt; Fabs; Fneg |], fr (), fr ()) ]
+    | 11 -> [ Ir.Ifload (fr (), 0, disp ()) ]
+    | 12 -> [ Ir.Ifstore (fr (), 0, disp ()) ]
+    | 13 -> [ Ir.Ifcmp (dst (), fr (), fr ()) ]
+    | 14 -> [ Ir.Icvtif (fr (), src ()); Ir.Icvtfi (dst (), fr ()) ]
+    | 15 ->
+      [
+        (* Rt_divu/Rt_divs never appear at IR level; division is Irt_div *)
+        Ir.Irt_f (Rng.choose rng [| Code.Rt_sin; Rt_cos |], fr (), fr ());
+      ]
+    | 16 -> [ Ir.Irt_div { signed = Rng.bool rng; q = 1; r = 2; hi = 3; lo = 4; d = 5 } ]
+    | 17 -> [ Ir.Iisel (dst (), src (), src (), src ()) ]
+    | 18 -> [ Ir.Imkfl (flkind (), dst (), src (), src (), src ()) ]
+    | 19 -> [ Ir.Iassert (cmp (), src (), src ()) ]
+    | 20 -> [ Ir.Iget (dst (), greg ()); Ir.Igetf (fr (), gfreg ()); Ir.Igetfl (dst ()) ]
+    | _ ->
+      (* a burst of guest-state puts: the threaded compiler fuses these *)
+      [ Ir.Iput (greg (), src ()); Ir.Iputf (gfreg (), fr ()); Ir.Iputfl (src ()) ]
+  in
+  let prologue =
+    [
+      Ir.Ili (0, Tgen.data_base);
+      Ir.Ili (1, Rng.int rng 0x10000);
+      Ir.Ili (2, Rng.int rng 0x10000);
+      Ir.Ili (3, Rng.int rng 0x10000);
+      Ir.Ili (4, Rng.int rng 0x10000);
+      Ir.Ili (5, 1 + Rng.int rng 1000);
+      Ir.Ifli (0, Rng.float rng *. 8.0);
+      Ir.Ifli (1, (Rng.float rng *. 8.0) -. 4.0);
+      Ir.Ifli (2, 1.0 +. Rng.float rng);
+    ]
+  in
+  let n_groups = 2 + Rng.int rng 10 in
+  let ops = List.concat (List.init n_groups (fun _ -> op ())) in
+  let exit_target =
+    if Rng.chance rng 0.8 then Ir.Xdirect 0xEE00
+    else if Rng.bool rng then Ir.Xindirect (src ())
+    else Ir.Xhalt
+  in
+  let exit_ =
+    Ir.Iexit
+      {
+        target = exit_target;
+        retired = 1 + Rng.int rng 32;
+        prefer_bb = Rng.bool rng;
+        edge = None;
+      }
+  in
+  let body = Array.of_list (prologue @ ops @ [ exit_ ]) in
+  let plen = List.length prologue in
+  let m = Array.length body - 1 in
+  (* sprinkle forward branches over the generated ops (never the prologue,
+     so the scratch vregs stay initialized on every path) *)
+  for _ = 1 to Rng.int rng 3 do
+    if m > plen + 1 then begin
+      let i = plen + Rng.int rng (m - plen - 1) in
+      let t = i + 1 + Rng.int rng (m - i) in
+      body.(i) <- Ir.Ibr (cmp (), src (), src (), t)
+    end
+  done;
+  {
+    Regionir.entry_pc = 0x1000;
+    mode = `Super;
+    body;
+    prof = None;
+    guest_len = 1 + Rng.int rng 32;
+  }
+
+let outcome_str = function
+  | Exec.Exited (_, t) -> Printf.sprintf "Exited -> 0x%x" t
+  | Exec.Assert_failed -> "Assert_failed"
+  | Exec.Alias_failed -> "Alias_failed"
+
+let prop_ir_engines_agree =
+  QCheck.Test.make ~name:"Eval and Threaded agree on random region IR"
+    ~count:400 QCheck.small_int (fun seed ->
+      let region = gen_region seed in
+      Regionir.check_forward_only region;
+      let cpu0, mem0 = random_state seed in
+      let exec engine =
+        let cpu = Cpu.copy cpu0 in
+        let mem = copy_memory mem0 in
+        (Exec.run ~engine region cpu mem, cpu, mem)
+      in
+      let oe, ce, me = exec Exec.Eval in
+      let ot, ct, mt = exec Exec.Threaded in
+      if oe <> ot then
+        QCheck.Test.fail_reportf "outcomes differ: eval %s, threaded %s"
+          (outcome_str oe) (outcome_str ot)
+      else if not (Cpu.equal ce ct) then
+        QCheck.Test.fail_reportf "cpu state differs:\n%s"
+          (String.concat "\n" (Cpu.diff ce ct))
+      else if not (mem_equal me mt) then
+        QCheck.Test.fail_report "memory differs between engines"
+      else true)
+
+(* A compiled chain must be reusable: running it twice from the same
+   initial state gives the same answer (fresh vreg/store-buffer state per
+   run, nothing latched in the closures). *)
+let test_compiled_reuse () =
+  let region = gen_region 1234 in
+  let compiled = Threaded.compile_ir region in
+  let cpu0, mem0 = random_state 1234 in
+  let go () =
+    let cpu = Cpu.copy cpu0 and mem = copy_memory mem0 in
+    let o = Threaded.run_compiled compiled cpu mem in
+    (o, cpu, mem)
+  in
+  let o1, c1, m1 = go () in
+  let o2, c2, m2 = go () in
+  Alcotest.(check bool) "same outcome" true (o1 = o2);
+  Alcotest.(check bool) "same cpu" true (Cpu.equal c1 c2);
+  Alcotest.(check bool) "same memory" true (mem_equal m1 m2)
+
+(* ------------------------------------------------------------------ *)
+(* Host level: Threaded.run vs Emulator.run on generated host code    *)
+(* ------------------------------------------------------------------ *)
+
+let translate_straightline ?(exit_pc = 0xEE00) insns =
+  let ctx = Translate.create ~entry_pc:0x1000 in
+  List.iter (fun i -> Translate.translate_insn ctx i ~pc:0x1000 ~len:1) insns;
+  Translate.emit_exit ctx (Ir.Xdirect exit_pc);
+  Translate.finalize ctx ~mode:`Super ~prof:None
+
+let lower_region cfg region : Darco_host.Code.region =
+  let alloc = Regalloc.allocate region in
+  let code, _ =
+    Codegen.lower cfg region ~alloc ~spill_base:(Loader.tol_base + 0x1000)
+      ~ibtc_base:Loader.tol_base
+  in
+  {
+    id = 0;
+    entry_pc = region.Regionir.entry_pc;
+    mode = region.Regionir.mode;
+    base = 0xC0000000;
+    code;
+    incoming = [];
+    invalidated = false;
+  }
+
+let run_host engine_run hw (cpu0, mem0) =
+  let cpu = Cpu.copy cpu0 in
+  let mem = copy_memory mem0 in
+  let m = Darco_host.Machine.create mem in
+  Darco_host.Machine.copy_guest_in m cpu;
+  let res = engine_run m hw in
+  Darco_host.Machine.copy_guest_out m cpu;
+  (res, cpu, mem)
+
+let same_stop (a : Darco_host.Emulator.stop) (b : Darco_host.Emulator.stop) =
+  match (a, b) with
+  | Stop_exit x, Stop_exit y ->
+    x == y
+    || (x.exit_id = y.exit_id && x.kind = y.kind
+       && x.guest_retired = y.guest_retired)
+  | Stop_indirect_miss x, Stop_indirect_miss y -> x = y
+  | Stop_rollback (k1, r1), Stop_rollback (k2, r2) -> k1 = k2 && r1.id = r2.id
+  | Stop_fault (p1, r1), Stop_fault (p2, r2) -> p1 = p2 && r1.id = r2.id
+  | Stop_fuel x, Stop_fuel y -> x = y
+  | _ -> false
+
+let same_result (a : Darco_host.Emulator.result) (b : Darco_host.Emulator.result)
+    =
+  same_stop a.stop b.stop
+  && a.host_retired = b.host_retired
+  && a.host_bb = b.host_bb
+  && a.host_super = b.host_super
+  && a.guest_bb = b.guest_bb
+  && a.guest_super = b.guest_super
+  && a.chains_followed = b.chains_followed
+  && a.wasted_host = b.wasted_host
+
+let stop_str (s : Darco_host.Emulator.stop) =
+  match s with
+  | Stop_exit x -> Printf.sprintf "exit#%d retiring %d" x.exit_id x.guest_retired
+  | Stop_indirect_miss pc -> Printf.sprintf "indirect miss 0x%x" pc
+  | Stop_rollback (`Assert, r) -> Printf.sprintf "assert rollback in r%d" r.id
+  | Stop_rollback (`Alias, r) -> Printf.sprintf "alias rollback in r%d" r.id
+  | Stop_fault (p, r) -> Printf.sprintf "fault page %d in r%d" p r.id
+  | Stop_fuel pc -> Printf.sprintf "fuel at 0x%x" pc
+
+let prop_host_engines_agree =
+  QCheck.Test.make
+    ~name:"Threaded.run matches Emulator.run on generated host code"
+    ~count:150 QCheck.small_int (fun seed ->
+      let rng = Rng.create ((seed * 131) + 5) in
+      let insns = Tgen.insn_block rng (1 + Rng.int rng 25) in
+      let state = random_state seed in
+      let cfg = Config.default in
+      let region = Sched.run cfg (Opt.run cfg (translate_straightline insns)) in
+      let hw = lower_region cfg region in
+      let resolve _ = None in
+      let ra, ca, ma =
+        run_host (fun m r -> Darco_host.Emulator.run m ~resolve r) hw state
+      in
+      let get =
+        let tbl = Hashtbl.create 4 in
+        fun (r : Darco_host.Code.region) ->
+          match Hashtbl.find_opt tbl r.id with
+          | Some c -> c
+          | None ->
+            let c = Threaded.compile r in
+            Hashtbl.add tbl r.id c;
+            c
+      in
+      let rb, cb, mb =
+        run_host (fun m r -> Threaded.run m ~resolve ~get r) hw state
+      in
+      if not (same_result ra rb) then
+        QCheck.Test.fail_reportf
+          "results differ: walker stopped with %s, threaded with %s"
+          (stop_str ra.stop) (stop_str rb.stop)
+      else if not (Cpu.equal ca cb) then
+        QCheck.Test.fail_reportf "cpu state differs:\n%s"
+          (String.concat "\n" (Cpu.diff ca cb))
+      else if not (mem_equal ma mb) then
+        QCheck.Test.fail_report "memory differs between engines"
+      else true)
+
+(* Fusion edge cases the random generator cannot be trusted to hit: a
+   Commit/Exit pair that fuses, and the same pair with the Exit as a branch
+   target (fusion must be suppressed so the branch lands on a real step). *)
+let test_host_fusion_cases () =
+  let exit_info chain_id : Darco_host.Code.exit_info =
+    {
+      exit_id = chain_id;
+      kind = Darco_host.Code.Exit_direct 0xEE00;
+      guest_retired = 3;
+      chain = None;
+      prefer_bb = false;
+    }
+  in
+  let cases =
+    [
+      (* straight fused pair *)
+      ( "fused commit/exit",
+        [|
+          Darco_host.Code.Li (0, 7);
+          Darco_host.Code.Commit 3;
+          Darco_host.Code.Exit (exit_info 0);
+        |] );
+      (* branch targets the Exit: the pair must not fuse away the target *)
+      ( "exit as branch target",
+        [|
+          Darco_host.Code.Li (0, 1);
+          Darco_host.Code.Li (1, 1);
+          Darco_host.Code.B (Darco_host.Code.Beq, 0, 1, 4);
+          Darco_host.Code.Commit 3;
+          Darco_host.Code.Exit (exit_info 1);
+        |] );
+      (* unconditional jump over a commit into the exit *)
+      ( "jump to exit",
+        [|
+          Darco_host.Code.Li (0, 7);
+          Darco_host.Code.J 3;
+          Darco_host.Code.Commit 9;
+          Darco_host.Code.Exit (exit_info 2);
+        |] );
+    ]
+  in
+  List.iter
+    (fun (what, code) ->
+      let hw : Darco_host.Code.region =
+        {
+          id = 0;
+          entry_pc = 0x1000;
+          mode = `Super;
+          base = 0xC0000000;
+          code;
+          incoming = [];
+          invalidated = false;
+        }
+      in
+      let state = random_state 7 in
+      let resolve _ = None in
+      let ra, ca, _ =
+        run_host (fun m r -> Darco_host.Emulator.run m ~resolve r) hw state
+      in
+      let rb, cb, _ =
+        run_host
+          (fun m r -> Threaded.run m ~resolve ~get:Threaded.compile r)
+          hw state
+      in
+      Alcotest.(check bool)
+        (what ^ ": results identical")
+        true (same_result ra rb);
+      Tgen.check_cpu_equal what ca cb)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* Cross-engine snapshot golden test                                  *)
+(* ------------------------------------------------------------------ *)
+
+let build name = (Darco_workloads.Registry.find name).build ~scale:1 ()
+
+let expect_done what = function
+  | `Done -> ()
+  | `Limit -> Alcotest.failf "%s: hit instruction limit" what
+  | `Diverged (d : Controller.divergence) ->
+    Alcotest.failf "%s: diverged at %d:\n%s" what d.at_retired
+      (String.concat "\n" d.details)
+
+type final = {
+  f_stats : Stats.t;
+  f_ref_hash : string;
+  f_co_hash : string;
+  f_output : string;
+  f_exit : int option;
+}
+
+let final_of (ctl : Controller.t) =
+  {
+    f_stats = Controller.stats ctl;
+    f_ref_hash = Snapshot.memory_hash ctl.reference.mem;
+    f_co_hash = Snapshot.memory_hash ctl.co.mem;
+    f_output = Controller.output ctl;
+    f_exit = Controller.exit_code ctl;
+  }
+
+let check_final what want got =
+  Alcotest.(check bool) (what ^ ": final stats identical") true
+    (Stats.equal want.f_stats got.f_stats);
+  Alcotest.(check string) (what ^ ": guest memory hash") want.f_ref_hash
+    got.f_ref_hash;
+  Alcotest.(check string) (what ^ ": co-designed memory hash") want.f_co_hash
+    got.f_co_hash;
+  Alcotest.(check string) (what ^ ": program output") want.f_output got.f_output;
+  Alcotest.(check (option int)) (what ^ ": exit code") want.f_exit got.f_exit
+
+(* A full run is engine-invariant, a snapshot written under Eval is
+   byte-identical to one written under Threaded at the same offset (the
+   engine is not part of the wire format), and a snapshot captured under
+   Eval restores into a controller that resumes under the default Threaded
+   engine with the same final state. *)
+let test_cross_engine_snapshot () =
+  Alcotest.(check bool) "Threaded is the default engine" true
+    (Config.default.engine = Config.Threaded);
+  let program = build "continuous" in
+  let seed = 11 in
+  let offset = 50_000 in
+  let cfg_of engine = { Config.quick with engine; slice_fuel = 2_000 } in
+  let full engine =
+    let ctl = Controller.create ~cfg:(cfg_of engine) ~seed program in
+    expect_done (Exec.engine_name engine ^ " uninterrupted") (Controller.run ctl);
+    final_of ctl
+  in
+  let want_thr = full Config.Threaded in
+  let want_eval = full Config.Eval in
+  check_final "uninterrupted eval vs threaded" want_thr want_eval;
+  let capture_at engine =
+    let part = Controller.create ~cfg:(cfg_of engine) ~seed program in
+    (match Controller.run ~max_insns:offset part with
+    | `Limit -> ()
+    | `Done -> Alcotest.fail "offset beyond program end"
+    | `Diverged _ -> Alcotest.fail "diverged before offset");
+    Snapshot.to_string (Snapshot.capture part)
+  in
+  let bytes_eval = capture_at Config.Eval in
+  let bytes_thr = capture_at Config.Threaded in
+  Alcotest.(check bool) "snapshot bytes engine-invariant" true
+    (String.equal bytes_eval bytes_thr);
+  (* restore uses Config.default, so the Eval-captured snapshot resumes
+     under Threaded: the cross-engine handoff *)
+  let resumed = Snapshot.restore (Snapshot.of_string bytes_eval) in
+  Alcotest.(check bool) "resumes under Threaded" true
+    (resumed.Controller.cfg.engine = Config.Threaded);
+  expect_done "captured under eval, resumed under threaded"
+    (Controller.run resumed);
+  check_final "cross-engine resume" want_thr (final_of resumed)
+
+(* ------------------------------------------------------------------ *)
+
+let test_engine_names () =
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "name round-trips" true
+        (Exec.engine_of_string (Exec.engine_name e) = Some e))
+    [ Exec.Eval; Exec.Threaded ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Exec.engine_of_string "jit" = None)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "engines",
+        [
+          QCheck_alcotest.to_alcotest prop_ir_engines_agree;
+          QCheck_alcotest.to_alcotest prop_host_engines_agree;
+          Alcotest.test_case "compiled chain is reusable" `Quick
+            test_compiled_reuse;
+          Alcotest.test_case "host fusion edge cases" `Quick
+            test_host_fusion_cases;
+          Alcotest.test_case "engine names round-trip" `Quick test_engine_names;
+          Alcotest.test_case "cross-engine snapshot" `Slow
+            test_cross_engine_snapshot;
+        ] );
+    ]

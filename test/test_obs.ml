@@ -218,39 +218,40 @@ let constructor_index : Event.t -> int = function
   | Event.Slice_end _ -> 3
   | Event.Interp_block _ -> 4
   | Event.Interp_step _ -> 5
-  | Event.Bb_translated _ -> 6
-  | Event.Sb_translated _ -> 7
-  | Event.Region_exec _ -> 8
-  | Event.Chain_made _ -> 9
-  | Event.Ibtc_miss _ -> 10
-  | Event.Ibtc_fill _ -> 11
-  | Event.Rollback _ -> 12
-  | Event.Deopt_rebuild _ -> 13
-  | Event.Cache_flush _ -> 14
-  | Event.Page_install _ -> 15
-  | Event.Syscall _ -> 16
-  | Event.Validation _ -> 17
-  | Event.Divergence _ -> 18
-  | Event.Halt -> 19
-  | Event.Worker_up _ -> 20
-  | Event.Worker_lost _ -> 21
-  | Event.Dispatch_sent _ -> 22
-  | Event.Dispatch_done _ -> 23
-  | Event.Dispatch_retry _ -> 24
-  | Event.Dispatch_fallback _ -> 25
-  | Event.Ckpt_push _ -> 26
-  | Event.Ckpt_hit _ -> 27
-  | Event.Steal _ -> 28
-  | Event.Dispatch_inflight _ -> 29
-  | Event.Span_begin _ -> 30
-  | Event.Span_end _ -> 31
-  | Event.Submit _ -> 32
-  | Event.Admit _ -> 33
-  | Event.Artifact_hit _ -> 34
-  | Event.Artifact_store _ -> 35
-  | Event.Store_evict _ -> 36
+  | Event.Interp_exec _ -> 6
+  | Event.Bb_translated _ -> 7
+  | Event.Sb_translated _ -> 8
+  | Event.Region_exec _ -> 9
+  | Event.Chain_made _ -> 10
+  | Event.Ibtc_miss _ -> 11
+  | Event.Ibtc_fill _ -> 12
+  | Event.Rollback _ -> 13
+  | Event.Deopt_rebuild _ -> 14
+  | Event.Cache_flush _ -> 15
+  | Event.Page_install _ -> 16
+  | Event.Syscall _ -> 17
+  | Event.Validation _ -> 18
+  | Event.Divergence _ -> 19
+  | Event.Halt -> 20
+  | Event.Worker_up _ -> 21
+  | Event.Worker_lost _ -> 22
+  | Event.Dispatch_sent _ -> 23
+  | Event.Dispatch_done _ -> 24
+  | Event.Dispatch_retry _ -> 25
+  | Event.Dispatch_fallback _ -> 26
+  | Event.Ckpt_push _ -> 27
+  | Event.Ckpt_hit _ -> 28
+  | Event.Steal _ -> 29
+  | Event.Dispatch_inflight _ -> 30
+  | Event.Span_begin _ -> 31
+  | Event.Span_end _ -> 32
+  | Event.Submit _ -> 33
+  | Event.Admit _ -> 34
+  | Event.Artifact_hit _ -> 35
+  | Event.Artifact_store _ -> 36
+  | Event.Store_evict _ -> 37
 
-let n_constructors = 37
+let n_constructors = 38
 
 (* One sample per constructor: (event, stable name, exact JSON at at=5).
    These strings are the on-disk trace format — changing one is a schema
@@ -276,6 +277,9 @@ let event_samples =
     ( Event.Interp_step { pc = 16; cost = 2 },
       "interp_step",
       {|{"at":5,"ev":"interp_step","pc":16,"cost":2}|} );
+    ( Event.Interp_exec { pc = 16; cost = 2 },
+      "interp_exec",
+      {|{"at":5,"ev":"interp_exec","pc":16,"cost":2}|} );
     ( Event.Bb_translated { pc = 16; guest_len = 3; host_len = 6; cost = 40 },
       "bb_translated",
       {|{"at":5,"ev":"bb_translated","pc":16,"guest_len":3,"host_len":6,"cost":40}|}
@@ -635,6 +639,7 @@ let merge_stream =
         wasted_host = 2;
       };
     Interp_step { pc = 0x404; cost = 3 };
+    Interp_exec { pc = 0x404; cost = 3 };
     Sb_translated
       { pc = 0x404; guest_len = 30; host_len = 44; cost = 60; unrolled = true };
     Chain_made { pc = 0x404 };
