@@ -814,6 +814,136 @@ let parallel () =
            ("domains", side domains_ns domains_wall domains_peak);
          ])
 
+(* --- adaptive sampling: variance-driven early exit vs fixed stride --- *)
+
+let adaptive_summary : Darco_obs.Jsonx.t option ref = ref None
+
+(* The planner's headline claim, measured on a real workload: an
+   adaptive sweep meets its CI95 target from a strict subset of the
+   fixed-stride window set, and its document is byte-identical whichever
+   backend runs the rounds.  Both are gates — the bench fails if the
+   savings fall under 30% or the backends disagree. *)
+let adaptive () =
+  print_endline
+    "=== Adaptive sampling: variance-driven early exit (462.libquantum) ===";
+  let e = Registry.find "462.libquantum" in
+  let program = e.build ~scale:5 () in
+  let store = Sampling.Store.create () in
+  let window = 10_000 and warmup = 5_000 and ci_target = 0.02 in
+  let offsets = List.init 24 (fun i -> 150_000 + (i * 75_000)) in
+  let horizon = List.fold_left (fun acc o -> max acc (o + window)) 0 offsets in
+  let checkpoints =
+    Sampling.Driver.functional_checkpoints ~seed:42 ~interval:100_000 ~horizon
+      program
+  in
+  let mk off =
+    Sampling.Work.of_window_stored ~store ~checkpoints
+      ~label:(Printf.sprintf "%s@%d" e.name off)
+      ~offset:off ~window ~warmup
+  in
+  let doc rows plan =
+    Darco_obs.Jsonx.to_string
+      (Sampling.Report.sweep_json ~benchmark:e.name ~seed:42 ~interval:100_000
+         ~window ~warmup ?plan rows)
+        .Sampling.Report.doc
+  in
+  (* the yardstick: the exhaustive fixed-stride sweep *)
+  let fixed_results =
+    Sampling.Sweep.run (Sampling.Sweep.Backend.serial ~store ()) (List.map mk offsets)
+  in
+  let fixed_doc = doc (List.combine offsets fixed_results) None in
+  (* the adaptive sweep, once per backend *)
+  let ix = Sampling.Driver.index_of checkpoints in
+  let phase_of off =
+    Sampling.Snapshot.guest_eip
+      (Sampling.Driver.nearest_ix ix off).Sampling.Driver.snapshot
+  in
+  let sweep backend =
+    let plan =
+      Sampling.Plan.create
+        { Sampling.Plan.default with Sampling.Plan.ci_target; round_size = 6 }
+        ~candidates:offsets ~phase_of
+    in
+    let recorded = ref 0 in
+    let pairs =
+      Sampling.Sweep.run_stream backend ~next:(fun _ completed ->
+          let fresh = List.filteri (fun i _ -> i >= !recorded) completed in
+          recorded := List.length completed;
+          Sampling.Plan.record plan
+            (List.filter_map
+               (fun ((w : Sampling.Work.t), (r : Sampling.Sweep.result)) ->
+                 match r.Sampling.Sweep.outcome with
+                 | Sampling.Sweep.Ok json -> (
+                   match Darco_obs.Jsonx.member "ipc" json with
+                   | Some (Darco_obs.Jsonx.Float f) ->
+                     Some (w.Sampling.Work.offset, f)
+                   | _ -> None)
+                 | Sampling.Sweep.Failed _ -> None)
+               fresh);
+          List.map mk (Sampling.Plan.next plan))
+    in
+    let summary =
+      {
+        Sampling.Report.plan_name = "adaptive";
+        windows_used = List.length pairs;
+        ci_target;
+        ci_target_met = Sampling.Plan.ci_target_met plan;
+        rounds = Sampling.Plan.rounds plan;
+      }
+    in
+    ( doc
+        (List.map
+           (fun ((w : Sampling.Work.t), r) -> (w.Sampling.Work.offset, r))
+           pairs)
+        (Some summary),
+      plan )
+  in
+  let serial_doc, plan = sweep (Sampling.Sweep.Backend.serial ~store ()) in
+  let fork_doc, _ = sweep (Sampling.Sweep.Backend.local ~store ~jobs:4 ()) in
+  let identical = String.equal serial_doc fork_doc in
+  if not identical then begin
+    Printf.printf
+      "!! adaptive sweep documents differ between serial and fork backends\n";
+    exit 1
+  end;
+  let used = Sampling.Plan.completed plan in
+  let total = List.length offsets in
+  let savings = 1.0 -. (float_of_int used /. float_of_int total) in
+  if not (Sampling.Plan.ci_target_met plan) then begin
+    Printf.printf "!! adaptive sweep never met its CI95 target\n";
+    exit 1
+  end;
+  if savings < 0.30 then begin
+    Printf.printf "!! adaptive sweep saved only %.0f%% of the windows\n"
+      (100.0 *. savings);
+    exit 1
+  end;
+  Printf.printf
+    "  fixed    %3d windows\n  adaptive %3d windows in %d round(s)  (%.0f%% \
+     fewer, ci95/mean %.4f <= %.2f)\n"
+    total used
+    (Sampling.Plan.rounds plan)
+    (100.0 *. savings)
+    (Sampling.Plan.ci95 plan /. Sampling.Plan.mean plan)
+    ci_target;
+  print_endline "  (adaptive document byte-identical across both backends)\n";
+  let open Darco_obs in
+  adaptive_summary :=
+    Some
+      (Jsonx.Obj
+         [
+           ("benchmark", Jsonx.String e.name);
+           ("candidates", Jsonx.Int total);
+           ("fixed_windows", Jsonx.Int total);
+           ("adaptive_windows", Jsonx.Int used);
+           ("rounds", Jsonx.Int (Sampling.Plan.rounds plan));
+           ("savings_fraction", Jsonx.Float savings);
+           ("ci_target", Jsonx.Float ci_target);
+           ("ci_target_met", Jsonx.Bool (Sampling.Plan.ci_target_met plan));
+           ("identical_json", Jsonx.Bool identical);
+           ("fixed_doc_bytes", Jsonx.Int (String.length fixed_doc));
+         ])
+
 (* --- ablations: the design choices DESIGN.md calls out --- *)
 
 let ablation_features () =
@@ -1000,6 +1130,7 @@ let all () =
   ablation_features ();
   ablation_thresholds ();
   library ();
+  adaptive ();
   (* last: the first Domain.spawn forbids Unix.fork for the rest of the
      process, and earlier sections must stay free to fork *)
   parallel ()
@@ -1039,6 +1170,8 @@ let write_results path =
           match !parallel_summary with Some j -> j | None -> Jsonx.Null );
         ( "artifact_library",
           match !library_summary with Some j -> j | None -> Jsonx.Null );
+        ( "adaptive",
+          match !adaptive_summary with Some j -> j | None -> Jsonx.Null );
       ]
   in
   let oc = open_out path in
@@ -1064,6 +1197,7 @@ let () =
           ablation_features ();
           ablation_thresholds ()
         | "library" -> library ()
+        | "adaptive" -> adaptive ()
         | "parallel" -> parallel ()
         | other -> Printf.printf "unknown target %s\n" other)
       args

@@ -417,6 +417,7 @@ module Driver = Darco_sampling.Driver
 module Sweep = Darco_sampling.Sweep
 module Work = Darco_sampling.Work
 module Report = Darco_sampling.Report
+module Plan = Darco_sampling.Plan
 
 let json_num j =
   match j with
@@ -513,7 +514,8 @@ let resume_cmd =
 let sample_cmd =
   let run bench scale (sim : Flag.sim) interval offsets nsamples horizon window
       warmup jobs backend_str dispatch_timeout dispatch_retries store_dir
-      json_out chrome_out verify max_error engine =
+      json_out chrome_out verify max_error engine plan_kind ci_target
+      max_windows round_size =
     let entry = Darco_workloads.Registry.find bench in
     let program = entry.build ~scale () in
     let offsets =
@@ -589,17 +591,26 @@ let sample_cmd =
       (List.length checkpoints)
       (Unix.gettimeofday () -. t0)
       (List.length offsets) backend.Sweep.Backend.name;
-    let works =
-      List.map
-        (fun off ->
-          Work.of_window_stored ~store ~checkpoints
-            ~label:(Printf.sprintf "%s@%d" entry.name off)
-            ~offset:off ~window ~warmup)
-        offsets
+    let mk_work off =
+      Work.of_window_stored ~store ~checkpoints
+        ~label:(Printf.sprintf "%s@%d" entry.name off)
+        ~offset:off ~window ~warmup
     in
-    Printf.printf "%d distinct checkpoints referenced by %d windows\n%!"
-      (Darco_sampling.Store.count store)
-      (List.length works);
+    let plan_cfg =
+      {
+        Plan.kind = plan_kind;
+        ci_target;
+        max_windows;
+        round_size;
+        seed = Plan.default.Plan.seed;
+      }
+    in
+    (* a fixed plan with no confidence target and no budget cannot deviate
+       from the exhaustive one-shot sweep, so take the one-shot path (and
+       its exact document bytes) rather than spinning the planner *)
+    let degenerate =
+      plan_kind = Plan.Fixed && ci_target <= 0.0 && max_windows <= 0
+    in
     (* write the trace even when the sweep dies — a partial timeline of a
        failed sweep is the most useful trace of all *)
     Fun.protect
@@ -610,7 +621,64 @@ let sample_cmd =
           Printf.printf "wrote %s\n" path
         | _ -> ())
     @@ fun () ->
-    let results = Sweep.run backend works in
+    let rows, plan_summary =
+      if degenerate then begin
+        let works = List.map mk_work offsets in
+        Printf.printf "%d distinct checkpoints referenced by %d windows\n%!"
+          (Darco_sampling.Store.count store)
+          (List.length works);
+        (List.combine offsets (Sweep.run backend works), None)
+      end
+      else begin
+        (* round-based planning: each round's completed IPCs feed the
+           planner, which picks the next windows where the variance is *)
+        let ix = Driver.index_of checkpoints in
+        let phase_of off =
+          Snapshot.guest_eip (Driver.nearest_ix ix off).Driver.snapshot
+        in
+        let planner = Plan.create ~bus plan_cfg ~candidates:offsets ~phase_of in
+        let recorded = ref 0 in
+        let next _round completed =
+          let fresh = List.filteri (fun i _ -> i >= !recorded) completed in
+          recorded := List.length completed;
+          Plan.record planner
+            (List.filter_map
+               (fun ((w : Work.t), (r : Sweep.result)) ->
+                 match r.Sweep.outcome with
+                 | Sweep.Ok json ->
+                   Option.map
+                     (fun ipc -> (w.Work.offset, ipc))
+                     (json_num (Darco_obs.Jsonx.member "ipc" json))
+                 | Sweep.Failed _ -> None)
+               fresh);
+          List.map mk_work (Plan.next planner)
+        in
+        let pairs = Sweep.run_stream backend ~next in
+        (match Plan.stopped planner with
+        | Some reason ->
+          Printf.printf "plan: stopped on %s after %d windows in %d rounds\n%!"
+            (Plan.stop_reason reason) (List.length pairs)
+            (Plan.rounds planner)
+        | None -> ());
+        let summary =
+          {
+            Report.plan_name =
+              (match plan_kind with
+              | Plan.Fixed -> "fixed"
+              | Plan.Adaptive -> "adaptive");
+            windows_used = List.length pairs;
+            ci_target;
+            ci_target_met = Plan.ci_target_met planner;
+            rounds = Plan.rounds planner;
+          }
+        in
+        ( List.map (fun ((w : Work.t), r) -> (w.Work.offset, r)) pairs,
+          Some summary )
+      end
+    in
+    (* offsets that actually ran, ascending — the verify loop below
+       replays them on one sequential controller *)
+    let offsets = List.sort compare (List.map fst rows) in
     (* optional verification: the same windows under uninterrupted detailed
        simulation (the authoritative answer sampling approximates) *)
     let full_ipcs =
@@ -640,8 +708,8 @@ let sample_cmd =
     (* per-row progress printing; the JSON document itself is assembled by
        Report.sweep_json, shared verbatim with the campaign service so a
        served sweep's DONE payload is byte-identical to this command's *)
-    List.iter2
-      (fun off (r : Sweep.result) ->
+    List.iter
+      (fun (off, (r : Sweep.result)) ->
         match r.outcome with
         | Sweep.Failed reason -> Printf.printf "%-28s FAILED: %s\n" r.label reason
         | Sweep.Ok json -> (
@@ -654,11 +722,10 @@ let sample_cmd =
             let err = Darco_util.Stats_math.relative_error ipc full in
             Printf.printf "%-28s IPC %.3f vs %.3f full (error %.2f%%)\n" r.label
               ipc full (100. *. err)))
-      offsets results;
+      rows;
     let rep =
       Report.sweep_json ~benchmark:entry.name ~seed:sim.seed ~interval ~window
-        ~warmup ~full_ipcs
-        (List.combine offsets results)
+        ~warmup ~full_ipcs ?plan:plan_summary rows
     in
     (* the sweep's point estimate, with its SMARTS-style sampling error *)
     if rep.Report.n_ipc > 0 then
@@ -715,7 +782,7 @@ let sample_cmd =
       $ Arg.(value & opt int 25_000 & info [ "window" ] ~doc:"Detailed measurement window length")
       $ Arg.(value & opt int 30_000 & info [ "warmup" ] ~doc:"Detailed warm-up before each window")
       $ Arg.(value & opt int 4 & info [ "jobs" ] ~doc:"Worker processes or domains (local/domains backends, remote fallback)")
-      $ Arg.(value & opt string "local" & info [ "backend" ] ~docv:"SPEC" ~doc:"Execution backend: local, local:JOBS (fork per unit), domains, domains:JOBS (shared-memory domain pool), or remote:HOST:PORT[,HOST:PORT...]")
+      $ Arg.(value & opt string "local" & info [ "backend" ] ~docv:"SPEC" ~doc:"Execution backend: serial (in-process, sequential), local, local:JOBS (fork per unit), domains, domains:JOBS (shared-memory domain pool), or remote:HOST:PORT[,HOST:PORT...]")
       $ Arg.(value & opt float 60.0 & info [ "dispatch-timeout" ] ~docv:"SECONDS" ~doc:"Remote backend: per-work-unit deadline")
       $ Arg.(value & opt int 2 & info [ "dispatch-retries" ] ~docv:"N" ~doc:"Remote backend: re-dispatches per unit after a worker is lost")
       $ Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc:"Spill the sweep's content-addressed checkpoint store to $(docv)")
@@ -723,7 +790,11 @@ let sample_cmd =
       $ Arg.(value & opt (some string) None & info [ "chrome-trace" ] ~docv:"FILE" ~doc:"Write the sweep's cross-machine span timeline as a Chrome trace-event JSON file (loadable in Perfetto)")
       $ Arg.(value & flag & info [ "verify" ] ~doc:"Also run full detailed simulation and report per-sample IPC error")
       $ Arg.(value & opt (some float) None & info [ "max-error" ] ~doc:"With --verify: exit non-zero if average error exceeds this fraction")
-      $ engine_arg)
+      $ engine_arg
+      $ Arg.(value & opt (enum [ ("fixed", Plan.Fixed); ("adaptive", Plan.Adaptive) ]) Plan.Fixed & info [ "plan" ] ~docv:"KIND" ~doc:"Window planner: $(b,fixed) sweeps the offsets in order; $(b,adaptive) runs rounds, steering windows at the high-variance program phases and stopping once --ci-target is met")
+      $ Arg.(value & opt float 0.0 & info [ "ci-target" ] ~docv:"FRACTION" ~doc:"Stop once the IPC CI95 half-width is within this fraction of the mean (e.g. 0.02 = ±2%); 0 disables early exit")
+      $ Arg.(value & opt int 0 & info [ "max-windows" ] ~docv:"N" ~doc:"Total window budget for the planner; 0 = unlimited")
+      $ Arg.(value & opt int 4 & info [ "round" ] ~docv:"N" ~doc:"Windows dispatched per planner round"))
 
 let worker_cmd =
   let run listen quiet isolate jobs store_dir =
@@ -777,7 +848,7 @@ let connect_flag =
    local and served worlds by swapping the verb. *)
 let campaign_term =
   let mk bench scale seed input interval offsets nsamples horizon window
-      warmup =
+      warmup ci_target =
     let offsets =
       match offsets with
       | Some s ->
@@ -800,6 +871,8 @@ let campaign_term =
         offsets;
         window;
         warmup;
+        ci_target =
+          (match ci_target with Some c when c > 0.0 -> Some c | _ -> None);
       }
   in
   Term.(
@@ -809,7 +882,8 @@ let campaign_term =
     $ Arg.(value & opt int 4 & info [ "samples" ] ~doc:"Number of evenly spaced samples (when --offsets is absent)")
     $ Arg.(value & opt int 400_000 & info [ "horizon" ] ~doc:"Span of guest execution to sample (when --offsets is absent)")
     $ Arg.(value & opt int 25_000 & info [ "window" ] ~doc:"Detailed measurement window length")
-    $ Arg.(value & opt int 30_000 & info [ "warmup" ] ~doc:"Detailed warm-up before each window"))
+    $ Arg.(value & opt int 30_000 & info [ "warmup" ] ~doc:"Detailed warm-up before each window")
+    $ Arg.(value & opt (some float) None & info [ "ci-target" ] ~docv:"FRACTION" ~doc:"Adaptive early exit: let the server stop the sweep once the IPC CI95 half-width is within this fraction of the mean"))
 
 let serve_cmd =
   let run listen library workers jobs credit dispatch_timeout dispatch_retries

@@ -23,6 +23,7 @@ let addr_of_string s =
     | _ -> Error (Printf.sprintf "worker address %S is not HOST:PORT" s))
 
 type spec =
+  | Serial
   | Local of { jobs : int }
   | Domains of { jobs : int }
   | Remote of { workers : addr list; timeout : float; retries : int }
@@ -32,7 +33,8 @@ let spec_of_string ?(jobs = 4) ?(timeout = 60.0) ?(retries = 2) s =
     String.length s > String.length p
     && String.sub s 0 (String.length p) = p
   in
-  if s = "local" then Ok (Local { jobs })
+  if s = "serial" then Ok Serial
+  else if s = "local" then Ok (Local { jobs })
   else if prefix "local:" then begin
     match int_of_string_opt (String.sub s 6 (String.length s - 6)) with
     | Some j when j >= 1 -> Ok (Local { jobs = j })
@@ -59,7 +61,7 @@ let spec_of_string ?(jobs = 4) ?(timeout = 60.0) ?(retries = 2) s =
   else
     Error
       (Printf.sprintf
-         "bad backend %S: expected local:JOBS, domains:JOBS or \
+         "bad backend %S: expected serial, local:JOBS, domains:JOBS or \
           remote:HOST:PORT[,HOST:PORT...]"
          s)
 
@@ -192,19 +194,75 @@ let connect_worker ~bus ~timeout ~ix (a : addr) =
       | exception B.Corrupt m -> fail (Some fd) ("malformed handshake: " ^ m)
     end)
 
-let run_remote ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
-    ?(keepalive_misses = 3) ~workers ~timeout ~retries works =
+(* A persistent dispatch session: worker connections made once, then any
+   number of rounds of units run through them.  What persists between
+   rounds is exactly what is expensive to rebuild — the TCP connections,
+   each worker's [w_seen] checkpoint cache (a later round whose units
+   share a digest with an earlier one rides the copies already pushed),
+   and half-drained outbound frames.  Wire unit ids are offset by
+   [se_base] so every round's ids are globally unique within the session:
+   a stale frame from an earlier round (e.g. the loser of a steal race
+   finishing late) can never alias a current unit. *)
+type session = {
+  se_bus : Bus.t option;
+  se_store : Store.t option;
+  se_fallback_jobs : int;
+  se_keepalive_idle : float;
+  se_keepalive_misses : int;
+  se_timeout : float;
+  se_retries : int;
+  se_addrs : addr list;
+  se_ws : worker_state list;
+  mutable se_base : int;
+}
+
+let open_session ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
+    ?(keepalive_misses = 3) ?(timeout = 60.0) ?(retries = 2) workers =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let units = Array.of_list works in
-  let n = Array.length units in
-  let outcomes = Array.make n (Sweep.Failed "not dispatched") in
-  let finished = Array.make n false in
-  let done_count = ref 0 in
   let ws =
     List.filter_map
       (fun (ix, a) -> connect_worker ~bus ~timeout ~ix a)
       (List.mapi (fun ix a -> (ix, a)) workers)
   in
+  {
+    se_bus = bus;
+    se_store = store;
+    se_fallback_jobs = fallback_jobs;
+    se_keepalive_idle = keepalive_idle;
+    se_keepalive_misses = keepalive_misses;
+    se_timeout = timeout;
+    se_retries = retries;
+    se_addrs = workers;
+    se_ws = ws;
+    se_base = 0;
+  }
+
+let close_session se =
+  List.iter
+    (fun w ->
+      (* frames still queued (e.g. a push for a unit that was stolen and
+         finished elsewhere) will never drain: fail their completions so
+         their spans close *)
+      Queue.iter (fun e -> e.ob_done false) w.w_outbox;
+      Queue.clear w.w_outbox;
+      Option.iter close_quietly w.w_fd;
+      w.w_fd <- None)
+    se.se_ws
+
+let session_run se works =
+  let bus = se.se_bus and store = se.se_store in
+  let timeout = se.se_timeout and retries = se.se_retries in
+  let fallback_jobs = se.se_fallback_jobs in
+  let keepalive_idle = se.se_keepalive_idle in
+  let keepalive_misses = se.se_keepalive_misses in
+  let units = Array.of_list works in
+  let n = Array.length units in
+  let base = se.se_base in
+  se.se_base <- base + n;
+  let outcomes = Array.make n (Sweep.Failed "not dispatched") in
+  let finished = Array.make n false in
+  let done_count = ref 0 in
+  let ws = se.se_ws in
   let live () = List.filter (fun w -> w.w_fd <> None) ws in
   (* Per-unit span state: which dispatcher-side span is currently open for
      unit [i].  "queued" covers arrival-to-dispatch (and backoff waits),
@@ -350,7 +408,7 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
       if Hashtbl.mem w.w_seen d then
         emit bus (Event.Ckpt_hit { worker = w.w_addr; digest = d })
       else Hashtbl.replace w.w_seen d ());
-    enqueue_frame w (Wire.Work { id = i; unit_ = enc }) ~done_:(fun _ -> ());
+    enqueue_frame w (Wire.Work { id = base + i; unit_ = enc }) ~done_:(fun _ -> ());
     Hashtbl.replace w.w_inflight i
       { if_attempt = attempt; if_deadline = now +. timeout; if_sent_at = now };
     gauge w;
@@ -371,8 +429,11 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
   let handle_msg w = function
     | Wire.Result { id; text; spans = spanlog } ->
       (* a result for a unit no longer in flight here is a late duplicate
-         of something already settled (or withdrawn); drop it *)
-      if Hashtbl.mem w.w_inflight id then begin
+         of something already settled (or withdrawn), or a stray from an
+         earlier round of this session (negative after the base shift);
+         drop it *)
+      let id = id - base in
+      if id >= 0 && id < n && Hashtbl.mem w.w_inflight id then begin
         match Jsonx.parse text with
         | json ->
           replay_spans spanlog;
@@ -386,7 +447,8 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
           lose_worker w ("unparseable result: " ^ m)
       end
     | Wire.Fail { id; reason } when id >= 0 ->
-      if Hashtbl.mem w.w_inflight id then begin
+      let id = id - base in
+      if id >= 0 && id < n && Hashtbl.mem w.w_inflight id then begin
         emit bus
           (Event.Dispatch_done
              { unit_label = units.(id).Work.label; worker = w.w_addr; ok = false });
@@ -491,7 +553,7 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
   if live () = [] then
     fallback
       (Printf.sprintf "no reachable workers among [%s]"
-         (String.concat ", " (List.map addr_to_string workers)))
+         (String.concat ", " (List.map addr_to_string se.se_addrs)))
   else begin
     while !done_count < n do
       let now = Unix.gettimeofday () in
@@ -623,19 +685,24 @@ let run_remote ?bus ?(fallback_jobs = 4) ?store ?(keepalive_idle = 5.0)
            probes without a dedicated timer *)
         keepalive_check (Unix.gettimeofday ())
       end
-    done;
-    List.iter
-      (fun w ->
-        (* the sweep settled with output still queued (e.g. a push for a
-           unit that was stolen and finished elsewhere): close its spans *)
-        Queue.iter (fun e -> e.ob_done false) w.w_outbox;
-        Queue.clear w.w_outbox;
-        Option.iter close_quietly w.w_fd)
-      ws
+    done
   end;
   List.mapi
     (fun i (u : Work.t) -> { Sweep.label = u.Work.label; outcome = outcomes.(i) })
     (Array.to_list units)
+
+(* The one-shot dispatch is a session of exactly one round ([se_base]
+   stays 0, so the wire ids — and with them every span and trace record —
+   are unchanged from the pre-session dispatcher). *)
+let run_remote ?bus ?fallback_jobs ?store ?keepalive_idle ?keepalive_misses
+    ~workers ~timeout ~retries works =
+  let se =
+    open_session ?bus ?fallback_jobs ?store ?keepalive_idle ?keepalive_misses
+      ~timeout ~retries workers
+  in
+  Fun.protect
+    ~finally:(fun () -> close_session se)
+    (fun () -> session_run se works)
 
 let remote ?bus ?fallback_jobs ?store ?keepalive_idle ?keepalive_misses
     ?(timeout = 60.0) ?(retries = 2) workers : Sweep.Backend.t =
@@ -646,10 +713,21 @@ let remote ?bus ?fallback_jobs ?store ?keepalive_idle ?keepalive_misses
     dispatch =
       run_remote ?bus ?fallback_jobs ?store ?keepalive_idle ?keepalive_misses
         ~workers ~timeout ~retries;
+    session =
+      (fun () ->
+        let se =
+          open_session ?bus ?fallback_jobs ?store ?keepalive_idle
+            ?keepalive_misses ~timeout ~retries workers
+        in
+        {
+          Sweep.Backend.s_dispatch = (fun works -> session_run se works);
+          s_close = (fun () -> close_session se);
+        });
   }
 
 let backend ?bus ?fallback_jobs ?store spec : Sweep.Backend.t =
   match spec with
+  | Serial -> Sweep.Backend.serial ?bus ?store ()
   | Local { jobs } -> Sweep.Backend.local ?bus ?store ~jobs ()
   | Domains { jobs } -> Sweep.Backend.domains ?bus ?store ~jobs ()
   | Remote { workers; timeout; retries } ->

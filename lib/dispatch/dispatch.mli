@@ -61,6 +61,10 @@ val addr_of_string : string -> (addr, string) result
     parses to, resolved to an executable {!Darco_sampling.Sweep.Backend.t}
     by {!backend}. *)
 type spec =
+  | Serial
+      (** in-process sequential execution
+          ({!Darco_sampling.Sweep.Backend.serial}) — the determinism
+          reference *)
   | Local of { jobs : int }  (** fork-per-unit on this machine *)
   | Domains of { jobs : int }
       (** a shared-memory OCaml domain pool on this machine
@@ -69,7 +73,7 @@ type spec =
 
 val spec_of_string :
   ?jobs:int -> ?timeout:float -> ?retries:int -> string -> (spec, string) result
-(** Parse [local], [local:JOBS], [domains], [domains:JOBS] or
+(** Parse [serial], [local], [local:JOBS], [domains], [domains:JOBS] or
     [remote:HOST:PORT[,HOST:PORT...]].  [jobs] (default 4) fills in
     [local]'s and [domains]'s job count; [timeout] (default 60s) and
     [retries] (default 2) parameterize the remote spec. *)

@@ -50,6 +50,33 @@ let record t ~at (ev : Event.t) =
         ]
     | Event.Dispatch_fallback { reason } ->
       instant t ~at "dispatch_fallback" [ ("reason", Jsonx.String reason) ]
+    (* planner decisions land on the same track, so a Perfetto timeline
+       shows why each round's windows were chosen and when the early
+       exit fired *)
+    | Event.Plan_round { round; chosen; completed; mean; ci95 } ->
+      instant t ~at "plan_round"
+        [
+          ("round", Jsonx.Int round);
+          ("chosen", Jsonx.Int chosen);
+          ("completed", Jsonx.Int completed);
+          ("mean", Jsonx.Float mean);
+          ("ci95", Jsonx.Float ci95);
+        ]
+    | Event.Plan_predict { offset; phase; ipc } ->
+      instant t ~at "plan_predict"
+        [
+          ("offset", Jsonx.Int offset);
+          ("phase", Jsonx.Int phase);
+          ("ipc", Jsonx.Float ipc);
+        ]
+    | Event.Plan_stop { reason; windows; mean; ci95 } ->
+      instant t ~at "plan_stop"
+        [
+          ("reason", Jsonx.String reason);
+          ("windows", Jsonx.Int windows);
+          ("mean", Jsonx.Float mean);
+          ("ci95", Jsonx.Float ci95);
+        ]
     | _ -> ())
 
 let attach bus =

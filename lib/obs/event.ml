@@ -75,6 +75,15 @@ type t =
   | Artifact_hit of { key : string }
   | Artifact_store of { key : string; bytes : int }
   | Store_evict of { digest : string; bytes : int }
+  | Plan_round of {
+      round : int;
+      chosen : int;
+      completed : int;
+      mean : float;
+      ci95 : float;
+    }
+  | Plan_predict of { offset : int; phase : int; ipc : float }
+  | Plan_stop of { reason : string; windows : int; mean : float; ci95 : float }
 
 let rollback_name = function Rb_assert -> "assert" | Rb_alias -> "alias"
 let deopt_name = function De_noassert -> "noassert" | De_nomem -> "nomem"
@@ -130,6 +139,9 @@ let name = function
   | Artifact_hit _ -> "artifact_hit"
   | Artifact_store _ -> "artifact_store"
   | Store_evict _ -> "store_evict"
+  | Plan_round _ -> "plan_round"
+  | Plan_predict _ -> "plan_predict"
+  | Plan_stop _ -> "plan_stop"
 
 let fields ev : (string * Jsonx.t) list =
   match ev with
@@ -264,6 +276,27 @@ let fields ev : (string * Jsonx.t) list =
     [ ("key", Jsonx.String key); ("bytes", Jsonx.Int bytes) ]
   | Store_evict { digest; bytes } ->
     [ ("digest", Jsonx.String digest); ("bytes", Jsonx.Int bytes) ]
+  | Plan_round { round; chosen; completed; mean; ci95 } ->
+    [
+      ("round", Jsonx.Int round);
+      ("chosen", Jsonx.Int chosen);
+      ("completed", Jsonx.Int completed);
+      ("mean", Jsonx.Float mean);
+      ("ci95", Jsonx.Float ci95);
+    ]
+  | Plan_predict { offset; phase; ipc } ->
+    [
+      ("offset", Jsonx.Int offset);
+      ("phase", Jsonx.Int phase);
+      ("ipc", Jsonx.Float ipc);
+    ]
+  | Plan_stop { reason; windows; mean; ci95 } ->
+    [
+      ("reason", Jsonx.String reason);
+      ("windows", Jsonx.Int windows);
+      ("mean", Jsonx.Float mean);
+      ("ci95", Jsonx.Float ci95);
+    ]
 
 let to_json ~at ev =
   Jsonx.Obj (("at", Jsonx.Int at) :: ("ev", Jsonx.String (name ev)) :: fields ev)

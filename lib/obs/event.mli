@@ -137,6 +137,30 @@ type t =
   | Store_evict of { digest : string; bytes : int }
       (** the byte-budget LRU policy of {!Darco_sampling.Store} dropped a
           spilled checkpoint ([bytes] on disk) to fit [max_bytes] *)
+  | Plan_round of {
+      round : int;
+      chosen : int;
+      completed : int;
+      mean : float;
+      ci95 : float;
+    }
+      (** Adaptive-sampling planner lifecycle ([Darco_sampling.Plan]):
+          the planner opened dispatch round [round] with [chosen] windows
+          selected this round, [completed] windows folded in so far, and
+          the running IPC [mean]/[ci95] half-width those are based on.
+          Like the other infrastructure events the three [Plan_*]
+          constructors are wall-clock stamped ([at = Clock.ticks ()]) and
+          touch no {!Stats.t} counter; together they make a sweep
+          timeline show {e why} each window was chosen, not just when it
+          ran. *)
+  | Plan_predict of { offset : int; phase : int; ipc : float }
+      (** the per-region predictor's IPC estimate for the window at
+          [offset] (stratum [phase] — the hot-region guest PC its
+          checkpoint sits in), emitted when the window is chosen *)
+  | Plan_stop of { reason : string; windows : int; mean : float; ci95 : float }
+      (** the planner stopped the benchmark: [reason] is ["ci_target"]
+          (converged), ["budget"] ([--max-windows] exhausted) or
+          ["exhausted"] (no candidate offsets left) *)
 
 val name : t -> string
 (** Stable machine-readable event name (the ["ev"] field of the trace). *)

@@ -22,23 +22,43 @@ let functional_checkpoints ?input ~seed ~interval ~horizon program =
   done;
   List.rev !acc
 
-let nearest checkpoints target =
-  match
-    List.fold_left
-      (fun best ck ->
-        if ck.at <= target then
-          match best with
-          | Some b when b.at >= ck.at -> best
-          | _ -> Some ck
-        else best)
-      None checkpoints
-  with
-  | Some ck -> ck
-  | None -> (
+type index = checkpoint array
+
+let index_of checkpoints =
+  if checkpoints = [] then invalid_arg "Driver.index_of: no checkpoints";
+  let a = Array.of_list checkpoints in
+  (* stable on [at], so among equal-offset checkpoints the earliest in
+     list order wins — the same tie-break the fold this replaced had *)
+  let keyed = Array.mapi (fun i ck -> (ck.at, i, ck)) a in
+  Array.sort (fun (x, i, _) (y, j, _) ->
+      match compare x y with 0 -> compare i j | c -> c)
+    keyed;
+  Array.map (fun (_, _, ck) -> ck) keyed
+
+let nearest_ix ix target =
+  let n = Array.length ix in
+  if n = 0 then invalid_arg "Driver.nearest_ix: empty index";
+  if ix.(0).at > target then
     (* no checkpoint at or before the target: settle for the earliest *)
-    match checkpoints with
-    | ck :: _ -> ck
-    | [] -> invalid_arg "Driver.nearest: no checkpoints")
+    ix.(0)
+  else begin
+    (* rightmost entry with [at <= target] ... *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = !lo + ((!hi - !lo + 1) / 2) in
+      if ix.(mid).at <= target then lo := mid else hi := mid - 1
+    done;
+    (* ... backed up to the first of an equal-[at] run *)
+    let i = ref !lo in
+    while !i > 0 && ix.(!i - 1).at = ix.(!i).at do
+      decr i
+    done;
+    ix.(!i)
+  end
+
+let nearest checkpoints target =
+  if checkpoints = [] then invalid_arg "Driver.nearest: no checkpoints";
+  nearest_ix (index_of checkpoints) target
 
 let reference_at checkpoints target =
   let ck = nearest checkpoints target in
@@ -70,7 +90,7 @@ let detailed_window ?(cfg = Darco.Config.default)
   let cfg = { cfg with Darco.Config.slice_fuel = min cfg.Darco.Config.slice_fuel 2_000 } in
   let start = max 0 (offset - warmup) in
   let from = (nearest checkpoints start).at in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Darco_obs.Clock.ticks () in
   let bus = Darco_obs.Bus.create () in
   let pipe = Pipeline.create tcfg in
   Pipeline.attach pipe bus;
@@ -80,7 +100,7 @@ let detailed_window ?(cfg = Darco.Config.default)
   ignore (Darco.Controller.run ~max_insns:(offset + window) ctl);
   let delta = Pipeline.events_diff (Pipeline.events pipe) before in
   let di = delta.Pipeline.e_insns and dc = delta.Pipeline.e_cycles in
-  let detail_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  let detail_us = Darco_obs.Clock.ticks () - t0 in
   {
     w_offset = offset;
     w_window = window;

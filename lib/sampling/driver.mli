@@ -21,6 +21,22 @@ val functional_checkpoints :
     checkpoint at instruction 0 and then every [interval] instructions.
     Sorted by [at], ascending. *)
 
+type index
+(** Checkpoints sorted by [at] into an array, so repeated nearest-checkpoint
+    queries (one per window the adaptive planner considers) cost
+    O(log n) instead of the O(n) fold each [nearest] call pays. *)
+
+val index_of : checkpoint list -> index
+(** Sort the checkpoints into a query index.  Stable on [at]: among
+    equal-offset checkpoints the earliest in list order wins, matching
+    [nearest].  Raises [Invalid_argument] on an empty list. *)
+
+val nearest_ix : index -> int -> checkpoint
+(** Binary search for the latest checkpoint at or before the target
+    instruction count (the earliest checkpoint when none qualifies) —
+    the same answer [nearest] gives on the list the index was built
+    from. *)
+
 val nearest : checkpoint list -> int -> checkpoint
 (** The latest checkpoint at or before the target instruction count.
     Raises [Invalid_argument] on an empty list. *)

@@ -8,6 +8,14 @@
 module Jsonx = Darco_obs.Jsonx
 module SM = Darco_util.Stats_math
 
+type plan_summary = {
+  plan_name : string;
+  windows_used : int;
+  ci_target : float;
+  ci_target_met : bool;
+  rounds : int;
+}
+
 type t = {
   doc : Jsonx.t;
   ipc_mean : float;
@@ -32,7 +40,7 @@ let json_num j =
   | _ -> None
 
 let sweep_json ~benchmark ~seed ~interval ~window ~warmup
-    ?(full_ipcs = []) (rows : (int * Sweep.result) list) =
+    ?(full_ipcs = []) ?plan (rows : (int * Sweep.result) list) =
   let errors = ref [] in
   let ipcs = ref [] in
   let powers = ref [] in
@@ -119,10 +127,23 @@ let sweep_json ~benchmark ~seed ~interval ~window ~warmup
       (* no histograms or wall-clock data here: this document is the
          sweep's scientific result and must be byte-identical whichever
          backend — or serving process — ran it *)
+      @ (match avg_error with
+        | None -> []
+        | Some e -> [ ("avg_error", Jsonx.Float e) ])
       @
-      match avg_error with
+      (* appended only for planned sweeps, so every pre-planner document —
+         and the fixed one-shot path run without a plan — keeps its exact
+         bytes *)
+      match plan with
       | None -> []
-      | Some e -> [ ("avg_error", Jsonx.Float e) ])
+      | Some p ->
+        [
+          ("plan", Jsonx.String p.plan_name);
+          ("windows_used", Jsonx.Int p.windows_used);
+          ("ci_target", Jsonx.Float p.ci_target);
+          ("ci_target_met", Jsonx.Bool p.ci_target_met);
+          ("rounds", Jsonx.Int p.rounds);
+        ])
   in
   {
     doc;

@@ -1195,6 +1195,15 @@ let retired t =
   let r = B.reader (section t guest_tag) in
   B.read_int r
 
+let guest_eip t =
+  (* prefix decode of the guest section: retired count, exit code, then the
+     CPU record whose [eip] we want — no need to materialize memory *)
+  let r = B.reader (section t guest_tag) in
+  ignore (B.read_int r);
+  ignore (B.read_option r B.read_int);
+  let cpu = r_cpu r in
+  cpu.Cpu.eip
+
 let restore_reference t = decode_guest (section t guest_tag)
 
 let restore ?bus t =

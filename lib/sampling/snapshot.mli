@@ -42,6 +42,13 @@ val kind : t -> kind
 val retired : t -> int
 (** Retired guest instructions at capture time. *)
 
+val guest_eip : t -> int
+(** Guest program counter at capture time, decoded from the snapshot's
+    guest-section prefix without materializing memory.  Cheap enough to
+    call per checkpoint: the adaptive-sampling planner uses it as the
+    phase marker of the region a checkpoint sits in (the same guest-PC
+    keying {!Darco_obs.Prof} uses for hot regions). *)
+
 (** {1 Encoding} *)
 
 val to_string : t -> string

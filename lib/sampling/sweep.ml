@@ -101,9 +101,10 @@ let pool_map ?bus ?(jobs = 4) ~label f items =
    submit, end on completion, host "local", corr = unit index), same
    at-most-[jobs]-in-flight pacing, same failure rendering — so a sweep
    produces byte-identical JSON whichever pool ran it.  All bus emission
-   happens on the calling domain; worker domains only run [f]. *)
-let domains_map ?bus ?(jobs = 4) ~label f items =
-  let jobs = max 1 jobs in
+   happens on the calling domain; worker domains only run [f].  The pool
+   is a parameter so a round-based session reuses one set of domains
+   across rounds instead of respawning them per round. *)
+let domains_map_on pool ?bus ~jobs ~label f items =
   let items = Array.of_list items in
   let n = Array.length items in
   let outcomes = Array.make n (Failed "not run") in
@@ -112,66 +113,127 @@ let domains_map ?bus ?(jobs = 4) ~label f items =
     | Some b when Bus.active b -> Span.emit b sp
     | _ -> ()
   in
-  let pool = Dpool.create ~jobs () in
-  Fun.protect
-    ~finally:(fun () -> Dpool.shutdown pool)
-    (fun () ->
-      let next = ref 0 in
-      let submit_one () =
-        let idx = !next in
-        incr next;
-        let item = items.(idx) in
-        span
-          (Span.begin_ ~detail:(label item) ~span:"running" ~corr:idx
-             ~host:"local" ());
-        Dpool.submit pool ~tag:idx (fun () -> f item)
-      in
-      while !next < n && Dpool.pending pool < jobs do
-        submit_one ()
-      done;
-      while Dpool.pending pool > 0 do
-        let idx, res = Dpool.await pool in
-        outcomes.(idx) <-
-          (match res with
-          | Stdlib.Ok json -> Ok json
-          | Stdlib.Error e -> Failed ("worker failed: " ^ Printexc.to_string e));
-        (let ok = match outcomes.(idx) with Ok _ -> true | Failed _ -> false in
-         span (Span.end_ ~ok ~span:"running" ~corr:idx ~host:"local" ()));
-        if !next < n then submit_one ()
-      done);
+  let next = ref 0 in
+  let submit_one () =
+    let idx = !next in
+    incr next;
+    let item = items.(idx) in
+    span
+      (Span.begin_ ~detail:(label item) ~span:"running" ~corr:idx
+         ~host:"local" ());
+    Dpool.submit pool ~tag:idx (fun () -> f item)
+  in
+  while !next < n && Dpool.pending pool < jobs do
+    submit_one ()
+  done;
+  while Dpool.pending pool > 0 do
+    let idx, res = Dpool.await pool in
+    outcomes.(idx) <-
+      (match res with
+      | Stdlib.Ok json -> Ok json
+      | Stdlib.Error e -> Failed ("worker failed: " ^ Printexc.to_string e));
+    (let ok = match outcomes.(idx) with Ok _ -> true | Failed _ -> false in
+     span (Span.end_ ~ok ~span:"running" ~corr:idx ~host:"local" ()));
+    if !next < n then submit_one ()
+  done;
   List.mapi
     (fun idx item -> { label = label item; outcome = outcomes.(idx) })
     (Array.to_list items)
 
+let domains_map ?bus ?(jobs = 4) ~label f items =
+  let jobs = max 1 jobs in
+  let pool = Dpool.create ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Dpool.shutdown pool)
+    (fun () -> domains_map_on pool ?bus ~jobs ~label f items)
+
 module Backend = struct
+  type nonrec session = {
+    s_dispatch : Work.t list -> result list;
+    s_close : unit -> unit;
+  }
+
   type nonrec t = {
     name : string;
     dispatch : Work.t list -> result list;
+    session : unit -> session;
   }
 
+  (* backends without cross-round state: a session is just the one-shot
+     dispatch, round after round *)
+  let oneshot dispatch () = { s_dispatch = dispatch; s_close = (fun () -> ()) }
+
   let of_exec ?bus ?(jobs = 4) ~name exec =
-    {
-      name;
-      dispatch =
-        (fun works ->
-          pool_map ?bus ~jobs ~label:(fun (w : Work.t) -> w.Work.label) exec works);
-    }
+    let dispatch works =
+      pool_map ?bus ~jobs ~label:(fun (w : Work.t) -> w.Work.label) exec works
+    in
+    { name; dispatch; session = oneshot dispatch }
 
   let local ?bus ?store ?(jobs = 4) () =
     of_exec ?bus ~jobs
       ~name:(Printf.sprintf "local:%d" (max 1 jobs))
       (Work.exec ?store)
 
+  let serial ?bus ?store () =
+    let exec = Work.exec ?store in
+    let span sp =
+      match bus with
+      | Some b when Bus.active b -> Span.emit b sp
+      | _ -> ()
+    in
+    let dispatch works =
+      List.mapi
+        (fun idx (w : Work.t) ->
+          span
+            (Span.begin_ ~detail:w.Work.label ~span:"running" ~corr:idx
+               ~host:"local" ());
+          let outcome =
+            match exec w with
+            | json -> Ok json
+            | exception e -> Failed ("worker failed: " ^ Printexc.to_string e)
+          in
+          (let ok = match outcome with Ok _ -> true | Failed _ -> false in
+           span (Span.end_ ~ok ~span:"running" ~corr:idx ~host:"local" ()));
+          { label = w.Work.label; outcome })
+        works
+    in
+    { name = "serial"; dispatch; session = oneshot dispatch }
+
   let domains ?bus ?store ?(jobs = 4) () =
     let jobs = max 1 jobs in
+    let label (w : Work.t) = w.Work.label in
+    let exec = Work.exec ?store in
     {
       name = Printf.sprintf "domains:%d" jobs;
-      dispatch =
-        (fun works ->
-          domains_map ?bus ~jobs
-            ~label:(fun (w : Work.t) -> w.Work.label)
-            (Work.exec ?store) works);
+      dispatch = (fun works -> domains_map ?bus ~jobs ~label exec works);
+      session =
+        (fun () ->
+          let pool = Dpool.create ~jobs () in
+          {
+            s_dispatch =
+              (fun works -> domains_map_on pool ?bus ~jobs ~label exec works);
+            s_close = (fun () -> Dpool.shutdown pool);
+          });
     }
 end
 
 let run (b : Backend.t) works = b.dispatch works
+
+let run_stream (b : Backend.t) ~next =
+  let s = b.Backend.session () in
+  Fun.protect
+    ~finally:(fun () -> s.Backend.s_close ())
+    (fun () ->
+      (* completed (work, result) pairs, newest batch first *)
+      let completed = ref [] in
+      let round = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match next !round (List.rev !completed) with
+        | [] -> continue := false
+        | works ->
+          let results = s.Backend.s_dispatch works in
+          completed := List.rev_append (List.combine works results) !completed;
+          incr round
+      done;
+      List.rev !completed)

@@ -21,9 +21,28 @@ type result = { label : string; outcome : outcome }
     return results in input order, one per unit, and must contain worker
     failures as per-unit [Failed] outcomes rather than raising. *)
 module Backend : sig
+  (** An open, round-capable instance of a backend.  [s_dispatch] has the
+      same contract as [dispatch] and may be called repeatedly; state
+      worth keeping between rounds (a warm domain pool, remote worker
+      connections and their checkpoint caches) persists until
+      [s_close].  Obtained via the backend's [session] field; {!run_stream}
+      manages the open/close bracket for you. *)
+  type nonrec session = {
+    s_dispatch : Work.t list -> result list;
+    s_close : unit -> unit;
+  }
+
   type nonrec t = {
     name : string;  (** e.g. ["local:4"], ["remote:host:9090"] — for logs *)
     dispatch : Work.t list -> result list;
+    session : unit -> session;
+        (** open a session for round-based dispatch.  For stateless
+            backends this is just [dispatch] per round; the domains
+            backend keeps one pool of domains warm across rounds, and the
+            remote backend keeps its worker connections (and the
+            checkpoint images already pushed to each worker) alive, so a
+            late-injected round rides the caches the earlier rounds
+            populated. *)
   }
 
   val of_exec :
@@ -42,6 +61,13 @@ module Backend : sig
       process; no state the child mutates is visible to the parent.
       [store] resolves version-2 (digest-addressed) units; [bus] as in
       {!of_exec}. *)
+
+  val serial : ?bus:Darco_obs.Bus.t -> ?store:Store.t -> unit -> t
+  (** In-process, strictly sequential execution — no fork, no domains.
+      The reference backend for determinism checks (and the only choice
+      after this process has spawned a domain, which forbids fork): its
+      results, span timeline and failure rendering match the pools
+      exactly, one unit at a time. *)
 
   val domains : ?bus:Darco_obs.Bus.t -> ?store:Store.t -> ?jobs:int -> unit -> t
   (** Shared-memory execution on a pool of [jobs] (default 4) OCaml
@@ -64,3 +90,18 @@ val run : Backend.t -> Work.t list -> result list
     point) was removed after two releases of deprecation; build
     {!Work.t} units and use [run] with {!Backend.local}.  See DESIGN.md
     §9 for the compatibility policy that governed the removal. *)
+
+val run_stream :
+  Backend.t ->
+  next:(int -> (Work.t * result) list -> Work.t list) ->
+  (Work.t * result) list
+(** Round-based (streaming) dispatch: the incremental twin of {!run}
+    for callers — the adaptive-sampling planner — that decide the next
+    units {e from} the completed ones.  [next round completed] is called
+    with the 0-based round number and every (unit, result) pair finished
+    so far, in dispatch order; the units it returns are dispatched as
+    one round on a single backend session (see {!Backend.session}), and
+    an empty list ends the stream.  Returns all pairs in dispatch
+    order.  [run backend works] is exactly
+    [run_stream backend ~next:(fun r _ -> if r = 0 then works else [])]
+    modulo session reuse. *)

@@ -11,10 +11,12 @@ type t = {
   offsets : int list;
   window : int;
   warmup : int;
+  ci_target : float option;
 }
 
 let magic = "DCAM"
 let version = 1
+let version_plan = 2
 
 (* Mirrors the flag normalization in [darco sample]: offsets sorted and
    deduplicated, horizon stretched so the last window fits under it. *)
@@ -28,7 +30,10 @@ let normalize t =
 let to_string t =
   let w = B.writer () in
   B.tag4 w magic;
-  B.int w version;
+  (* a campaign with no confidence target still encodes as version 1, so
+     every pre-planner frame, golden test and on-the-wire digest keeps
+     its exact bytes; only a planned campaign pays the version bump *)
+  B.int w (match t.ci_target with None -> version | Some _ -> version_plan);
   B.str w t.bench;
   B.int w t.scale;
   B.int w t.seed;
@@ -38,6 +43,7 @@ let to_string t =
   B.list w B.int t.offsets;
   B.int w t.window;
   B.int w t.warmup;
+  (match t.ci_target with None -> () | Some c -> B.f64 w c);
   B.contents w
 
 let of_string s =
@@ -45,7 +51,7 @@ let of_string s =
   let tag = B.read_tag4 r in
   if tag <> magic then B.corrupt (Printf.sprintf "campaign: bad magic %S" tag);
   let v = B.read_int r in
-  if v <> version then
+  if v <> version && v <> version_plan then
     B.corrupt (Printf.sprintf "campaign: unsupported version %d" v);
   let bench = B.read_str r in
   let scale = B.read_int r in
@@ -56,12 +62,17 @@ let of_string s =
   let offsets = B.read_list r B.read_int in
   let window = B.read_int r in
   let warmup = B.read_int r in
+  let ci_target = if v >= version_plan then Some (B.read_f64 r) else None in
   B.expect_end r;
   if scale < 1 then B.corrupt "campaign: scale < 1";
   if interval <= 0 then B.corrupt "campaign: interval <= 0";
   if window <= 0 then B.corrupt "campaign: window <= 0";
   if warmup < 0 then B.corrupt "campaign: warmup < 0";
-  { bench; scale; seed; input; interval; horizon; offsets; window; warmup }
+  (match ci_target with
+  | Some c when not (c > 0.0) -> B.corrupt "campaign: ci_target <= 0"
+  | _ -> ());
+  { bench; scale; seed; input; interval; horizon; offsets; window; warmup;
+    ci_target }
 
 (* The digest inputs are rendered, not binary-encoded: a one-line canonical
    string is greppable in a trace and trivially stable.  '|' cannot appear
@@ -82,5 +93,8 @@ let ckpt_digest t =
        (input_part t.input) t.interval t.horizon)
 
 let describe t =
-  Printf.sprintf "%s seed %d, %d windows of %d" t.bench t.seed
+  Printf.sprintf "%s seed %d, %d windows of %d%s" t.bench t.seed
     (List.length t.offsets) t.window
+    (match t.ci_target with
+    | None -> ""
+    | Some c -> Printf.sprintf ", ci target %g" c)

@@ -3,11 +3,14 @@
     The record carries everything a sweep needs — which benchmark, the
     deterministic input, the checkpointing parameters and the measurement
     windows — so a server can reproduce the sweep bit-for-bit with no
-    other context.  The binary encoding ([DCAM], version 1) rides inside
-    the wire protocol's [Submit] frame and is framed with the same
-    discipline as every other Darco container: a malformed spec surfaces
-    as {!Darco_sampling.Buf.Corrupt}, never as a crash or a silently
-    different sweep. *)
+    other context.  The binary encoding ([DCAM]) rides inside the wire
+    protocol's [Submit] frame and is framed with the same discipline as
+    every other Darco container: a malformed spec surfaces as
+    {!Darco_sampling.Buf.Corrupt}, never as a crash or a silently
+    different sweep.  A campaign without a confidence target encodes as
+    version 1 — byte-identical to every pre-planner frame — and one with
+    [ci_target] as version 2, which appends the target after the
+    version-1 fields. *)
 
 type t = {
   bench : string;  (** registry name (resolved via {!Darco_workloads.Registry.find}) *)
@@ -19,6 +22,11 @@ type t = {
   offsets : int list;  (** measurement window start offsets *)
   window : int;  (** detailed window length *)
   warmup : int;  (** detailed warm-up before each window *)
+  ci_target : float option;
+      (** adaptive early exit: stop admitting rounds once the IPC CI95
+          half-width is within this fraction of the mean.  [None] (the
+          only spelling version-1 frames can express) sweeps every
+          offset.  Must be positive when present. *)
 }
 
 val normalize : t -> t
@@ -40,7 +48,10 @@ val config_digest : t -> string
     input, window, warmup.  Two sweeps agreeing on this digest (and on a
     window's snapshot digest and offset) get byte-identical window JSON —
     whatever their checkpoint interval or horizon — which is what lets
-    the artifact library share results across campaigns. *)
+    the artifact library share results across campaigns.  [ci_target] is
+    deliberately excluded: an adaptive campaign's windows are a subset of
+    the exhaustive campaign's, so both must hit the same library
+    entries. *)
 
 val ckpt_digest : t -> string
 (** Content address of the checkpoint set the sweep fast-forwards

@@ -10,6 +10,7 @@ module Work = Darco_sampling.Work
 module Driver = Darco_sampling.Driver
 module Snapshot = Darco_sampling.Snapshot
 module Report = Darco_sampling.Report
+module Plan = Darco_sampling.Plan
 module Wire = Darco_dispatch.Wire
 module Registry = Darco_workloads.Registry
 
@@ -29,7 +30,10 @@ type client = {
   mutable c_alive : bool;
 }
 
-type slot = Waiting | Settled of Sweep.outcome
+type slot =
+  | Waiting
+  | Settled of Sweep.outcome
+  | Skipped  (** adaptive early exit: never measured, excluded from the doc *)
 
 type submission = {
   sb_seq : int;  (** server-side sequence number (events, spans, logs) *)
@@ -44,6 +48,11 @@ type submission = {
   mutable sb_done : int;
   mutable sb_hits : int;
   mutable sb_dispatched : int;
+  mutable sb_plan : Darco_sampling.Plan.t option;
+      (** present when the campaign carries a [ci_target]: the planner
+          admits windows round by round and stops the sweep early *)
+  mutable sb_inflight : int;  (** windows registered on a pend, unsettled *)
+  mutable sb_skipped : int;
 }
 
 (* One work unit not yet settled, shared by every submission wanting its
@@ -103,25 +112,52 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
     | exception Jsonx.Parse_error msg ->
       Sweep.Failed ("library artifact unreadable: " ^ msg)
   in
+  let ipc_of_outcome = function
+    | Sweep.Failed _ -> None
+    | Sweep.Ok json -> (
+      match Jsonx.member "ipc" json with
+      | Some (Jsonx.Float f) -> Some f
+      | Some (Jsonx.Int i) -> Some (float_of_int i)
+      | _ -> None)
+  in
   let finalize sub =
     let spec = sub.sb_spec in
-    let results =
-      Array.to_list
-        (Array.mapi
-           (fun i s ->
-             let outcome =
-               match s with
-               | Settled o -> o
-               | Waiting -> Sweep.Failed "not run"
-             in
-             { Sweep.label = sub.sb_works.(i).Work.label; outcome })
-           sub.sb_slots)
+    let rows = ref [] in
+    Array.iteri
+      (fun i s ->
+        let row outcome =
+          rows :=
+            ( sub.sb_offsets.(i),
+              { Sweep.label = sub.sb_works.(i).Work.label; outcome } )
+            :: !rows
+        in
+        match s with
+        | Settled o -> row o
+        | Skipped -> ()
+        | Waiting ->
+          (* unreachable for a planned submission (every slot is settled
+             or skipped before finalize); for an exhaustive one it keeps
+             the historical "not run" rendering *)
+          if Option.is_none sub.sb_plan then row (Sweep.Failed "not run"))
+      sub.sb_slots;
+    let rows = List.rev !rows in
+    let plan_summary =
+      Option.map
+        (fun pl ->
+          {
+            Report.plan_name = "adaptive";
+            windows_used = sub.sb_done;
+            ci_target = Option.value ~default:0.0 spec.Campaign.ci_target;
+            ci_target_met = Plan.ci_target_met pl;
+            rounds = Plan.rounds pl;
+          })
+        sub.sb_plan
     in
     let rep =
       Report.sweep_json ~benchmark:spec.Campaign.bench
         ~seed:spec.Campaign.seed ~interval:spec.Campaign.interval
         ~window:spec.Campaign.window ~warmup:spec.Campaign.warmup
-        (List.combine (Array.to_list sub.sb_offsets) results)
+        ?plan:plan_summary rows
     in
     send_to sub.sb_client
       (Wire.Status
@@ -144,13 +180,60 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
       (Campaign.describe spec) (Array.length sub.sb_slots) sub.sb_hits
       sub.sb_dispatched
   in
-  let settle_slot sub i outcome =
+  let maybe_finalize sub =
+    if sub.sb_done + sub.sb_skipped = Array.length sub.sb_slots then
+      finalize sub
+  in
+  let settle_slot ?(inflight = false) sub i outcome =
     match sub.sb_slots.(i) with
-    | Settled _ -> ()
+    | Settled _ | Skipped -> ()
     | Waiting ->
       sub.sb_slots.(i) <- Settled outcome;
       sub.sb_done <- sub.sb_done + 1;
-      if sub.sb_done = Array.length sub.sb_slots then finalize sub
+      if inflight then sub.sb_inflight <- sub.sb_inflight - 1;
+      (* a planned submission folds every measurement — admission hit or
+         dispatched window — into its planner's running CI *)
+      Option.iter
+        (fun pl ->
+          match ipc_of_outcome outcome with
+          | Some ipc -> Plan.record pl [ (sub.sb_offsets.(i), ipc) ]
+          | None -> ())
+        sub.sb_plan;
+      maybe_finalize sub
+  in
+  (* Early exit for a planned submission: every unmeasured window is
+     skipped and its pend registrations dropped.  A queued pend that
+     other submissions still wait on is re-homed onto one of them (the
+     dispatch responsibility travels with the queue entry), so nobody
+     waits on a round this submission will never run. *)
+  let cancel sub =
+    Queue.iter
+      (fun i ->
+        match Hashtbl.find_opt pending (Library.key_id sub.sb_keys.(i)) with
+        | Some p -> (
+          match List.filter (fun (s, _) -> s != sub) p.p_waiters with
+          | (osub, oi) :: _ -> Queue.push oi osub.sb_todo
+          | [] -> ())
+        | None -> ())
+      sub.sb_todo;
+    Queue.clear sub.sb_todo;
+    Array.iteri
+      (fun i s ->
+        match s with
+        | Settled _ | Skipped -> ()
+        | Waiting ->
+          let kid = Library.key_id sub.sb_keys.(i) in
+          (match Hashtbl.find_opt pending kid with
+          | Some p -> (
+            p.p_waiters <- List.filter (fun (s, _) -> s != sub) p.p_waiters;
+            match p.p_waiters with
+            | [] -> Hashtbl.remove pending kid
+            | _ -> ())
+          | None -> ());
+          sub.sb_slots.(i) <- Skipped;
+          sub.sb_skipped <- sub.sb_skipped + 1)
+      sub.sb_slots;
+    maybe_finalize sub
   in
   (* The sweep's checkpoint set: restored from the library when a prior
      campaign stored it (skipping the functional fast-forward entirely),
@@ -251,6 +334,7 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
                 warmup = spec.Campaign.warmup;
               })
         in
+        let planned = Option.is_some spec.Campaign.ci_target in
         let sub =
           {
             sb_seq = seq;
@@ -265,12 +349,17 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
             sb_done = 0;
             sb_hits = 0;
             sb_dispatched = 0;
+            sb_plan = None;
+            sb_inflight = 0;
+            sb_skipped = 0;
           }
         in
         subs := !subs @ [ sub ];
         (* classify every window first — the admission Status must carry
            the full hit/dispatch split before any settlement can finish
-           the submission *)
+           the submission.  A planned submission leaves its misses as
+           [`Cand]idates: the planner — not admission — decides which of
+           them to dispatch, round by round. *)
         let actions =
           Array.init n (fun i ->
               let k = keys.(i) in
@@ -283,12 +372,16 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
                 match Hashtbl.find_opt pending kid with
                 | Some p ->
                   p.p_waiters <- (sub, i) :: p.p_waiters;
+                  if planned then sub.sb_inflight <- sub.sb_inflight + 1;
                   `Join
                 | None ->
-                  Hashtbl.replace pending kid
-                    { p_key = k; p_work = works.(i); p_waiters = [ (sub, i) ] };
-                  Queue.push i sub.sb_todo;
-                  `New))
+                  if planned then `Cand
+                  else begin
+                    Hashtbl.replace pending kid
+                      { p_key = k; p_work = works.(i); p_waiters = [ (sub, i) ] };
+                    Queue.push i sub.sb_todo;
+                    `New
+                  end))
         in
         Array.iter
           (function
@@ -297,8 +390,32 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
               incr hits_total
             | `New ->
               sub.sb_dispatched <- sub.sb_dispatched + 1;
-              incr dispatched_total)
+              incr dispatched_total
+            | `Cand -> ())
           actions;
+        (match spec.Campaign.ci_target with
+        | None -> ()
+        | Some ci ->
+          let candidates = ref [] in
+          Array.iteri
+            (fun i a -> if a = `Cand then candidates := offsets.(i) :: !candidates)
+            actions;
+          (* the stratum of a window is the program phase — the guest PC —
+             at its nearest checkpoint, exactly the CLI planner's marker *)
+          let ix = Driver.index_of checkpoints in
+          let phase_of off =
+            Snapshot.guest_eip (Driver.nearest_ix ix off).Driver.snapshot
+          in
+          sub.sb_plan <-
+            Some
+              (Plan.create ?bus
+                 {
+                   Plan.default with
+                   Plan.kind = Plan.Adaptive;
+                   ci_target = ci;
+                   round_size = credit;
+                 }
+                 ~candidates:(List.rev !candidates) ~phase_of));
         send_to c
           (Wire.Status
              {
@@ -318,7 +435,7 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
                 (Wire.Artifact
                    { id; key = Library.render keys.(i); json = text });
               settle_slot sub i (outcome_of_text text)
-            | `Join | `New -> ())
+            | `Join | `New | `Cand -> ())
           actions
       end
   in
@@ -489,9 +606,52 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
               send_to sub.sb_client
                 (Wire.Artifact
                    { id = sub.sb_id; key = Library.render p.p_key; json = text });
-              settle_slot sub i r.Sweep.outcome)
+              settle_slot ~inflight:true sub i r.Sweep.outcome)
             (List.rev p.p_waiters))
         batch results
+  in
+  (* Planned submissions advance between dispatch rounds: once a
+     submission has nothing in flight, its planner either picks the next
+     round's windows (queuing the ones nobody else is already running)
+     or stops, skipping everything unmeasured. *)
+  let plan_step () =
+    List.iter
+      (fun sub ->
+        match sub.sb_plan with
+        | None -> ()
+        | Some pl ->
+          if sub.sb_inflight = 0 && Queue.is_empty sub.sb_todo then begin
+            match Plan.next pl with
+            | [] -> cancel sub
+            | chosen ->
+              List.iter
+                (fun off ->
+                  let slot = ref (-1) in
+                  Array.iteri
+                    (fun i o -> if o = off then slot := i)
+                    sub.sb_offsets;
+                  let i = !slot in
+                  match sub.sb_slots.(i) with
+                  | Settled _ | Skipped -> ()
+                  | Waiting ->
+                    let k = sub.sb_keys.(i) in
+                    let kid = Library.key_id k in
+                    (match Hashtbl.find_opt pending kid with
+                    | Some p -> p.p_waiters <- (sub, i) :: p.p_waiters
+                    | None ->
+                      Hashtbl.replace pending kid
+                        {
+                          p_key = k;
+                          p_work = sub.sb_works.(i);
+                          p_waiters = [ (sub, i) ];
+                        };
+                      Queue.push i sub.sb_todo;
+                      sub.sb_dispatched <- sub.sb_dispatched + 1;
+                      incr dispatched_total);
+                    sub.sb_inflight <- sub.sb_inflight + 1)
+                chosen
+          end)
+      !subs
   in
   (* --- accept loop ----------------------------------------------------- *)
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -572,5 +732,6 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
             (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
           c.c_alive)
         !clients;
+    plan_step ();
     if have_work () then round ()
   done

@@ -610,6 +610,9 @@ let test_keepalive_detects_stopped_worker () =
 (* --- spec parsing (the CLI's --backend flag) --- *)
 let test_spec_parsing () =
   let ok = function Ok s -> s | Error e -> Alcotest.failf "parse failed: %s" e in
+  (match ok (Darco_dispatch.spec_of_string "serial") with
+  | Darco_dispatch.Serial -> ()
+  | _ -> Alcotest.fail "expected Serial");
   (match ok (Darco_dispatch.spec_of_string ~jobs:3 "local") with
   | Darco_dispatch.Local { jobs } -> Alcotest.(check int) "default jobs" 3 jobs
   | _ -> Alcotest.fail "expected Local");
@@ -640,6 +643,7 @@ let test_spec_parsing () =
   List.iter bad
     [
       "";
+      "serial:2";
       "local:zero";
       "domains:zero";
       "domains:0";

@@ -250,8 +250,11 @@ let constructor_index : Event.t -> int = function
   | Event.Artifact_hit _ -> 35
   | Event.Artifact_store _ -> 36
   | Event.Store_evict _ -> 37
+  | Event.Plan_round _ -> 38
+  | Event.Plan_predict _ -> 39
+  | Event.Plan_stop _ -> 40
 
-let n_constructors = 38
+let n_constructors = 41
 
 (* One sample per constructor: (event, stable name, exact JSON at at=5).
    These strings are the on-disk trace format — changing one is a schema
@@ -402,6 +405,17 @@ let event_samples =
     ( Event.Store_evict { digest = "abcd"; bytes = 512 },
       "store_evict",
       {|{"at":5,"ev":"store_evict","digest":"abcd","bytes":512}|} );
+    ( Event.Plan_round { round = 2; chosen = 4; completed = 8; mean = 0.75; ci95 = 0.125 },
+      "plan_round",
+      {|{"at":5,"ev":"plan_round","round":2,"chosen":4,"completed":8,"mean":0.75,"ci95":0.125}|}
+    );
+    ( Event.Plan_predict { offset = 4096; phase = 16; ipc = 0.5 },
+      "plan_predict",
+      {|{"at":5,"ev":"plan_predict","offset":4096,"phase":16,"ipc":0.5}|} );
+    ( Event.Plan_stop { reason = "ci_target"; windows = 12; mean = 0.75; ci95 = 0.0625 },
+      "plan_stop",
+      {|{"at":5,"ev":"plan_stop","reason":"ci_target","windows":12,"mean":0.75,"ci95":0.0625}|}
+    );
   ]
 
 let test_event_schema () =

@@ -135,6 +135,7 @@ let spec1 =
       offsets = [ 8_000; 16_000; 24_000 ];
       window = 2_000;
       warmup = 1_000;
+      ci_target = None;
     }
 
 let spec2 = Campaign.normalize { spec1 with offsets = [ 12_000; 20_000 ] }
@@ -181,12 +182,20 @@ let test_campaign_codec () =
       offsets = [ 10_000; 20_000; 30_000 ];
       window = 1_000;
       warmup = 500;
+      ci_target = None;
     }
   in
   Alcotest.(check bool) "roundtrip is the identity" true
     (Campaign.of_string (Campaign.to_string full) = full);
   Alcotest.(check bool) "roundtrip without input" true
     (Campaign.of_string (Campaign.to_string spec1) = spec1);
+  (* a confidence target bumps the frame to version 2 and survives the
+     roundtrip; its absence keeps the version-1 bytes *)
+  let planned = { full with Campaign.ci_target = Some 0.02 } in
+  Alcotest.(check bool) "roundtrip with a ci target" true
+    (Campaign.of_string (Campaign.to_string planned) = planned);
+  Alcotest.(check bool) "v2 frame differs from v1" true
+    (Campaign.to_string planned <> Campaign.to_string full);
   (* normalization: the flag discipline of [darco sample] *)
   let messy =
     Campaign.normalize
@@ -210,7 +219,9 @@ let test_campaign_codec () =
   corrupt (Campaign.to_string { full with scale = 0 });
   corrupt (Campaign.to_string { full with interval = 0 });
   corrupt (Campaign.to_string { full with window = 0 });
-  corrupt (Campaign.to_string { full with warmup = -1 })
+  corrupt (Campaign.to_string { full with warmup = -1 });
+  corrupt (Campaign.to_string { full with ci_target = Some 0.0 });
+  corrupt (Campaign.to_string { full with ci_target = Some (-0.1) })
 
 let test_campaign_digests () =
   let a = spec1 in
@@ -234,7 +245,15 @@ let test_campaign_digests () =
   (* the input rendering is injective: empty input is not absent input *)
   Alcotest.(check bool) "empty input distinct from no input" true
     (Campaign.config_digest { a with input = Some "" }
-    <> Campaign.config_digest a)
+    <> Campaign.config_digest a);
+  (* the confidence target never reaches a digest: an adaptive campaign's
+     windows must hit the exhaustive campaign's library entries *)
+  Alcotest.(check string) "config digest ignores the ci target"
+    (Campaign.config_digest a)
+    (Campaign.config_digest { a with ci_target = Some 0.05 });
+  Alcotest.(check string) "ckpt digest ignores the ci target"
+    (Campaign.ckpt_digest a)
+    (Campaign.ckpt_digest { a with ci_target = Some 0.05 })
 
 (* --- the artifact library, driven directly ----------------------------- *)
 
@@ -333,6 +352,7 @@ let fixture_spec =
     offsets = [ 130_000; 150_000 ];
     window = 25_000;
     warmup = 30_000;
+    ci_target = None;
   }
 
 let test_subm_golden () =
@@ -500,6 +520,74 @@ let test_serve_resubmit_and_restore () =
   Alcotest.(check string) "after restart: document still byte-identical" doc0
     (must_read dir "cold.json")
 
+(* --- an adaptive campaign exits early ---------------------------------- *)
+
+(* A wide campaign with a loose confidence target: the planner should
+   settle the sweep from a handful of windows and skip the rest, and the
+   document should say so. *)
+let adaptive_spec =
+  Campaign.normalize
+    {
+      spec1 with
+      Campaign.offsets = List.init 16 (fun i -> 2_000 + (i * 2_500));
+      ci_target = Some 0.10;
+    }
+
+let test_serve_adaptive_campaign () =
+  with_temp_dir @@ fun dir ->
+  let pipe = Unix.pipe () in
+  let pid =
+    fork_client pipe (fun addr ->
+        match Client.submit addr adaptive_spec with
+        | Ok (st, doc) ->
+          write_file
+            (Filename.concat dir "adaptive.stats")
+            (Printf.sprintf "%d %d %d %d" st.Client.done_ st.Client.total
+               st.Client.hits st.Client.dispatched);
+          write_file (Filename.concat dir "adaptive.json") doc
+        | Error e -> write_file (Filename.concat dir "adaptive.err") e)
+  in
+  let bus, events = collecting_bus () in
+  Serve.serve ~bus ~quiet:true ~jobs:2 ~credit:4 ~max_submissions:1
+    ~ready:(announce [ snd pipe ])
+    ~library:(Filename.concat dir "lib") ~host:"127.0.0.1" ~port:0 ();
+  wait pid;
+  let total = List.length adaptive_spec.Campaign.offsets in
+  let done_, total', _hits, dispatched =
+    parse_stats (must_read dir "adaptive.stats")
+  in
+  Alcotest.(check int) "status reports the full campaign" total total';
+  Alcotest.(check bool)
+    (Printf.sprintf "early exit measured a strict subset (%d of %d)" done_
+       total)
+    true
+    (done_ > 0 && done_ < total);
+  Alcotest.(check bool) "dispatch stopped with the plan" true
+    (dispatched <= done_ && dispatched < total);
+  (* the document carries the planner verdict *)
+  let doc = J.parse (must_read dir "adaptive.json") in
+  Alcotest.(check bool) "document is an adaptive plan" true
+    (J.member "plan" doc = Some (J.String "adaptive"));
+  Alcotest.(check bool) "ci target recorded" true
+    (J.member "ci_target" doc = Some (J.Float 0.10));
+  (match J.member "windows_used" doc with
+  | Some (J.Int n) -> Alcotest.(check int) "windows_used matches status" done_ n
+  | _ -> Alcotest.fail "windows_used missing");
+  Alcotest.(check bool) "ci target met" true
+    (J.member "ci_target_met" doc = Some (J.Bool true));
+  (* unmeasured offsets are absent from the rows, not reported as failed *)
+  (match J.member "samples" doc with
+  | Some (J.List rows) ->
+    Alcotest.(check int) "one row per measured window" done_ (List.length rows)
+  | _ -> Alcotest.fail "samples missing");
+  (* the planner narrated its early exit on the bus *)
+  Alcotest.(check bool) "Plan_round observed" true
+    (count events (function Event.Plan_round _ -> true | _ -> false) >= 1);
+  Alcotest.(check int) "Plan_stop on ci_target" 1
+    (count events (function
+      | Event.Plan_stop { reason; _ } -> reason = "ci_target"
+      | _ -> false))
+
 (* --- two concurrent clients share in-flight work ----------------------- *)
 
 let test_serve_concurrent_sharing () =
@@ -577,5 +665,7 @@ let () =
             test_serve_resubmit_and_restore;
           Alcotest.test_case "concurrent clients share work" `Quick
             test_serve_concurrent_sharing;
+          Alcotest.test_case "adaptive campaign exits early" `Quick
+            test_serve_adaptive_campaign;
         ] );
     ]
