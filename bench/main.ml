@@ -1118,6 +1118,74 @@ let library () =
            ("cold_lookup_ns", Jsonx.Float cold_ns);
          ])
 
+(* --- telemetry: the cost of being observed ------------------------------ *)
+
+let telemetry_summary : Darco_obs.Jsonx.t option ref = ref None
+
+let telemetry () =
+  print_endline "=== Telemetry: registry update and scrape costs ===";
+  let open Darco_obs in
+  let bench_ns name f =
+    let open Bechamel in
+    let open Toolkit in
+    let test =
+      Test.make_grouped ~name:"telemetry" [ Test.make ~name (Staged.stage f) ]
+    in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:8 ~quota:(Time.second 1.0) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances test in
+    let results =
+      Analyze.merge ols instances
+        (List.map (fun i -> Analyze.all ols i raw) instances)
+    in
+    let tbl = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+    match Analyze.OLS.estimates (Hashtbl.find tbl ("telemetry/" ^ name)) with
+    | Some [ est ] -> est
+    | Some _ | None -> nan
+  in
+  let reg = Registry.create () in
+  let c = Registry.counter reg "bench_total" in
+  let g = Registry.gauge reg "bench_depth" in
+  let h = Registry.hist reg "bench_bytes" in
+  let inc_ns = bench_ns "counter inc" (fun () -> Registry.inc c 1) in
+  let set_ns = bench_ns "gauge set" (fun () -> Registry.set g 7) in
+  let obs_ns = bench_ns "hist observe" (fun () -> Registry.observe h 512) in
+  (* the do-nothing path every un-observed run takes: an event offered to
+     a bus nobody listens to *)
+  let quiet = Bus.create () in
+  let ev = Event.Chain_made { pc = 0x400 } in
+  let silent_ns = bench_ns "silent emit" (fun () -> Bus.emit quiet ~at:1 ev) in
+  (* the full observed path: event -> bus -> registry fold *)
+  let observed = Bus.create () in
+  let obs_reg = Registry.attach observed in
+  let emit_ns = bench_ns "registry emit" (fun () -> Bus.emit observed ~at:1 ev) in
+  let snap_ns = bench_ns "snapshot" (fun () -> Registry.snapshot obs_reg) in
+  Printf.printf "  %-14s %8.1f ns/op\n" "counter inc" inc_ns;
+  Printf.printf "  %-14s %8.1f ns/op\n" "gauge set" set_ns;
+  Printf.printf "  %-14s %8.1f ns/op\n" "hist observe" obs_ns;
+  Printf.printf "  %-14s %8.1f ns/op (bus with no sinks)\n" "silent emit"
+    silent_ns;
+  Printf.printf "  %-14s %8.1f ns/op (bus -> registry fold)\n" "registry emit"
+    emit_ns;
+  Printf.printf "  %-14s %8.1f ns/op (point-in-time scrape)\n\n" "snapshot"
+    snap_ns;
+  telemetry_summary :=
+    Some
+      (Jsonx.Obj
+         [
+           ("counter_inc_ns", Jsonx.Float inc_ns);
+           ("gauge_set_ns", Jsonx.Float set_ns);
+           ("hist_observe_ns", Jsonx.Float obs_ns);
+           ("silent_emit_ns", Jsonx.Float silent_ns);
+           ("registry_emit_ns", Jsonx.Float emit_ns);
+           ("snapshot_ns", Jsonx.Float snap_ns);
+         ])
+
 let all () =
   fig4 ();
   fig5 ();
@@ -1131,6 +1199,7 @@ let all () =
   ablation_thresholds ();
   library ();
   adaptive ();
+  telemetry ();
   (* last: the first Domain.spawn forbids Unix.fork for the rest of the
      process, and earlier sections must stay free to fork *)
   parallel ()
@@ -1143,7 +1212,7 @@ let write_results path =
     Jsonx.Obj
       [
         ("name", Jsonx.String r.r_label);
-        ("suite", Jsonx.String (Registry.suite_name r.r_suite));
+        ("suite", Jsonx.String (Darco_workloads.Registry.suite_name r.r_suite));
         ( "diverged",
           match r.r_diverged with
           | None -> Jsonx.Null
@@ -1172,6 +1241,8 @@ let write_results path =
           match !library_summary with Some j -> j | None -> Jsonx.Null );
         ( "adaptive",
           match !adaptive_summary with Some j -> j | None -> Jsonx.Null );
+        ( "telemetry",
+          match !telemetry_summary with Some j -> j | None -> Jsonx.Null );
       ]
   in
   let oc = open_out path in
@@ -1198,6 +1269,7 @@ let () =
           ablation_thresholds ()
         | "library" -> library ()
         | "adaptive" -> adaptive ()
+        | "telemetry" -> telemetry ()
         | "parallel" -> parallel ()
         | other -> Printf.printf "unknown target %s\n" other)
       args

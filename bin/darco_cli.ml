@@ -887,7 +887,8 @@ let campaign_term =
 
 let serve_cmd =
   let run listen library workers jobs credit dispatch_timeout dispatch_retries
-      budget max_submissions quiet trace =
+      budget max_submissions metrics_file metrics_interval flight flight_out
+      quiet trace =
     let addr = parse_addr listen in
     let workers =
       match workers with
@@ -897,9 +898,26 @@ let serve_cmd =
     in
     let bus = Darco_obs.Bus.create () in
     with_trace bus trace @@ fun _trace_oc ->
-    Darco_serve.Serve.serve ~bus ~quiet ~workers ~jobs ~credit
-      ~dispatch_timeout ~dispatch_retries ?max_bytes:budget ?max_submissions
-      ~library ~host:addr.Darco_dispatch.host ~port:addr.Darco_dispatch.port ()
+    (* same crash discipline as `run`: the ring dumps itself on a failed
+       campaign window (Dispatch_done ok=false) or divergence, and we
+       dump it on the way out of a daemon crash *)
+    let recorder =
+      if flight > 0 then
+        Some (Darco_obs.Recorder.attach bus ~capacity:flight ~path:flight_out)
+      else None
+    in
+    (try
+       Darco_serve.Serve.serve ~bus ~quiet ~workers ~jobs ~credit
+         ~dispatch_timeout ~dispatch_retries ?max_bytes:budget ?max_submissions
+         ?metrics_file ~metrics_interval ~library
+         ~host:addr.Darco_dispatch.host ~port:addr.Darco_dispatch.port ()
+     with e ->
+       Option.iter Darco_obs.Recorder.dump recorder;
+       raise e);
+    match recorder with
+    | Some r when Darco_obs.Recorder.dumped r ->
+      Printf.printf "flight recorder dumped to %s\n" flight_out
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -921,6 +939,10 @@ let serve_cmd =
       $ Arg.(value & opt int 2 & info [ "dispatch-retries" ] ~docv:"N" ~doc:"Remote backend: re-dispatches per unit after a worker is lost")
       $ Arg.(value & opt (some int) None & info [ "library-budget" ] ~docv:"BYTES" ~doc:"LRU byte budget for the library's checkpoint store")
       $ Arg.(value & opt (some int) None & info [ "max-submissions" ] ~docv:"N" ~doc:"Exit after completing $(docv) submissions (default: serve forever)")
+      $ Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"PATH" ~doc:"Periodically dump the live metrics registry as Prometheus-style exposition text to $(docv) (atomic write-then-rename)")
+      $ Arg.(value & opt float 5.0 & info [ "metrics-interval" ] ~docv:"SECONDS" ~doc:"Seconds between --metrics-file dumps")
+      $ Arg.(value & opt int 0 & info [ "flight-recorder" ] ~docv:"N" ~doc:"Keep the last N events in memory; dump them as JSONL on a failed campaign window, a divergence or a daemon crash")
+      $ Arg.(value & opt string "darco-serve-flight.jsonl" & info [ "flight-recorder-out" ] ~docv:"FILE" ~doc:"Where --flight-recorder dumps its ring")
       $ Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-submission log lines")
       $ Flag.trace)
 
@@ -973,14 +995,81 @@ let status_cmd =
     | Error e ->
       Printf.eprintf "status failed: %s\n" e;
       exit 1
-    | Ok (state, { Darco_serve.Client.done_; total; hits; dispatched }) ->
+    | Ok
+        ( state,
+          { Darco_serve.Client.done_; total; hits; dispatched },
+          { Darco_serve.Client.uptime_s; version } ) ->
       Printf.printf
         "%s: %d/%d submissions done, %d window hits, %d units dispatched\n"
-        state done_ total hits dispatched
+        state done_ total hits dispatched;
+      if version = "" then
+        (* a v4 daemon never fills the tail — that absence is the
+           diagnosis *)
+        Printf.printf "server: pre-0.10 build (no version in STAT)\n"
+      else
+        Printf.printf "server: darco %s, up %ds\n" version uptime_s
   in
   Cmd.v
     (Cmd.info "status" ~doc:"Query a campaign server's service-wide counters")
     Term.(const run $ connect_flag)
+
+let scrape_cmd =
+  let run connect =
+    match Darco_serve.Client.scrape (parse_addr connect) with
+    | Error e ->
+      Printf.eprintf "scrape failed: %s\n" e;
+      exit 1
+    | Ok json -> (
+      match
+        Darco_obs.Registry.of_json (Darco_obs.Jsonx.parse json)
+      with
+      | exception Darco_obs.Jsonx.Parse_error e ->
+        Printf.eprintf "scrape returned unparseable JSON: %s\n" e;
+        exit 1
+      | Error e ->
+        Printf.eprintf "scrape returned a malformed snapshot: %s\n" e;
+        exit 1
+      | Ok snap -> print_string (Darco_obs.Registry.exposition snap))
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:
+         "Scrape a campaign server's live metrics registry (wire v5 METR) \
+          and print it as Prometheus-style exposition text — byte-identical \
+          to the server's $(b,--metrics-file) dump")
+    Term.(const run $ connect_flag)
+
+let top_cmd =
+  let run connect once interval =
+    let addr = parse_addr connect in
+    let show () =
+      match Darco_serve.Top.fetch addr with
+      | Error e ->
+        Printf.eprintf "top failed: %s\n" e;
+        exit 1
+      | Ok view -> print_string (Darco_serve.Top.render view)
+    in
+    if once then show ()
+    else
+      while true do
+        (* clear screen + home, as top(1) does *)
+        print_string "\027[2J\027[H";
+        show ();
+        flush stdout;
+        Unix.sleepf interval
+      done
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a campaign server: per-campaign window progress \
+          (with planner CI state), per-worker health and the library \
+          hit-rate, refreshed every --interval seconds.  With --once, \
+          print one snapshot and exit (for scripts and CI)")
+    Term.(
+      const run $ connect_flag
+      $ Arg.(value & flag & info [ "once" ] ~doc:"Print one snapshot and exit")
+      $ Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period"))
 
 let fetch_cmd =
   let run connect spec offset json_out =
@@ -1057,5 +1146,5 @@ let () =
        (Cmd.group info
           [ list_cmd; run_cmd; suite_cmd; checkpoint_cmd; resume_cmd; sample_cmd;
             worker_cmd; serve_cmd; submit_cmd; status_cmd; fetch_cmd;
-            validate_trace_cmd; disasm_cmd; trace_cmd; regions_cmd;
-            debug_cmd; speed_cmd ]))
+            scrape_cmd; top_cmd; validate_trace_cmd; disasm_cmd; trace_cmd;
+            regions_cmd; debug_cmd; speed_cmd ]))

@@ -489,7 +489,8 @@ let session_run se works =
         | exception B.Corrupt m -> lose_worker w ("checkpoint store: " ^ m)))
     | Wire.Pong -> () (* keepalive reply; receipt already reset the probe state *)
     | Wire.Hello _ | Wire.Ping | Wire.Work _ | Wire.Ckpt _ | Wire.Submit _
-    | Wire.Status _ | Wire.Artifact _ | Wire.Done _ ->
+    | Wire.Status _ | Wire.Artifact _ | Wire.Done _ | Wire.Metrics _
+    | Wire.Health _ ->
       lose_worker w "protocol violation"
   in
   let drain w fd =
@@ -531,6 +532,38 @@ let session_run se works =
           end
         end)
       ws
+  in
+  (* Straggler gauge: age of the oldest in-flight unit over the median
+     in-flight age, in percent, attributed to the worker holding it.
+     Needs two units in flight to mean anything; emitted only when the
+     rounded percentage moves so an idle fleet adds nothing to the
+     trace. *)
+  let last_straggler_pct = ref 0 in
+  let straggler_check now =
+    if (match bus with Some b -> Bus.active b | None -> false) then begin
+      let ages = ref [] in
+      List.iter
+        (fun w ->
+          if w.w_fd <> None then
+            Hashtbl.iter
+              (fun _ inf -> ages := (now -. inf.if_sent_at, w.w_addr) :: !ages)
+              w.w_inflight)
+        ws;
+      let ages = List.sort (fun (a, _) (b, _) -> compare b a) !ages in
+      match ages with
+      | (slowest, worker) :: _ :: _ ->
+        let n = List.length ages in
+        let median, _ = List.nth ages (n / 2) in
+        let pct =
+          if median <= 1e-6 then 100
+          else int_of_float (Float.round (100.0 *. slowest /. median))
+        in
+        if pct <> !last_straggler_pct then begin
+          last_straggler_pct := pct;
+          emit bus (Event.Straggler { worker; ratio_pct = pct })
+        end
+      | _ -> ()
+    end
   in
   let fallback reason =
     emit bus (Event.Dispatch_fallback { reason });
@@ -682,8 +715,10 @@ let session_run se works =
             end)
           ws;
         (* the select above wakes at least every 0.25s, which paces these
-           probes without a dedicated timer *)
-        keepalive_check (Unix.gettimeofday ())
+           probes (and the straggler gauge) without a dedicated timer *)
+        let now = Unix.gettimeofday () in
+        keepalive_check now;
+        straggler_check now
       end
     done
   end;

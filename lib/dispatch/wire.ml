@@ -4,7 +4,7 @@ module Store = Darco_sampling.Store
 exception Timeout
 exception Closed
 
-let protocol_version = 4
+let protocol_version = 5
 let min_version = 3
 
 (* A checkpoint push carries a whole memory image; generous, but bounded so
@@ -28,9 +28,13 @@ type msg =
       total : int;
       hits : int;
       dispatched : int;
+      uptime_s : int;
+      version : string;
     }
   | Artifact of { id : int; key : string; json : string }
   | Done of { id : int; json : string }
+  | Metrics of { json : string }
+  | Health of { json : string }
 
 let tag_of = function
   | Hello _ -> "HELO"
@@ -45,6 +49,8 @@ let tag_of = function
   | Status _ -> "STAT"
   | Artifact _ -> "ARTF"
   | Done _ -> "DONE"
+  | Metrics _ -> "METR"
+  | Health _ -> "HLTH"
 
 let payload_of = function
   | Hello { version; slots } ->
@@ -78,7 +84,7 @@ let payload_of = function
     B.int w id;
     B.str w s;
     B.contents w
-  | Status { id; state; done_; total; hits; dispatched } ->
+  | Status { id; state; done_; total; hits; dispatched; uptime_s; version } ->
     let w = B.writer () in
     B.int w id;
     B.str w state;
@@ -86,11 +92,21 @@ let payload_of = function
     B.int w total;
     B.int w hits;
     B.int w dispatched;
+    (* v5 uptime/version ride as an optional tail so a default-valued
+       Status encodes exactly as it did under v4 (golden fixtures) *)
+    if uptime_s <> 0 || version <> "" then begin
+      B.int w uptime_s;
+      B.str w version
+    end;
     B.contents w
   | Artifact { id; key; json } ->
     let w = B.writer () in
     B.int w id;
     B.str w key;
+    B.str w json;
+    B.contents w
+  | Metrics { json } | Health { json } ->
+    let w = B.writer () in
     B.str w json;
     B.contents w
 
@@ -232,8 +248,15 @@ let recv ?deadline fd =
     let total = B.read_int r in
     let hits = B.read_int r in
     let dispatched = B.read_int r in
+    let uptime_s, version =
+      if B.at_end r then (0, "")
+      else
+        let u = B.read_int r in
+        let v = B.read_str r in
+        (u, v)
+    in
     B.expect_end r;
-    Status { id; state; done_; total; hits; dispatched }
+    Status { id; state; done_; total; hits; dispatched; uptime_s; version }
   | "ARTF" ->
     let r = B.reader payload in
     let id = B.read_int r in
@@ -247,4 +270,14 @@ let recv ?deadline fd =
     let json = B.read_str r in
     B.expect_end r;
     Done { id; json }
+  | "METR" ->
+    let r = B.reader payload in
+    let json = B.read_str r in
+    B.expect_end r;
+    Metrics { json }
+  | "HLTH" ->
+    let r = B.reader payload in
+    let json = B.read_str r in
+    B.expect_end r;
+    Health { json }
   | other -> B.corrupt (Printf.sprintf "unknown frame tag %S" other)

@@ -7,7 +7,7 @@
     as a clean {!Darco_sampling.Buf.Corrupt}, never a crash or a silently
     wrong sample.
 
-    Protocol version 4.  The dispatcher opens a connection per worker and
+    Protocol version 5.  The dispatcher opens a connection per worker and
     handshakes with [Hello]; the worker's [Hello] reply advertises how many
     units it can run concurrently ([slots], its [-j] value).  Work units
     are {b multiplexed}: each [Work] frame carries a dispatcher-chosen [id]
@@ -34,6 +34,16 @@
     {!min_version} with a connection-level [Fail] — so a v3 client
     against a v4 server (or the reverse) still completes the v3
     conversation.
+
+    Version 5 adds live telemetry: [Metrics] (METR) scrapes the serve
+    daemon's registry snapshot and [Health] (HLTH) its liveness/readiness
+    document, both carrying one JSON string (a client sends the frame
+    with [json = ""], the server replies with it filled).  [Status]
+    replies additionally carry the daemon's uptime and build version as
+    an optional payload tail: a default-valued ([uptime_s = 0],
+    [version = ""]) Status encodes byte-identically to its v4 form, and
+    a v4 Status decodes with the defaults — so the committed v4 golden
+    fixtures still hold on both sides.
 
     [send]/[recv] are safe on non-blocking sockets: partial reads and
     writes and [EAGAIN]/[EWOULDBLOCK] park in [select] (bounded by
@@ -87,11 +97,16 @@ type msg =
       total : int;
       hits : int;
       dispatched : int;
+      uptime_s : int;
+      version : string;
     }
       (** server-to-client (v4): progress of submission [id] ([done_] of
           [total] windows, [hits] served without dispatching, [dispatched]
           work units this submission put on the fleet).  A client sends
-          [Status {id = -1; _}] to ask for service-wide counters. *)
+          [Status {id = -1; _}] to ask for service-wide counters.  To v5
+          clients the reply also carries the daemon's [uptime_s] and build
+          [version] (both default — 0, [""] — in requests and in v4
+          conversations). *)
   | Artifact of { id : int; key : string; json : string }
       (** server-to-client (v4): one finished window artifact of
           submission [id] ([json = ""] marks a failed window, or a fetch
@@ -102,6 +117,15 @@ type msg =
       (** server-to-client (v4): submission [id] finished; [json] is the
           complete sweep document, byte-identical to what [darco sample
           --json] writes for the same parameters *)
+  | Metrics of { json : string }
+      (** v5 scrape: the serve daemon's live registry snapshot
+          ({!Darco_obs.Registry.to_json}); a client sends [json = ""] to
+          ask, the server replies with it filled *)
+  | Health of { json : string }
+      (** v5 liveness/readiness: uptime, version, per-worker keepalive
+          state, queue depths, in-flight campaigns with planner CI
+          progress, and library occupancy/hit-rate; request/reply
+          convention as [Metrics] *)
 
 val encode : msg -> string
 (** The frame's exact wire bytes.  For callers that keep their own write

@@ -223,7 +223,8 @@ let serve_connection ~quiet ~ident ~engine ~exec ~jobs ~store fd =
         Hashtbl.remove parked digest;
         Queue.transfer q runq)
     | Wire.Pong | Wire.Result _ | Wire.Fail _ | Wire.Need _ | Wire.Submit _
-    | Wire.Status _ | Wire.Artifact _ | Wire.Done _ ->
+    | Wire.Status _ | Wire.Artifact _ | Wire.Done _ | Wire.Metrics _
+    | Wire.Health _ ->
       send (Wire.Fail { id = -1; reason = "unexpected message; closing connection" });
       closed := true
   in

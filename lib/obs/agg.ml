@@ -8,7 +8,7 @@ let apply (s : Stats.t) ~at:_ (ev : Event.t) =
   | Dispatch_retry _ | Dispatch_fallback _ | Ckpt_push _ | Ckpt_hit _
   | Steal _ | Dispatch_inflight _ | Span_begin _ | Span_end _
   | Submit _ | Admit _ | Artifact_hit _ | Artifact_store _ | Store_evict _
-  | Plan_round _ | Plan_predict _ | Plan_stop _ -> ()
+  | Plan_round _ | Plan_predict _ | Plan_stop _ | Straggler _ -> ()
   | Slice_end { overheads; _ } ->
     List.iter (fun (cat, n) -> Stats.charge s cat n) overheads
   | Interp_block { insns; cost; _ } ->

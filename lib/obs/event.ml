@@ -84,6 +84,7 @@ type t =
     }
   | Plan_predict of { offset : int; phase : int; ipc : float }
   | Plan_stop of { reason : string; windows : int; mean : float; ci95 : float }
+  | Straggler of { worker : string; ratio_pct : int }
 
 let rollback_name = function Rb_assert -> "assert" | Rb_alias -> "alias"
 let deopt_name = function De_noassert -> "noassert" | De_nomem -> "nomem"
@@ -142,6 +143,7 @@ let name = function
   | Plan_round _ -> "plan_round"
   | Plan_predict _ -> "plan_predict"
   | Plan_stop _ -> "plan_stop"
+  | Straggler _ -> "straggler"
 
 let fields ev : (string * Jsonx.t) list =
   match ev with
@@ -297,6 +299,8 @@ let fields ev : (string * Jsonx.t) list =
       ("mean", Jsonx.Float mean);
       ("ci95", Jsonx.Float ci95);
     ]
+  | Straggler { worker; ratio_pct } ->
+    [ ("worker", Jsonx.String worker); ("ratio_pct", Jsonx.Int ratio_pct) ]
 
 let to_json ~at ev =
   Jsonx.Obj (("at", Jsonx.Int at) :: ("ev", Jsonx.String (name ev)) :: fields ev)

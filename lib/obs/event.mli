@@ -161,6 +161,12 @@ type t =
       (** the planner stopped the benchmark: [reason] is ["ci_target"]
           (converged), ["budget"] ([--max-windows] exhausted) or
           ["exhausted"] (no candidate offsets left) *)
+  | Straggler of { worker : string; ratio_pct : int }
+      (** the dispatcher's straggler gauge: [worker] holds the oldest
+          in-flight unit and [ratio_pct] is its age over the median
+          in-flight age, in percent (100 = perfectly balanced).  Emitted
+          only when the rounded percentage changes, so traces stay
+          compact; requires at least two units in flight. *)
 
 val name : t -> string
 (** Stable machine-readable event name (the ["ev"] field of the trace). *)

@@ -85,7 +85,8 @@ let apply t ~at:_ (ev : Event.t) =
   | Event.Ckpt_hit _ | Event.Steal _ | Event.Dispatch_inflight _
   | Event.Span_begin _ | Event.Span_end _ | Event.Submit _ | Event.Admit _
   | Event.Artifact_hit _ | Event.Artifact_store _ | Event.Store_evict _
-  | Event.Plan_round _ | Event.Plan_predict _ | Event.Plan_stop _ ->
+  | Event.Plan_round _ | Event.Plan_predict _ | Event.Plan_stop _
+  | Event.Straggler _ ->
     ()
 
 let merge_region dst src =

@@ -2,12 +2,13 @@ module B = Darco_sampling.Buf
 module Wire = Darco_dispatch.Wire
 
 type stats = { done_ : int; total : int; hits : int; dispatched : int }
+type info = { uptime_s : int; version : string }
 
 let zero_stats = { done_ = 0; total = 0; hits = 0; dispatched = 0 }
 
-(* Open, handshake at v4, run [f], close.  Every failure mode becomes an
-   [Error text]. *)
-let with_server ~deadline (addr : Darco_dispatch.addr) f =
+(* Open, handshake (the server must speak at least [need], default v4),
+   run [f], close.  Every failure mode becomes an [Error text]. *)
+let with_server ?(need = 4) ~deadline (addr : Darco_dispatch.addr) f =
   match Darco_dispatch.Worker.resolve addr.host with
   | exception Invalid_argument msg -> Error msg
   | inet -> (
@@ -28,7 +29,7 @@ let with_server ~deadline (addr : Darco_dispatch.addr) f =
     | exception Wire.Closed -> Error "server closed the connection"
     | exception Wire.Timeout -> Error "timed out talking to the server"
     | exception B.Corrupt msg -> Error ("corrupt frame: " ^ msg)
-    | Wire.Hello { version; _ } when version >= 4 -> (
+    | Wire.Hello { version; _ } when version >= need -> (
       match f fd with
       | r -> r
       | exception Wire.Closed -> Error "server closed the connection"
@@ -38,7 +39,8 @@ let with_server ~deadline (addr : Darco_dispatch.addr) f =
     | Wire.Hello { version; _ } ->
       Error
         (Printf.sprintf
-           "server speaks protocol v%d; campaign frames need v4" version)
+           "server speaks protocol v%d; this conversation needs v%d" version
+           need)
     | Wire.Fail { reason; _ } -> Error reason
     | _ -> Error "unexpected handshake reply")
 
@@ -50,7 +52,7 @@ let submit ?(timeout = 3600.0) ?on_status ?on_artifact addr spec =
   let stats = ref zero_stats in
   let rec loop () =
     match Wire.recv ~deadline fd with
-    | Wire.Status { id = 1; state = _; done_; total; hits; dispatched } ->
+    | Wire.Status { id = 1; state = _; done_; total; hits; dispatched; _ } ->
       stats := { done_; total; hits; dispatched };
       Option.iter (fun f -> f !stats) on_status;
       loop ()
@@ -71,10 +73,39 @@ let status ?(timeout = 30.0) addr =
   with_server ~deadline addr @@ fun fd ->
   Wire.send ~deadline fd
     (Wire.Status
-       { id = -1; state = ""; done_ = 0; total = 0; hits = 0; dispatched = 0 });
+       {
+         id = -1;
+         state = "";
+         done_ = 0;
+         total = 0;
+         hits = 0;
+         dispatched = 0;
+         uptime_s = 0;
+         version = "";
+       });
   match Wire.recv ~deadline fd with
-  | Wire.Status { id = -1; state; done_; total; hits; dispatched } ->
-    Ok (state, { done_; total; hits; dispatched })
+  | Wire.Status { id = -1; state; done_; total; hits; dispatched; uptime_s;
+                  version } ->
+    Ok (state, { done_; total; hits; dispatched }, { uptime_s; version })
+  | Wire.Fail { reason; _ } -> Error reason
+  | _ -> Error "unexpected frame from server"
+
+(* v5 telemetry: one round trip each; the reply carries one JSON string. *)
+let scrape ?(timeout = 30.0) addr =
+  let deadline = Unix.gettimeofday () +. timeout in
+  with_server ~need:5 ~deadline addr @@ fun fd ->
+  Wire.send ~deadline fd (Wire.Metrics { json = "" });
+  match Wire.recv ~deadline fd with
+  | Wire.Metrics { json } -> Ok json
+  | Wire.Fail { reason; _ } -> Error reason
+  | _ -> Error "unexpected frame from server"
+
+let health ?(timeout = 30.0) addr =
+  let deadline = Unix.gettimeofday () +. timeout in
+  with_server ~need:5 ~deadline addr @@ fun fd ->
+  Wire.send ~deadline fd (Wire.Health { json = "" });
+  match Wire.recv ~deadline fd with
+  | Wire.Health { json } -> Ok json
   | Wire.Fail { reason; _ } -> Error reason
   | _ -> Error "unexpected frame from server"
 

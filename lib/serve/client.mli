@@ -12,6 +12,11 @@ type stats = { done_ : int; total : int; hits : int; dispatched : int }
     settled, [hits] served without dispatching, [dispatched] put on the
     worker fleet. *)
 
+type info = { uptime_s : int; version : string }
+(** The v5 tail of a [Status] reply: how long the daemon has been up and
+    which build it is.  Both stay default ([0], [""]) against a pre-v5
+    server — a stale daemon is diagnosable by exactly that. *)
+
 val submit :
   ?timeout:float ->
   ?on_status:(stats -> unit) ->
@@ -27,9 +32,24 @@ val submit :
     the whole conversation. *)
 
 val status :
-  ?timeout:float -> Darco_dispatch.addr -> (string * stats, string) result
-(** Service-wide counters: the server's state string and, as {!stats},
-    completed/total submissions and cumulative hit/dispatch counts. *)
+  ?timeout:float ->
+  Darco_dispatch.addr ->
+  (string * stats * info, string) result
+(** Service-wide counters: the server's state string, as {!stats} the
+    completed/total submissions and cumulative hit/dispatch counts, and
+    the daemon's {!info}. *)
+
+val scrape : ?timeout:float -> Darco_dispatch.addr -> (string, string) result
+(** One METR round trip (needs a v5 server): the daemon's live registry
+    snapshot as JSON text ({!Darco_obs.Registry.of_json} parses it;
+    {!Darco_obs.Registry.exposition} renders it byte-identically to the
+    server's [--metrics-file] dump). *)
+
+val health : ?timeout:float -> Darco_dispatch.addr -> (string, string) result
+(** One HLTH round trip (needs a v5 server): the liveness/readiness
+    document — uptime, version, per-worker keepalive state, queue
+    depths, per-campaign progress with planner CI state, library
+    hit-rate — as JSON text. *)
 
 val fetch :
   ?timeout:float ->

@@ -13,6 +13,8 @@ module Report = Darco_sampling.Report
 module Plan = Darco_sampling.Plan
 module Wire = Darco_dispatch.Wire
 module Registry = Darco_workloads.Registry
+module Reg = Darco_obs.Registry
+module Version = Darco_util.Version
 
 let emit bus ev = Option.iter (fun b -> Bus.emit b ~at:(Clock.ticks ()) ev) bus
 
@@ -28,6 +30,14 @@ type client = {
   c_peer : string;
   c_ver : int;
   mutable c_alive : bool;
+}
+
+(* Per-worker liveness for the HLTH document, folded from bus events
+   (the dispatcher emits Worker_up/Worker_lost/Dispatch_inflight). *)
+type whealth = {
+  mutable wh_state : string;
+  mutable wh_inflight : int;
+  mutable wh_reason : string;
 }
 
 type slot =
@@ -68,10 +78,41 @@ let checkpoint_set_key bench ckd = Printf.sprintf "ckpts:%s/%s" bench ckd
 
 let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
     ?(dispatch_timeout = 60.0) ?(dispatch_retries = 2) ?keepalive_idle
-    ?keepalive_misses ?max_bytes ?max_submissions ?ready ~library ~host ~port
-    () =
+    ?keepalive_misses ?max_bytes ?max_submissions ?metrics_file
+    ?(metrics_interval = 5.0) ?ready ~library ~host ~port () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let credit = max 1 credit in
+  let started = Unix.gettimeofday () in
+  let uptime_s () = int_of_float (Unix.gettimeofday () -. started) in
+  (* The registry needs an event stream even when the caller brought no
+     bus; the daemon's own events are low-rate, so feeding a private bus
+     costs nothing measurable and sweep JSON never depends on it. *)
+  let ibus = match bus with Some b -> b | None -> Bus.create () in
+  let bus = Some ibus in
+  let reg = Reg.attach ibus in
+  let worker_health : (string, whealth) Hashtbl.t = Hashtbl.create 8 in
+  Bus.attach ibus ~name:"serve-health" (fun ~at:_ ev ->
+      let wh worker =
+        match Hashtbl.find_opt worker_health worker with
+        | Some w -> w
+        | None ->
+          let w = { wh_state = "up"; wh_inflight = 0; wh_reason = "" } in
+          Hashtbl.replace worker_health worker w;
+          w
+      in
+      match ev with
+      | Event.Worker_up { worker } ->
+        let w = wh worker in
+        w.wh_state <- "up";
+        w.wh_reason <- ""
+      | Event.Worker_lost { worker; reason } ->
+        let w = wh worker in
+        w.wh_state <- "lost";
+        w.wh_reason <- reason;
+        w.wh_inflight <- 0
+      | Event.Dispatch_inflight { worker; in_flight } ->
+        (wh worker).wh_inflight <- in_flight
+      | _ -> ());
   let log fmt =
     Printf.ksprintf
       (fun s ->
@@ -101,10 +142,55 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
   let completed = ref 0 in
   let hits_total = ref 0 in
   let dispatched_total = ref 0 in
+  (* Scheduling-state gauges, recomputed at each quiescent instant (a
+     scrape, a dump).  These are direct service gauges — unlike the
+     event-fed counters they describe queue state that only the
+     scheduler knows (DESIGN.md §7). *)
+  let g_unsettled = Reg.gauge reg "serve_windows_unsettled"
+  and g_active = Reg.gauge reg "serve_campaigns_active"
+  and g_queue = Reg.gauge reg "serve_queue_depth"
+  and g_pending = Reg.gauge reg "serve_windows_pending"
+  and g_clients = Reg.gauge reg "serve_clients_connected"
+  and g_uptime = Reg.gauge reg "serve_uptime_seconds" in
+  let update_service_gauges () =
+    let unsettled =
+      List.fold_left
+        (fun acc s -> acc + (Array.length s.sb_slots - s.sb_done - s.sb_skipped))
+        0 !subs
+    and queue =
+      List.fold_left (fun acc s -> acc + Queue.length s.sb_todo) 0 !subs
+    in
+    Reg.set g_unsettled unsettled;
+    Reg.set g_active (List.length !subs);
+    Reg.set g_queue queue;
+    Reg.set g_pending (Hashtbl.length pending);
+    Reg.set g_clients (List.length !clients);
+    Reg.set g_uptime (uptime_s ())
+  in
+  let metrics_text () =
+    update_service_gauges ();
+    Reg.exposition (Reg.snapshot reg)
+  in
+  (* write-then-rename, the Library.write_framed discipline: a scraper
+     never reads a torn exposition *)
+  let dump_metrics path =
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (metrics_text ());
+    close_out oc;
+    Sys.rename tmp path
+  in
+  let next_dump = ref 0.0 in
   let send_to c msg =
     if c.c_alive then
       try Wire.send ~deadline:(Unix.gettimeofday () +. 30.0) c.c_fd msg
       with Wire.Closed | Wire.Timeout | Unix.Unix_error _ -> c.c_alive <- false
+  in
+  (* v5 clients learn the daemon's uptime and build from every STAT; to
+     older clients the fields stay default so the frame bytes are
+     exactly the v4 encoding *)
+  let status_extra c =
+    if c.c_ver >= 5 then (uptime_s (), Version.string) else (0, "")
   in
   let outcome_of_text text =
     match Jsonx.parse text with
@@ -159,6 +245,7 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
         ~window:spec.Campaign.window ~warmup:spec.Campaign.warmup
         ?plan:plan_summary rows
     in
+    let uptime_s, version = status_extra sub.sb_client in
     send_to sub.sb_client
       (Wire.Status
          {
@@ -168,6 +255,8 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
            total = Array.length sub.sb_slots;
            hits = sub.sb_hits;
            dispatched = sub.sb_dispatched;
+           uptime_s;
+           version;
          });
     send_to sub.sb_client
       (Wire.Done { id = sub.sb_id; json = Jsonx.to_string rep.Report.doc });
@@ -416,6 +505,7 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
                    round_size = credit;
                  }
                  ~candidates:(List.rev !candidates) ~phase_of));
+        let uptime_s, version = status_extra c in
         send_to c
           (Wire.Status
              {
@@ -425,6 +515,8 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
                total = n;
                hits = sub.sb_hits;
                dispatched = sub.sb_dispatched;
+               uptime_s;
+               version;
              });
         Array.iteri
           (fun i action ->
@@ -440,6 +532,7 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
       end
   in
   let handle_status c id =
+    let uptime_s, version = status_extra c in
     if id = -1 then
       send_to c
         (Wire.Status
@@ -450,6 +543,8 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
              total = !submitted;
              hits = !hits_total;
              dispatched = !dispatched_total;
+             uptime_s;
+             version;
            })
     else
       match
@@ -465,12 +560,14 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
                total = Array.length s.sb_slots;
                hits = s.sb_hits;
                dispatched = s.sb_dispatched;
+               uptime_s;
+               version;
              })
       | None ->
         send_to c
           (Wire.Status
              { id; state = "unknown"; done_ = 0; total = 0; hits = 0;
-               dispatched = 0 })
+               dispatched = 0; uptime_s; version })
   in
   (* A fetch resolves one window from the library without submitting: it
      needs the campaign's checkpoint set (to know which snapshot the
@@ -523,6 +620,101 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
               (Wire.Artifact { id = offset; key = Library.render k; json = text })
           | None -> miss (Library.render k))))
   in
+  (* The HLTH document: everything `darco top` renders.  Worker rows and
+     campaign rows are sorted so the document is a deterministic
+     function of service state. *)
+  let health_json () =
+    let workers_json =
+      Hashtbl.fold
+        (fun addr wh acc ->
+          ( addr,
+            Jsonx.Obj
+              [
+                ("addr", Jsonx.String addr);
+                ("state", Jsonx.String wh.wh_state);
+                ("in_flight", Jsonx.Int wh.wh_inflight);
+                ("reason", Jsonx.String wh.wh_reason);
+              ] )
+          :: acc)
+        worker_health []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map snd
+    in
+    let campaigns =
+      List.map
+        (fun sub ->
+          Jsonx.Obj
+            ([
+               ("seq", Jsonx.Int sub.sb_seq);
+               ("id", Jsonx.Int sub.sb_id);
+               ("client", Jsonx.String sub.sb_client.c_peer);
+               ("benchmark", Jsonx.String sub.sb_spec.Campaign.bench);
+               ("done", Jsonx.Int sub.sb_done);
+               ("total", Jsonx.Int (Array.length sub.sb_slots));
+               ("hits", Jsonx.Int sub.sb_hits);
+               ("dispatched", Jsonx.Int sub.sb_dispatched);
+               ("skipped", Jsonx.Int sub.sb_skipped);
+               ("in_flight", Jsonx.Int sub.sb_inflight);
+               ("queued", Jsonx.Int (Queue.length sub.sb_todo));
+             ]
+            @
+            match sub.sb_plan with
+            | None -> []
+            | Some pl ->
+              [
+                ( "plan",
+                  Jsonx.Obj
+                    [
+                      ("rounds", Jsonx.Int (Plan.rounds pl));
+                      ("completed", Jsonx.Int (Plan.completed pl));
+                      ("mean", Jsonx.Float (Plan.mean pl));
+                      ("ci95", Jsonx.Float (Plan.ci95 pl));
+                      ( "ci_target",
+                        Jsonx.Float
+                          (Option.value ~default:0.0
+                             sub.sb_spec.Campaign.ci_target) );
+                      ("ci_target_met", Jsonx.Bool (Plan.ci_target_met pl));
+                    ] );
+              ]))
+        !subs
+    in
+    let hits = !hits_total and disp = !dispatched_total in
+    let hit_rate =
+      if hits + disp = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + disp)
+    in
+    Jsonx.Obj
+      [
+        ("state", Jsonx.String "serving");
+        ("version", Jsonx.String Version.string);
+        ("protocol", Jsonx.Int Wire.protocol_version);
+        ("uptime_s", Jsonx.Int (uptime_s ()));
+        ("submitted", Jsonx.Int !submitted);
+        ("completed", Jsonx.Int !completed);
+        ("clients", Jsonx.Int (List.length !clients));
+        ("windows_pending", Jsonx.Int (Hashtbl.length pending));
+        ( "library",
+          Jsonx.Obj
+            [
+              ("hits_total", Jsonx.Int hits);
+              ("dispatched_total", Jsonx.Int disp);
+              ("hit_rate", Jsonx.Float hit_rate);
+              ("checkpoints", Jsonx.Int (Store.count store));
+              ("spilled_bytes", Jsonx.Int (Store.spilled_bytes store));
+            ] );
+        ("workers", Jsonx.List workers_json);
+        ("campaigns", Jsonx.List campaigns);
+      ]
+  in
+  let needs_v5 c what id =
+    send_to c
+      (Wire.Fail
+         {
+           id;
+           reason =
+             Printf.sprintf "%s needs protocol v5; negotiated v%d" what c.c_ver;
+         })
+  in
   let handle_client c =
     match Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) c.c_fd with
     | exception (Wire.Closed | Wire.Timeout) -> c.c_alive <- false
@@ -541,6 +733,20 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
              })
     | Wire.Status { id; _ } -> handle_status c id
     | Wire.Artifact { id; key; json = _ } -> handle_fetch c id key
+    | Wire.Metrics _ ->
+      if c.c_ver >= 5 then
+        send_to c
+          (Wire.Metrics
+             {
+               json =
+                 (update_service_gauges ();
+                  Jsonx.to_string (Reg.to_json (Reg.snapshot reg)));
+             })
+      else needs_v5 c "METR scrapes" (-1)
+    | Wire.Health _ ->
+      if c.c_ver >= 5 then
+        send_to c (Wire.Health { json = Jsonx.to_string (health_json ()) })
+      else needs_v5 c "HLTH probes" (-1)
     | Wire.Ping -> send_to c Wire.Pong
     | Wire.Pong -> ()
     | Wire.Hello _ | Wire.Work _ | Wire.Result _ | Wire.Fail _ | Wire.Need _
@@ -707,6 +913,11 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
   in
   Fun.protect
     ~finally:(fun () ->
+      (* a final dump so short-lived (--max-submissions) daemons leave a
+         complete document behind *)
+      (match metrics_file with
+      | Some path -> ( try dump_metrics path with Sys_error _ -> ())
+      | None -> ());
       (try Unix.close lsock with Unix.Unix_error _ -> ());
       List.iter
         (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
@@ -732,6 +943,12 @@ let serve ?bus ?(quiet = false) ?(workers = []) ?(jobs = 4) ?(credit = 4)
             (try Unix.close c.c_fd with Unix.Unix_error _ -> ());
           c.c_alive)
         !clients;
+    (match metrics_file with
+    | Some path when Unix.gettimeofday () >= !next_dump ->
+      (* the select tick paces this; write-then-rename keeps it atomic *)
+      next_dump := Unix.gettimeofday () +. metrics_interval;
+      (try dump_metrics path with Sys_error _ -> ())
+    | _ -> ());
     plan_step ();
     if have_work () then round ()
   done

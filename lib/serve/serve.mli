@@ -1,7 +1,7 @@
 (** The [darco serve] daemon: a persistent, multi-tenant campaign service.
 
     One server accepts concurrent sweep submissions from many clients
-    over the CRC-framed wire protocol (version 4), schedules their work
+    over the CRC-framed wire protocol (version 5), schedules their work
     onto the worker fleet through the ordinary dispatcher core — with
     deadlines, retries and stealing intact — and persists every result
     in a crash-safe artifact {!Library} keyed by content, so the service
@@ -24,7 +24,18 @@
 
     A client that disconnects mid-sweep does not cancel its submission:
     the work completes and lands in the library, where the resubmission
-    will find it. *)
+    will find it.
+
+    The daemon is live-inspectable (wire v5): a
+    {!Darco_obs.Registry} attached to the bus folds every event into
+    named counters/gauges/histograms, scraped with [METR] (snapshot
+    JSON) and summarized by [HLTH] (uptime, build version, per-worker
+    keepalive state, queue depths, per-campaign progress with planner CI
+    state, library hit-rate).  [metrics_file] additionally dumps the
+    Prometheus-style exposition text every [metrics_interval] seconds
+    (default 5) with an atomic write-then-rename.  Telemetry is a
+    separate document: sweep/sample JSON stays byte-identical whether or
+    not any of it is enabled. *)
 
 val serve :
   ?bus:Darco_obs.Bus.t ->
@@ -38,6 +49,8 @@ val serve :
   ?keepalive_misses:int ->
   ?max_bytes:int ->
   ?max_submissions:int ->
+  ?metrics_file:string ->
+  ?metrics_interval:float ->
   ?ready:(Unix.sockaddr -> unit) ->
   library:string ->
   host:string ->

@@ -1,0 +1,16 @@
+(** The [darco top] screen: fetch a serve daemon's live telemetry and
+    render it as text.  Split from the CLI so the e2e test can drive the
+    exact rendering a user sees. *)
+
+type view = {
+  metrics : Darco_obs.Registry.snapshot;
+  health : Darco_obs.Jsonx.t;
+}
+
+val fetch :
+  ?timeout:float -> Darco_dispatch.addr -> (view, string) result
+(** One METR + one HLTH round trip (needs a v5 server), parsed. *)
+
+val render : view -> string
+(** Header (version/uptime), per-campaign progress table (with planner
+    CI state), per-worker health table and the library hit-rate line. *)

@@ -1,0 +1,3 @@
+(* Bumped when a release-worthy capability lands; reported in STAT and
+   HLTH frames so stale daemons and clients are diagnosable. *)
+let string = "0.10.0"

@@ -1,0 +1,4 @@
+val string : string
+(** The build version this tree identifies as, e.g. ["0.10.0"].  Carried
+    in STAT responses and health documents so a client can tell which
+    build a long-running daemon is. *)

@@ -473,7 +473,16 @@ let v4_golden =
   [
     ( "wire_stat_v4.bin",
       Wire.Status
-        { id = 7; state = "running"; done_ = 1; total = 4; hits = 1; dispatched = 3 } );
+        {
+          id = 7;
+          state = "running";
+          done_ = 1;
+          total = 4;
+          hits = 1;
+          dispatched = 3;
+          uptime_s = 0;
+          version = "";
+        } );
     ( "wire_artf_v4.bin",
       Wire.Artifact
         { id = 7; key = "429.mcf@130000/0011aabb"; json = "{\"ipc\":1.5}" } );
@@ -527,6 +536,51 @@ let test_v4_malformed_rejected () =
       match Wire.recv ~deadline:(Unix.gettimeofday () +. 10.0) a with
       | _ -> Alcotest.fail "decoded a truncated v4 frame"
       | exception Wire.Closed -> ())
+
+(* --- 9b. wire v5 frames: METR/HLTH and the Status tail round-trip
+   through a real socket.  A default-tail Status must keep encoding the
+   exact v4 bytes (the golden fixture above pins that), so the tail has
+   to be genuinely on the wire when it is set --- *)
+let test_v5_roundtrip () =
+  Alcotest.(check int) "protocol is v5" 5 Wire.protocol_version;
+  let tailed =
+    Wire.Status
+      {
+        id = 3;
+        state = "serving";
+        done_ = 2;
+        total = 9;
+        hits = 1;
+        dispatched = 1;
+        uptime_s = 77;
+        version = "0.10.0";
+      }
+  in
+  List.iter
+    (fun msg ->
+      Alcotest.(check bool) "v5 frame round-trips through a socket" true
+        (recv_bytes (Wire.encode msg) = msg))
+    [
+      Wire.Metrics { json = "" };
+      Wire.Metrics { json = {|{"counters":{"events_total":5}}|} };
+      Wire.Health { json = {|{"state":"serving","uptime_s":12}|} };
+      tailed;
+    ];
+  let plain =
+    Wire.Status
+      {
+        id = 3;
+        state = "serving";
+        done_ = 2;
+        total = 9;
+        hits = 1;
+        dispatched = 1;
+        uptime_s = 0;
+        version = "";
+      }
+  in
+  Alcotest.(check bool) "the Status tail really rides the frame" true
+    (String.length (Wire.encode tailed) > String.length (Wire.encode plain))
 
 (* --- 10. version negotiation: a v3 client against today's server keeps
    working at v3; a v2 client is refused with a reason --- *)
@@ -669,6 +723,7 @@ let () =
             test_v4_golden_fixtures;
           Alcotest.test_case "malformed v4 frames rejected" `Quick
             test_v4_malformed_rejected;
+          Alcotest.test_case "v5 frames roundtrip" `Quick test_v5_roundtrip;
           Alcotest.test_case "version negotiation" `Quick
             test_version_negotiation;
         ] );

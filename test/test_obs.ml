@@ -253,8 +253,9 @@ let constructor_index : Event.t -> int = function
   | Event.Plan_round _ -> 38
   | Event.Plan_predict _ -> 39
   | Event.Plan_stop _ -> 40
+  | Event.Straggler _ -> 41
 
-let n_constructors = 41
+let n_constructors = 42
 
 (* One sample per constructor: (event, stable name, exact JSON at at=5).
    These strings are the on-disk trace format — changing one is a schema
@@ -416,6 +417,9 @@ let event_samples =
       "plan_stop",
       {|{"at":5,"ev":"plan_stop","reason":"ci_target","windows":12,"mean":0.75,"ci95":0.0625}|}
     );
+    ( Event.Straggler { worker = "w:1"; ratio_pct = 240 },
+      "straggler",
+      {|{"at":5,"ev":"straggler","worker":"w:1","ratio_pct":240}|} );
   ]
 
 let test_event_schema () =
@@ -538,6 +542,104 @@ let test_prof_reconciles name () =
   (* rendering must not raise and must mention the hottest region *)
   let table = Format.asprintf "%a" (Prof.pp_table ~n:5) p in
   Alcotest.(check bool) "table non-empty" true (String.length table > 0)
+
+(* --- metrics registry ---------------------------------------------------- *)
+
+let test_registry_cells () =
+  let r = Registry.create () in
+  let c = Registry.counter r "reqs_total" in
+  Registry.inc c 2;
+  Registry.inc (Registry.counter r "reqs_total") 3;
+  Alcotest.(check int) "get-or-register returns the same cell" 5
+    (Registry.counter_value c);
+  let g = Registry.gauge r "depth" in
+  Registry.set g 7;
+  Registry.set (Registry.gauge r "depth") 9;
+  Alcotest.(check int) "gauge set through either handle" 9
+    (Registry.gauge_value g);
+  (match Registry.gauge r "reqs_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind clash on a name must be rejected");
+  (match Registry.counter r "bad name" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "names must match the exposition grammar");
+  (match Registry.hist r {|lat{worker="w"}|} with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "histograms cannot take labels");
+  (* one kind per family, across label sets *)
+  let _ = Registry.counter r {|by_code{code="200"}|} in
+  match Registry.gauge r {|by_code{code="500"}|} with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "family kind is fixed by the first registration"
+
+(* The exposition text is part of the observable surface: the CI job and
+   any Prometheus scraper parse it, so it is pinned byte-for-byte. *)
+let exposition_registry () =
+  let r = Registry.create () in
+  Registry.inc (Registry.counter r "events_total") 5;
+  Registry.set (Registry.gauge r {|queue_depth{worker="h:1"}|}) 2;
+  let h = Registry.hist r "bytes" in
+  List.iter (Registry.observe h) [ 1; 2; 1024 ];
+  r
+
+let test_registry_exposition () =
+  let expect =
+    "# TYPE darco_bytes histogram\n"
+    ^ "darco_bytes_bucket{le=\"1\"} 1\n"
+    ^ "darco_bytes_bucket{le=\"3\"} 2\n"
+    ^ "darco_bytes_bucket{le=\"2047\"} 3\n"
+    ^ "darco_bytes_bucket{le=\"+Inf\"} 3\n"
+    ^ "darco_bytes_sum 1027\n" ^ "darco_bytes_count 3\n"
+    ^ "# TYPE darco_events_total counter\n" ^ "darco_events_total 5\n"
+    ^ "# TYPE darco_queue_depth gauge\n"
+    ^ "darco_queue_depth{worker=\"h:1\"} 2\n"
+  in
+  Alcotest.(check string) "exposition golden" expect
+    (Registry.exposition (Registry.snapshot (exposition_registry ())))
+
+let test_registry_json_roundtrip () =
+  let s = Registry.snapshot (exposition_registry ()) in
+  (* through the printer and parser, exactly as METR ships it *)
+  match Registry.of_json (Jsonx.parse (Jsonx.to_string (Registry.to_json s))) with
+  | Error e -> Alcotest.failf "snapshot did not parse back: %s" e
+  | Ok s' ->
+    Alcotest.(check string) "snapshot survives the wire"
+      (Jsonx.to_string (Registry.to_json s))
+      (Jsonx.to_string (Registry.to_json s'));
+    Alcotest.(check string) "and renders the same exposition"
+      (Registry.exposition s) (Registry.exposition s')
+
+let test_registry_reconciles name () =
+  let reg = ref None in
+  let ctl, _ =
+    run_with_bus ~attach:(fun bus -> reg := Some (Registry.attach bus)) name
+  in
+  match Registry.reconciles (Option.get !reg) (Controller.stats ctl) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "registry drift on %s: %s" name e
+
+(* The registry is a pure fold over the event stream: replaying a
+   recorded stream into a fresh registry must land on the same snapshot
+   the live one reached. *)
+let test_registry_rebuild () =
+  let log = ref [] in
+  let reg = ref None in
+  let _ctl, _ =
+    run_with_bus
+      ~attach:(fun bus ->
+        reg := Some (Registry.attach bus);
+        Bus.attach bus ~name:"log" (fun ~at ev -> log := (at, ev) :: !log))
+      "429.mcf"
+  in
+  let live = Registry.snapshot (Option.get !reg) in
+  let rebuilt = Registry.create () in
+  let apply = Registry.apply rebuilt in
+  List.iter (fun (at, ev) -> apply ~at ev) (List.rev !log);
+  Alcotest.(check bool) "stream was non-trivial" true
+    (List.length !log > 100);
+  Alcotest.(check string) "replayed snapshot identical to the live one"
+    (Jsonx.to_string (Registry.to_json live))
+    (Jsonx.to_string (Registry.to_json (Registry.snapshot rebuilt)))
 
 (* --- flight recorder ----------------------------------------------------- *)
 
@@ -730,6 +832,42 @@ let test_prof_merge_splits () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "merged profiler drifts from merged stats: %s" e
 
+(* --- registry under domain contention ------------------------------------ *)
+
+(* Spawns domains, so it must live in the fork-free tail of the suite
+   with the clock test. *)
+let test_registry_multicore () =
+  let r = Registry.create () in
+  let per = 10_000 and ndom = 4 in
+  let doms =
+    List.init ndom (fun i ->
+        Domain.spawn (fun () ->
+            let c = Registry.counter r "hits_total" in
+            let g = Registry.gauge r (Printf.sprintf {|lane{d="%d"}|} i) in
+            let h = Registry.hist r "obs_bytes" in
+            for v = 1 to per do
+              Registry.inc c 1;
+              Registry.set g v;
+              Registry.observe h v
+            done))
+  in
+  List.iter Domain.join doms;
+  let s = Registry.snapshot r in
+  Alcotest.(check int) "counter exact under contention" (ndom * per)
+    (List.assoc "hits_total" s.Registry.counters);
+  List.iter
+    (fun i ->
+      Alcotest.(check int)
+        (Printf.sprintf "gauge lane %d holds its last write" i)
+        per
+        (List.assoc (Printf.sprintf {|lane{d="%d"}|} i) s.Registry.gauges))
+    (List.init ndom Fun.id);
+  let j = List.assoc "obs_bytes" s.Registry.hists in
+  Alcotest.(check int) "hist count exact" (ndom * per) (get_int "count" j);
+  Alcotest.(check int) "hist sum exact"
+    (ndom * (per * (per + 1) / 2))
+    (get_int "sum" j)
+
 (* --- cross-domain clock --------------------------------------------------- *)
 
 (* Must stay the suite's LAST test: once a domain has been spawned this
@@ -808,6 +946,18 @@ let () =
             Alcotest.test_case ("reconciles with Stats.t: " ^ w) `Quick
               (test_prof_reconciles w))
           workloads );
+      ( "registry",
+        Alcotest.test_case "cells + kind safety" `Quick test_registry_cells
+        :: Alcotest.test_case "exposition golden" `Quick test_registry_exposition
+        :: Alcotest.test_case "snapshot JSON roundtrip" `Quick
+             test_registry_json_roundtrip
+        :: Alcotest.test_case "rebuilt from the event stream" `Quick
+             test_registry_rebuild
+        :: List.map
+             (fun w ->
+               Alcotest.test_case ("reconciles with Stats.t: " ^ w) `Quick
+                 (test_registry_reconciles w))
+             workloads );
       ( "recorder",
         [
           Alcotest.test_case "ring + dump on divergence" `Quick test_recorder_ring;
@@ -830,6 +980,10 @@ let () =
       (* keep last: spawns domains, which forbids fork for the rest of
          the process *)
       ( "multicore",
-        [ Alcotest.test_case "ticks unique across domains" `Quick test_clock_multicore ]
-      );
+        [
+          Alcotest.test_case "ticks unique across domains" `Quick
+            test_clock_multicore;
+          Alcotest.test_case "registry exact under domain contention" `Quick
+            test_registry_multicore;
+        ] );
     ]

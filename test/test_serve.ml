@@ -91,14 +91,15 @@ let announce writers sa =
     writers
 
 (* Same worker-daemon spawner as test_dispatch: ephemeral port reported
-   through a pipe once the daemon is actually listening. *)
-let spawn_worker () =
+   through a pipe once the daemon is actually listening.  [exec] lets a
+   test slow the worker down to hold a campaign observably in flight. *)
+let spawn_worker ?exec () =
   let r, w = Unix.pipe () in
   match Unix.fork () with
   | 0 ->
     Unix.close r;
     (try
-       Worker.serve ~quiet:true
+       Worker.serve ~quiet:true ?exec
          ~ready:(fun sa ->
            let port = match sa with Unix.ADDR_INET (_, p) -> p | _ -> 0 in
            let line = Bytes.of_string (string_of_int port ^ "\n") in
@@ -390,7 +391,7 @@ let seq_client dir addr =
   submit "first" spec1;
   submit "again" spec1;
   (match Client.status addr with
-  | Ok (state, st) ->
+  | Ok (state, st, _info) ->
     save "status"
       (Printf.sprintf "%s %d %d %d %d" state st.Client.done_ st.Client.total
          st.Client.hits st.Client.dispatched)
@@ -642,6 +643,157 @@ let test_serve_concurrent_sharing () =
            | _ -> false)
         >= 4))
 
+(* --- live telemetry end to end ----------------------------------------- *)
+
+module Top = Darco_serve.Top
+module Reg = Darco_obs.Registry
+module Version = Darco_util.Version
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let geti k j = Option.value ~default:(-1) (Option.bind (J.member k j) J.to_int)
+let gets k j = Option.value ~default:"" (Option.bind (J.member k j) J.to_str)
+let getl k j = match J.member k j with Some (J.List l) -> l | _ -> []
+
+(* A campaign long enough to still be in flight when the probe looks:
+   ten wide windows, dispatched one per round ([credit 1]). *)
+let spec_slow =
+  Campaign.normalize
+    {
+      spec1 with
+      Campaign.offsets = List.init 10 (fun i -> 2_000 + (i * 2_000));
+      window = 120_000;
+    }
+
+(* A probe client: poll [darco top]'s exact fetch until the campaign is
+   visibly in flight, persist that one consistent view (top text, METR
+   snapshot, HLTH document all from the same instant), ask for STAT, and
+   only then submit the second campaign that lets the service exit. *)
+let telemetry_probe dir addr =
+  let save name s = write_file (Filename.concat dir name) s in
+  let rec grab tries =
+    match Top.fetch addr with
+    | Ok v when tries = 0 || contains (Top.render v) "continuous" -> Ok v
+    | Error e when tries = 0 -> Error e
+    | _ ->
+      Unix.sleepf 0.05;
+      grab (tries - 1)
+  in
+  (match grab 100 with
+  | Error e -> save "probe.err" e
+  | Ok v ->
+    save "top.txt" (Top.render v);
+    save "scrape.json" (J.to_string (Reg.to_json v.Top.metrics));
+    save "scrape.prom" (Reg.exposition v.Top.metrics);
+    save "health.json" (J.to_string v.Top.health));
+  (match Client.status addr with
+  | Ok (state, _, info) ->
+    save "status.txt"
+      (Printf.sprintf "%s %d %s" state info.Client.uptime_s
+         info.Client.version)
+  | Error e -> save "status.err" e);
+  match Client.submit addr spec1 with
+  | Ok (st, doc) ->
+    save "work.stats"
+      (Printf.sprintf "%d %d %d %d" st.Client.done_ st.Client.total
+         st.Client.hits st.Client.dispatched);
+    save "work.json" doc
+  | Error e -> save "work.err" e
+
+let test_serve_telemetry () =
+  with_temp_dir @@ fun dir ->
+  let metrics_file = Filename.concat dir "metrics.prom" in
+  let wp, waddr = spawn_worker () in
+  Fun.protect ~finally:(fun () -> reap wp) @@ fun () ->
+  let pipe1 = Unix.pipe () and pipe2 = Unix.pipe () in
+  let slow_pid =
+    fork_client pipe1 (fun addr ->
+        match Client.submit addr spec_slow with
+        | Ok (st, _) ->
+          write_file
+            (Filename.concat dir "slow.stats")
+            (Printf.sprintf "%d %d %d %d" st.Client.done_ st.Client.total
+               st.Client.hits st.Client.dispatched)
+        | Error e -> write_file (Filename.concat dir "slow.err") e)
+  in
+  let probe_pid = fork_client pipe2 (telemetry_probe dir) in
+  let bus, _events = collecting_bus () in
+  Serve.serve ~bus ~quiet:true ~workers:[ waddr ] ~credit:1 ~max_submissions:2
+    ~metrics_file ~metrics_interval:0.2
+    ~ready:(announce [ snd pipe1; snd pipe2 ])
+    ~library:(Filename.concat dir "lib") ~host:"127.0.0.1" ~port:0 ();
+  wait slow_pid;
+  wait probe_pid;
+  (* the slow campaign measured everything *)
+  Alcotest.(check (list int)) "slow campaign settled every window"
+    [ 10; 10; 0; 10 ]
+    (let a, b, c, d = parse_stats (must_read dir "slow.stats") in
+     [ a; b; c; d ]);
+  (* the campaign itself is untouched by telemetry: byte-identical to
+     what [darco sample --json] computes with no registry anywhere *)
+  Alcotest.(check string) "document byte-identical with telemetry on"
+    (Lazy.force expected_doc)
+    (must_read dir "work.json");
+  (* the probe's single consistent view, taken mid-campaign *)
+  let top = must_read dir "top.txt" in
+  Alcotest.(check bool) "top names the build" true
+    (contains top ("darco serve " ^ Version.string));
+  Alcotest.(check bool) "top shows the campaign row" true
+    (contains top "continuous");
+  Alcotest.(check bool) "top shows the worker table" true
+    (contains top "up");
+  let prom = must_read dir "scrape.prom" in
+  Alcotest.(check bool) "exposition types the submissions counter" true
+    (contains prom "# TYPE darco_submissions_total counter\n");
+  Alcotest.(check bool) "one submission at probe time" true
+    (contains prom "darco_submissions_total 1\n");
+  (match Reg.of_json (J.parse (must_read dir "scrape.json")) with
+  | Error e -> Alcotest.failf "scraped snapshot does not parse: %s" e
+  | Ok s ->
+    let counter n = Option.value ~default:0 (List.assoc_opt n s.Reg.counters) in
+    let gauge n = Option.value ~default:0 (List.assoc_opt n s.Reg.gauges) in
+    Alcotest.(check bool) "events flowed" true (counter "events_total" > 0);
+    Alcotest.(check int) "one campaign active mid-flight" 1
+      (gauge "serve_campaigns_active");
+    Alcotest.(check bool) "windows still unsettled mid-flight" true
+      (gauge "serve_windows_unsettled" > 0);
+    Alcotest.(check string) "client-side exposition is the same document"
+      prom (Reg.exposition s));
+  let health = J.parse (must_read dir "health.json") in
+  Alcotest.(check string) "health: serving" "serving" (gets "state" health);
+  Alcotest.(check string) "health: build version" Version.string
+    (gets "version" health);
+  Alcotest.(check int) "health: protocol" Wire.protocol_version
+    (geti "protocol" health);
+  Alcotest.(check bool) "health: uptime counted" true
+    (geti "uptime_s" health >= 0);
+  Alcotest.(check bool) "health: the campaign is listed" true
+    (List.exists (fun c -> gets "benchmark" c = "continuous")
+       (getl "campaigns" health));
+  Alcotest.(check bool) "health: the worker is up" true
+    (List.exists (fun w -> gets "state" w = "up") (getl "workers" health));
+  (* STAT carries the v5 tail *)
+  (match String.split_on_char ' ' (must_read dir "status.txt") with
+  | [ state; up; version ] ->
+    Alcotest.(check string) "status state" "serving" state;
+    Alcotest.(check string) "status version" Version.string version;
+    Alcotest.(check bool) "status uptime" true (int_of_string up >= 0)
+  | _ -> Alcotest.fail "malformed status line");
+  (* the periodic dump: valid exposition text, final state on disk *)
+  let dump = must_read dir "metrics.prom" in
+  Alcotest.(check bool) "metrics file dumped" true (String.length dump > 0);
+  Alcotest.(check bool) "final dump counts both submissions" true
+    (contains dump "darco_submissions_total 2\n");
+  List.iter
+    (fun line ->
+      if line <> "" && not (has_prefix "# TYPE darco_" line)
+         && not (has_prefix "darco_" line)
+      then Alcotest.failf "stray exposition line %S" line)
+    (String.split_on_char '\n' dump)
+
 let () =
   Alcotest.run "serve"
     [
@@ -667,5 +819,10 @@ let () =
             test_serve_concurrent_sharing;
           Alcotest.test_case "adaptive campaign exits early" `Quick
             test_serve_adaptive_campaign;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "scrape, top, health, metrics file" `Quick
+            test_serve_telemetry;
         ] );
     ]
